@@ -1,0 +1,86 @@
+//! Performance of the core admission-control operations: the costs that
+//! sit on a switch's call-setup path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbac_core::admission::{gaussian_admissible_count, AdmissionPolicy, CertaintyEquivalent};
+use mbac_core::estimators::{Estimate, Estimator, FilteredEstimator, MemorylessEstimator};
+use mbac_core::params::QosTarget;
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_num::{inv_q, q};
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_functions");
+    g.bench_function("q_tail", |b| b.iter(|| q(black_box(4.2))));
+    g.bench_function("inv_q_moderate", |b| b.iter(|| inv_q(black_box(1e-3))));
+    g.bench_function("inv_q_deep_tail", |b| b.iter(|| inv_q(black_box(1e-12))));
+    g.finish();
+}
+
+fn bench_admission_decision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("admission_decision");
+    let alpha = inv_q(1e-3);
+    g.bench_function("gaussian_admissible_count", |b| {
+        b.iter(|| gaussian_admissible_count(black_box(1.0), black_box(0.3), alpha, black_box(1000.0)))
+    });
+    let ce = CertaintyEquivalent::new(QosTarget::new(1e-3));
+    let est = Estimate::new(1.02, 0.091);
+    g.bench_function("certainty_equivalent_admit", |b| {
+        b.iter(|| ce.admit(black_box(est), black_box(1000.0), black_box(900)))
+    });
+    g.finish();
+}
+
+fn bench_estimator_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator_update");
+    for &n in &[100usize, 1000, 10_000] {
+        let snapshot: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * ((i as f64).sin())).collect();
+        g.bench_with_input(BenchmarkId::new("memoryless", n), &snapshot, |b, s| {
+            let mut est = MemorylessEstimator::new();
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                est.observe(t, s);
+                est.estimate()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("filtered", n), &snapshot, |b, s| {
+            let mut est = FilteredEstimator::new(10.0);
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                est.observe(t, s);
+                est.estimate()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_theory_formulas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory_formulas");
+    let model = ContinuousModel::new(0.3, 31.6, 1.0);
+    let alpha = inv_q(1e-3);
+    g.bench_function("pf_eqn38_closed_form", |b| {
+        b.iter(|| model.pf_with_memory_separated(black_box(alpha), black_box(8.0)))
+    });
+    g.bench_function("pf_eqn37_numeric_integration", |b| {
+        b.iter(|| model.pf_with_memory(black_box(alpha), black_box(8.0)))
+    });
+    g.bench_function("invert_pce_separated", |b| {
+        b.iter(|| invert_pce(&model, black_box(8.0), 1e-3, InvertMethod::Separated))
+    });
+    g.bench_function("invert_pce_general", |b| {
+        b.iter(|| invert_pce(&model, black_box(8.0), 1e-3, InvertMethod::General))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_special_functions,
+    bench_admission_decision,
+    bench_estimator_updates,
+    bench_theory_formulas
+);
+criterion_main!(benches);

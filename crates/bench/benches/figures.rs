@@ -1,0 +1,261 @@
+//! Figure-regeneration benches: one criterion group per experiment in
+//! DESIGN.md §3, each running a miniature (quick-budget) version of the
+//! corresponding pipeline. `cargo bench` therefore exercises every
+//! figure end to end; the publication-fidelity series come from the
+//! `mbac-experiments` binaries (`cargo run --release -p mbac-experiments
+//! --bin exp_fig5`, etc.).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::params::QosTarget;
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_experiments::scenarios::{ContinuousScenario, TraceScenario};
+use mbac_sim::{run_impulsive, ImpulsiveConfig};
+use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn tiny_continuous(t_m: f64, t_c: f64, seed: u64) -> ContinuousScenario {
+    ContinuousScenario {
+        n: 100.0,
+        t_h: 100.0,
+        t_c,
+        t_m,
+        p_ce: 1e-2,
+        p_q: 1e-2,
+        max_samples: 60,
+        seed,
+    }
+}
+
+fn bench_prop33(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_prop33");
+    g.sample_size(10);
+    g.bench_function("impulsive_pipeline", |b| {
+        let model = mbac_bench::bench_rcbr();
+        let ce = CertaintyEquivalent::from_probability(1e-2);
+        b.iter(|| {
+            run_impulsive(
+                &ImpulsiveConfig {
+                    capacity: 100.0,
+                    estimation_flows: 100,
+                    mean_holding: None,
+                    observe_times: vec![20.0],
+                    replications: 300,
+                    seed: 1,
+                },
+                &model,
+                &ce,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_finite_holding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_eqn21");
+    g.sample_size(10);
+    g.bench_function("impulsive_departures_pipeline", |b| {
+        let model = mbac_bench::bench_rcbr();
+        let ce = CertaintyEquivalent::from_probability(1e-2);
+        b.iter(|| {
+            run_impulsive(
+                &ImpulsiveConfig {
+                    capacity: 100.0,
+                    estimation_flows: 100,
+                    mean_holding: Some(50.0),
+                    observe_times: vec![0.5, 2.0, 8.0, 32.0],
+                    replications: 200,
+                    seed: 2,
+                },
+                &model,
+                &ce,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("theory_plus_sim_point", |b| {
+        b.iter(|| {
+            let sc = tiny_continuous(5.0, 1.0, 3);
+            (sc.theory_pf_closed(), sc.theory_pf_general(), sc.run().pf.value)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.bench_function("invert_pce_curve_15pts", |b| {
+        let model = ContinuousModel::new(0.3, 31.6, 1.0);
+        b.iter(|| {
+            (0..15)
+                .map(|k| {
+                    let t_m = 2f64.powi(k - 2);
+                    invert_pce(&model, t_m, 1e-3, InvertMethod::Separated)
+                        .map(|a| a.p_ce)
+                        .unwrap_or(1e-3)
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("adjusted_target_sim_point", |b| {
+        let model = ContinuousModel::new(0.3, 10.0, 1.0);
+        let p_ce = invert_pce(&model, 5.0, 1e-2, InvertMethod::Separated)
+            .map(|a| a.p_ce)
+            .unwrap_or(1e-2);
+        b.iter(|| {
+            let mut sc = tiny_continuous(5.0, 1.0, 4);
+            sc.p_ce = p_ce.max(1e-300);
+            sc.run().pf.value
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.bench_function("eqn37_grid_5x5", |b| {
+        let alpha = QosTarget::new(1e-3).alpha();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &r in &[0.01, 0.1, 0.25, 0.5, 1.0] {
+                for &t_c in &[0.1, 0.3, 1.0, 3.0, 10.0] {
+                    let m = ContinuousModel::new(0.3, 31.6, t_c);
+                    acc += m.pf_with_memory(alpha, r * 31.6);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("sim_grid_2x2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &r in &[0.1, 1.0] {
+                for &t_c in &[0.5, 2.0] {
+                    acc += tiny_continuous(r * 10.0, t_c, 5).run().pf.value;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn lrd_trace() -> Arc<mbac_traffic::trace::Trace> {
+    Arc::new(generate_starwars_like(
+        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &mut StdRng::seed_from_u64(6),
+    ))
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let trace = lrd_trace();
+    g.bench_function("lrd_memoryless_point", |b| {
+        b.iter(|| {
+            TraceScenario {
+                trace: trace.clone(),
+                n: 50.0,
+                t_h: 200.0,
+                t_m: 0.0,
+                p_ce: 1e-2,
+                p_q: 1e-2,
+                max_samples: 50,
+                seed: 7,
+            }
+            .run()
+            .pf
+            .value
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    let trace = lrd_trace();
+    g.bench_function("lrd_window_rule_point", |b| {
+        b.iter(|| {
+            TraceScenario {
+                trace: trace.clone(),
+                n: 50.0,
+                t_h: 200.0,
+                t_m: 200.0 / 50f64.sqrt(),
+                p_ce: 1e-2,
+                p_q: 1e-2,
+                max_samples: 50,
+                seed: 8,
+            }
+            .run()
+            .pf
+            .value
+        })
+    });
+    g.finish();
+}
+
+fn bench_utilization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_eqn40");
+    g.bench_function("utilization_arithmetic", |b| {
+        let flow = mbac_core::params::FlowStats::from_mean_sd(1.0, 0.3);
+        b.iter(|| {
+            mbac_core::theory::utilization::utilization_loss(400.0, flow, 1e-5, 1e-3)
+                + mbac_core::theory::utilization::mean_utilization(400.0, flow, 3.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_heterogeneous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_sec54");
+    g.bench_function("classified_estimator_snapshot_400", |b| {
+        use mbac_core::estimators::heterogeneous::ClassifiedEstimator;
+        let flows: Vec<(usize, f64)> =
+            (0..400).map(|i| (i % 2, 1.0 + (i % 2) as f64 * 3.0 + (i as f64 * 0.7).sin() * 0.2)).collect();
+        let mut est = ClassifiedEstimator::new(2, 5.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            est.observe(t, &flows);
+            est.aggregate()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_prop33,
+    bench_finite_holding,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_utilization,
+    bench_heterogeneous
+);
+criterion_main!(figures);

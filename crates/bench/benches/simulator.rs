@@ -1,0 +1,93 @@
+//! Performance of the simulation substrate: event-queue throughput and
+//! end-to-end simulation cost per unit of simulated time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::FilteredEstimator;
+use mbac_sim::{run_continuous, ContinuousConfig, EventQueue, FlowTable, MbacController};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_cycle", |b| {
+        let mut q = EventQueue::new();
+        b.iter(|| {
+            // Schedule relative to the queue's own clock: popping
+            // advances `now`, so absolute times must move with it.
+            let base = q.now();
+            q.schedule_at(base + 7.3, black_box(1u32));
+            q.schedule_at(base + 2.1, black_box(2u32));
+            q.pop();
+            q.pop();
+        })
+    });
+    g.bench_function("schedule_1k_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000 {
+                q.schedule_at(((i * 7919) % 1000) as f64, i);
+            }
+            while q.pop().is_some() {}
+            q.now()
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table");
+    let model = mbac_bench::bench_rcbr();
+    for &n in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("advance_snapshot", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut table = FlowTable::new();
+            for _ in 0..n {
+                table.admit(&model, f64::INFINITY, &mut rng);
+            }
+            let mut snap = Vec::new();
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 0.25;
+                table.advance_to(t, &mut rng);
+                table.snapshot_into(&mut snap);
+                snap.iter().sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_continuous_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("continuous_sim");
+    g.sample_size(10);
+    for &n in &[100.0f64, 400.0] {
+        g.bench_with_input(
+            BenchmarkId::new("200_samples", n as u64),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut ctl = MbacController::new(
+                        Box::new(FilteredEstimator::new(5.0)),
+                        Box::new(CertaintyEquivalent::from_probability(1e-2)),
+                    );
+                    let cfg = ContinuousConfig {
+                        capacity: n,
+                        mean_holding: 10.0 * n.sqrt(),
+                        tick: 0.25,
+                        warmup: 50.0,
+                        sample_spacing: 20.0,
+                        target: 1e-2,
+                        max_samples: 200,
+                        seed: 6,
+                    };
+                    run_continuous(&cfg, &mbac_bench::bench_rcbr(), &mut ctl)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_flow_table, bench_continuous_sim);
+criterion_main!(benches);

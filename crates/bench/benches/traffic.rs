@@ -1,0 +1,92 @@
+//! Performance of the traffic substrate: per-flow advancement (the
+//! inner loop of every simulation) and trace/fGn generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbac_traffic::ar1::{Ar1Config, Ar1Source};
+use mbac_traffic::fgn::{davies_harte, hosking};
+use mbac_traffic::markov::{MarkovFluidModel, MarkovFluidSource};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrSource};
+use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
+use mbac_traffic::trace::{TraceModel, TraceSource};
+use mbac_traffic::process::{RateProcess, SourceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_source_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("source_advance_dt0.25");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut rcbr = RcbrSource::new(RcbrConfig::paper_default(1.0), &mut rng);
+    g.bench_function("rcbr", |b| {
+        b.iter(|| {
+            rcbr.advance(black_box(0.25), &mut rng);
+            rcbr.rate()
+        })
+    });
+
+    let mut onoff = MarkovFluidSource::new(MarkovFluidModel::on_off(2.0, 1.0, 3.0), &mut rng);
+    g.bench_function("markov_on_off", |b| {
+        b.iter(|| {
+            onoff.advance(black_box(0.25), &mut rng);
+            onoff.rate()
+        })
+    });
+
+    let mut ar1 = Ar1Source::new(
+        Ar1Config { mean: 1.0, std_dev: 0.3, t_c: 1.0, tick: 0.05, clamp_at_zero: true },
+        &mut rng,
+    );
+    g.bench_function("ar1", |b| {
+        b.iter(|| {
+            ar1.advance(black_box(0.25), &mut rng);
+            ar1.rate()
+        })
+    });
+
+    let trace = Arc::new(generate_starwars_like(
+        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &mut rng,
+    ));
+    let mut playback = TraceSource::new(trace, &mut rng);
+    g.bench_function("trace_playback", |b| {
+        b.iter(|| {
+            playback.advance(black_box(0.25), &mut rng);
+            playback.rate()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fgn_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fgn_generation");
+    g.sample_size(20);
+    for &n in &[1024usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| davies_harte(0.8, n, &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("hosking", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| hosking(0.8, n, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_spawn");
+    let mut rng = StdRng::seed_from_u64(4);
+    let rcbr = mbac_bench::bench_rcbr();
+    g.bench_function("rcbr_spawn", |b| b.iter(|| rcbr.spawn(&mut rng)));
+    let trace = Arc::new(generate_starwars_like(
+        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &mut rng,
+    ));
+    let model = TraceModel::new(trace);
+    g.bench_function("trace_spawn", |b| b.iter(|| model.spawn(&mut rng)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_source_advance, bench_fgn_generation, bench_flow_spawn);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # mbac-bench — criterion benchmarks
+//!
+//! Two families of benches:
+//!
+//! * **performance** (`core_ops`, `traffic`, `simulator`): the costs a
+//!   deployment cares about — admission decisions, estimator updates,
+//!   source advancement, event-queue throughput, end-to-end simulation
+//!   steps;
+//! * **figures** (`figures`): miniature (quick-budget) versions of every
+//!   experiment in DESIGN.md §3, so `cargo bench` exercises each
+//!   figure-regeneration pipeline end to end. The full-fidelity series
+//!   are produced by the `mbac-experiments` binaries.
+
+/// Shared helper: a small deterministic RCBR model for benches.
+pub fn bench_rcbr() -> mbac_traffic::rcbr::RcbrModel {
+    mbac_traffic::rcbr::RcbrModel::new(mbac_traffic::rcbr::RcbrConfig::paper_default(1.0))
+}

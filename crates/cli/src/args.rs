@@ -1,0 +1,168 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! Hand-rolled on purpose: the approved dependency set has no CLI
+//! parser, the option surface is small, and owning it keeps error
+//! messages domain-specific ("--p-q must be a probability in (0,1)").
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus positional words.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// A parse/validation failure, formatted for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a token list (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("bare '--' is not a flag".into()));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
+                if out.flags.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("--{key} given twice")));
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional words.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// `f64` flag with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// Required `f64` flag.
+    pub fn f64_required(&self, key: &str) -> Result<f64, ArgError> {
+        let v = self
+            .flags
+            .get(key)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))?;
+        v.parse().map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'")))
+    }
+
+    /// `u64` flag with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Probability flag (must lie strictly inside (0,1)) with default.
+    pub fn prob_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        let p = self.f64_or(key, default)?;
+        if p > 0.0 && p < 1.0 {
+            Ok(p)
+        } else {
+            Err(ArgError(format!("--{key} must be a probability in (0,1), got {p}")))
+        }
+    }
+
+    /// Rejects unknown flags (catches typos).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key}; expected one of: {}",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = parse("gen --slots 1024 out.txt --hurst 0.8").unwrap();
+        assert_eq!(a.positional(), &["gen".to_string(), "out.txt".to_string()]);
+        assert_eq!(a.get("slots"), Some("1024"));
+        assert_eq!(a.f64_or("hurst", 0.5).unwrap(), 0.8);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("").unwrap();
+        assert_eq!(a.f64_or("n", 400.0).unwrap(), 400.0);
+        assert_eq!(a.u64_or("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse("--n").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(parse("--n 1 --n 2").is_err());
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let a = parse("--n abc").unwrap();
+        assert!(a.f64_or("n", 1.0).is_err());
+        assert!(a.f64_required("n").is_err());
+    }
+
+    #[test]
+    fn probability_validation() {
+        let a = parse("--p-q 0.5").unwrap();
+        assert_eq!(a.prob_or("p-q", 1e-3).unwrap(), 0.5);
+        let b = parse("--p-q 2.0").unwrap();
+        assert!(b.prob_or("p-q", 1e-3).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = parse("--n 1 --typo 2").unwrap();
+        assert!(a.expect_only(&["n"]).is_err());
+        assert!(a.expect_only(&["n", "typo"]).is_ok());
+    }
+}

@@ -1,0 +1,6 @@
+//! Subcommand implementations.
+
+pub mod design;
+pub mod simulate;
+pub mod theory;
+pub mod trace;

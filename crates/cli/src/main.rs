@@ -1,0 +1,56 @@
+//! `mbacctl` — robust measurement-based admission control, on the
+//! command line.
+//!
+//! Subcommands:
+//! * `design`   — the §5.3 robust design procedure (window + target);
+//! * `theory`   — evaluate the overflow formulas at one parameter point;
+//! * `simulate` — continuous-load simulation (RCBR or trace-driven);
+//! * `trace`    — generate / inspect LRD rate traces.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const TOP_USAGE: &str = "\
+mbacctl <command> [flags]
+
+commands:
+  design     compute the robust MBAC configuration for a link
+  theory     evaluate the Grossglauser-Tse overflow formulas
+  simulate   run the continuous-load simulator
+  trace      generate or inspect rate traces
+  help       show usage for a command (e.g. `mbacctl help design`)";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{TOP_USAGE}");
+        std::process::exit(2);
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("design") => println!("{}", commands::design::USAGE),
+                Some("theory") => println!("{}", commands::theory::USAGE),
+                Some("simulate") => println!("{}", commands::simulate::USAGE),
+                Some("trace") => println!("{}", commands::trace::USAGE),
+                _ => println!("{TOP_USAGE}"),
+            }
+            Ok(())
+        }
+        "design" => Args::parse(rest).and_then(|a| commands::design::run(&a)),
+        "theory" => Args::parse(rest).and_then(|a| commands::theory::run(&a)),
+        "simulate" => Args::parse(rest).and_then(|a| commands::simulate::run(&a)),
+        "trace" => Args::parse(rest).and_then(|a| commands::trace::run(&a)),
+        other => {
+            eprintln!("unknown command '{other}'\n\n{TOP_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

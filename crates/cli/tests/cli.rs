@@ -1,0 +1,109 @@
+//! End-to-end tests of the `mbacctl` binary.
+
+use std::process::Command;
+
+fn mbacctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mbacctl"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = mbacctl(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn help_subcommands() {
+    for cmd in ["design", "theory", "simulate", "trace"] {
+        let out = mbacctl(&["help", cmd]);
+        assert!(out.status.success(), "help {cmd}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("mbacctl"),
+            "help {cmd} shows usage"
+        );
+    }
+}
+
+#[test]
+fn design_produces_configuration() {
+    let out = mbacctl(&[
+        "design", "--capacity", "400", "--sd", "0.3", "--holding", "1000", "--p-q", "0.001",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memory window"));
+    assert!(text.contains("adjusted target"));
+    // T_m = 1000/sqrt(400) = 50.
+    assert!(text.contains("50.000"), "window rule value:\n{text}");
+}
+
+#[test]
+fn design_rejects_bad_probability() {
+    let out = mbacctl(&[
+        "design", "--capacity", "400", "--sd", "0.3", "--holding", "1000", "--p-q", "1.5",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("probability"));
+}
+
+#[test]
+fn theory_evaluates_formulas() {
+    let out = mbacctl(&[
+        "theory", "--cov", "0.3", "--th-tilde", "31.6", "--t-c", "1.0", "--t-m", "8",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("eqn(37)"));
+    assert!(text.contains("eqn(38)"));
+    assert!(text.contains("gamma"));
+}
+
+#[test]
+fn unknown_flag_is_reported() {
+    let out = mbacctl(&["theory", "--cov", "0.3", "--th-tilde", "10", "--t-c", "1", "--oops", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --oops"));
+}
+
+#[test]
+fn trace_gen_info_roundtrip() {
+    let dir = std::env::temp_dir().join("mbacctl_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("t.txt");
+    let path = file.to_str().unwrap();
+    let out = mbacctl(&["trace", "gen", path, "--slots", "2048", "--seed", "9"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mbacctl(&["trace", "info", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Hurst"));
+    assert!(text.contains("mean rate"));
+    std::fs::remove_file(file).unwrap();
+}
+
+#[test]
+fn simulate_small_run_reports_result() {
+    let out = mbacctl(&[
+        "simulate",
+        "--capacity", "50",
+        "--holding", "50",
+        "--samples", "40",
+        "--p-q", "0.01",
+        "--seed", "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("overflow probability"));
+    assert!(text.contains("mean utilization"));
+}
+
+#[test]
+fn simulate_rejects_missing_capacity() {
+    let out = mbacctl(&["simulate", "--holding", "50"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--capacity is required"));
+}

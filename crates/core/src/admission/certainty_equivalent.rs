@@ -1,0 +1,82 @@
+//! The certainty-equivalent MBAC (paper §3.1, eqn (6)).
+//!
+//! Plugs *measured* statistics into the Gaussian criterion as if they
+//! were the truth. The paper's central message is that doing so with the
+//! raw QoS target `p_q` misses the target by orders of magnitude; the
+//! robust fix is to (a) give the estimator memory `T_m ≈ T̃_h` and
+//! (b) use an *adjusted* target `p_ce < p_q` obtained by inverting the
+//! theory (see [`crate::theory::invert`]). This type carries that
+//! adjusted target.
+
+use super::{gaussian_admissible_count, AdmissionPolicy};
+use crate::estimators::Estimate;
+use crate::params::QosTarget;
+
+/// Certainty-equivalent Gaussian admission with target `p_ce`.
+#[derive(Debug, Clone, Copy)]
+pub struct CertaintyEquivalent {
+    target: QosTarget,
+}
+
+impl CertaintyEquivalent {
+    /// Creates the controller with certainty-equivalent target `p_ce`.
+    pub fn new(target: QosTarget) -> Self {
+        CertaintyEquivalent { target }
+    }
+
+    /// Creates the controller from a raw probability.
+    pub fn from_probability(p_ce: f64) -> Self {
+        Self::new(QosTarget::new(p_ce))
+    }
+
+    /// The certainty-equivalent target in use.
+    pub fn target(&self) -> QosTarget {
+        self.target
+    }
+}
+
+impl AdmissionPolicy for CertaintyEquivalent {
+    fn admissible_count(&self, est: Estimate, capacity: f64) -> f64 {
+        gaussian_admissible_count(est.mean, est.std_dev(), self.target.alpha(), capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_num::q;
+
+    #[test]
+    fn responds_to_measurements() {
+        let ce = CertaintyEquivalent::from_probability(1e-3);
+        let low = ce.admissible_count(Estimate::new(1.1, 0.09), 100.0);
+        let high = ce.admissible_count(Estimate::new(0.9, 0.09), 100.0);
+        // Under-estimated mean -> admits more flows: the dangerous direction.
+        assert!(high > low);
+    }
+
+    #[test]
+    fn satisfies_eqn_six_with_measured_values() {
+        let ce = CertaintyEquivalent::from_probability(1e-4);
+        let est = Estimate::new(0.97, 0.1);
+        let c = 250.0;
+        let m = ce.admissible_count(est, c);
+        let lhs = q((c - m * est.mean) / (est.std_dev() * m.sqrt()));
+        assert!((lhs / 1e-4 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_target_admits_fewer() {
+        let est = Estimate::new(1.0, 0.09);
+        let lax = CertaintyEquivalent::from_probability(1e-2).admissible_count(est, 100.0);
+        let strict = CertaintyEquivalent::from_probability(1e-6).admissible_count(est, 100.0);
+        assert!(strict < lax);
+    }
+
+    #[test]
+    fn zero_mean_estimate_admits_nothing() {
+        let ce = CertaintyEquivalent::from_probability(1e-3);
+        assert_eq!(ce.admissible_count(Estimate::new(0.0, 0.0), 100.0), 0.0);
+        assert!(!ce.admit(Estimate::new(0.0, 0.0), 100.0, 0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Admission criteria.
+//!
+//! All Gaussian criteria share the same shape (paper eqns (4) and (6)):
+//! admit up to `M` flows, where `M` solves
+//!
+//! `Q[ (c − M μ) / (σ √M) ] = p`.
+//!
+//! [`gaussian_admissible_count`] solves this in closed form (the paper's
+//! eqn (42)); the policies differ only in where `μ`, `σ` and `p` come
+//! from:
+//!
+//! * [`PerfectKnowledge`] — true statistics, target `p_q` (the ideal
+//!   controller the paper benchmarks against);
+//! * [`CertaintyEquivalent`] — measured statistics plugged in as if they
+//!   were true, with a possibly-adjusted target `p_ce` (the paper's MBAC);
+//! * [`PeakRate`] — `c / peak`, the classical no-multiplexing baseline;
+//! * [`AggregateGaussian`] — heterogeneous-flow form working directly on
+//!   aggregate mean/variance (§5.4).
+
+mod aggregate;
+mod certainty_equivalent;
+mod measured_sum;
+mod peak_rate;
+mod perfect;
+
+pub use aggregate::AggregateGaussian;
+pub use certainty_equivalent::CertaintyEquivalent;
+pub use measured_sum::MeasuredSum;
+pub use peak_rate::PeakRate;
+pub use perfect::PerfectKnowledge;
+
+use crate::estimators::Estimate;
+
+/// A policy that maps (estimated) per-flow statistics to the number of
+/// flows the link can carry at the configured QoS.
+pub trait AdmissionPolicy {
+    /// The estimated admissible number of flows `M` (the paper's `M_t`),
+    /// given per-flow statistics and the link capacity. Returns a real
+    /// number; callers compare against the integer flow count (a flow is
+    /// admitted while `N < ⌊M⌋`).
+    fn admissible_count(&self, est: Estimate, capacity: f64) -> f64;
+
+    /// Whether one more flow may be admitted when `current` flows are
+    /// already in the system.
+    fn admit(&self, est: Estimate, capacity: f64, current: usize) -> bool {
+        ((current + 1) as f64) <= self.admissible_count(est, capacity)
+    }
+}
+
+/// Solves `Q[(c − Mμ)/(σ√M)] = p` for `M` — the paper's eqn (42):
+///
+/// `M = ( √(σ²α² + 4cμ) − σα )² / (4μ²)`,  `α = Q⁻¹(p)`.
+///
+/// Degenerate cases: `σ = 0` gives the fluid limit `M = c/μ`; a
+/// non-positive measured mean yields `M = 0` (nothing can be admitted on
+/// the basis of a nonsensical estimate — fail safe).
+pub fn gaussian_admissible_count(mean: f64, std_dev: f64, alpha: f64, capacity: f64) -> f64 {
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    if std_dev == 0.0 {
+        return capacity / mean;
+    }
+    let sa = std_dev * alpha;
+    let disc = sa * sa + 4.0 * capacity * mean;
+    debug_assert!(disc >= 0.0);
+    let sqrt_m = (disc.sqrt() - sa) / (2.0 * mean);
+    if sqrt_m <= 0.0 {
+        // α so large (p so small) that even one flow violates the target.
+        0.0
+    } else {
+        sqrt_m * sqrt_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_num::{inv_q, q};
+
+    #[test]
+    fn solves_the_defining_equation() {
+        let (mu, sd, c) = (1.0, 0.3, 100.0);
+        for &p in &[1e-2, 1e-3, 1e-5] {
+            let alpha = inv_q(p);
+            let m = gaussian_admissible_count(mu, sd, alpha, c);
+            let lhs = q((c - m * mu) / (sd * m.sqrt()));
+            assert!(
+                (lhs / p - 1.0).abs() < 1e-9,
+                "p={p}: M={m}, Q(...)={lhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_heavy_traffic_approximation() {
+        // eqn (5): m* ≈ n − (σ α/μ)√n for large n.
+        let (mu, sd) = (1.0, 0.3);
+        let p = 1e-3;
+        let alpha = inv_q(p);
+        let n = 10_000.0;
+        let m = gaussian_admissible_count(mu, sd, alpha, n * mu);
+        let approx = n - sd * alpha / mu * n.sqrt();
+        assert!(
+            (m - approx).abs() < 3.0,
+            "closed form {m} vs heavy-traffic approx {approx}"
+        );
+    }
+
+    #[test]
+    fn zero_variance_gives_fluid_limit() {
+        assert!((gaussian_admissible_count(2.0, 0.0, 3.0, 100.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonpositive_mean_fails_safe() {
+        assert_eq!(gaussian_admissible_count(0.0, 1.0, 3.0, 100.0), 0.0);
+        assert_eq!(gaussian_admissible_count(-1.0, 1.0, 3.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn monotonicity_in_parameters() {
+        let base = gaussian_admissible_count(1.0, 0.3, 3.0, 100.0);
+        // More capacity -> more flows.
+        assert!(gaussian_admissible_count(1.0, 0.3, 3.0, 120.0) > base);
+        // Burstier traffic -> fewer flows.
+        assert!(gaussian_admissible_count(1.0, 0.5, 3.0, 100.0) < base);
+        // Stricter QoS (larger alpha) -> fewer flows.
+        assert!(gaussian_admissible_count(1.0, 0.3, 4.0, 100.0) < base);
+        // Bigger flows -> fewer of them.
+        assert!(gaussian_admissible_count(1.5, 0.3, 3.0, 100.0) < base);
+    }
+
+    #[test]
+    fn negative_alpha_admits_beyond_fluid_limit() {
+        // p > 1/2 (α < 0) means tolerating overflow more often than not:
+        // M exceeds c/μ.
+        let m = gaussian_admissible_count(1.0, 0.3, -1.0, 100.0);
+        assert!(m > 100.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Peak-rate admission — the classical zero-multiplexing baseline.
+//!
+//! Allocates every flow its declared peak rate: `M = c / peak`. Never
+//! overflows (as long as declarations are honest) but wastes the entire
+//! statistical-multiplexing gain the paper's introduction motivates;
+//! the examples and utilization benches use it as the lower bound on
+//! achievable utilization.
+
+use super::AdmissionPolicy;
+use crate::estimators::Estimate;
+
+/// Peak-rate allocation with a declared per-flow peak.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakRate {
+    peak: f64,
+}
+
+impl PeakRate {
+    /// Creates the policy for a declared per-flow peak rate.
+    ///
+    /// # Panics
+    /// Panics unless `peak > 0`.
+    pub fn new(peak: f64) -> Self {
+        assert!(peak > 0.0, "peak rate must be positive, got {peak}");
+        PeakRate { peak }
+    }
+
+    /// The declared peak rate.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+impl AdmissionPolicy for PeakRate {
+    fn admissible_count(&self, _est: Estimate, capacity: f64) -> f64 {
+        capacity / self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_capacity_by_peak() {
+        let p = PeakRate::new(2.5);
+        assert!((p.admissible_count(Estimate::default(), 100.0) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_measurements() {
+        let p = PeakRate::new(1.0);
+        let a = p.admissible_count(Estimate::new(0.1, 0.0), 50.0);
+        let b = p.admissible_count(Estimate::new(0.9, 5.0), 50.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn admits_far_fewer_than_gaussian_on_bursty_traffic() {
+        use crate::admission::CertaintyEquivalent;
+        // Flows with mean 1, sd 0.3, peak ≈ mean + 3 sd = 1.9.
+        let peak = PeakRate::new(1.9);
+        let gauss = CertaintyEquivalent::from_probability(1e-3);
+        let est = Estimate::new(1.0, 0.09);
+        let m_peak = peak.admissible_count(est, 1000.0);
+        let m_gauss = gauss.admissible_count(est, 1000.0);
+        assert!(
+            m_gauss > 1.5 * m_peak,
+            "multiplexing gain missing: gauss {m_gauss} vs peak {m_peak}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_peak() {
+        PeakRate::new(0.0);
+    }
+}

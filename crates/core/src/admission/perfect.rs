@@ -1,0 +1,85 @@
+//! The perfect-knowledge admission controller (paper §3.1, eqn (4)).
+//!
+//! Knows the true flow statistics a priori and therefore always admits
+//! exactly `m*` flows. Its steady-state overflow probability equals the
+//! target `p_q` by construction; the gap between it and the
+//! certainty-equivalent MBAC *is* the cost of measurement uncertainty.
+
+use super::{gaussian_admissible_count, AdmissionPolicy};
+use crate::estimators::Estimate;
+use crate::params::{FlowStats, QosTarget};
+
+/// Admission with a-priori knowledge of the true flow statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfectKnowledge {
+    stats: FlowStats,
+    target: QosTarget,
+}
+
+impl PerfectKnowledge {
+    /// Creates the ideal controller for known statistics and QoS target.
+    pub fn new(stats: FlowStats, target: QosTarget) -> Self {
+        PerfectKnowledge { stats, target }
+    }
+
+    /// The number of admissible flows `m*` for a given capacity — a
+    /// deterministic quantity for this controller.
+    pub fn m_star(&self, capacity: f64) -> f64 {
+        gaussian_admissible_count(
+            self.stats.mean,
+            self.stats.std_dev(),
+            self.target.alpha(),
+            capacity,
+        )
+    }
+
+    /// The configured QoS target.
+    pub fn target(&self) -> QosTarget {
+        self.target
+    }
+
+    /// The known flow statistics.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+}
+
+impl AdmissionPolicy for PerfectKnowledge {
+    fn admissible_count(&self, _est: Estimate, capacity: f64) -> f64 {
+        // Measurements are ignored: this controller knows the truth.
+        self.m_star(capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignores_estimates() {
+        let pk = PerfectKnowledge::new(FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(1e-3));
+        let wild = Estimate::new(17.0, 400.0);
+        let sane = Estimate::new(1.0, 0.09);
+        assert_eq!(
+            pk.admissible_count(wild, 100.0),
+            pk.admissible_count(sane, 100.0)
+        );
+    }
+
+    #[test]
+    fn m_star_leaves_safety_margin() {
+        let pk = PerfectKnowledge::new(FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(1e-3));
+        let m = pk.m_star(100.0);
+        // eqn (5): m* ≈ n − (σ α/μ) √n = 100 − 0.3·3.09·10 ≈ 90.7.
+        assert!(m > 85.0 && m < 95.0, "m* = {m}");
+    }
+
+    #[test]
+    fn admit_stops_at_m_star() {
+        let pk = PerfectKnowledge::new(FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(1e-3));
+        let est = Estimate::new(1.0, 0.09);
+        let m = pk.m_star(100.0).floor() as usize;
+        assert!(pk.admit(est, 100.0, m - 1));
+        assert!(!pk.admit(est, 100.0, m));
+    }
+}

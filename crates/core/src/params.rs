@@ -1,0 +1,189 @@
+//! Shared parameter types: per-flow statistics, QoS targets, and the
+//! system description used by admission criteria and theory formulas.
+
+use mbac_num::{inv_q, q};
+
+/// First- and second-order statistics of a single flow's stationary
+/// bandwidth process: mean `μ` and variance `σ²`.
+///
+/// The paper's basic model (§2) assumes flows are i.i.d. with these two
+/// moments; everything the admission controller needs — whether known a
+/// priori or measured — is carried by this pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Mean bandwidth `μ` of one flow.
+    pub mean: f64,
+    /// Variance `σ²` of one flow's bandwidth.
+    pub variance: f64,
+}
+
+impl FlowStats {
+    /// Creates flow statistics from mean and variance.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `variance >= 0`.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        assert!(mean > 0.0, "flow mean must be positive, got {mean}");
+        assert!(variance >= 0.0, "flow variance must be non-negative, got {variance}");
+        FlowStats { mean, variance }
+    }
+
+    /// Creates flow statistics from mean and *standard deviation*.
+    pub fn from_mean_sd(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0);
+        Self::new(mean, sd * sd)
+    }
+
+    /// Standard deviation `σ`.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Coefficient of variation `σ/μ` (the paper's simulations use 0.3).
+    #[inline]
+    pub fn cov(&self) -> f64 {
+        self.std_dev() / self.mean
+    }
+}
+
+/// A quality-of-service target expressed as an overflow probability
+/// `p_q`, together with its Gaussian safety factor `α_q = Q⁻¹(p_q)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosTarget {
+    /// Target overflow probability `p_q ∈ (0, 1)`.
+    pub p: f64,
+    /// Cached `α_q = Q⁻¹(p_q)`.
+    alpha: f64,
+}
+
+impl QosTarget {
+    /// Creates a target from an overflow probability.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ (0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "QoS target must be in (0,1), got {p}");
+        QosTarget { p, alpha: inv_q(p) }
+    }
+
+    /// Creates a target from the Gaussian safety factor `α` directly
+    /// (`p = Q(α)`).
+    pub fn from_alpha(alpha: f64) -> Self {
+        QosTarget { p: q(alpha), alpha }
+    }
+
+    /// The safety factor `α_q = Q⁻¹(p_q)`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// A bufferless link shared by homogeneous flows: capacity `c`, true
+/// per-flow statistics, and the QoS target.
+///
+/// The *normalized capacity* `n = c/μ` (the paper's system-size
+/// parameter) drives every asymptotic result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// Link capacity `c` (same bandwidth units as the flow mean).
+    pub capacity: f64,
+    /// True per-flow statistics.
+    pub flow: FlowStats,
+    /// QoS target.
+    pub qos: QosTarget,
+}
+
+impl SystemParams {
+    /// Creates a system description.
+    ///
+    /// # Panics
+    /// Panics unless `capacity > 0`.
+    pub fn new(capacity: f64, flow: FlowStats, qos: QosTarget) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
+        SystemParams { capacity, flow, qos }
+    }
+
+    /// Convenience constructor from the normalized size `n` (capacity is
+    /// `n·μ`, the paper's scaling).
+    pub fn from_size(n: f64, flow: FlowStats, qos: QosTarget) -> Self {
+        assert!(n > 0.0);
+        Self::new(n * flow.mean, flow, qos)
+    }
+
+    /// Normalized capacity `n = c/μ`: how many flows fit if each used
+    /// exactly its mean bandwidth.
+    #[inline]
+    pub fn size(&self) -> f64 {
+        self.capacity / self.flow.mean
+    }
+
+    /// The critical time-scale `T̃_h = T_h/√n` for a given mean holding
+    /// time (§3.2): the time the system needs to "repair" an admission
+    /// error through departures.
+    pub fn critical_timescale(&self, holding_time: f64) -> f64 {
+        assert!(holding_time > 0.0);
+        holding_time / self.size().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_stats_derived_quantities() {
+        let f = FlowStats::from_mean_sd(1.0, 0.3);
+        assert!((f.variance - 0.09).abs() < 1e-15);
+        assert!((f.std_dev() - 0.3).abs() < 1e-15);
+        assert!((f.cov() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn qos_alpha_roundtrip() {
+        let t = QosTarget::new(1e-3);
+        assert!((q(t.alpha()) - 1e-3).abs() < 1e-12);
+        let t2 = QosTarget::from_alpha(t.alpha());
+        assert!((t2.p - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_size_is_capacity_over_mean() {
+        let s = SystemParams::new(
+            200.0,
+            FlowStats::from_mean_sd(2.0, 0.6),
+            QosTarget::new(1e-2),
+        );
+        assert!((s.size() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_size_matches_definition() {
+        let f = FlowStats::from_mean_sd(3.0, 1.0);
+        let s = SystemParams::from_size(400.0, f, QosTarget::new(1e-3));
+        assert!((s.capacity - 1200.0).abs() < 1e-12);
+        assert!((s.size() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_timescale_scales_with_sqrt_n() {
+        let f = FlowStats::from_mean_sd(1.0, 0.3);
+        let s100 = SystemParams::from_size(100.0, f, QosTarget::new(1e-3));
+        let s10000 = SystemParams::from_size(10_000.0, f, QosTarget::new(1e-3));
+        assert!((s100.critical_timescale(1000.0) - 100.0).abs() < 1e-9);
+        assert!((s10000.critical_timescale(1000.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_mean() {
+        FlowStats::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_qos() {
+        QosTarget::new(0.0);
+    }
+}

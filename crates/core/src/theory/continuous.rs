@@ -1,0 +1,363 @@
+//! The continuous-load model (paper §4): overflow probability under
+//! permanent admission pressure, for memoryless MBAC and for MBAC with
+//! estimation memory.
+//!
+//! Parameterization. The heavy-traffic limit leaves exactly three
+//! traffic/system parameters:
+//!
+//! * `cov = σ/μ` — the per-flow coefficient of variation;
+//! * `t_h_tilde = T_h/√n` — the critical (repair) time-scale;
+//! * `t_c` — the traffic correlation time-scale (OU autocorrelation
+//!   `ρ(t) = e^{−|t|/T_c}`, eqn (31), which the paper's RCBR sources
+//!   realize exactly).
+//!
+//! Derived: the repair drift `β = μ/(σ T̃_h)` (eqn (28)) and the
+//! time-scale separation `γ = 1/(β T_c) = (T̃_h/T_c)(σ/μ)`.
+//!
+//! All `pf_*` functions take the certainty-equivalent safety factor
+//! `α = Q⁻¹(p_ce)` the controller actually runs with, and return the
+//! *realized* steady-state overflow probability.
+
+use super::hitting::{hitting_probability, HittingProblem};
+use mbac_num::{phi, q};
+
+/// Continuous-load system description (OU traffic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousModel {
+    /// Coefficient of variation `σ/μ` of one flow.
+    pub cov: f64,
+    /// Critical time-scale `T̃_h = T_h/√n`.
+    pub t_h_tilde: f64,
+    /// Traffic correlation time-scale `T_c`.
+    pub t_c: f64,
+}
+
+impl ContinuousModel {
+    /// Creates a model description.
+    ///
+    /// # Panics
+    /// Panics unless all three parameters are positive and finite.
+    pub fn new(cov: f64, t_h_tilde: f64, t_c: f64) -> Self {
+        assert!(cov > 0.0 && cov.is_finite(), "cov must be positive");
+        assert!(t_h_tilde > 0.0 && t_h_tilde.is_finite(), "T̃_h must be positive");
+        assert!(t_c > 0.0 && t_c.is_finite(), "T_c must be positive");
+        ContinuousModel { cov, t_h_tilde, t_c }
+    }
+
+    /// The repair drift `β = μ/(σ T̃_h)` (eqn (28)).
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        1.0 / (self.cov * self.t_h_tilde)
+    }
+
+    /// Time-scale separation `γ = 1/(β T_c) = (T̃_h/T_c)(σ/μ)`.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.cov * self.t_h_tilde / self.t_c
+    }
+
+    /// Memoryless overflow probability by numerical integration of
+    /// eqn (32):
+    ///
+    /// `p_f ≈ γ ∫₀^∞ (α+t)/[2(1−e^{−γt})]^{3/2} φ((α+t)/√(2(1−e^{−γt}))) dt`.
+    pub fn pf_memoryless(&self, alpha: f64) -> f64 {
+        self.pf_with_memory(alpha, 0.0)
+    }
+
+    /// Memoryless overflow probability under time-scale separation
+    /// (`γ ≫ 1`), eqn (33): `p_f ≈ γ/(2√π) · e^{−α²/4}`.
+    pub fn pf_memoryless_separated(&self, alpha: f64) -> f64 {
+        self.gamma() / (2.0 * std::f64::consts::PI.sqrt()) * (-alpha * alpha / 4.0).exp()
+    }
+
+    /// Incremental variance of the estimation-error-minus-traffic
+    /// process for memory `T_m`, in *scaled* time `τ = βt` (the `σ_m²`
+    /// of §4.3):
+    ///
+    /// `σ_m²(τ) = (2T_c+T_m)/(T_c+T_m) − (2T_c/(T_c+T_m)) e^{−γτ}`.
+    ///
+    /// `T_m = 0` reduces to the memoryless `2(1 − e^{−γτ})`.
+    pub fn sigma_m_sq(&self, tau: f64, t_m: f64) -> f64 {
+        let tc = self.t_c;
+        let a = (2.0 * tc + t_m) / (tc + t_m);
+        let b = 2.0 * tc / (tc + t_m);
+        a - b * (-self.gamma() * tau).exp()
+    }
+
+    /// Overflow probability with estimation memory `T_m`, by numerical
+    /// integration of the general formula (eqn (37)):
+    ///
+    /// `p_f ≈ γT_c/(T_c+T_m) ∫₀^∞ (α+t)/σ_m³(t) φ((α+t)/σ_m(t)) dt
+    ///        + Q(α √(1 + T_c/T_m))`.
+    ///
+    /// Implemented through the generic Bräker engine of
+    /// [`super::hitting`]; the immediate-hit term arises automatically
+    /// from `σ_m²(0) = T_m/(T_c+T_m) > 0`.
+    pub fn pf_with_memory(&self, alpha: f64, t_m: f64) -> f64 {
+        assert!(t_m >= 0.0, "memory must be non-negative");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        // Work in unscaled time with boundary slope β: σ²(t) in real
+        // time is sigma_m_sq(βt).
+        let beta = self.beta();
+        let v_plus_0 = 2.0 / (self.t_c + t_m);
+        hitting_probability(
+            HittingProblem { alpha, beta, v_plus_0 },
+            |t: f64| self.sigma_m_sq(beta * t, t_m),
+            1e-13,
+        )
+        .min(1.0)
+    }
+
+    /// Closed form under time-scale separation (`γ ≫ 1`), eqn (38):
+    ///
+    /// `p_f ≈ γT_c/√((T_c+T_m)(2T_c+T_m)) · (1/√(2π))
+    ///        · exp(−(T_c+T_m)/(2(2T_c+T_m)) α²)
+    ///        + Q(α √(1 + T_c/T_m))`.
+    pub fn pf_with_memory_separated(&self, alpha: f64, t_m: f64) -> f64 {
+        assert!(t_m >= 0.0);
+        let tc = self.t_c;
+        let pre = self.gamma() * tc / ((tc + t_m) * (2.0 * tc + t_m)).sqrt();
+        let expo = (tc + t_m) / (2.0 * (2.0 * tc + t_m)) * alpha * alpha;
+        let drift_term = pre / (2.0 * std::f64::consts::PI).sqrt() * (-expo).exp();
+        let immediate = if t_m == 0.0 {
+            0.0
+        } else {
+            q(alpha * (1.0 + tc / t_m).sqrt())
+        };
+        (drift_term + immediate).min(1.0)
+    }
+
+    /// The paper's eqn (39) rewrite of (38) in terms of the target
+    /// probability `p_ce = Q(α)` (uses `Q(x) ≈ φ(x)/x`):
+    ///
+    /// `p_f ≈ T̃_h/√((T_c+T_m)(2T_c+T_m)) · σ/(√(2π)μ)
+    ///        · (√(2π) α p_ce)^((T_c+T_m)/(2T_c+T_m))
+    ///        + Q(α √(1 + T_c/T_m))`.
+    pub fn pf_with_memory_eqn39(&self, alpha: f64, t_m: f64) -> f64 {
+        assert!(t_m >= 0.0);
+        let tc = self.t_c;
+        let p_ce = q(alpha);
+        let expo = (tc + t_m) / (2.0 * tc + t_m);
+        let sqrt2pi = (2.0 * std::f64::consts::PI).sqrt();
+        let drift_term = self.t_h_tilde / ((tc + t_m) * (2.0 * tc + t_m)).sqrt() * self.cov
+            / sqrt2pi
+            * (sqrt2pi * alpha * p_ce).powf(expo);
+        let immediate = if t_m == 0.0 {
+            0.0
+        } else {
+            q(alpha * (1.0 + tc / t_m).sqrt())
+        };
+        (drift_term + immediate).min(1.0)
+    }
+
+    /// Masking-regime approximation (§5.3, eqn (41)): with
+    /// `T_m = T̃_h ≫ T_c`,
+    ///
+    /// `p_f ≈ ( (σ/μ) α_q + 1 ) p_q`.
+    ///
+    /// The memory window masks the (unknown) traffic correlation
+    /// structure entirely.
+    pub fn pf_masking_regime(&self, alpha: f64) -> f64 {
+        ((self.cov * alpha + 1.0) * q(alpha)).min(1.0)
+    }
+
+    /// Repair-regime approximation (§5.3): with `T_c ≫ T̃_h`,
+    ///
+    /// `p_f ≈ (1/√(2π)) (T_c/T̃_h)(σ/μ) exp(−(T_c/T̃_h)² α²)`.
+    ///
+    /// Estimation errors fluctuate so slowly that departures repair any
+    /// mistake before it can cause overflow.
+    pub fn pf_repair_regime(&self, alpha: f64) -> f64 {
+        let r = self.t_c / self.t_h_tilde;
+        (r * self.cov / (2.0 * std::f64::consts::PI).sqrt() * (-r * r * alpha * alpha).exp())
+            .min(1.0)
+    }
+
+    /// Variance of the filtered mean-estimate error, `E[Z_t²] =
+    /// T_c/(T_c + T_m)` (§4.3): decreases to 0 with more memory.
+    pub fn estimator_error_variance(&self, t_m: f64) -> f64 {
+        self.t_c / (self.t_c + t_m)
+    }
+
+    /// The paper's eqn (34) comparison form for the memoryless case:
+    /// `p_f ≈ (T̃_h/(2T_c)) (σ α_q/μ) Q(α_q/√2)`.
+    pub fn pf_memoryless_eqn34(&self, alpha: f64) -> f64 {
+        (self.t_h_tilde / (2.0 * self.t_c) * self.cov * alpha
+            * q(alpha / std::f64::consts::SQRT_2))
+        .min(1.0)
+    }
+}
+
+/// Free-standing evaluation of the eqn (32) integral (memoryless, OU),
+/// exposed for cross-checking the [`ContinuousModel`] plumbing in tests
+/// and benches:
+///
+/// `p_f(γ, α) = γ ∫₀^∞ (α+t)/[2(1−e^{−γt})]^{3/2} φ(·) dt`.
+pub fn pf_memoryless_integral(gamma: f64, alpha: f64) -> f64 {
+    assert!(gamma > 0.0);
+    let integrand = |t: f64| {
+        let s2: f64 = 2.0 * (1.0 - (-gamma * t).exp());
+        if s2 <= 0.0 {
+            return 0.0;
+        }
+        let s = s2.sqrt();
+        gamma * (alpha + t) / (s2 * s) * phi((alpha + t) / s)
+    };
+    mbac_num::integrate_to_inf(integrand, 0.0, 1e-13).value.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_num::inv_q;
+
+    fn model() -> ContinuousModel {
+        // Paper's Fig. 5 setting: σ/μ = 0.3, T_h = 1000, T_c = 1,
+        // n = 1000 ⇒ T̃_h = 1000/√1000 ≈ 31.6.
+        ContinuousModel::new(0.3, 1000.0 / 1000.0f64.sqrt(), 1.0)
+    }
+
+    #[test]
+    fn beta_gamma_definitions() {
+        let m = model();
+        assert!((m.beta() - 1.0 / (0.3 * m.t_h_tilde)).abs() < 1e-12);
+        assert!((m.gamma() - 0.3 * m.t_h_tilde / 1.0).abs() < 1e-12);
+        assert!((m.beta() * m.t_c * m.gamma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_form_matches_model_plumbing() {
+        let m = model();
+        let alpha = inv_q(1e-3);
+        let direct = pf_memoryless_integral(m.gamma(), alpha);
+        let via_model = m.pf_memoryless(alpha);
+        assert!(
+            (direct / via_model - 1.0).abs() < 1e-6,
+            "direct {direct} vs model {via_model}"
+        );
+    }
+
+    #[test]
+    fn separated_closed_form_agrees_when_gamma_large() {
+        // γ ≫ 1: numeric (32) and closed (33) must agree.
+        let m = ContinuousModel::new(0.3, 1000.0, 1.0); // γ = 300
+        let alpha = inv_q(1e-3);
+        let numeric = m.pf_memoryless(alpha).min(1.0);
+        let closed = m.pf_memoryless_separated(alpha).min(1.0);
+        assert!(
+            (numeric / closed - 1.0).abs() < 0.02,
+            "numeric {numeric} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn memory_reduces_overflow_probability() {
+        let m = model();
+        let alpha = inv_q(1e-3);
+        let p0 = m.pf_with_memory(alpha, 0.0);
+        let p_small = m.pf_with_memory(alpha, m.t_h_tilde / 10.0);
+        let p_big = m.pf_with_memory(alpha, m.t_h_tilde);
+        assert!(p_small < p0, "memory must help: {p_small} vs {p0}");
+        assert!(p_big < p_small, "more memory must help more: {p_big} vs {p_small}");
+    }
+
+    #[test]
+    fn infinite_memory_limit_is_q_alpha() {
+        // As T_m → ∞ only live-traffic fluctuation remains: p_f → Q(α)
+        // via the immediate term Q(α√(1+T_c/T_m)) → Q(α), drift term → 0.
+        let m = model();
+        let alpha = inv_q(1e-3);
+        let p = m.pf_with_memory_separated(alpha, 1e9);
+        assert!((p / q(alpha) - 1.0).abs() < 1e-3, "p = {p}, Q(α) = {}", q(alpha));
+    }
+
+    #[test]
+    fn eqn37_and_eqn38_agree_under_separation() {
+        let m = ContinuousModel::new(0.3, 1000.0, 1.0); // γ = 300 ≫ 1
+        let alpha = inv_q(1e-3);
+        for &t_m in &[0.0, 1.0, 10.0, 100.0] {
+            let numeric = m.pf_with_memory(alpha, t_m);
+            let closed = m.pf_with_memory_separated(alpha, t_m);
+            assert!(
+                (numeric / closed - 1.0).abs() < 0.05,
+                "T_m={t_m}: numeric {numeric} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn eqn39_tracks_eqn38() {
+        let m = ContinuousModel::new(0.3, 1000.0, 1.0);
+        let alpha = inv_q(1e-3);
+        for &t_m in &[1.0, 10.0, 100.0] {
+            let e38 = m.pf_with_memory_separated(alpha, t_m);
+            let e39 = m.pf_with_memory_eqn39(alpha, t_m);
+            // (39) uses Q(x) ≈ φ(x)/x: agree within ~15%.
+            assert!(
+                (e39 / e38 - 1.0).abs() < 0.15,
+                "T_m={t_m}: (38) {e38} vs (39) {e39}"
+            );
+        }
+    }
+
+    #[test]
+    fn masking_regime_matches_general_formula() {
+        // T_m = T̃_h ≫ T_c: eqn (41) should approximate the general (37).
+        let m = ContinuousModel::new(0.3, 3000.0 / 30.0, 0.05); // T̃_h = 100 ≫ T_c
+        let alpha = inv_q(1e-3);
+        let general = m.pf_with_memory(alpha, m.t_h_tilde);
+        let masking = m.pf_masking_regime(alpha);
+        assert!(
+            (general / masking - 1.0).abs() < 0.35,
+            "general {general} vs masking {masking}"
+        );
+        // And the promised robustness: within a small factor of p_q itself.
+        assert!(general < 10.0 * 1e-3 && general > 0.1 * 1e-3);
+    }
+
+    #[test]
+    fn repair_regime_is_tiny() {
+        // T_c ≫ T̃_h: overflow probability collapses.
+        let m = ContinuousModel::new(0.3, 1.0, 100.0);
+        let alpha = inv_q(1e-3);
+        let p = m.pf_repair_regime(alpha);
+        assert!(p < 1e-100, "repair regime p = {p}");
+        let general = m.pf_with_memory(alpha, m.t_h_tilde);
+        assert!(general < 1e-3, "general formula should also meet target: {general}");
+    }
+
+    #[test]
+    fn memoryless_worse_than_impulsive_limit_under_separation() {
+        // eqn (34): continuous-load memoryless p_f exceeds Q(α/√2) by the
+        // factor (T̃_h/2T_c)(σα/μ) ≫ 1 when time-scales separate.
+        let m = ContinuousModel::new(0.3, 1000.0, 1.0);
+        let alpha = inv_q(1e-3);
+        let continuous = m.pf_memoryless_eqn34(alpha);
+        let impulsive = q(alpha / std::f64::consts::SQRT_2);
+        assert!(continuous > 10.0 * impulsive);
+    }
+
+    #[test]
+    fn estimator_variance_shrinks_with_memory() {
+        let m = model();
+        assert!((m.estimator_error_variance(0.0) - 1.0).abs() < 1e-12);
+        assert!(m.estimator_error_variance(10.0) < 0.1);
+        assert!(m.estimator_error_variance(1e6) < 1e-5);
+    }
+
+    #[test]
+    fn sigma_m_sq_limits() {
+        let m = model();
+        // T_m = 0: σ_m²(τ) = 2(1 − e^{−γτ}).
+        assert!((m.sigma_m_sq(0.0, 0.0) - 0.0).abs() < 1e-12);
+        let tau = 3.0;
+        let want = 2.0 * (1.0 - (-m.gamma() * tau).exp());
+        assert!((m.sigma_m_sq(tau, 0.0) - want).abs() < 1e-12);
+        // τ → ∞: 1 + T_c/(T_c+T_m) = independent error + traffic.
+        let t_m = 4.0;
+        let inf = m.sigma_m_sq(1e9, t_m);
+        assert!((inf - (1.0 + m.t_c / (m.t_c + t_m))).abs() < 1e-9);
+        // τ = 0 with memory: T_m/(T_c+T_m).
+        assert!((m.sigma_m_sq(0.0, t_m) - t_m / (m.t_c + t_m)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Impulsive load with finite holding times (paper §3.2).
+//!
+//! Flows admitted at `t = 0` depart with exponential holding times. Two
+//! competing effects shape the overflow probability at time `t`
+//! (eqn (21)): for small `t` the traffic is still *correlated* with the
+//! admission-time measurement, so overflow is unlikely; for large `t`
+//! enough flows have *departed* to restore the safety margin. The
+//! crossover defines the critical time-scale `T̃_h = T_h/√n`.
+
+use crate::params::{FlowStats, QosTarget};
+use mbac_num::q;
+
+/// Overflow probability at time `t` after an impulsive admission
+/// (eqn (21)):
+///
+/// `p_f(t) = Q( [ (μ/σ)·t/T̃_h + α_q ] / √(2(1 − ρ(t))) )`,
+///
+/// where `ρ` is the per-flow autocorrelation function and `t_h_tilde`
+/// the critical time-scale `T_h/√n`.
+///
+/// At `t = 0` the denominator vanishes and `p_f(0) = 0` (the estimate is
+/// exact for the instant it was taken).
+pub fn pf_at_time<R: Fn(f64) -> f64>(
+    t: f64,
+    flow: FlowStats,
+    qos: QosTarget,
+    t_h_tilde: f64,
+    rho: R,
+) -> f64 {
+    assert!(t >= 0.0, "time must be non-negative");
+    assert!(t_h_tilde > 0.0, "critical time-scale must be positive");
+    let r = rho(t).clamp(-1.0, 1.0);
+    let var = 2.0 * (1.0 - r);
+    let drift = flow.mean / flow.std_dev() * t / t_h_tilde + qos.alpha();
+    if var <= 0.0 {
+        // Perfect correlation: the admission-time measurement still
+        // holds exactly, so no overflow (drift ≥ α_q > 0).
+        return if drift > 0.0 { 0.0 } else { 1.0 };
+    }
+    q(drift / var.sqrt())
+}
+
+/// The worst-case (over `t`) overflow probability of eqn (21), located
+/// by a dense scan over `[0, horizon]`. Returns `(t_worst, p_worst)`.
+///
+/// With exponential autocorrelation the peak sits near the crossover of
+/// the correlation and repair time-scales; a scan with 2000 points is
+/// plenty for the smooth unimodal shapes eqn (21) produces.
+pub fn pf_worst_case<R: Fn(f64) -> f64>(
+    flow: FlowStats,
+    qos: QosTarget,
+    t_h_tilde: f64,
+    rho: R,
+    horizon: f64,
+) -> (f64, f64) {
+    assert!(horizon > 0.0);
+    let steps = 2000;
+    let mut best = (0.0, 0.0);
+    for k in 0..=steps {
+        let t = horizon * k as f64 / steps as f64;
+        let p = pf_at_time(t, flow, qos, t_h_tilde, &rho);
+        if p > best.1 {
+            best = (t, p);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowStats {
+        FlowStats::from_mean_sd(1.0, 0.3)
+    }
+
+    fn exp_rho(t_c: f64) -> impl Fn(f64) -> f64 {
+        move |t: f64| (-t.abs() / t_c).exp()
+    }
+
+    #[test]
+    fn zero_at_time_zero() {
+        let p = pf_at_time(0.0, flow(), QosTarget::new(1e-3), 10.0, exp_rho(1.0));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn vanishes_for_large_t() {
+        // Departures dominate: drift term (μ/σ)t/T̃_h grows linearly.
+        let qos = QosTarget::new(1e-3);
+        let p = pf_at_time(1000.0, flow(), qos, 10.0, exp_rho(1.0));
+        assert!(p < 1e-100, "p = {p}");
+    }
+
+    #[test]
+    fn peak_is_interior_and_bounded_by_impulsive_limit() {
+        let qos = QosTarget::new(1e-3);
+        let t_h_tilde = 10.0;
+        let (t_star, p_star) = pf_worst_case(flow(), qos, t_h_tilde, exp_rho(1.0), 100.0);
+        assert!(t_star > 0.0 && t_star < 100.0);
+        // The worst case can never exceed the infinite-holding limit
+        // Q(α_q/√2) (set t/T̃_h = 0, ρ = 0 in eqn (21)).
+        let ceiling = q(qos.alpha() / std::f64::consts::SQRT_2);
+        assert!(p_star <= ceiling + 1e-15, "{p_star} vs ceiling {ceiling}");
+        assert!(p_star > 0.0);
+    }
+
+    #[test]
+    fn approaches_impulsive_limit_for_long_holding() {
+        // T̃_h → ∞ removes the repair effect; for t with ρ(t) ≈ 0 the
+        // formula reduces to Q(α_q/√2) — Prop. 3.3.
+        let qos = QosTarget::new(1e-3);
+        let p = pf_at_time(50.0, flow(), qos, 1e12, exp_rho(1.0));
+        let limit = q(qos.alpha() / std::f64::consts::SQRT_2);
+        assert!((p / limit - 1.0).abs() < 1e-6, "p={p}, limit={limit}");
+    }
+
+    #[test]
+    fn shorter_critical_timescale_means_safer_system() {
+        // Bigger systems (smaller T̃_h) repair faster: worst-case p_f drops.
+        let qos = QosTarget::new(1e-3);
+        let (_, p_slow) = pf_worst_case(flow(), qos, 100.0, exp_rho(1.0), 1000.0);
+        let (_, p_fast) = pf_worst_case(flow(), qos, 1.0, exp_rho(1.0), 1000.0);
+        assert!(p_fast < p_slow, "fast repair {p_fast} vs slow {p_slow}");
+    }
+
+    #[test]
+    fn longer_correlation_delays_the_peak() {
+        let qos = QosTarget::new(1e-3);
+        let (t1, _) = pf_worst_case(flow(), qos, 10.0, exp_rho(0.5), 200.0);
+        let (t2, _) = pf_worst_case(flow(), qos, 10.0, exp_rho(5.0), 200.0);
+        assert!(t2 > t1, "peak with slow traffic {t2} vs fast {t1}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Boundary-hitting probability for locally stationary Gaussian
+//! processes — the paper's eqn (30), after Bräker (1993) and Cuzick
+//! (1981).
+//!
+//! The continuous-load overflow probability is
+//! `Pr{ sup_{t≥0} (G_t − β t) > α }` for a zero-mean Gaussian process
+//! `G_t` with incremental variance `σ²(t) = E[G_t²]`. The approximation
+//! integrates a first-passage density:
+//!
+//! `p ≈ (1/2) ∫₀^∞ v⁺(0) · (α + βt)/σ³(t) · φ((α + βt)/σ(t)) dt`,
+//!
+//! where `v⁺(0)` is the right-derivative of `σ²(t)` at 0. It is
+//! asymptotically exact as `α → ∞`, i.e. good precisely when the target
+//! probability is small — the regime admission control lives in.
+//!
+//! When `σ²(0) > 0` (the process can already exceed the boundary at
+//! `t = 0`, as happens for the filtered estimator, whose error is not
+//! perfectly correlated with the live traffic), the additive term
+//! `Q(α/σ(0))` accounts for an immediate hit; this matches the second
+//! term of the paper's eqn (37).
+
+use mbac_num::{integrate_to_inf, phi, q};
+
+/// Parameters for the hitting-probability approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct HittingProblem {
+    /// Boundary offset `α` (the Gaussian safety factor).
+    pub alpha: f64,
+    /// Boundary slope `β` (the paper's `β = μ/(σ T̃_h)` repair drift).
+    pub beta: f64,
+    /// Right-derivative of the incremental variance at zero, `v⁺(0)`.
+    pub v_plus_0: f64,
+}
+
+/// Evaluates the Bräker approximation for a given incremental-variance
+/// function `sigma2(t) = E[(G_t)²]` (must be non-negative,
+/// non-decreasing in practice). Returns the hitting probability estimate.
+///
+/// Numerical notes: the integrand has a boundary layer at `t = 0` when
+/// `σ²(0⁺) → 0`; the adaptive quadrature resolves it, and points where
+/// `σ²(t) ≤ 0` contribute zero (the process cannot be above a positive
+/// boundary with zero variance).
+pub fn hitting_probability<S: Fn(f64) -> f64>(
+    prob: HittingProblem,
+    sigma2: S,
+    tol: f64,
+) -> f64 {
+    assert!(prob.alpha >= 0.0, "boundary offset must be non-negative");
+    assert!(prob.beta >= 0.0, "boundary slope must be non-negative");
+    assert!(prob.v_plus_0 >= 0.0, "v⁺(0) must be non-negative");
+    let integrand = |t: f64| {
+        let s2 = sigma2(t);
+        if s2 <= 0.0 {
+            return 0.0;
+        }
+        let s = s2.sqrt();
+        let arg = (prob.alpha + prob.beta * t) / s;
+        0.5 * prob.v_plus_0 * arg / s2 * phi(arg)
+    };
+    let drift_term = integrate_to_inf(integrand, 0.0, tol).value;
+    // Immediate-hit term for processes with σ²(0⁺) > 0.
+    let s2_at_0 = sigma2(0.0).max(0.0);
+    let immediate = if s2_at_0 > 0.0 {
+        q(prob.alpha / s2_at_0.sqrt())
+    } else {
+        0.0
+    };
+    drift_term + immediate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brownian motion with drift: exact result available.
+    /// For σ²(t) = t (v⁺(0) = 1), Pr{sup (W_t − βt) > α} = e^{-2αβ}.
+    #[test]
+    fn brownian_motion_exact_comparison() {
+        for &(alpha, beta) in &[(3.0, 1.0), (4.0, 0.5), (5.0, 1.5)] {
+            let p = hitting_probability(
+                HittingProblem { alpha, beta, v_plus_0: 1.0 },
+                |t| t,
+                1e-12,
+            );
+            let exact = (-2.0 * alpha * beta).exp();
+            // Bräker is an asymptotic approximation; for these moderate
+            // boundaries it should be within a factor ~2 and converging.
+            assert!(
+                (p / exact) > 0.4 && (p / exact) < 2.5,
+                "α={alpha} β={beta}: approx {p}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn brownian_approximation_is_exact() {
+        // For Brownian motion with a linear boundary the Bräker density
+        // ½ v⁺(0)(α+βt)/σ³ φ(·) coincides with the exact Bachelier–Lévy
+        // first-passage density α/t^{3/2} φ(·) after integration (the
+        // (t−α)-odd part integrates to zero), so the approximation is
+        // exact — a sharp end-to-end check of the quadrature.
+        for &alpha in &[2.0, 3.0, 6.0] {
+            let p = hitting_probability(
+                HittingProblem { alpha, beta: 1.0, v_plus_0: 1.0 },
+                |t| t,
+                1e-14,
+            );
+            let exact = (-2.0 * alpha).exp();
+            assert!(
+                (p / exact - 1.0).abs() < 1e-6,
+                "α={alpha}: approx {p}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha_and_beta() {
+        let sigma2 = |t: f64| 2.0 * (1.0 - (-t).exp());
+        let p = |alpha: f64, beta: f64| {
+            hitting_probability(
+                HittingProblem { alpha, beta, v_plus_0: 2.0 },
+                sigma2,
+                1e-12,
+            )
+        };
+        assert!(p(3.0, 1.0) > p(4.0, 1.0), "higher boundary, lower probability");
+        assert!(p(3.0, 1.0) > p(3.0, 2.0), "steeper boundary, lower probability");
+    }
+
+    #[test]
+    fn immediate_term_appears_when_variance_positive_at_zero() {
+        // σ²(t) ≡ 1 (stationary error of fixed size, no growth):
+        // no drift crossing contributes much beyond the immediate hit
+        // Q(α) as v⁺(0) = 0.
+        let p = hitting_probability(
+            HittingProblem { alpha: 3.0, beta: 1.0, v_plus_0: 0.0 },
+            |_| 1.0,
+            1e-12,
+        );
+        assert!((p - q(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_process_never_hits() {
+        let p = hitting_probability(
+            HittingProblem { alpha: 3.0, beta: 1.0, v_plus_0: 0.0 },
+            |_| 0.0,
+            1e-12,
+        );
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn matches_paper_ou_closed_form_under_time_scale_separation() {
+        // For the memoryless OU case (paper eqn (32)) with γ ≫ 1 the
+        // closed form (33) is γ/(2√π)·exp(−α²/4). Our hitting engine
+        // must reproduce it. The paper's σ²(t) = 2(1−e^{−|t|/T_c}) in
+        // *unscaled* time, with boundary α + βt and v⁺(0) = 2/T_c.
+        let alpha = 3.090232306167813; // α for p_q = 1e-3
+        let t_c = 1.0;
+        let beta = 100.0; // γ = 1/(βT_c)… careful: γ = 1/(β T_c)? No:
+        // In the paper γ := 1/(β T_c)⁻¹… γ = T̃_h σ /(T_c μ) = 1/(β T_c).
+        // With t_c = 1 and β = 1/γ_target: pick γ_target = 100 ⇒ β = 0.01.
+        let _ = beta;
+        let gamma = 100.0;
+        let beta = 1.0 / (gamma * t_c);
+        let p = hitting_probability(
+            HittingProblem { alpha, beta, v_plus_0: 2.0 / t_c },
+            |t: f64| 2.0 * (1.0 - (-t / t_c).exp()),
+            1e-13,
+        );
+        let closed = gamma / (2.0 * std::f64::consts::PI.sqrt()) * (-alpha * alpha / 4.0).exp();
+        assert!(
+            (p / closed - 1.0).abs() < 0.05,
+            "hitting {p} vs closed-form {closed}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Impulsive-load, infinite-holding-time results (paper §3.1).
+//!
+//! The cleanest setting in the paper: one burst of flow arrivals at
+//! `t = 0`, admission decided from the initial bandwidths, flows never
+//! leave. Everything here is closed-form.
+
+use crate::params::{FlowStats, QosTarget};
+use mbac_num::{inv_q, phi, q};
+
+/// Heavy-traffic approximation of the number of admissible flows under
+/// perfect knowledge (eqn (5)):
+///
+/// `m* ≈ n − (σ α_q / μ) √n`.
+///
+/// The `(σ α_q/μ)√n` term is the safety margin set aside for known
+/// burstiness.
+pub fn m_star_approx(n: f64, flow: FlowStats, qos: QosTarget) -> f64 {
+    assert!(n > 0.0);
+    n - flow.cov() * qos.alpha() * n.sqrt()
+}
+
+/// Asymptotic distribution of the number of flows `M₀` the
+/// certainty-equivalent MBAC admits (Prop. 3.1 / eqn (11)):
+/// `M₀ ≈ n − (σ/μ)(Y₀ + α_q)√n` with `Y₀ ~ N(0,1)`, i.e. Gaussian with
+///
+/// mean `n − (σ α_q/μ)√n` and standard deviation `(σ/μ)√n`.
+///
+/// Returns `(mean, sd)`.
+pub fn m0_distribution(n: f64, flow: FlowStats, qos: QosTarget) -> (f64, f64) {
+    assert!(n > 0.0);
+    let cov = flow.cov();
+    (n - cov * qos.alpha() * n.sqrt(), cov * n.sqrt())
+}
+
+/// The certainty-equivalence penalty (Prop. 3.3): the realized
+/// steady-state overflow probability of the memoryless MBAC in the
+/// impulsive-load model,
+///
+/// `p_f = Q( Q⁻¹(p_q) / √2 )`,
+///
+/// *independently* of the flow distribution and the system size. The
+/// variance doubling comes from the admission-time estimation error
+/// `Y₀` adding to the live bandwidth fluctuation `Y_t`.
+pub fn pf_certainty_equivalent(p_q: f64) -> f64 {
+    q(inv_q(p_q) / std::f64::consts::SQRT_2)
+}
+
+/// The adjusted certainty-equivalent target achieving `p_f = p_q` in the
+/// impulsive-load model (eqn (15)): `p_ce = Q(√2 α_q)`.
+pub fn pce_for_target(p_q: f64) -> f64 {
+    q(std::f64::consts::SQRT_2 * inv_q(p_q))
+}
+
+/// Small-probability approximation of eqn (15) via `Q(x) ≈ φ(x)/x`:
+///
+/// `p_ce ≈ √π · α_q · p_q²` — "set the certainty-equivalent target
+/// roughly to the square of the QoS target".
+///
+/// Note: the memorandum prints the constant as `α_q/(2√π)`, which is
+/// off from the `Q(x) ≈ φ(x)/x` derivation by exactly `2π` (substitute
+/// `φ(α_q) = α_q p_q` into `Q(√2 α_q) ≈ φ(√2 α_q)/(√2 α_q)`); the tests
+/// verify the corrected constant against the exact eqn (15).
+pub fn pce_for_target_approx(p_q: f64) -> f64 {
+    let alpha = inv_q(p_q);
+    std::f64::consts::PI.sqrt() * alpha * p_q * p_q
+}
+
+/// Utilization lost (in bandwidth units) by running the impulsive-load
+/// MBAC at the conservative `α_ce = √2 α_q` instead of `α_q` (§3.1):
+/// `(√2 − 1) σ α_q √n`.
+pub fn utilization_loss_sqrt2(n: f64, flow: FlowStats, qos: QosTarget) -> f64 {
+    (std::f64::consts::SQRT_2 - 1.0) * flow.std_dev() * qos.alpha() * n.sqrt()
+}
+
+/// Sensitivity of the realized overflow probability to an error in the
+/// *measured mean*, at the nominal operating point (§3.1):
+/// `s_μ = −φ(α_q) (μ/σ) √m*`. Grows like `√n` — the reason
+/// mean-estimation error never stops mattering as the system scales.
+pub fn sensitivity_mean(flow: FlowStats, qos: QosTarget, m_star: f64) -> f64 {
+    -phi(qos.alpha()) * flow.mean / flow.std_dev() * m_star.sqrt()
+}
+
+/// Sensitivity to an error in the *measured standard deviation*:
+/// `s_σ = −α_q φ(α_q)/σ`. Independent of the system size — which is why
+/// σ-estimation error washes out at scale while μ-error does not.
+pub fn sensitivity_std_dev(flow: FlowStats, qos: QosTarget) -> f64 {
+    -qos.alpha() * phi(qos.alpha()) / flow.std_dev()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowStats {
+        FlowStats::from_mean_sd(1.0, 0.3)
+    }
+
+    #[test]
+    fn paper_headline_number() {
+        // §3.1: p_q = 1e-5 ⇒ p_f ≈ 1.3e-3 — "two orders of magnitude".
+        let pf = pf_certainty_equivalent(1e-5);
+        assert!((pf / 1.3e-3 - 1.0).abs() < 0.05, "pf = {pf}");
+    }
+
+    #[test]
+    fn penalty_is_always_worse_than_target() {
+        for &p in &[1e-2, 1e-3, 1e-4, 1e-6, 1e-8] {
+            let pf = pf_certainty_equivalent(p);
+            assert!(pf > p, "p_f {pf} must exceed p_q {p}");
+        }
+    }
+
+    #[test]
+    fn pce_inversion_roundtrip() {
+        // Running the controller at p_ce must (by Prop. 3.3 applied to
+        // p_ce) produce exactly p_q.
+        for &p_q in &[1e-2, 1e-3, 1e-5] {
+            let p_ce = pce_for_target(p_q);
+            assert!(p_ce < p_q);
+            let realized = pf_certainty_equivalent(p_ce);
+            assert!(
+                (realized / p_q - 1.0).abs() < 1e-6,
+                "p_q={p_q}: realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn pce_approx_close_to_exact() {
+        for &p_q in &[1e-3, 1e-4, 1e-5] {
+            let exact = pce_for_target(p_q);
+            let approx = pce_for_target_approx(p_q);
+            // φ(x)/x approximation of Q: ~1/x² relative error, so ~25%
+            // is the honest expectation at these probability levels.
+            assert!(
+                (approx / exact - 1.0).abs() < 0.25,
+                "p_q={p_q}: exact {exact}, approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn pce_is_roughly_pq_squared() {
+        let p_q = 1e-4;
+        let p_ce = pce_for_target(p_q);
+        // Within an order of magnitude of p_q².
+        assert!(p_ce > 1e-9 && p_ce < 1e-7, "p_ce = {p_ce}");
+    }
+
+    #[test]
+    fn m_star_and_m0_mean_agree() {
+        let qos = QosTarget::new(1e-3);
+        let (m0_mean, m0_sd) = m0_distribution(10_000.0, flow(), qos);
+        let ms = m_star_approx(10_000.0, flow(), qos);
+        assert!((m0_mean - ms).abs() < 1e-9);
+        assert!((m0_sd - 30.0).abs() < 1e-9); // (σ/μ)√n = 0.3·100
+    }
+
+    #[test]
+    fn safety_margin_scales_with_sqrt_n() {
+        let qos = QosTarget::new(1e-3);
+        let margin =
+            |n: f64| n - m_star_approx(n, flow(), qos);
+        assert!((margin(40_000.0) / margin(10_000.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_scaling_with_system_size() {
+        let qos = QosTarget::new(1e-3);
+        let s_mu_small = sensitivity_mean(flow(), qos, 100.0);
+        let s_mu_large = sensitivity_mean(flow(), qos, 10_000.0);
+        // |s_μ| grows like √m*.
+        assert!((s_mu_large / s_mu_small - 10.0).abs() < 1e-9);
+        // s_σ does not depend on m* at all.
+        let s_sd = sensitivity_std_dev(flow(), qos);
+        assert!(s_sd < 0.0);
+    }
+
+    #[test]
+    fn utilization_loss_positive_and_scales() {
+        let qos = QosTarget::new(1e-3);
+        let l1 = utilization_loss_sqrt2(100.0, flow(), qos);
+        let l2 = utilization_loss_sqrt2(400.0, flow(), qos);
+        assert!(l1 > 0.0);
+        assert!((l2 / l1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Inverting the overflow formulas for the adjusted certainty-equivalent
+//! target `p_ce` (the paper's Fig. 6 / §5.2 procedure).
+//!
+//! Given the system parameters and a memory window `T_m`, find the
+//! `p_ce` the controller must run with so that the *realized* overflow
+//! probability equals the QoS target: solve `p_f(α_ce) = p_q` for
+//! `α_ce = Q⁻¹(p_ce)`. The formulas are strictly decreasing in `α_ce`,
+//! so a bracketed Brent search on `ln p_f` is robust over the many
+//! orders of magnitude involved (the paper reports adjusted targets
+//! below 1e-10 for short memory).
+
+use super::continuous::ContinuousModel;
+use mbac_num::{brent, ln_q, q, RootError};
+
+/// Which formula to invert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvertMethod {
+    /// The general numeric formula, eqn (37) (valid for any `γ`).
+    General,
+    /// The time-scale-separated closed form, eqn (38) (fast; the form
+    /// the paper inverts for Figs. 6–7).
+    Separated,
+}
+
+/// Result of a `p_ce` inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjustedTarget {
+    /// The adjusted certainty-equivalent safety factor `α_ce`.
+    pub alpha_ce: f64,
+    /// The adjusted target probability `p_ce = Q(α_ce)` (may underflow
+    /// to 0 for extreme adjustments; see `ln_pce`).
+    pub p_ce: f64,
+    /// `ln p_ce`, finite even when `p_ce` underflows.
+    pub ln_pce: f64,
+}
+
+/// Finds the adjusted certainty-equivalent target for the continuous-
+/// load model: the `p_ce` with `p_f(model, T_m, p_ce) = p_q`.
+///
+/// Returns `Err` only if the bracket `[0, 40]` contains no solution,
+/// which happens when even `α_ce = 0` (admit on a coin flip) keeps
+/// `p_f < p_q` — i.e. the repair effect alone already guarantees the
+/// QoS. Callers typically treat that case as "no adjustment needed".
+pub fn invert_pce(
+    model: &ContinuousModel,
+    t_m: f64,
+    p_q: f64,
+    method: InvertMethod,
+) -> Result<AdjustedTarget, RootError> {
+    assert!(p_q > 0.0 && p_q < 1.0, "target must be in (0,1)");
+    let pf = |alpha: f64| match method {
+        InvertMethod::General => model.pf_with_memory(alpha, t_m),
+        InvertMethod::Separated => model.pf_with_memory_separated(alpha, t_m),
+    };
+    let target_ln = p_q.ln();
+    let g = |alpha: f64| {
+        let p = pf(alpha);
+        if p <= 0.0 {
+            // Deep underflow: fall back to a large negative log.
+            -800.0 - target_ln
+        } else {
+            p.ln() - target_ln
+        }
+    };
+    const ALPHA_MAX: f64 = 40.0;
+    if g(0.0) <= 0.0 {
+        return Err(RootError::NotBracketed);
+    }
+    let root = brent(g, 0.0, ALPHA_MAX, 1e-10, 300)?;
+    let alpha_ce = root.x;
+    Ok(AdjustedTarget { alpha_ce, p_ce: q(alpha_ce), ln_pce: ln_q(alpha_ce) })
+}
+
+/// Impulsive-load adjustment (eqn (15)): `α_ce = √2 α_q`, exact and
+/// closed-form. Provided here for symmetry with [`invert_pce`].
+pub fn invert_pce_impulsive(p_q: f64) -> AdjustedTarget {
+    let alpha_ce = std::f64::consts::SQRT_2 * mbac_num::inv_q(p_q);
+    AdjustedTarget { alpha_ce, p_ce: q(alpha_ce), ln_pce: ln_q(alpha_ce) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_num::inv_q;
+
+    fn fig5_model(n: f64, t_h: f64) -> ContinuousModel {
+        ContinuousModel::new(0.3, t_h / n.sqrt(), 1.0)
+    }
+
+    #[test]
+    fn inversion_achieves_target() {
+        let m = fig5_model(1000.0, 1000.0);
+        for &t_m in &[0.0, 1.0, 10.0, 30.0] {
+            let adj = invert_pce(&m, t_m, 1e-3, InvertMethod::General).unwrap();
+            let realized = m.pf_with_memory(adj.alpha_ce, t_m);
+            assert!(
+                (realized / 1e-3 - 1.0).abs() < 1e-4,
+                "T_m={t_m}: realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn separated_inversion_achieves_target_on_its_own_formula() {
+        let m = fig5_model(1000.0, 10_000.0);
+        let adj = invert_pce(&m, 5.0, 1e-3, InvertMethod::Separated).unwrap();
+        let realized = m.pf_with_memory_separated(adj.alpha_ce, 5.0);
+        assert!((realized / 1e-3 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjustment_is_conservative_and_relaxes_with_memory() {
+        // Short memory demands a (much) smaller p_ce; long memory needs
+        // almost none (p_ce → p_q).
+        let m = fig5_model(1000.0, 1000.0);
+        let p_q = 1e-3;
+        let short = invert_pce(&m, 0.0, p_q, InvertMethod::General).unwrap();
+        let long = invert_pce(&m, m.t_h_tilde, p_q, InvertMethod::General).unwrap();
+        assert!(short.ln_pce < long.ln_pce, "short memory ⇒ smaller p_ce");
+        assert!(short.p_ce < p_q);
+        assert!(long.p_ce < p_q, "even T_m = T̃_h needs a little margin");
+        assert!(
+            long.p_ce > 0.05 * p_q,
+            "at T_m = T̃_h the adjustment should be mild: {}",
+            long.p_ce
+        );
+    }
+
+    #[test]
+    fn paper_fig6_magnitude_for_memoryless() {
+        // Fig. 6: for small T_m the adjusted target drops below 1e-10
+        // (n = 1000, T_h = 1e4, p_q = 1e-3 is the extreme curve).
+        let m = fig5_model(1000.0, 10_000.0);
+        let adj = invert_pce(&m, 0.0, 1e-3, InvertMethod::Separated).unwrap();
+        assert!(
+            adj.ln_pce < (1e-9f64).ln(),
+            "memoryless adjusted target should be extreme: ln p_ce = {}",
+            adj.ln_pce
+        );
+    }
+
+    #[test]
+    fn repair_dominated_system_needs_no_adjustment() {
+        // T_c ≫ T̃_h: even α = 0 meets the target.
+        let m = ContinuousModel::new(0.3, 0.5, 500.0);
+        let r = invert_pce(&m, 0.0, 1e-2, InvertMethod::General);
+        assert_eq!(r.unwrap_err(), RootError::NotBracketed);
+    }
+
+    #[test]
+    fn impulsive_inversion_matches_sqrt2_rule() {
+        let p_q = 1e-4;
+        let adj = invert_pce_impulsive(p_q);
+        assert!((adj.alpha_ce - std::f64::consts::SQRT_2 * inv_q(p_q)).abs() < 1e-12);
+        // Realized p_f with this α_ce under Prop. 3.3:
+        let realized = q(adj.alpha_ce / std::f64::consts::SQRT_2);
+        assert!((realized / p_q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_pce_finite_when_pce_underflows() {
+        let m = fig5_model(1_000_000.0, 1e9); // extreme separation
+        if let Ok(adj) = invert_pce(&m, 0.0, 1e-6, InvertMethod::Separated) {
+            assert!(adj.ln_pce.is_finite());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The Grossglauser–Tse analytical framework: explicit formulas for the
+//! performance of measurement-based admission control.
+//!
+//! Organized by the paper's model sequence:
+//!
+//! * [`impulsive`] — impulsive load, infinite holding time (§3.1):
+//!   the √2 certainty-equivalence penalty (Prop. 3.3), the adjusted
+//!   target of eqn (15), the `M₀` fluctuation law (Prop. 3.1 / eqn (10)),
+//!   and the sensitivity analysis;
+//! * [`finite_holding`] — impulsive load with departures (§3.2, eqn (21));
+//! * [`hitting`] — the Bräker boundary-crossing approximation for
+//!   locally-stationary Gaussian processes (eqn (30)), the engine behind
+//!   the continuous-load results;
+//! * [`continuous`] — the continuous-load model (§4): overflow
+//!   probability for memoryless MBAC (eqns (32)–(35)) and for MBAC with
+//!   estimation memory `T_m` (eqns (37)–(39)), plus the masking- and
+//!   repair-regime approximations of §5.3;
+//! * [`invert`] — solving the formulas backwards for the adjusted
+//!   certainty-equivalent target `p_ce` (Fig. 6);
+//! * [`utilization`] — the utilization cost of conservatism (eqn (40)).
+
+pub mod continuous;
+pub mod finite_holding;
+pub mod hitting;
+pub mod impulsive;
+pub mod invert;
+pub mod utilization;
+
+pub use continuous::ContinuousModel;
+pub use hitting::hitting_probability;
+pub use invert::{invert_pce, InvertMethod};

@@ -1,0 +1,102 @@
+//! Utilization arithmetic (paper §4.3, eqn (40)).
+//!
+//! Conservatism costs bandwidth: running the controller at `p_ce` rather
+//! than `p'_ce` changes the average carried load by
+//! `σ√n [Q⁻¹(p_ce) − Q⁻¹(p'_ce)]`. Together with the overflow formulas
+//! this quantifies the memory-vs-conservatism tradeoff: short memory
+//! needs a tiny `p_ce` (eqn (38) inverted) and therefore sacrifices
+//! utilization.
+
+use crate::params::FlowStats;
+use mbac_num::inv_q;
+
+/// Utilization difference (in bandwidth units) between running at
+/// `p_ce` and at `p_ce_prime` (eqn (40)):
+///
+/// `ΔU = σ√n [ Q⁻¹(p_ce) − Q⁻¹(p'_ce) ]`.
+///
+/// Positive when `p_ce < p'_ce` (more conservative ⇒ less carried load).
+pub fn utilization_loss(n: f64, flow: FlowStats, p_ce: f64, p_ce_prime: f64) -> f64 {
+    assert!(n > 0.0);
+    flow.std_dev() * n.sqrt() * (inv_q(p_ce) - inv_q(p_ce_prime))
+}
+
+/// Same as [`utilization_loss`] but taking the safety factors `α`
+/// directly — needed when an adjusted `p_ce` has underflowed and only
+/// `α_ce` is representable.
+pub fn utilization_loss_alpha(n: f64, flow: FlowStats, alpha_ce: f64, alpha_prime: f64) -> f64 {
+    assert!(n > 0.0);
+    flow.std_dev() * n.sqrt() * (alpha_ce - alpha_prime)
+}
+
+/// Approximate average *fractional* utilization of the link when the
+/// controller runs at safety factor `α` on a system of size `n`
+/// (heavy-traffic mean of eqn (5) divided by capacity):
+///
+/// `U ≈ 1 − (σ α)/(μ √n)`.
+pub fn mean_utilization(n: f64, flow: FlowStats, alpha: f64) -> f64 {
+    assert!(n > 0.0);
+    1.0 - flow.cov() * alpha / n.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowStats {
+        FlowStats::from_mean_sd(1.0, 0.3)
+    }
+
+    #[test]
+    fn loss_sign_convention() {
+        // More conservative (smaller p_ce) ⇒ positive loss.
+        let l = utilization_loss(100.0, flow(), 1e-6, 1e-3);
+        assert!(l > 0.0);
+        let g = utilization_loss(100.0, flow(), 1e-3, 1e-6);
+        assert!((g + l).abs() < 1e-12, "antisymmetric");
+    }
+
+    #[test]
+    fn loss_matches_alpha_form() {
+        let a = utilization_loss(400.0, flow(), 1e-5, 1e-3);
+        let b = utilization_loss_alpha(
+            400.0,
+            flow(),
+            mbac_num::inv_q(1e-5),
+            mbac_num::inv_q(1e-3),
+        );
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_scales_as_sqrt_n() {
+        let l100 = utilization_loss(100.0, flow(), 1e-6, 1e-3);
+        let l10000 = utilization_loss(10_000.0, flow(), 1e-6, 1e-3);
+        assert!((l10000 / l100 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrt2_adjustment_loss_matches_section31() {
+        // §3.1: choosing α_ce = √2 α_q loses (√2−1) σ α_q √n.
+        let n = 10_000.0;
+        let p_q = 1e-3;
+        let alpha_q = mbac_num::inv_q(p_q);
+        let via_eqn40 =
+            utilization_loss_alpha(n, flow(), std::f64::consts::SQRT_2 * alpha_q, alpha_q);
+        let direct = crate::theory::impulsive::utilization_loss_sqrt2(
+            n,
+            flow(),
+            crate::params::QosTarget::new(p_q),
+        );
+        assert!((via_eqn40 - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_utilization_increases_with_size() {
+        let alpha = 3.0;
+        let u_small = mean_utilization(100.0, flow(), alpha);
+        let u_big = mean_utilization(10_000.0, flow(), alpha);
+        assert!(u_big > u_small, "statistical multiplexing gain grows with n");
+        assert!(u_big < 1.0 && u_small > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Experiment `§7-aggregate` — MBAC from aggregate measurements only
+//! (the paper's second future-work item, implemented).
+//!
+//! §7: "using only aggregate measurement does not affect the mean
+//! estimator, \[but\] the accuracy of the variance estimator is hampered
+//! without per-flow information." We run the same robust controller
+//! twice — once fed per-flow snapshots, once fed only `(count, sum)` —
+//! and once more with the aggregate estimator's window deliberately too
+//! short to learn the temporal variance.
+//!
+//! Expected shape: the aggregate-only controller with an adequate window
+//! tracks the per-flow one closely (same p_f ballpark, slightly noisier
+//! variance ⇒ slightly different utilization); with a too-short window
+//! its variance estimate collapses toward zero and the controller
+//! over-admits — the quantitative content of the §7 caveat.
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::{AggregateOnlyEstimator, Estimator, FilteredEstimator};
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_experiments::{budget, paper, parallel_map, write_csv, Table};
+use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+fn main() {
+    let n: f64 = 400.0;
+    let t_h = 1000.0;
+    let t_c = 1.0;
+    let p_q = 1e-2;
+    let t_h_tilde = t_h / n.sqrt();
+    let max_samples = budget(12_000, 400);
+
+    let theory = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
+    let p_ce = invert_pce(&theory, t_h_tilde, p_q, InvertMethod::Separated)
+        .map(|a| a.p_ce)
+        .unwrap_or(p_q)
+        .max(1e-300);
+
+    println!("== §7: aggregate-only measurement vs per-flow measurement ==");
+    println!("n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}), T_c = {t_c}, p_q = {p_q}, p_ce = {p_ce:.2e}\n");
+
+    let cases: Vec<(&'static str, f64, bool)> = vec![
+        // (label, estimator window, aggregate-only?)
+        ("per-flow,  T_m = T̃_h", t_h_tilde, false),
+        ("aggregate, T_m = T̃_h", t_h_tilde, true),
+        ("aggregate, T_m = T̃_h/8", t_h_tilde / 8.0, true),
+    ];
+
+    let reports = parallel_map(cases, |&(label, t_m, aggregate_only)| {
+        let estimator: Box<dyn Estimator + Send> = if aggregate_only {
+            Box::new(AggregateOnlyEstimator::new(t_m))
+        } else {
+            Box::new(FilteredEstimator::new(t_m))
+        };
+        let mut ctl = MbacController::new(
+            estimator,
+            Box::new(CertaintyEquivalent::from_probability(p_ce)),
+        );
+        let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
+        let cfg = ContinuousConfig {
+            capacity: n,
+            mean_holding: t_h,
+            tick: 0.25,
+            warmup: 12.0 * t_h_tilde,
+            sample_spacing: ContinuousConfig::paper_spacing(t_h_tilde, t_m, t_c),
+            target: p_q,
+            max_samples,
+            seed: 0xA99,
+        };
+        (label, run_continuous(&cfg, &model, &mut ctl))
+    });
+
+    let mut table = Table::new(vec!["case", "pf_sim", "target", "util", "mean_flows"]);
+    println!(
+        "{:<24} {:>12} {:>9} {:>7} {:>11} {:>14}",
+        "measurement", "pf_sim", "target", "util", "mean_flows", "method"
+    );
+    for (i, (label, rep)) in reports.iter().enumerate() {
+        println!(
+            "{:<24} {:>12.3e} {:>9.1e} {:>7.3} {:>11.1} {:>14?}",
+            label, rep.pf.value, p_q, rep.mean_utilization, rep.mean_flows, rep.pf.method
+        );
+        table.push(vec![
+            i as f64,
+            rep.pf.value,
+            p_q,
+            rep.mean_utilization,
+            rep.mean_flows,
+        ]);
+    }
+    let path = write_csv("aggregate_measurement", &table).expect("write CSV");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nExpected shape: rows 1 and 2 agree (mean estimation is unaffected, and with an\n\
+         adequate window the temporal variance estimate suffices); row 3 over-admits\n\
+         (higher utilization, higher p_f) because a short window cannot learn the\n\
+         aggregate's variance — the §7 caveat quantified."
+    );
+}

@@ -1,0 +1,64 @@
+//! Experiment `fig-6` — the adjusted certainty-equivalent target `p_ce`
+//! obtained by inverting eqn (38), as a function of the memory window
+//! `T_m`, for `n ∈ {100, 1000}`, `T_h ∈ {1e3, 1e4}`, `p_q = 1.0e-3`
+//! (the paper's Fig. 6 parameter grid).
+//!
+//! Paper-expected shape: for small `T_m` the adjusted target collapses
+//! (below 1e-10 for the larger `T̃_h` curves); as `T_m` grows toward
+//! `T̃_h` the required adjustment relaxes toward `p_q`. Larger `T̃_h`
+//! (longer holding times / smaller systems) demands more conservatism.
+
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_experiments::{ascii_plot, paper, write_csv, Table};
+
+fn main() {
+    let p_q = paper::P_Q;
+    let t_c = paper::FIG5_T_C;
+    let grid: Vec<(f64, f64)> =
+        vec![(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)];
+    let t_ms: Vec<f64> = (0..=14).map(|k| 2f64.powi(k - 2)).collect(); // 0.25 .. 4096
+
+    println!("== fig-6: adjusted p_ce by inversion of eqn (38) ==");
+    println!("p_q = {p_q}, T_c = {t_c}\n");
+    let mut table = Table::new(vec!["n", "t_h", "t_m", "ln_pce", "pce", "alpha_ce"]);
+    let mut series_store: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+
+    for &(n, t_h) in &grid {
+        let t_h_tilde = t_h / n.sqrt();
+        let model = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
+        let mut series = Vec::new();
+        println!("-- n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}) --");
+        println!("{:>9} {:>12} {:>12} {:>9}", "T_m", "p_ce", "ln p_ce", "alpha_ce");
+        for &t_m in &t_ms {
+            match invert_pce(&model, t_m, p_q, InvertMethod::Separated) {
+                Ok(adj) => {
+                    println!(
+                        "{:>9.2} {:>12.3e} {:>12.2} {:>9.3}",
+                        t_m, adj.p_ce, adj.ln_pce, adj.alpha_ce
+                    );
+                    table.push(vec![n, t_h, t_m, adj.ln_pce, adj.p_ce, adj.alpha_ce]);
+                    series.push((t_m.log10(), adj.ln_pce / std::f64::consts::LN_10));
+                }
+                Err(_) => {
+                    println!("{t_m:>9.2} {:>12} (repair-dominated: no adjustment needed)", "-");
+                    table.push(vec![n, t_h, t_m, p_q.ln(), p_q, mbac_num::inv_q(p_q)]);
+                }
+            }
+        }
+        series_store.push((format!("n={n},T_h={t_h:.0}"), series));
+        println!();
+    }
+
+    let path = write_csv("fig6", &table).expect("write CSV");
+    let plot_series: Vec<(&str, &[(f64, f64)])> =
+        series_store.iter().map(|(s, v)| (s.as_str(), v.as_slice())).collect();
+    println!("{}", ascii_plot(&plot_series, false, 64, 18));
+    println!("axes: x = log10(T_m), y = log10(p_ce)\n");
+    println!("wrote {}", path.display());
+    println!(
+        "\nExpected shape: p_ce rises from extremely small values (< 1e-10 for the\n\
+         T̃_h-largest curve) toward p_q = {p_q} as T_m approaches T̃_h; curves order\n\
+         by T̃_h = T_h/√n."
+    );
+}

@@ -1,0 +1,73 @@
+//! Experiment `eqn-21` — overflow dynamics after an impulsive admission
+//! with finite holding times (§3.2, the quantitative content behind
+//! Fig. 2).
+//!
+//! The theory predicts `p_f(t) = Q([ (μ/σ)t/T̃_h + α_q ] / √(2(1−ρ(t))))`:
+//! zero at `t = 0` (the measurement is momentarily exact), rising as the
+//! traffic decorrelates, then falling as departures repair the error.
+//! We simulate the impulsive model with exponential holding times and
+//! compare the whole `p_f(t)` curve.
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::params::{FlowStats, QosTarget};
+use mbac_core::theory::finite_holding::pf_at_time;
+use mbac_experiments::{ascii_plot, budget, write_csv, Table};
+use mbac_sim::{run_impulsive, ImpulsiveConfig};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+fn main() {
+    // Setup: n = 400, T_c = 1, T_h = 200 ⇒ T̃_h = 10; p_ce = p_q = 0.01
+    // (a target large enough to resolve the peak by direct simulation).
+    let n = 400usize;
+    let t_c = 1.0;
+    let t_h = 200.0;
+    let t_h_tilde = t_h / (n as f64).sqrt();
+    let p = 0.01;
+    let flow = FlowStats::from_mean_sd(1.0, 0.3);
+    let qos = QosTarget::new(p);
+    let rho = |t: f64| (-t / t_c).exp();
+
+    let times: Vec<f64> =
+        vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let reps = budget(120_000, 5_000) as usize;
+
+    let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
+    let ce = CertaintyEquivalent::new(qos);
+    let cfg = ImpulsiveConfig {
+        capacity: n as f64,
+        estimation_flows: n,
+        mean_holding: Some(t_h),
+        observe_times: times.clone(),
+        replications: reps,
+        seed: 0xF1217E,
+    };
+    let rep = run_impulsive(&cfg, &model, &ce);
+
+    println!("== eqn-21: overflow probability after impulsive admission ==");
+    println!("n = {n}, T_c = {t_c}, T_h = {t_h} (T̃_h = {t_h_tilde:.2}), p_ce = {p}\n");
+    let mut table = Table::new(vec!["t", "pf_theory", "pf_sim", "mean_flows"]);
+    let mut theory_series = Vec::new();
+    let mut sim_series = Vec::new();
+    println!("{:>8} {:>12} {:>12} {:>12}", "t", "pf_theory", "pf_sim", "flows");
+    for (i, &t) in times.iter().enumerate() {
+        let pf_th = pf_at_time(t, flow, qos, t_h_tilde, rho);
+        let pf_sim = rep.pf_at(i);
+        let flows = rep.observations[i].mean_flows;
+        println!("{t:>8.2} {pf_th:>12.6} {pf_sim:>12.6} {flows:>12.1}");
+        table.push(vec![t, pf_th, pf_sim, flows]);
+        theory_series.push((t, pf_th));
+        sim_series.push((t, pf_sim));
+    }
+    let path = write_csv("finite_holding", &table).expect("write CSV");
+    println!("\n{}", ascii_plot(
+        &[("theory eqn(21)", &theory_series), ("simulation", &sim_series)],
+        false,
+        60,
+        14,
+    ));
+    println!("wrote {}", path.display());
+    println!(
+        "\nExpected shape: p_f(0) ≈ 0, an interior peak near the correlation/repair\n\
+         crossover, decay to ~0 well before t ≈ T̃_h·several; theory conservative."
+    );
+}

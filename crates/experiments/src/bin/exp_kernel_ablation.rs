@@ -1,0 +1,86 @@
+//! Experiment `ablation-kernel` — does the *shape* of the memory kernel
+//! matter, or only its time-scale?
+//!
+//! The paper analyzes the exponential (first-order auto-regressive)
+//! kernel; Jamin et al.'s measurement window is rectangular. DESIGN.md
+//! calls this ablation out: we run the continuous-load workload with
+//! the exponential kernel at `T_m` against the rectangular window at
+//! `T_w = 2·T_m` (equal mean sample age) across a range of memory
+//! scales.
+//!
+//! Expected shape: the two kernels track each other closely at equal
+//! mean age — the robustness story is about the *time-scale*, not the
+//! kernel shape — with the rectangle slightly sharper at cutting off
+//! stale data (visible at the longest windows).
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::{Estimator, FilteredEstimator, WindowEstimator};
+use mbac_experiments::{budget, parallel_map, write_csv, Table};
+use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+fn main() {
+    let n: f64 = 400.0;
+    let t_h = 1000.0;
+    let t_c = 1.0;
+    let p_ce = 1e-2;
+    let t_h_tilde = t_h / n.sqrt();
+    let t_ms: Vec<f64> = vec![1.0, 4.0, 12.0, 25.0, 50.0];
+    let max_samples = budget(10_000, 300);
+
+    println!("== ablation: exponential kernel vs rectangular window (equal mean age) ==");
+    println!("n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}), T_c = {t_c}, p_ce = {p_ce}\n");
+
+    let mut points: Vec<(f64, bool)> = Vec::new();
+    for &t_m in &t_ms {
+        points.push((t_m, false)); // exponential
+        points.push((t_m, true)); // rectangular
+    }
+    let results = parallel_map(points, |&(t_m, rectangular)| {
+        let estimator: Box<dyn Estimator + Send> = if rectangular {
+            Box::new(WindowEstimator::new(2.0 * t_m)) // mean age T_m
+        } else {
+            Box::new(FilteredEstimator::new(t_m))
+        };
+        let mut ctl = MbacController::new(
+            estimator,
+            Box::new(CertaintyEquivalent::from_probability(p_ce)),
+        );
+        let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
+        let cfg = ContinuousConfig {
+            capacity: n,
+            mean_holding: t_h,
+            tick: 0.25,
+            warmup: 12.0 * t_h_tilde.max(t_m),
+            sample_spacing: ContinuousConfig::paper_spacing(t_h_tilde, t_m, t_c),
+            target: p_ce,
+            max_samples,
+            seed: 0xAB1A + (t_m * 8.0) as u64,
+        };
+        run_continuous(&cfg, &model, &mut ctl)
+    });
+
+    let mut table = Table::new(vec!["t_m", "pf_exponential", "pf_rectangular"]);
+    println!("{:>8} {:>16} {:>16} {:>9}", "T_m", "pf exp-kernel", "pf rect-window", "ratio");
+    for (i, &t_m) in t_ms.iter().enumerate() {
+        let exp_rep = &results[2 * i];
+        let rect_rep = &results[2 * i + 1];
+        let ratio = if exp_rep.pf.value > 0.0 {
+            rect_rep.pf.value / exp_rep.pf.value
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>8.1} {:>16.3e} {:>16.3e} {:>9.2}",
+            t_m, exp_rep.pf.value, rect_rep.pf.value, ratio
+        );
+        table.push(vec![t_m, exp_rep.pf.value, rect_rep.pf.value]);
+    }
+    let path = write_csv("kernel_ablation", &table).expect("write CSV");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nExpected shape: both kernels improve identically with the memory scale —\n\
+         ratios within a small factor of 1 across the sweep. The time-scale is the\n\
+         design variable; the kernel shape is a second-order detail."
+    );
+}

@@ -1,0 +1,135 @@
+//! Experiment `§2-adaptivity` — non-stationary traffic and the memory
+//! window (extension).
+//!
+//! The paper's §2 scopes its results to traffic "stationary within the
+//! memory time-scale", and §5.3's window rule implicitly promises
+//! adaptivity: `T_m = T̃_h` tracks slow statistical drift while
+//! smoothing fast noise. This experiment tests that promise: halfway
+//! through the run the *population* changes — newly arriving flows are
+//! 67% burstier (σ jumps 0.3 → 0.5) — and we compare three memory
+//! settings on the post-shift phase.
+//!
+//! Expected shape: the memoryless controller is (as always) unsafe in
+//! both phases; `T_m = T̃_h` re-converges within the critical time-scale
+//! and holds the target in phase 2; `T_m = 20·T̃_h` averages across the
+//! shift and misses in phase 2 — too much memory destroys adaptivity,
+//! which is *why* the rule is an equality rather than a lower bound.
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::FilteredEstimator;
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_experiments::{budget, parallel_map, write_csv, Table};
+use mbac_sim::{run_continuous_phased, ContinuousConfig, MbacController};
+use mbac_traffic::process::SourceModel;
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+fn main() {
+    let n: f64 = 400.0;
+    let t_h = 1000.0;
+    let t_c = 1.0;
+    let p_q = 1e-2;
+    let t_h_tilde = t_h / n.sqrt();
+    // Spaced samples per replication (6 replications per case). The
+    // quick floor is high: the transition phase needs real samples.
+    let samples_per_run = budget(1_500, 250);
+
+    // Phase 1: the paper's σ/μ = 0.3 flows; phase 2: new arrivals are
+    // burstier (σ/μ = 0.5).
+    let calm = RcbrModel::new(RcbrConfig { mean: 1.0, std_dev: 0.3, t_c, truncate_at_zero: true });
+    let wild = RcbrModel::new(RcbrConfig { mean: 1.0, std_dev: 0.5, t_c, truncate_at_zero: true });
+
+    // Adjusted target from the *phase-1* statistics (the operator
+    // designed before the shift — that is the point).
+    let theory = ContinuousModel::new(0.3, t_h_tilde, t_c);
+    let p_ce = invert_pce(&theory, t_h_tilde, p_q, InvertMethod::Separated)
+        .map(|a| a.p_ce)
+        .unwrap_or(p_q)
+        .max(1e-300);
+
+    println!("== §2 adaptivity: population shift (σ 0.3 → 0.5) mid-run ==");
+    println!("n = {n}, T̃_h = {t_h_tilde:.1}, p_q = {p_q}, design p_ce = {p_ce:.2e}\n");
+
+    let cases: Vec<(&'static str, f64)> = vec![
+        ("memoryless", 0.0),
+        ("T_m = T̃_h (rule)", t_h_tilde),
+        ("T_m = 20·T̃_h", 20.0 * t_h_tilde),
+    ];
+    let replications = 6u64;
+    let reports = parallel_map(cases, |&(label, t_m)| {
+        // Average per-phase results over seed replications: the
+        // transition window is short, so single-run estimates there are
+        // too noisy on their own.
+        let mut acc: Vec<(f64, f64, u64)> = vec![(0.0, 0.0, 0); 3];
+        // Warm-up must exceed both the estimator's own memory and the
+        // occupancy relaxation (several T̃_h), or the controller is
+        // judged on its cold start rather than on the shift.
+        let warmup = (30.0 * t_h_tilde).max(3.0 * t_m);
+        let switch_at = warmup + 30.0 * t_h_tilde;
+        for r in 0..replications {
+            let mut ctl = MbacController::new(
+                Box::new(FilteredEstimator::new(t_m)),
+                Box::new(CertaintyEquivalent::from_probability(p_ce)),
+            );
+            let cfg = ContinuousConfig {
+                capacity: n,
+                mean_holding: t_h,
+                tick: 0.25,
+                warmup,
+                // Dense sampling: we compare phases within one run, so
+                // sample correlation biases all phases alike.
+                sample_spacing: t_h_tilde / 2.0,
+                target: p_q,
+                max_samples: samples_per_run,
+                seed: 0x2A0A + r,
+            };
+            // Three measurement phases: calm, the transition window
+            // right after the shift (where a sluggish estimator hurts
+            // most), and the new steady state.
+            let phases: Vec<(f64, &dyn SourceModel)> = vec![
+                (0.0, &calm),
+                (switch_at, &wild),
+                (switch_at + 10.0 * t_h_tilde, &wild),
+            ];
+            for p in run_continuous_phased(&cfg, &phases, &mut ctl) {
+                let slot = &mut acc[p.phase];
+                slot.0 += p.pf.value;
+                slot.1 += p.mean_utilization;
+                slot.2 += p.pf.samples;
+            }
+        }
+        let averaged: Vec<(usize, f64, f64, u64)> = acc
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pf, util, samples))| {
+                (i, pf / replications as f64, util / replications as f64, samples)
+            })
+            .collect();
+        (label, averaged)
+    });
+
+    let mut table = Table::new(vec!["case", "phase", "pf_sim", "target", "util"]);
+    println!(
+        "{:<18} {:>7} {:>12} {:>9} {:>7} {:>9}",
+        "controller", "phase", "pf_sim", "target", "util", "samples"
+    );
+    const PHASE_NAMES: [&str; 3] = ["calm", "transit", "steady"];
+    for (ci, (label, phases)) in reports.iter().enumerate() {
+        for &(phase, pf, util, samples) in phases {
+            println!(
+                "{:<18} {:>7} {:>12.3e} {:>9.1e} {:>7.3} {:>9}",
+                label, PHASE_NAMES[phase], pf, p_q, util, samples
+            );
+            table.push(vec![ci as f64, phase as f64, pf, p_q, util]);
+        }
+    }
+    let path = write_csv("nonstationary", &table).expect("write CSV");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nExpected shape: memoryless misses everywhere (the usual fluctuation problem);\n\
+         T_m = T̃_h meets the target in the transition *and* the new steady state —\n\
+         it re-learns within the critical time-scale; T_m = 20·T̃_h misses in the\n\
+         transition (it averages across the shift) and is sluggish even in the calm\n\
+         phase. Too much memory destroys adaptivity: the rule is an equality."
+    );
+}

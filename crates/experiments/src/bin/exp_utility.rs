@@ -1,0 +1,141 @@
+//! Experiment `§7-utility` — utility-based QoS for adaptive
+//! applications (the paper's first future-work item, implemented).
+//!
+//! Question from §7: how much does application adaptivity change the
+//! admission problem? We size the link three ways — for the hard
+//! (overflow-probability) metric, for a quality-floor adaptive utility,
+//! and for an elastic utility — all at the same expected-utility-loss
+//! budget ε, then verify each sizing by simulation with RCBR sources
+//! and a utility meter.
+//!
+//! Expected shape: at equal ε the elastic sizing admits visibly more
+//! flows than the hard sizing (the inelastic metric wastes capacity on
+//! applications that could absorb partial shares); simulated losses
+//! match the theory sizing for each utility.
+
+use mbac_core::admission::AdmissionPolicy;
+use mbac_core::estimators::Estimate;
+use mbac_core::params::FlowStats;
+use mbac_core::utility::{
+    admissible_flows_utility, expected_utility_loss, UtilityFunction,
+};
+use mbac_experiments::{budget, parallel_map, write_csv, Table};
+use mbac_sim::{run_continuous, ContinuousConfig, MbacController, UtilityMeter};
+use mbac_traffic::process::{RateProcess, SourceModel};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A policy that admits a fixed number of flows (the theory sizing).
+struct FixedCount(f64);
+
+impl AdmissionPolicy for FixedCount {
+    fn admissible_count(&self, _est: Estimate, _capacity: f64) -> f64 {
+        self.0
+    }
+}
+
+fn main() {
+    let capacity: f64 = 400.0;
+    let flow = FlowStats::from_mean_sd(1.0, 0.3);
+    let eps = 1e-2;
+    let t_c = 1.0;
+    let samples = budget(6_000, 400);
+    let utilities: Vec<(&'static str, UtilityFunction)> = vec![
+        ("hard (overflow)", UtilityFunction::Hard),
+        ("adaptive floor 0.9", UtilityFunction::Adaptive { min_share: 0.9 }),
+        ("adaptive floor 0.5", UtilityFunction::Adaptive { min_share: 0.5 }),
+        ("elastic sqrt", UtilityFunction::Elastic { exponent: 0.5 }),
+    ];
+
+    println!("== §7: utility-based admission for adaptive applications ==");
+    println!("capacity = {capacity}, flows ~ (1.0, 0.3), loss budget ε = {eps}\n");
+
+    let rows = parallel_map(utilities, |&(label, u)| {
+        // Theory sizing: the largest m with expected loss ≤ ε.
+        let m = admissible_flows_utility(flow, capacity, eps, u);
+        let predicted =
+            expected_utility_loss(m * flow.mean, (m * flow.variance).sqrt(), capacity, u);
+        // Verify by simulation: hold exactly ⌊m⌋ flows and meter the
+        // realized utility.
+        let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
+        let mut rng = StdRng::seed_from_u64(0x07EC + m as u64);
+        let mut flows: Vec<Box<dyn RateProcess>> =
+            (0..m.floor() as usize).map(|_| model.spawn(&mut rng)).collect();
+        let mut meter = UtilityMeter::new(capacity, u);
+        let spacing = 2.0 * t_c;
+        for _ in 0..samples {
+            for f in &mut flows {
+                f.advance(spacing, &mut rng);
+            }
+            meter.record(flows.iter().map(|f| f.rate()).sum());
+        }
+        (label, u, m, predicted, meter.mean_loss())
+    });
+
+    let mut table = Table::new(vec!["case", "flows", "loss_theory", "loss_sim", "utilization"]);
+    println!(
+        "{:<20} {:>8} {:>12} {:>12} {:>12}",
+        "utility", "flows", "loss_theory", "loss_sim", "utilization"
+    );
+    let mut base_flows = None;
+    for (i, (label, _u, m, predicted, simulated)) in rows.iter().enumerate() {
+        let util = m * flow.mean / capacity;
+        println!(
+            "{:<20} {:>8.1} {:>12.3e} {:>12.3e} {:>11.1}%",
+            label,
+            m,
+            predicted,
+            simulated,
+            100.0 * util
+        );
+        table.push(vec![i as f64, *m, *predicted, *simulated, util]);
+        if i == 0 {
+            base_flows = Some(*m);
+        }
+    }
+    if let Some(base) = base_flows {
+        let best = rows.last().unwrap().2;
+        println!(
+            "\nadaptivity dividend: {:.1} extra flows ({:.1}%) at the same ε when the\n\
+             application can absorb partial bandwidth (elastic vs hard metric).",
+            best - base,
+            100.0 * (best - base) / base
+        );
+    }
+    // Also exercise the dynamic path: a full continuous-load run sized
+    // by the elastic metric, with the MBAC in the loop.
+    let m_elastic =
+        admissible_flows_utility(flow, capacity, eps, UtilityFunction::Elastic { exponent: 0.5 });
+    let mut ctl = MbacController::new(
+        Box::new(mbac_core::estimators::FilteredEstimator::new(10.0)),
+        Box::new(FixedCount(m_elastic)),
+    );
+    let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
+    let rep = run_continuous(
+        &ContinuousConfig {
+            capacity,
+            mean_holding: 200.0,
+            tick: 0.25,
+            warmup: 100.0,
+            sample_spacing: 20.0,
+            target: eps,
+            max_samples: samples.min(2_000),
+            seed: 0x07ED,
+        },
+        &model,
+        &mut ctl,
+    );
+    println!(
+        "\ndynamic check (flows churn, MBAC holds N ≈ {m_elastic:.0}): mean flows {:.1}, \
+         overflow p_f = {:.2e} (would MISS a hard ε = {eps:.0e} target — by design)",
+        rep.mean_flows, rep.pf.value
+    );
+
+    let path = write_csv("utility", &table).expect("write CSV");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nExpected shape: flows(hard) < flows(floor 0.9) < flows(floor 0.5) <\n\
+         flows(elastic); loss_sim ≈ loss_theory ≈ ε for every row."
+    );
+}

@@ -1,0 +1,183 @@
+//! A minimal complex-number type used by the FFT.
+//!
+//! The MBAC framework only needs complex arithmetic inside the
+//! Davies–Harte fractional-Gaussian-noise generator, so we keep a small,
+//! fully-owned implementation rather than pulling an external crate.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed with `hypot` to avoid overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 4.0);
+        let c = a + b - b;
+        assert!(close(c.re, a.re) && close(c.im, a.im));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(-1.0, 5.0);
+        let c = a * b;
+        // (2+3i)(-1+5i) = -2 + 10i - 3i + 15i² = -17 + 7i
+        assert!(close(c.re, -17.0) && close(c.im, 7.0));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.41;
+            let z = Complex64::cis(theta);
+            assert!(close(z.abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(1.0, 2.0);
+        let c = z.conj();
+        assert!(close(c.re, 1.0) && close(c.im, -2.0));
+        assert!(close((z * c).im, 0.0));
+        assert!(close((z * c).re, z.norm_sqr()));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let z = Complex64::I * Complex64::I;
+        assert!(close(z.re, -1.0) && close(z.im, 0.0));
+    }
+
+    #[test]
+    fn scale_multiplies_both_parts() {
+        let z = Complex64::new(3.0, -4.0).scale(0.5);
+        assert!(close(z.re, 1.5) && close(z.im, -2.0));
+        assert!(close(Complex64::new(3.0, -4.0).abs(), 5.0));
+    }
+}

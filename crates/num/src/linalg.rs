@@ -1,0 +1,253 @@
+//! Small dense linear algebra: Gaussian elimination with partial
+//! pivoting.
+//!
+//! Used by the Markov-fluid traffic sources to solve for stationary
+//! distributions (`πQ = 0`, `Σπ = 1`) — systems of a handful of states,
+//! where a simple, well-tested direct solver is the right tool.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or either dimension is 0.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::from_rows(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically so).
+    Singular,
+    /// Dimension mismatch between matrix and right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves the square system `A·x = b` by Gaussian elimination with
+/// partial pivoting.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m.get(r, col).abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        if pivot_val < 1e-13 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = m.get(r, col) / m.get(col, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r];
+        for c in r + 1..n {
+            acc -= m.get(r, c) * x[c];
+        }
+        x[r] = acc / m.get(r, r);
+    }
+    Ok(x)
+}
+
+/// Stationary distribution of a continuous-time Markov chain with
+/// generator `q` (rows sum to zero, off-diagonals non-negative): solves
+/// `πQ = 0`, `Σπ = 1`.
+///
+/// The singular system is regularized by replacing one balance equation
+/// with the normalization constraint.
+pub fn ctmc_stationary(q: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    let n = q.rows();
+    if q.cols() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    // Build Aᵀ with last equation replaced by Σπ = 1: solve A x = b
+    // where row i (< n-1) is (Qᵀ)_i and row n-1 is all ones.
+    let mut a = Matrix::zeros(n, n);
+    for r in 0..n - 1 {
+        for c in 0..n {
+            a.set(r, c, q.get(c, r)); // transpose: balance equations
+        }
+    }
+    for c in 0..n {
+        a.set(n - 1, c, 1.0);
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let pi = solve(&a, &b)?;
+    // Clamp tiny negatives from roundoff.
+    Ok(pi.into_iter().map(|p| p.max(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        let n = 8;
+        let mut s = 7u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let data: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let a = Matrix::from_rows(n, n, data);
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-9, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::from_rows(2, 3, vec![0.0; 6]);
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::DimensionMismatch);
+    }
+
+    #[test]
+    fn two_state_ctmc_stationary() {
+        // On-off chain: off->on rate λ = 2, on->off rate μ = 3.
+        // π_on = λ/(λ+μ) = 0.4.
+        let q = Matrix::from_rows(2, 2, vec![-2.0, 2.0, 3.0, -3.0]);
+        let pi = ctmc_stationary(&q).unwrap();
+        assert!((pi[0] - 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_state_birth_death_stationary() {
+        // Birth rate 1 (0->1->2), death rate 2 (2->1->0):
+        // detailed balance: π1 = π0/2, π2 = π1/2 -> π ∝ (4, 2, 1)/7.
+        let q = Matrix::from_rows(
+            3,
+            3,
+            vec![-1.0, 1.0, 0.0, 2.0, -3.0, 1.0, 0.0, 2.0, -2.0],
+        );
+        let pi = ctmc_stationary(&q).unwrap();
+        assert!((pi[0] - 4.0 / 7.0).abs() < 1e-12);
+        assert!((pi[1] - 2.0 / 7.0).abs() < 1e-12);
+        assert!((pi[2] - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let q = Matrix::from_rows(
+            3,
+            3,
+            vec![-5.0, 3.0, 2.0, 1.0, -1.5, 0.5, 4.0, 1.0, -5.0],
+        );
+        let pi = ctmc_stationary(&q).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Ordinary least squares on (x, y) pairs.
+//!
+//! Used by the traffic validators: Hurst-parameter estimation fits a line
+//! to log–log variance-time and rescaled-range plots.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Fits `y = slope·x + intercept` by least squares.
+///
+/// # Panics
+/// Panics if fewer than 2 points are supplied, the slices differ in
+/// length, or all `x` values coincide.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have the same length");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values coincide; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { slope, intercept, r_squared, n: xs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 7.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_approximately_recovered() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 0.5 * x + 2.0 + 0.01 * ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!((fit.intercept - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn horizontal_data_gives_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let fit = linear_fit(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vertical_data_panics() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_point_panics() {
+        linear_fit(&[1.0], &[1.0]);
+    }
+}

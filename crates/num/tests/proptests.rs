@@ -1,0 +1,126 @@
+//! Property-based tests for the numerics substrate.
+
+use mbac_num::complex::Complex64;
+use mbac_num::fft::{fft, ifft};
+use mbac_num::linalg::{solve, Matrix};
+use mbac_num::{brent, erf, erfc, integrate, q, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// erf is odd and bounded; erf + erfc = 1.
+    #[test]
+    fn erf_identities(x in -20.0f64..20.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// erf is strictly increasing where f64 can resolve it: beyond
+    /// |x| ≈ 4.5 the function is within one ulp of ±1 and a small step
+    /// produces no representable change, so the strict check is
+    /// restricted to |a| ≤ 4 (erf'(4)·1e-6 ≈ 1.3e-13 ≫ ulp(1.0)).
+    #[test]
+    fn erf_monotone(a in -4.0f64..4.0, delta in 1e-6f64..3.0) {
+        prop_assert!(erf(a + delta) > erf(a));
+    }
+
+    /// Q is a survival function: decreasing, in [0, 1].
+    #[test]
+    fn q_is_survival(a in -10.0f64..10.0, delta in 1e-6f64..3.0) {
+        let qa = q(a);
+        prop_assert!((0.0..=1.0).contains(&qa));
+        prop_assert!(q(a + delta) <= qa);
+    }
+
+    /// Quadrature is linear: ∫(αf + βg) = α∫f + β∫g (polynomials).
+    #[test]
+    fn quadrature_linearity(
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+        c1 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+    ) {
+        let f = |x: f64| c1 * x * x + 1.0;
+        let g = |x: f64| c2 * x - 0.5;
+        let lhs = integrate(|x| alpha * f(x) + beta * g(x), -1.0, 2.0, 1e-11).value;
+        let rhs = alpha * integrate(f, -1.0, 2.0, 1e-11).value
+            + beta * integrate(g, -1.0, 2.0, 1e-11).value;
+        prop_assert!((lhs - rhs).abs() < 1e-8, "lhs {lhs} rhs {rhs}");
+    }
+
+    /// Brent finds the root of any strictly increasing cubic.
+    #[test]
+    fn brent_roots_increasing_cubics(
+        root in -5.0f64..5.0,
+        scale in 0.1f64..4.0,
+    ) {
+        let f = |x: f64| scale * ((x - root) + 0.2 * (x - root).powi(3));
+        let r = brent(f, -20.0, 20.0, 1e-12, 200).unwrap();
+        prop_assert!((r.x - root).abs() < 1e-8, "found {} want {root}", r.x);
+    }
+
+    /// FFT round-trips arbitrary signals.
+    #[test]
+    fn fft_roundtrip(values in proptest::collection::vec(-100.0f64..100.0, 1..65)) {
+        let n = values.len().next_power_of_two();
+        let mut x: Vec<Complex64> =
+            values.iter().map(|&v| Complex64::new(v, -0.5 * v)).collect();
+        x.resize(n, Complex64::ZERO);
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval holds for arbitrary signals.
+    #[test]
+    fn fft_parseval(values in proptest::collection::vec(-10.0f64..10.0, 2..40)) {
+        let n = values.len().next_power_of_two();
+        let mut x: Vec<Complex64> = values.iter().map(|&v| Complex64::from_real(v)).collect();
+        x.resize(n, Complex64::ZERO);
+        let spec = fft(&x);
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time));
+    }
+
+    /// Linear solve leaves a small residual on well-conditioned systems
+    /// (diagonally dominant by construction).
+    #[test]
+    fn solve_residual(entries in proptest::collection::vec(-1.0f64..1.0, 16), b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let mut m = Matrix::zeros(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.set(r, c, entries[r * 4 + c]);
+            }
+            m.set(r, r, 5.0 + entries[r * 4 + r]); // dominance
+        }
+        let x = solve(&m, &b).unwrap();
+        let ax = m.mul_vec(&x);
+        for i in 0..4 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Welford merging is order-independent (up to fp tolerance).
+    #[test]
+    fn welford_merge_commutes(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        ys in proptest::collection::vec(-100.0f64..100.0, 1..30),
+    ) {
+        let fill = |v: &[f64]| {
+            let mut s = RunningStats::new();
+            for &x in v {
+                s.push(x);
+            }
+            s
+        };
+        let mut ab = fill(&xs);
+        ab.merge(&fill(&ys));
+        let mut ba = fill(&ys);
+        ba.merge(&fill(&xs));
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-7 * (1.0 + ab.variance()));
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+}

@@ -1,0 +1,238 @@
+//! Finite-arrival-rate (Poisson) load — the relaxation of the paper's
+//! continuous-load worst case.
+//!
+//! §4 argues that "the performance of any admission control algorithm
+//! under finite arrival rate will be no worse than its performance in
+//! this [continuous-load] model". This harness lets us check that claim
+//! empirically and lets the examples model realistic call arrivals: flows
+//! arrive as a Poisson process of rate `λ`, are admitted iff the
+//! controller's criterion passes, and blocked otherwise (blocked flows
+//! leave, they do not queue).
+
+use crate::controller::AdmissionEngine;
+use crate::events::EventQueue;
+use crate::metrics::{OverflowMeter, PfEstimate, StopReason};
+use mbac_num::rng::exponential;
+use mbac_num::RunningStats;
+use mbac_traffic::process::SourceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Poisson-arrival simulation.
+#[derive(Debug, Clone)]
+pub struct PoissonConfig {
+    /// Link capacity `c`.
+    pub capacity: f64,
+    /// Flow arrival rate `λ`.
+    pub arrival_rate: f64,
+    /// Mean flow holding time `T_h`.
+    pub mean_holding: f64,
+    /// Measurement tick.
+    pub tick: f64,
+    /// Warm-up period.
+    pub warmup: f64,
+    /// Overflow sample spacing.
+    pub sample_spacing: f64,
+    /// QoS target (termination criterion (b)).
+    pub target: f64,
+    /// Sample budget.
+    pub max_samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of a Poisson-arrival run.
+#[derive(Debug, Clone)]
+pub struct PoissonReport {
+    /// Overflow-probability estimate.
+    pub pf: PfEstimate,
+    /// Fraction of arrivals that were blocked.
+    pub blocking_probability: f64,
+    /// Mean utilization at sample epochs.
+    pub mean_utilization: f64,
+    /// Mean flows in system at sample epochs.
+    pub mean_flows: f64,
+    /// Total arrivals offered.
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+}
+
+/// Events in the Poisson harness.
+enum Ev {
+    Arrival,
+    Tick,
+    Sample,
+}
+
+/// Runs the Poisson-arrival model with the given source and controller.
+pub fn run_poisson(
+    cfg: &PoissonConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
+) -> PoissonReport {
+    assert!(cfg.arrival_rate > 0.0 && cfg.mean_holding > 0.0);
+    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut table = crate::flows::FlowTable::new();
+    let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
+    let mut q = EventQueue::new();
+    let mut snapshot = Vec::new();
+    let mut flow_count = RunningStats::new();
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+
+    q.schedule_at(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
+    q.schedule_at(cfg.tick, Ev::Tick);
+    q.schedule_at(cfg.warmup.max(cfg.tick), Ev::Sample);
+
+    let stop_reason = loop {
+        let (t, ev) = q.pop().expect("event queue never drains");
+        table.advance_to(t, &mut rng);
+        table.depart_until(t);
+        match ev {
+            Ev::Arrival => {
+                offered += 1;
+                // Admit iff the measured criterion allows one more flow.
+                let ok = match ctl.admissible_count(cfg.capacity, table.len()) {
+                    Some(m) => ((table.len() + 1) as f64) <= m,
+                    None => table.is_empty(), // cold start: seed flow
+                };
+                if ok {
+                    admitted += 1;
+                    let departs = t + exponential(&mut rng, cfg.mean_holding);
+                    table.admit(model, departs, &mut rng);
+                }
+                q.schedule_in(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
+            }
+            Ev::Tick => {
+                table.snapshot_into(&mut snapshot);
+                ctl.observe(t, &snapshot);
+                q.schedule_in(cfg.tick, Ev::Tick);
+            }
+            Ev::Sample => {
+                meter.record(table.aggregate_rate());
+                flow_count.push(table.len() as f64);
+                if let Some(reason) = meter.should_stop() {
+                    break reason;
+                }
+                if meter.samples() >= cfg.max_samples {
+                    break StopReason::BudgetExhausted;
+                }
+                q.schedule_in(cfg.sample_spacing, Ev::Sample);
+            }
+        }
+    };
+
+    PoissonReport {
+        pf: meter.finalize(stop_reason),
+        blocking_probability: if offered == 0 {
+            0.0
+        } else {
+            1.0 - admitted as f64 / offered as f64
+        },
+        mean_utilization: meter.mean_utilization(),
+        mean_flows: flow_count.mean(),
+        offered,
+        admitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_core::admission::CertaintyEquivalent;
+    use mbac_core::estimators::MemorylessEstimator;
+    use crate::controller::MbacController;
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+    fn controller(p: f64) -> MbacController {
+        MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(p)),
+        )
+    }
+
+    fn config(arrival_rate: f64, seed: u64) -> PoissonConfig {
+        PoissonConfig {
+            capacity: 100.0,
+            arrival_rate,
+            mean_holding: 50.0,
+            tick: 0.25,
+            warmup: 150.0,
+            sample_spacing: 15.0,
+            target: 1e-2,
+            max_samples: 400,
+            seed,
+        }
+    }
+
+    #[test]
+    fn light_load_admits_everyone() {
+        // Offered load λ·T_h = 0.2·50 = 10 flows ≪ capacity 100.
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl = controller(1e-2);
+        let rep = run_poisson(&config(0.2, 31), &m, &mut ctl);
+        assert!(
+            rep.blocking_probability < 0.02,
+            "blocking {} under light load",
+            rep.blocking_probability
+        );
+        assert!(rep.mean_flows > 5.0 && rep.mean_flows < 15.0, "flows {}", rep.mean_flows);
+    }
+
+    #[test]
+    fn heavy_load_blocks_excess() {
+        // Offered load 10·50 = 500 flows ≫ capacity 100: most blocked.
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl = controller(1e-2);
+        let rep = run_poisson(&config(10.0, 32), &m, &mut ctl);
+        assert!(
+            rep.blocking_probability > 0.6,
+            "blocking {} under 5x overload",
+            rep.blocking_probability
+        );
+        // But the link is well used.
+        assert!(rep.mean_utilization > 0.7, "utilization {}", rep.mean_utilization);
+    }
+
+    #[test]
+    fn finite_load_no_worse_than_continuous() {
+        // §4's claim: overflow under finite λ is bounded by the
+        // continuous-load overflow at the same parameters.
+        use crate::runner::{run_continuous, ContinuousConfig};
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl_p = controller(1e-2);
+        let pois = run_poisson(&config(4.0, 33), &m, &mut ctl_p);
+        let mut ctl_c = controller(1e-2);
+        let cont = run_continuous(
+            &ContinuousConfig {
+                capacity: 100.0,
+                mean_holding: 50.0,
+                tick: 0.25,
+                warmup: 150.0,
+                sample_spacing: 15.0,
+                target: 1e-2,
+                max_samples: 400,
+                seed: 33,
+            },
+            &m,
+            &mut ctl_c,
+        );
+        assert!(
+            pois.pf.value <= cont.pf.value * 1.5 + 5e-3,
+            "poisson pf {} should not exceed continuous pf {}",
+            pois.pf.value,
+            cont.pf.value
+        );
+    }
+
+    #[test]
+    fn offered_equals_admitted_plus_blocked() {
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl = controller(1e-2);
+        let rep = run_poisson(&config(2.0, 34), &m, &mut ctl);
+        let blocked = (rep.blocking_probability * rep.offered as f64).round() as u64;
+        assert_eq!(rep.offered, rep.admitted + blocked);
+    }
+}

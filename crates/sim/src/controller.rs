@@ -1,0 +1,161 @@
+//! Glue between estimators and admission policies: the deployable MBAC.
+//!
+//! The simulator drives anything implementing [`AdmissionEngine`] — the
+//! minimal measure-then-decide interface. [`MbacController`] is the
+//! paper's engine (a statistics estimator feeding a Gaussian criterion);
+//! the related-work baselines of §6 (`mbac_core::admission::MeasuredSum`
+//! wrapped by [`MeasuredSumController`]) implement the same trait with a
+//! completely different internal logic.
+
+use mbac_core::admission::{AdmissionPolicy, MeasuredSum};
+use mbac_core::estimators::{Estimate, Estimator};
+
+/// The measure-then-decide interface the simulator drives.
+pub trait AdmissionEngine {
+    /// Feeds one measurement snapshot (per-flow instantaneous rates at
+    /// time `t`; the aggregate is their sum).
+    fn observe(&mut self, t: f64, rates: &[f64]);
+
+    /// The number of flows the engine currently allows in the system
+    /// (`None` before any measurement exists — cold start).
+    fn admissible_count(&self, capacity: f64, current_flows: usize) -> Option<f64>;
+
+    /// Clears all measurement state.
+    fn reset(&mut self);
+}
+
+/// An estimator plus an admission policy — the complete
+/// measurement-based admission controller the simulator drives.
+pub struct MbacController {
+    estimator: Box<dyn Estimator + Send>,
+    policy: Box<dyn AdmissionPolicy + Send>,
+}
+
+impl MbacController {
+    /// Bundles an estimator with a policy.
+    pub fn new(
+        estimator: Box<dyn Estimator + Send>,
+        policy: Box<dyn AdmissionPolicy + Send>,
+    ) -> Self {
+        MbacController { estimator, policy }
+    }
+
+    /// Feeds a measurement snapshot (per-flow instantaneous rates).
+    pub fn observe(&mut self, t: f64, rates: &[f64]) {
+        self.estimator.observe(t, rates);
+    }
+
+    /// The current statistics estimate, if any.
+    pub fn estimate(&self) -> Option<Estimate> {
+        self.estimator.estimate()
+    }
+
+    /// The estimated admissible number of flows for the given capacity,
+    /// or `None` before any measurement exists.
+    pub fn admissible_count(&self, capacity: f64) -> Option<f64> {
+        self.estimator
+            .estimate()
+            .map(|e| self.policy.admissible_count(e, capacity))
+    }
+
+    /// The estimator's memory time-scale `T_m`.
+    pub fn memory_timescale(&self) -> f64 {
+        self.estimator.memory_timescale()
+    }
+
+    /// Clears estimator state (for reuse across replications).
+    pub fn reset(&mut self) {
+        self.estimator.reset();
+    }
+}
+
+impl AdmissionEngine for MbacController {
+    fn observe(&mut self, t: f64, rates: &[f64]) {
+        MbacController::observe(self, t, rates);
+    }
+
+    fn admissible_count(&self, capacity: f64, _current_flows: usize) -> Option<f64> {
+        MbacController::admissible_count(self, capacity)
+    }
+
+    fn reset(&mut self) {
+        MbacController::reset(self);
+    }
+}
+
+/// Adapter running the Jamin-style measured-sum algorithm (§6 related
+/// work) as an [`AdmissionEngine`]: the admissible count is the current
+/// occupancy plus however many declared-rate flows fit under the
+/// utilization-scaled capacity, given the windowed load measurement.
+pub struct MeasuredSumController {
+    policy: MeasuredSum,
+}
+
+impl MeasuredSumController {
+    /// Wraps a measured-sum policy.
+    pub fn new(policy: MeasuredSum) -> Self {
+        MeasuredSumController { policy }
+    }
+
+    /// Access to the wrapped policy (e.g. to inspect its estimate).
+    pub fn policy(&self) -> &MeasuredSum {
+        &self.policy
+    }
+}
+
+impl AdmissionEngine for MeasuredSumController {
+    fn observe(&mut self, t: f64, rates: &[f64]) {
+        self.policy.observe_aggregate(t, rates.iter().sum());
+    }
+
+    fn admissible_count(&self, capacity: f64, current_flows: usize) -> Option<f64> {
+        self.policy
+            .headroom_flows(capacity)
+            .map(|extra| current_flows as f64 + extra)
+    }
+
+    fn reset(&mut self) {
+        self.policy.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_core::admission::CertaintyEquivalent;
+    use mbac_core::estimators::MemorylessEstimator;
+
+    fn controller() -> MbacController {
+        MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(1e-3)),
+        )
+    }
+
+    #[test]
+    fn no_admission_before_measurement() {
+        let ctl = controller();
+        assert!(ctl.admissible_count(100.0).is_none());
+    }
+
+    #[test]
+    fn admissible_count_follows_measurements() {
+        let mut ctl = controller();
+        ctl.observe(0.0, &[1.0, 1.0, 1.0, 1.0]);
+        let m = ctl.admissible_count(100.0).unwrap();
+        // σ̂ = 0 ⇒ fluid limit c/μ̂ = 100.
+        assert!((m - 100.0).abs() < 1e-9);
+        ctl.observe(1.0, &[0.5, 1.5, 0.5, 1.5]);
+        let m2 = ctl.admissible_count(100.0).unwrap();
+        assert!(m2 < m, "measured burstiness must reduce admissions");
+    }
+
+    #[test]
+    fn reset_clears_estimate() {
+        let mut ctl = controller();
+        ctl.observe(0.0, &[1.0, 2.0]);
+        assert!(ctl.estimate().is_some());
+        ctl.reset();
+        assert!(ctl.estimate().is_none());
+    }
+}

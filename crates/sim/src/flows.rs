@@ -1,0 +1,230 @@
+//! The flow table: per-flow rate processes plus lifecycle bookkeeping.
+//!
+//! Holds the admitted flows, advances their bandwidth processes in
+//! lock-step, applies departures, and produces the per-flow snapshots
+//! the estimators consume. Conservation (`admitted − departed =
+//! in-system`) is tracked and asserted by the property tests.
+
+use mbac_traffic::process::{RateProcess, SourceModel};
+use rand::RngCore;
+
+/// One admitted flow.
+struct Flow {
+    id: u64,
+    process: Box<dyn RateProcess>,
+    /// Absolute departure time.
+    departs_at: f64,
+}
+
+/// The set of flows currently in the system.
+pub struct FlowTable {
+    flows: Vec<Flow>,
+    next_id: u64,
+    admitted_total: u64,
+    departed_total: u64,
+    /// Time up to which all processes have been advanced.
+    advanced_to: f64,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            flows: Vec::new(),
+            next_id: 0,
+            admitted_total: 0,
+            departed_total: 0,
+            advanced_to: 0.0,
+        }
+    }
+
+    /// Number of flows currently in the system (the paper's `N_t`).
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total flows ever admitted.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// Total flows ever departed.
+    pub fn departed_total(&self) -> u64 {
+        self.departed_total
+    }
+
+    /// Admits a new flow spawned from `model`, departing at absolute
+    /// time `departs_at`. Returns the flow id.
+    pub fn admit(
+        &mut self,
+        model: &dyn SourceModel,
+        departs_at: f64,
+        rng: &mut dyn RngCore,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.admitted_total += 1;
+        self.flows.push(Flow { id, process: model.spawn(rng), departs_at });
+        id
+    }
+
+    /// Admits a flow whose rate process already exists (used by the
+    /// impulsive-load harness, where the *measured* candidate processes
+    /// are the ones admitted). Returns the flow id.
+    pub fn admit_process(
+        &mut self,
+        process: Box<dyn RateProcess>,
+        departs_at: f64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.admitted_total += 1;
+        self.flows.push(Flow { id, process, departs_at });
+        id
+    }
+
+    /// Advances every flow's bandwidth process to absolute time `t`.
+    pub fn advance_to(&mut self, t: f64, rng: &mut dyn RngCore) {
+        let dt = t - self.advanced_to;
+        assert!(dt >= -1e-9, "cannot advance flows backwards ({t} < {})", self.advanced_to);
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                f.process.advance(dt, rng);
+            }
+            self.advanced_to = t;
+        }
+    }
+
+    /// Removes every flow whose departure time is ≤ `t`. Returns how
+    /// many departed.
+    pub fn depart_until(&mut self, t: f64) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|f| f.departs_at > t);
+        let gone = before - self.flows.len();
+        self.departed_total += gone as u64;
+        gone
+    }
+
+    /// The earliest pending departure time, if any.
+    pub fn next_departure(&self) -> Option<f64> {
+        self.flows.iter().map(|f| f.departs_at).fold(None, |acc, t| match acc {
+            None => Some(t),
+            Some(a) => Some(a.min(t)),
+        })
+    }
+
+    /// Sum of the instantaneous rates (the aggregate load `S_t`).
+    pub fn aggregate_rate(&self) -> f64 {
+        self.flows.iter().map(|f| f.process.rate()).sum()
+    }
+
+    /// Writes the per-flow instantaneous rates into `out` (cleared
+    /// first). The estimator snapshot of eqn (23).
+    pub fn snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.flows.iter().map(|f| f.process.rate()));
+    }
+
+    /// Ids of the flows currently in the system (test/diagnostic aid).
+    pub fn ids(&self) -> Vec<u64> {
+        self.flows.iter().map(|f| f.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> RcbrModel {
+        RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    #[test]
+    fn admit_and_depart_conserve_counts() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut table = FlowTable::new();
+        for i in 0..10 {
+            table.admit(&m, 10.0 + i as f64, &mut rng);
+        }
+        assert_eq!(table.len(), 10);
+        let gone = table.depart_until(14.5);
+        assert_eq!(gone, 5); // departures at 10,11,12,13,14
+        assert_eq!(table.len(), 5);
+        assert_eq!(
+            table.admitted_total() - table.departed_total(),
+            table.len() as u64
+        );
+    }
+
+    #[test]
+    fn aggregate_is_sum_of_snapshot() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut table = FlowTable::new();
+        for _ in 0..50 {
+            table.admit(&m, f64::INFINITY, &mut rng);
+        }
+        let mut snap = Vec::new();
+        table.snapshot_into(&mut snap);
+        assert_eq!(snap.len(), 50);
+        let sum: f64 = snap.iter().sum();
+        assert!((sum - table.aggregate_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_moves_all_processes() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut table = FlowTable::new();
+        for _ in 0..20 {
+            table.admit(&m, f64::INFINITY, &mut rng);
+        }
+        let before = table.aggregate_rate();
+        table.advance_to(100.0, &mut rng); // ~100 renegotiations each
+        let after = table.aggregate_rate();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn next_departure_tracks_minimum() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut table = FlowTable::new();
+        assert!(table.next_departure().is_none());
+        table.admit(&m, 7.0, &mut rng);
+        table.admit(&m, 3.0, &mut rng);
+        table.admit(&m, 9.0, &mut rng);
+        assert_eq!(table.next_departure(), Some(3.0));
+        table.depart_until(3.0);
+        assert_eq!(table.next_departure(), Some(7.0));
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut table = FlowTable::new();
+        for _ in 0..5 {
+            table.admit(&m, f64::INFINITY, &mut rng);
+        }
+        let ids = table.ids();
+        for w in ids.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

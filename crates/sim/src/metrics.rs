@@ -1,0 +1,360 @@
+//! Overflow metrology — the paper's §5.2 measurement methodology.
+//!
+//! The meter collects spaced samples of the aggregate load, each sample
+//! contributing (a) an overflow indicator `1{S_t > c}` and (b) the load
+//! value itself. Termination follows the paper exactly:
+//!
+//! * **criterion (a)**: stop when the 95% confidence interval of the
+//!   overflow probability is within ±20% of the estimate;
+//! * **criterion (b)**: stop when `estimate + half-width` is at least
+//!   two orders of magnitude below the target `p_q`; in that case report
+//!   the Gaussian-tail estimate `Q((c − μ̂_S)/σ̂_S)` built from the
+//!   sample mean and variance of the aggregate load.
+
+use mbac_num::{q, wilson_ci, ConfidenceInterval, RunningStats};
+
+/// How the final overflow estimate was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfMethod {
+    /// Direct relative frequency of overflow samples (criterion (a)).
+    Direct,
+    /// Gaussian-tail fallback `Q((c−μ̂)/σ̂)` (criterion (b)).
+    GaussianTail,
+}
+
+/// Why sampling stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The ±20% CI criterion was met.
+    CiConverged,
+    /// The estimate fell ≥ 2 orders below target.
+    FarBelowTarget,
+    /// The configured sample budget ran out first.
+    BudgetExhausted,
+}
+
+/// Final overflow-probability estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct PfEstimate {
+    /// The estimate itself.
+    pub value: f64,
+    /// The direct-frequency confidence interval (always reported, even
+    /// when the Gaussian-tail value is the headline estimate).
+    pub ci: ConfidenceInterval,
+    /// How `value` was obtained.
+    pub method: PfMethod,
+    /// Why sampling stopped.
+    pub stopped: StopReason,
+    /// Number of spaced samples used.
+    pub samples: u64,
+    /// Number of overflow events among them.
+    pub overflows: u64,
+}
+
+/// Streaming overflow meter.
+#[derive(Debug, Clone)]
+pub struct OverflowMeter {
+    capacity: f64,
+    target: f64,
+    level: f64,
+    rel_width: f64,
+    min_samples: u64,
+    samples: u64,
+    overflows: u64,
+    load: RunningStats,
+}
+
+impl OverflowMeter {
+    /// Creates a meter for a link of the given capacity and QoS target
+    /// `p_q`, using the paper's constants (95% level, ±20% relative
+    /// width, two orders of magnitude for criterion (b)).
+    pub fn new(capacity: f64, target: f64) -> Self {
+        assert!(capacity > 0.0);
+        assert!(target > 0.0 && target < 1.0);
+        OverflowMeter {
+            capacity,
+            target,
+            level: 0.95,
+            rel_width: 0.20,
+            min_samples: 50,
+            samples: 0,
+            overflows: 0,
+            load: RunningStats::new(),
+        }
+    }
+
+    /// Overrides the minimum sample count before termination checks
+    /// (default 50).
+    pub fn with_min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Records one spaced sample of the aggregate load.
+    pub fn record(&mut self, aggregate_load: f64) {
+        self.samples += 1;
+        if aggregate_load > self.capacity {
+            self.overflows += 1;
+        }
+        self.load.push(aggregate_load);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of overflow events recorded so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Mean utilization observed so far (mean load / capacity).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.load.mean() / self.capacity
+        }
+    }
+
+    /// The Gaussian-tail estimate `Q((c − μ̂_S)/σ̂_S)` from the sampled
+    /// aggregate-load statistics (the paper's small-`p_f` reporting
+    /// path).
+    pub fn gaussian_tail_estimate(&self) -> f64 {
+        let sd = self.load.std_dev();
+        if sd <= 0.0 {
+            return if self.load.mean() > self.capacity { 1.0 } else { 0.0 };
+        }
+        q((self.capacity - self.load.mean()) / sd)
+    }
+
+    /// Checks the termination criteria. Returns `Some(reason)` when
+    /// sampling may stop.
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if self.samples < self.min_samples {
+            return None;
+        }
+        let ci = wilson_ci(self.overflows, self.samples, self.level);
+        if self.overflows > 0 && ci.relative_half_width() <= self.rel_width {
+            return Some(StopReason::CiConverged);
+        }
+        // Criterion (b): estimate + CI at least two orders below target.
+        if ci.estimate + ci.half_width() <= self.target * 1e-2 {
+            return Some(StopReason::FarBelowTarget);
+        }
+        None
+    }
+
+    /// Produces the final estimate, applying the paper's reporting rule
+    /// for the given stop reason.
+    pub fn finalize(&self, stopped: StopReason) -> PfEstimate {
+        assert!(self.samples > 0, "cannot finalize an empty meter");
+        let ci = wilson_ci(self.overflows, self.samples, self.level);
+        let (value, method) = match stopped {
+            StopReason::CiConverged => (ci.estimate, PfMethod::Direct),
+            StopReason::FarBelowTarget => {
+                (self.gaussian_tail_estimate(), PfMethod::GaussianTail)
+            }
+            StopReason::BudgetExhausted => {
+                // Use the direct estimate when it has real support,
+                // otherwise fall back to the parametric tail.
+                if self.overflows >= 10 {
+                    (ci.estimate, PfMethod::Direct)
+                } else {
+                    (self.gaussian_tail_estimate(), PfMethod::GaussianTail)
+                }
+            }
+        };
+        PfEstimate {
+            value,
+            ci,
+            method,
+            stopped,
+            samples: self.samples,
+            overflows: self.overflows,
+        }
+    }
+}
+
+/// Streaming meter for the utility-based QoS metric (paper §7 /
+/// `mbac_core::utility`): records the perceived utility of the
+/// proportional bandwidth share `min(1, c/S)` at each spaced sample.
+#[derive(Debug, Clone)]
+pub struct UtilityMeter {
+    capacity: f64,
+    utility: mbac_core::utility::UtilityFunction,
+    stats: RunningStats,
+}
+
+impl UtilityMeter {
+    /// Creates a meter for the given link capacity and utility model.
+    pub fn new(capacity: f64, utility: mbac_core::utility::UtilityFunction) -> Self {
+        assert!(capacity > 0.0);
+        UtilityMeter { capacity, utility, stats: RunningStats::new() }
+    }
+
+    /// Records one spaced sample of the aggregate demand.
+    pub fn record(&mut self, aggregate_load: f64) {
+        let share = if aggregate_load <= 0.0 {
+            1.0
+        } else {
+            (self.capacity / aggregate_load).min(1.0)
+        };
+        self.stats.push(self.utility.eval(share));
+    }
+
+    /// Mean realized utility so far.
+    pub fn mean_utility(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Mean utility loss `ε̂ = 1 − mean utility` — the §7 QoS metric.
+    pub fn mean_loss(&self) -> f64 {
+        if self.stats.count() == 0 {
+            0.0
+        } else {
+            1.0 - self.stats.mean()
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_core::utility::UtilityFunction;
+
+    #[test]
+    fn utility_meter_hard_equals_overflow_frequency() {
+        let mut um = UtilityMeter::new(10.0, UtilityFunction::Hard);
+        let mut om = OverflowMeter::new(10.0, 1e-2);
+        for &load in &[8.0, 9.0, 11.0, 12.0, 10.0, 9.5, 13.0] {
+            um.record(load);
+            om.record(load);
+        }
+        let freq = om.overflows() as f64 / om.samples() as f64;
+        assert!((um.mean_loss() - freq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_meter_elastic_partial_credit() {
+        let mut um = UtilityMeter::new(10.0, UtilityFunction::Elastic { exponent: 1.0 });
+        um.record(20.0); // share 0.5, utility 0.5
+        um.record(5.0); // share 1, utility 1
+        assert!((um.mean_utility() - 0.75).abs() < 1e-12);
+        assert!((um.mean_loss() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_meter_empty_is_lossless() {
+        let um = UtilityMeter::new(10.0, UtilityFunction::Hard);
+        assert_eq!(um.mean_loss(), 0.0);
+        assert_eq!(um.samples(), 0);
+    }
+
+    #[test]
+    fn counts_overflows_against_capacity() {
+        let mut m = OverflowMeter::new(10.0, 1e-2);
+        m.record(9.0);
+        m.record(11.0);
+        m.record(10.0); // equal is NOT overflow (strictly greater)
+        assert_eq!(m.samples(), 3);
+        assert_eq!(m.overflows(), 1);
+    }
+
+    #[test]
+    fn ci_criterion_triggers_with_enough_hits() {
+        let mut m = OverflowMeter::new(1.0, 1e-2);
+        // 10% overflow rate, many samples: CI tightens below ±20%.
+        for i in 0..2000 {
+            m.record(if i % 10 == 0 { 2.0 } else { 0.5 });
+        }
+        assert_eq!(m.should_stop(), Some(StopReason::CiConverged));
+        let est = m.finalize(StopReason::CiConverged);
+        assert_eq!(est.method, PfMethod::Direct);
+        assert!((est.value - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn far_below_target_triggers_without_hits() {
+        let mut m = OverflowMeter::new(100.0, 1e-2);
+        // No overflows at all; loads well below capacity. With zero
+        // successes the Wilson upper bound is ≈ z²/(2n), so reaching
+        // two orders below a 1e-2 target needs n ≳ 2·10⁴ samples.
+        for _ in 0..30_000 {
+            m.record(50.0);
+        }
+        assert_eq!(m.should_stop(), Some(StopReason::FarBelowTarget));
+        let est = m.finalize(StopReason::FarBelowTarget);
+        assert_eq!(est.method, PfMethod::GaussianTail);
+    }
+
+    #[test]
+    fn gaussian_tail_estimate_matches_formula() {
+        let mut m = OverflowMeter::new(10.0, 1e-3);
+        // Loads alternating 8 ± 1: mean 8, sd ≈ 1.
+        for i in 0..10_000 {
+            m.record(if i % 2 == 0 { 7.0 } else { 9.0 });
+        }
+        let g = m.gaussian_tail_estimate();
+        let want = q((10.0 - 8.0) / 1.0);
+        assert!((g / want - 1.0).abs() < 0.01, "got {g}, want {want}");
+    }
+
+    #[test]
+    fn no_stop_before_min_samples() {
+        let mut m = OverflowMeter::new(1.0, 1e-2).with_min_samples(100);
+        for _ in 0..99 {
+            m.record(0.0);
+        }
+        assert_eq!(m.should_stop(), None);
+    }
+
+    #[test]
+    fn budget_exhausted_uses_direct_when_supported() {
+        let mut m = OverflowMeter::new(1.0, 1e-3);
+        for i in 0..100 {
+            m.record(if i < 15 { 2.0 } else { 0.5 });
+        }
+        let est = m.finalize(StopReason::BudgetExhausted);
+        assert_eq!(est.method, PfMethod::Direct);
+        assert_eq!(est.overflows, 15);
+    }
+
+    #[test]
+    fn budget_exhausted_falls_back_to_tail_when_unsupported() {
+        let mut m = OverflowMeter::new(10.0, 1e-3);
+        for i in 0..100 {
+            m.record(5.0 + (i % 7) as f64 * 0.1);
+        }
+        let est = m.finalize(StopReason::BudgetExhausted);
+        assert_eq!(est.method, PfMethod::GaussianTail);
+    }
+
+    #[test]
+    fn utilization_is_mean_load_over_capacity() {
+        let mut m = OverflowMeter::new(10.0, 1e-2);
+        m.record(4.0);
+        m.record(6.0);
+        assert!((m.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_constant_load() {
+        let mut m = OverflowMeter::new(10.0, 1e-2);
+        for _ in 0..100 {
+            m.record(5.0);
+        }
+        assert_eq!(m.gaussian_tail_estimate(), 0.0);
+        let mut m2 = OverflowMeter::new(10.0, 1e-2);
+        for _ in 0..100 {
+            m2.record(15.0);
+        }
+        assert_eq!(m2.gaussian_tail_estimate(), 1.0);
+    }
+}

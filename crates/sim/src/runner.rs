@@ -1,0 +1,615 @@
+//! The three load-model harnesses of the paper.
+//!
+//! * [`run_impulsive`] — §3: a burst of flows at `t = 0`, admission from
+//!   the initial bandwidths, then (optionally) exponential departures;
+//!   measures the overflow probability at caller-chosen times across
+//!   replications.
+//! * [`run_continuous`] — §4: infinite arrival pressure; the system is
+//!   kept filled to the controller's current admissible count, flows
+//!   depart with exponential holding times, and the steady-state
+//!   overflow probability is sampled per §5.2.
+//!
+//! (The finite-arrival-rate Poisson harness lives in
+//! [`crate::arrivals`].)
+
+use crate::controller::AdmissionEngine;
+use crate::flows::FlowTable;
+use crate::metrics::{OverflowMeter, PfEstimate, StopReason};
+use mbac_core::admission::AdmissionPolicy;
+use mbac_core::estimators::snapshot_stats;
+use mbac_num::rng::exponential;
+use mbac_num::RunningStats;
+use mbac_traffic::process::SourceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Impulsive load (§3)
+// ---------------------------------------------------------------------
+
+/// Configuration of the impulsive-load experiment.
+#[derive(Debug, Clone)]
+pub struct ImpulsiveConfig {
+    /// Link capacity `c`.
+    pub capacity: f64,
+    /// Number of flows whose initial bandwidths feed the estimator
+    /// (the paper uses `n = c/μ`).
+    pub estimation_flows: usize,
+    /// Mean holding time; `None` = infinite (flows never depart).
+    pub mean_holding: Option<f64>,
+    /// Times (after 0) at which to record the overflow indicator.
+    pub observe_times: Vec<f64>,
+    /// Number of independent replications.
+    pub replications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Aggregated results of the impulsive-load experiment.
+#[derive(Debug, Clone)]
+pub struct ImpulsiveReport {
+    /// Distribution of the admitted count `M₀` across replications.
+    pub m0: RunningStats,
+    /// Per observation time: `(t, overflow count, mean load)`.
+    pub observations: Vec<ImpulsiveObservation>,
+    /// Number of replications performed.
+    pub replications: usize,
+}
+
+/// Overflow statistics at one observation time.
+#[derive(Debug, Clone, Copy)]
+pub struct ImpulsiveObservation {
+    /// Observation time.
+    pub t: f64,
+    /// Number of replications in which `S_t > c`.
+    pub overflows: u64,
+    /// Aggregate-load statistics across replications.
+    pub load: RunningStats,
+    /// Flows remaining in the system (mean across replications).
+    pub mean_flows: f64,
+}
+
+impl ImpulsiveReport {
+    /// Overflow probability estimate at observation index `i`.
+    pub fn pf_at(&self, i: usize) -> f64 {
+        let obs = &self.observations[i];
+        obs.overflows as f64 / self.replications as f64
+    }
+}
+
+/// Runs the impulsive-load model: per replication, estimate `(μ̂, σ̂)`
+/// from the initial bandwidths of `estimation_flows` flows (eqn (7)),
+/// admit `⌊M₀⌋` flows per the policy (eqn (6)), then let the system
+/// evolve and record the overflow indicator at each observation time.
+pub fn run_impulsive(
+    cfg: &ImpulsiveConfig,
+    model: &dyn SourceModel,
+    policy: &dyn AdmissionPolicy,
+) -> ImpulsiveReport {
+    assert!(cfg.capacity > 0.0);
+    assert!(cfg.estimation_flows >= 2, "need ≥ 2 flows to estimate a variance");
+    assert!(cfg.replications > 0);
+    let mut times = cfg.observe_times.clone();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation time"));
+    assert!(times.first().is_none_or(|&t| t >= 0.0));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut m0_stats = RunningStats::new();
+    let mut obs: Vec<ImpulsiveObservation> = times
+        .iter()
+        .map(|&t| ImpulsiveObservation {
+            t,
+            overflows: 0,
+            load: RunningStats::new(),
+            mean_flows: 0.0,
+        })
+        .collect();
+
+    for _ in 0..cfg.replications {
+        // Measure the initial bandwidths of the candidate burst.
+        let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> =
+            (0..cfg.estimation_flows).map(|_| model.spawn(&mut rng)).collect();
+        let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
+        let est = snapshot_stats(&rates).expect("non-empty candidate burst");
+        let m0 = policy.admissible_count(est, cfg.capacity);
+        m0_stats.push(m0);
+        let admit = m0.floor().max(0.0) as usize;
+
+        // Admit: reuse the measured candidates first (their *measured*
+        // bandwidths are the admitted flows' bandwidths — essential for
+        // the Y₀ correlation the theory predicts), spawn extras if
+        // M₀ > n.
+        let mut table = FlowTable::new();
+        let mut iter = candidates.into_iter();
+        for k in 0..admit {
+            let departs_at = match cfg.mean_holding {
+                Some(th) => exponential(&mut rng, th),
+                None => f64::INFINITY,
+            };
+            let _ = k;
+            match iter.next() {
+                Some(proc_) => {
+                    table.admit_process(proc_, departs_at);
+                }
+                None => {
+                    table.admit(model, departs_at, &mut rng);
+                }
+            }
+        }
+
+        // Evolve and observe.
+        for o in obs.iter_mut() {
+            table.advance_to(o.t, &mut rng);
+            table.depart_until(o.t);
+            let load = table.aggregate_rate();
+            o.load.push(load);
+            o.mean_flows += table.len() as f64 / cfg.replications as f64;
+            if load > cfg.capacity {
+                o.overflows += 1;
+            }
+        }
+    }
+
+    ImpulsiveReport { m0: m0_stats, observations: obs, replications: cfg.replications }
+}
+
+// ---------------------------------------------------------------------
+// Continuous load (§4)
+// ---------------------------------------------------------------------
+
+/// Configuration of the continuous-load simulation.
+#[derive(Debug, Clone)]
+pub struct ContinuousConfig {
+    /// Link capacity `c`.
+    pub capacity: f64,
+    /// Mean flow holding time `T_h`.
+    pub mean_holding: f64,
+    /// Measurement/admission tick (should be ≲ `T_c/4`).
+    pub tick: f64,
+    /// Warm-up period discarded before sampling starts.
+    pub warmup: f64,
+    /// Spacing between overflow samples (paper: `2·max(T̃_h, T_m, T_c)`).
+    pub sample_spacing: f64,
+    /// QoS target `p_q`, used by termination criterion (b).
+    pub target: f64,
+    /// Maximum spaced samples before giving up (budget).
+    pub max_samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ContinuousConfig {
+    /// The paper's sample spacing rule: `2·max(T̃_h, T_m, T_c)`.
+    pub fn paper_spacing(t_h_tilde: f64, t_m: f64, t_c: f64) -> f64 {
+        2.0 * t_h_tilde.max(t_m).max(t_c)
+    }
+}
+
+/// Results of a continuous-load run.
+#[derive(Debug, Clone)]
+pub struct ContinuousReport {
+    /// The overflow-probability estimate with CI and method.
+    pub pf: PfEstimate,
+    /// Mean link utilization over the sampled period.
+    pub mean_utilization: f64,
+    /// Mean number of flows in the system at sample epochs.
+    pub mean_flows: f64,
+    /// Flows admitted over the whole run.
+    pub admitted: u64,
+    /// Flows departed over the whole run.
+    pub departed: u64,
+    /// Total simulated time.
+    pub sim_time: f64,
+}
+
+/// Runs the continuous-load model: at every tick the flow processes
+/// advance, departures are applied, the controller observes a snapshot,
+/// and the system is topped up to the controller's current admissible
+/// count (infinite arrival pressure — the paper's most stringent test).
+/// Overflow is sampled at spaced epochs per §5.2 until a termination
+/// criterion fires or the sample budget is exhausted.
+pub fn run_continuous(
+    cfg: &ContinuousConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
+) -> ContinuousReport {
+    assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
+    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
+    assert!(cfg.warmup >= 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut table = FlowTable::new();
+    let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
+    let mut snapshot = Vec::new();
+    let mut flow_count = RunningStats::new();
+
+    let mut t = 0.0f64;
+    let mut next_sample = cfg.warmup.max(cfg.tick);
+    let stop_reason;
+    loop {
+        t += cfg.tick;
+        table.advance_to(t, &mut rng);
+        table.depart_until(t);
+
+        // Measure, then fill to the admissible limit.
+        table.snapshot_into(&mut snapshot);
+        ctl.observe(t, &snapshot);
+        match ctl.admissible_count(cfg.capacity, table.len()) {
+            Some(m) => {
+                let limit = m.floor().max(0.0) as usize;
+                // Ramp cap: at most max(1, 10% of current occupancy)
+                // admissions per tick. Signaling is never infinitely
+                // fast in practice, and the cap prevents a cold-start
+                // estimate built from a handful of flows (σ̂ ≈ 0,
+                // noisy μ̂) from instantly over-filling the link by a
+                // factor of several — an artifact that would otherwise
+                // take ~T_h to drain. The cap still reaches any target
+                // occupancy exponentially within ~60 ticks, far inside
+                // the warm-up, and steady-state M fluctuations are
+                // O(√n), far below 10% of N.
+                let cap = (table.len() / 10).max(1);
+                let mut admitted_now = 0;
+                while table.len() < limit && admitted_now < cap {
+                    let departs = t + exponential(&mut rng, cfg.mean_holding);
+                    table.admit(model, departs, &mut rng);
+                    admitted_now += 1;
+                }
+            }
+            None => {
+                // Cold start: nothing measured yet — admit a seed flow.
+                if table.is_empty() {
+                    let departs = t + exponential(&mut rng, cfg.mean_holding);
+                    table.admit(model, departs, &mut rng);
+                }
+            }
+        }
+
+        // Spaced overflow sampling after warm-up.
+        if t >= next_sample {
+            next_sample += cfg.sample_spacing;
+            meter.record(table.aggregate_rate());
+            flow_count.push(table.len() as f64);
+            if let Some(reason) = meter.should_stop() {
+                stop_reason = reason;
+                break;
+            }
+            if meter.samples() >= cfg.max_samples {
+                stop_reason = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+    }
+
+    ContinuousReport {
+        pf: meter.finalize(stop_reason),
+        mean_utilization: meter.mean_utilization(),
+        mean_flows: flow_count.mean(),
+        admitted: table.admitted_total(),
+        departed: table.departed_total(),
+        sim_time: t,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Non-stationary (phased) continuous load — extension
+// ---------------------------------------------------------------------
+
+/// Per-phase results of a [`run_continuous_phased`] simulation.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Index into the phase schedule.
+    pub phase: usize,
+    /// Start time of the phase.
+    pub from: f64,
+    /// Overflow estimate over the phase's samples.
+    pub pf: PfEstimate,
+    /// Mean utilization over the phase's samples.
+    pub mean_utilization: f64,
+}
+
+/// Continuous-load simulation with a *non-stationary* workload: the
+/// source model changes at scheduled times, and flows admitted after a
+/// switch are spawned from the new model (think: the content mix
+/// changes at prime time). Existing flows keep their old statistics
+/// until they depart, so the population mix drifts across the critical
+/// time-scale — exactly the adaptivity scenario §2 of the paper defers:
+/// "the results are valid if the traffic statistics are stationary
+/// within the memory time-scale."
+///
+/// `phases` must be sorted by start time and begin at `0.0`. Sampling
+/// runs to `cfg.max_samples` total (no early termination — the phases
+/// are compared against each other), attributing each spaced sample to
+/// the phase active at its epoch.
+pub fn run_continuous_phased(
+    cfg: &ContinuousConfig,
+    phases: &[(f64, &dyn SourceModel)],
+    ctl: &mut dyn AdmissionEngine,
+) -> Vec<PhaseReport> {
+    assert!(!phases.is_empty(), "need at least one phase");
+    assert!(phases[0].0 == 0.0, "first phase must start at t = 0");
+    assert!(
+        phases.windows(2).all(|w| w[0].0 < w[1].0),
+        "phases must be sorted by start time"
+    );
+    assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
+    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut table = FlowTable::new();
+    let mut meters: Vec<OverflowMeter> = phases
+        .iter()
+        .map(|_| OverflowMeter::new(cfg.capacity, cfg.target).with_min_samples(u64::MAX))
+        .collect();
+    let mut snapshot = Vec::new();
+    let active_phase = |t: f64| -> usize {
+        phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0)
+    };
+
+    let mut t = 0.0f64;
+    let mut next_sample = cfg.warmup.max(cfg.tick);
+    let mut total_samples = 0u64;
+    while total_samples < cfg.max_samples {
+        t += cfg.tick;
+        table.advance_to(t, &mut rng);
+        table.depart_until(t);
+        table.snapshot_into(&mut snapshot);
+        ctl.observe(t, &snapshot);
+        let model = phases[active_phase(t)].1;
+        match ctl.admissible_count(cfg.capacity, table.len()) {
+            Some(m) => {
+                let limit = m.floor().max(0.0) as usize;
+                // Ramp cap: at most max(1, 10% of current occupancy)
+                // admissions per tick. Signaling is never infinitely
+                // fast in practice, and the cap prevents a cold-start
+                // estimate built from a handful of flows (σ̂ ≈ 0,
+                // noisy μ̂) from instantly over-filling the link by a
+                // factor of several — an artifact that would otherwise
+                // take ~T_h to drain. The cap still reaches any target
+                // occupancy exponentially within ~60 ticks, far inside
+                // the warm-up, and steady-state M fluctuations are
+                // O(√n), far below 10% of N.
+                let cap = (table.len() / 10).max(1);
+                let mut admitted_now = 0;
+                while table.len() < limit && admitted_now < cap {
+                    let departs = t + exponential(&mut rng, cfg.mean_holding);
+                    table.admit(model, departs, &mut rng);
+                    admitted_now += 1;
+                }
+            }
+            None => {
+                if table.is_empty() {
+                    let departs = t + exponential(&mut rng, cfg.mean_holding);
+                    table.admit(model, departs, &mut rng);
+                }
+            }
+        }
+        if t >= next_sample {
+            next_sample += cfg.sample_spacing;
+            meters[active_phase(t)].record(table.aggregate_rate());
+            total_samples += 1;
+        }
+    }
+
+    phases
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| meters[*i].samples() > 0)
+        .map(|(i, &(from, _))| PhaseReport {
+            phase: i,
+            from,
+            pf: meters[i].finalize(StopReason::BudgetExhausted),
+            mean_utilization: meters[i].mean_utilization(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_core::admission::{CertaintyEquivalent, PerfectKnowledge};
+    use mbac_core::estimators::{FilteredEstimator, MemorylessEstimator};
+    use crate::controller::MbacController;
+    use mbac_core::params::{FlowStats, QosTarget};
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+    fn model() -> RcbrModel {
+        RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    #[test]
+    fn impulsive_with_perfect_knowledge_meets_target() {
+        // Prop 3.3 baseline: the perfect-knowledge controller admits m*
+        // and the steady-state overflow probability is ≈ p_q.
+        let p_q = 0.05; // large target keeps the test cheap
+        let m = model();
+        let pk = PerfectKnowledge::new(FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(p_q));
+        let cfg = ImpulsiveConfig {
+            capacity: 400.0,
+            estimation_flows: 400,
+            mean_holding: None,
+            observe_times: vec![50.0], // ≫ T_c = 1: steady state
+            replications: 3000,
+            seed: 42,
+        };
+        let rep = run_impulsive(&cfg, &m, &pk);
+        let pf = rep.pf_at(0);
+        assert!(
+            (pf - p_q).abs() < 0.015,
+            "perfect knowledge: pf {pf} should be ≈ {p_q}"
+        );
+        // M₀ is deterministic for perfect knowledge.
+        assert!(rep.m0.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn impulsive_certainty_equivalent_shows_sqrt2_penalty() {
+        // The memoryless MBAC overshoots the target per Prop. 3.3:
+        // p_f ≈ Q(α_q/√2) > p_q.
+        let p_q = 0.02;
+        let m = model();
+        let ce = CertaintyEquivalent::from_probability(p_q);
+        let cfg = ImpulsiveConfig {
+            capacity: 400.0,
+            estimation_flows: 400,
+            mean_holding: None,
+            observe_times: vec![50.0],
+            replications: 4000,
+            seed: 7,
+        };
+        let rep = run_impulsive(&cfg, &m, &ce);
+        let pf = rep.pf_at(0);
+        let predicted = mbac_num::q(mbac_num::inv_q(p_q) / std::f64::consts::SQRT_2);
+        assert!(pf > 1.5 * p_q, "penalty must be visible: pf {pf} vs target {p_q}");
+        assert!(
+            (pf - predicted).abs() < 0.03,
+            "pf {pf} should be near the √2 prediction {predicted}"
+        );
+        // And M₀ fluctuates like (σ/μ)√n (Prop. 3.1): sd ≈ 0.3·20 = 6.
+        assert!(
+            (rep.m0.std_dev() - 6.0).abs() < 1.0,
+            "M₀ sd = {}",
+            rep.m0.std_dev()
+        );
+    }
+
+    #[test]
+    fn impulsive_departures_drain_the_system() {
+        let m = model();
+        let pk = PerfectKnowledge::new(FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(0.05));
+        let cfg = ImpulsiveConfig {
+            capacity: 100.0,
+            estimation_flows: 100,
+            mean_holding: Some(10.0),
+            observe_times: vec![5.0, 10.0, 20.0, 40.0],
+            replications: 200,
+            seed: 11,
+        };
+        let rep = run_impulsive(&cfg, &m, &pk);
+        // Mean flows must decay ≈ e^{-t/T_h}.
+        let m0 = rep.m0.mean();
+        for o in &rep.observations {
+            let want = m0 * (-o.t / 10.0).exp();
+            assert!(
+                (o.mean_flows - want).abs() < 0.15 * m0,
+                "t={}: flows {} vs expected {want}",
+                o.t,
+                o.mean_flows
+            );
+        }
+        // Overflow probability at late times is ~0 (system drained).
+        assert_eq!(rep.observations.last().unwrap().overflows, 0);
+    }
+
+    #[test]
+    fn continuous_run_reaches_high_utilization() {
+        let m = model();
+        let mut ctl = MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let cfg = ContinuousConfig {
+            capacity: 100.0,
+            mean_holding: 100.0,
+            tick: 0.25,
+            warmup: 200.0,
+            sample_spacing: 20.0,
+            target: 1e-2,
+            max_samples: 300,
+            seed: 13,
+        };
+        let rep = run_continuous(&cfg, &m, &mut ctl);
+        assert!(
+            rep.mean_utilization > 0.8 && rep.mean_utilization <= 1.05,
+            "utilization {}",
+            rep.mean_utilization
+        );
+        assert!(rep.mean_flows > 80.0 && rep.mean_flows < 105.0, "flows {}", rep.mean_flows);
+        assert!(rep.admitted > rep.departed);
+        assert!(rep.pf.samples > 0);
+    }
+
+    #[test]
+    fn continuous_memory_improves_overflow() {
+        // The paper's central claim, in miniature: with everything else
+        // fixed, an estimator with T_m ≈ T̃_h beats the memoryless one.
+        let m = model();
+        let run = |t_m: f64, seed: u64| {
+            let mut ctl = MbacController::new(
+                Box::new(FilteredEstimator::new(t_m)),
+                Box::new(CertaintyEquivalent::from_probability(1e-2)),
+            );
+            let cfg = ContinuousConfig {
+                capacity: 100.0,
+                mean_holding: 100.0, // T̃_h = 10
+                tick: 0.25,
+                warmup: 300.0,
+                sample_spacing: 20.0,
+                target: 1e-2,
+                max_samples: 1500,
+                seed,
+            };
+            run_continuous(&cfg, &m, &mut ctl).pf.value
+        };
+        let memoryless = (run(0.0, 17) + run(0.0, 18) + run(0.0, 19)) / 3.0;
+        let with_memory = (run(10.0, 17) + run(10.0, 18) + run(10.0, 19)) / 3.0;
+        assert!(
+            with_memory < memoryless,
+            "memory must reduce pf: {with_memory} vs {memoryless}"
+        );
+    }
+
+    #[test]
+    fn continuous_conservation_invariant() {
+        let m = model();
+        let mut ctl = MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let cfg = ContinuousConfig {
+            capacity: 50.0,
+            mean_holding: 20.0,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 100,
+            seed: 23,
+        };
+        let rep = run_continuous(&cfg, &m, &mut ctl);
+        // admitted − departed = flows still in the system ≥ 0.
+        assert!(rep.admitted >= rep.departed);
+        let in_system = rep.admitted - rep.departed;
+        assert!(in_system > 0 && in_system < 80, "in-system {in_system}");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let m = model();
+        let mk = || {
+            MbacController::new(
+                Box::new(FilteredEstimator::new(5.0)),
+                Box::new(CertaintyEquivalent::from_probability(1e-2)),
+            )
+        };
+        let cfg = ContinuousConfig {
+            capacity: 50.0,
+            mean_holding: 20.0,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 50,
+            seed: 29,
+        };
+        let a = run_continuous(&cfg, &m, &mut mk());
+        let b = run_continuous(&cfg, &m, &mut mk());
+        assert_eq!(a.pf.value, b.pf.value);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.mean_utilization, b.mean_utilization);
+    }
+
+    #[test]
+    fn paper_spacing_rule() {
+        assert_eq!(ContinuousConfig::paper_spacing(10.0, 3.0, 1.0), 20.0);
+        assert_eq!(ContinuousConfig::paper_spacing(1.0, 30.0, 1.0), 60.0);
+        assert_eq!(ContinuousConfig::paper_spacing(1.0, 3.0, 50.0), 100.0);
+    }
+}

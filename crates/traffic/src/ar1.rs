@@ -1,0 +1,190 @@
+//! Discrete-time AR(1) Gaussian source — a sampled Ornstein–Uhlenbeck
+//! process.
+//!
+//! Unlike the RCBR source (piecewise constant between renegotiations),
+//! this source changes continuously-in-distribution on a fixed tick
+//! `Δ`: `X_{k+1} = μ + a (X_k − μ) + ε_k` with `a = e^{−Δ/T_c}` and
+//! `ε_k ~ N(0, σ²(1−a²))`, which keeps the stationary marginal exactly
+//! `N(μ, σ²)` and the autocorrelation exactly `e^{−|τ|/T_c}` on the
+//! tick grid. Used to confirm that the theory's predictions do not hinge
+//! on the RCBR jump structure — only on the second-order statistics.
+
+use crate::process::{RateProcess, SourceModel};
+use mbac_num::rng::{normal, standard_normal};
+use rand::RngCore;
+
+/// Configuration of an AR(1) source.
+#[derive(Debug, Clone, Copy)]
+pub struct Ar1Config {
+    /// Stationary mean `μ`.
+    pub mean: f64,
+    /// Stationary standard deviation `σ`.
+    pub std_dev: f64,
+    /// Correlation time-scale `T_c`.
+    pub t_c: f64,
+    /// Update tick `Δ` (should be ≪ `T_c` to approximate continuous
+    /// motion).
+    pub tick: f64,
+    /// Clamp rates at zero.
+    pub clamp_at_zero: bool,
+}
+
+/// Factory for AR(1) flows.
+#[derive(Debug, Clone, Copy)]
+pub struct Ar1Model {
+    cfg: Ar1Config,
+}
+
+impl Ar1Model {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics on non-positive mean, `T_c` or tick, or negative σ.
+    pub fn new(cfg: Ar1Config) -> Self {
+        assert!(cfg.mean > 0.0 && cfg.mean.is_finite());
+        assert!(cfg.std_dev >= 0.0 && cfg.std_dev.is_finite());
+        assert!(cfg.t_c > 0.0 && cfg.t_c.is_finite());
+        assert!(cfg.tick > 0.0 && cfg.tick.is_finite());
+        Ar1Model { cfg }
+    }
+}
+
+impl SourceModel for Ar1Model {
+    fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
+        let mut s = Ar1Source { cfg: self.cfg, value: 0.0, elapsed: 0.0 };
+        s.reset(rng);
+        Box::new(s)
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.std_dev * self.cfg.std_dev
+    }
+}
+
+/// One AR(1) flow.
+#[derive(Debug, Clone)]
+pub struct Ar1Source {
+    cfg: Ar1Config,
+    /// Untruncated AR(1) state.
+    value: f64,
+    /// Time accumulated since the last tick boundary.
+    elapsed: f64,
+}
+
+impl Ar1Source {
+    /// Creates a flow in its stationary distribution.
+    pub fn new(cfg: Ar1Config, rng: &mut dyn RngCore) -> Self {
+        let mut s = Ar1Source { cfg, value: 0.0, elapsed: 0.0 };
+        s.reset(rng);
+        s
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        let a = (-self.cfg.tick / self.cfg.t_c).exp();
+        let innovation_sd = self.cfg.std_dev * (1.0 - a * a).sqrt();
+        self.value = self.cfg.mean
+            + a * (self.value - self.cfg.mean)
+            + innovation_sd * standard_normal(rng);
+    }
+}
+
+impl RateProcess for Ar1Source {
+    fn rate(&self) -> f64 {
+        if self.cfg.clamp_at_zero {
+            self.value.max(0.0)
+        } else {
+            self.value
+        }
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut dyn RngCore) {
+        assert!(dt >= 0.0);
+        self.elapsed += dt;
+        while self.elapsed >= self.cfg.tick {
+            self.elapsed -= self.cfg.tick;
+            self.step(rng);
+        }
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.value = normal(rng, self.cfg.mean, self.cfg.std_dev);
+        self.elapsed = 0.0;
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.std_dev * self.cfg.std_dev
+    }
+
+    fn autocorrelation(&self, tau: f64) -> Option<f64> {
+        Some((-tau.abs() / self.cfg.t_c).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::test_util::{check_acf, check_moments};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> Ar1Config {
+        Ar1Config { mean: 1.0, std_dev: 0.3, t_c: 1.0, tick: 0.05, clamp_at_zero: false }
+    }
+
+    #[test]
+    fn stationary_moments() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut s = Ar1Source::new(cfg(), &mut rng);
+        check_moments(&mut s, 0.25, 200_000, 0.01, 0.01, 22);
+    }
+
+    #[test]
+    fn exponential_autocorrelation() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut s = Ar1Source::new(cfg(), &mut rng);
+        check_acf(&mut s, 0.5, 300_000, &[1, 2, 4], 0.02, 24);
+    }
+
+    #[test]
+    fn sub_tick_advance_does_not_move() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut s = Ar1Source::new(cfg(), &mut rng);
+        let r = s.rate();
+        s.advance(0.01, &mut rng); // below the 0.05 tick
+        assert_eq!(s.rate(), r);
+        s.advance(0.05, &mut rng); // crosses the boundary
+        assert_ne!(s.rate(), r);
+    }
+
+    #[test]
+    fn clamping_keeps_rates_physical() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut s = Ar1Source::new(
+            Ar1Config { mean: 0.3, std_dev: 0.4, t_c: 0.5, tick: 0.05, clamp_at_zero: true },
+            &mut rng,
+        );
+        for _ in 0..50_000 {
+            s.advance(0.05, &mut rng);
+            assert!(s.rate() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_rcbr_second_order_statistics() {
+        // Same (μ, σ, T_c) as the RCBR source: identical analytic ACF.
+        let ar1 = Ar1Model::new(cfg());
+        let mut rng = StdRng::seed_from_u64(27);
+        let a = ar1.spawn(&mut rng);
+        assert_eq!(a.autocorrelation(0.7), Some((-0.7f64).exp()));
+        assert!((a.mean() - 1.0).abs() < 1e-12);
+        assert!((a.variance() - 0.09).abs() < 1e-12);
+    }
+}

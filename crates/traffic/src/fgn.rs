@@ -1,0 +1,299 @@
+//! Fractional Gaussian noise (fGn) generation — the long-range-
+//! dependence substrate for the Starwars-trace experiments (Figs 11–12).
+//!
+//! fGn with Hurst parameter `H ∈ (0, 1)` is the stationary increment
+//! process of fractional Brownian motion; its autocovariance
+//!
+//! `γ(k) = (σ²/2)(|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H})`
+//!
+//! decays like `k^{2H−2}`, i.e. is *non-summable* for `H > 1/2` — the
+//! defining property of long-range dependence observed in VBR video
+//! (Beran et al., Garrett & Willinger) and cited in §5.3.
+//!
+//! Two exact generators are provided:
+//! * [`hosking`] — Durbin–Levinson recursion, O(n²), any covariance;
+//! * [`davies_harte`] — circulant embedding via our FFT, O(n log n),
+//!   used for long traces.
+//!
+//! Both are exact in distribution; the tests verify their sample ACFs
+//! against `γ(k)` and against each other.
+
+use mbac_num::complex::Complex64;
+use mbac_num::fft::{fft_in_place, FftDirection};
+use mbac_num::rng::standard_normal;
+use rand::RngCore;
+
+/// Autocovariance of unit-variance fGn at integer lag `k` for Hurst
+/// parameter `h`.
+pub fn fgn_autocovariance(h: f64, k: usize) -> f64 {
+    assert!(h > 0.0 && h < 1.0, "Hurst parameter must be in (0,1), got {h}");
+    if k == 0 {
+        return 1.0;
+    }
+    let k = k as f64;
+    let p = 2.0 * h;
+    0.5 * ((k + 1.0).powf(p) - 2.0 * k.powf(p) + (k - 1.0).powf(p))
+}
+
+/// Generates `n` samples of zero-mean, unit-variance fGn with Hurst
+/// parameter `h` by the Hosking (Durbin–Levinson) recursion. Exact, but
+/// O(n²) — prefer [`davies_harte`] for `n ≳ 10⁴`.
+pub fn hosking(h: f64, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    let gamma: Vec<f64> = (0..n).map(|k| fgn_autocovariance(h, k)).collect();
+    let mut out = Vec::with_capacity(n);
+    out.push(standard_normal(rng)); // γ(0) = 1
+    if n == 1 {
+        return out;
+    }
+    let mut phi = vec![0.0f64; n];
+    let mut phi_prev = vec![0.0f64; n];
+    let mut v = 1.0f64;
+    for k in 1..n {
+        // Reflection coefficient.
+        let mut acc = gamma[k];
+        for j in 1..k {
+            acc -= phi_prev[j] * gamma[k - j];
+        }
+        let kappa = acc / v;
+        phi[k] = kappa;
+        for j in 1..k {
+            phi[j] = phi_prev[j] - kappa * phi_prev[k - j];
+        }
+        v *= 1.0 - kappa * kappa;
+        debug_assert!(v > 0.0, "innovation variance must stay positive");
+        // Conditional mean of x_k given the past.
+        let mut mean = 0.0;
+        for j in 1..=k {
+            mean += phi[j] * out[k - j];
+        }
+        out.push(mean + v.sqrt() * standard_normal(rng));
+        phi_prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    out
+}
+
+/// Generates `n` samples of zero-mean, unit-variance fGn with Hurst
+/// parameter `h` by Davies–Harte circulant embedding. O(n log n).
+///
+/// # Panics
+/// Panics if the circulant eigenvalues come out significantly negative,
+/// which cannot happen for the fGn covariance (it is known to embed
+/// non-negatively) — the check guards against implementation bugs.
+pub fn davies_harte(h: f64, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    if n == 1 {
+        return vec![standard_normal(rng)];
+    }
+    // Embed in a circulant of power-of-two size g ≥ 2n.
+    let g = (2 * n).next_power_of_two();
+    let half = g / 2;
+    let mut c = vec![Complex64::ZERO; g];
+    for j in 0..=half {
+        let v = fgn_autocovariance(h, j);
+        c[j] = Complex64::from_real(v);
+        if j != 0 && j != half {
+            c[g - j] = Complex64::from_real(v);
+        }
+    }
+    // Eigenvalues of the circulant.
+    fft_in_place(&mut c, FftDirection::Forward);
+    let lambda: Vec<f64> = c
+        .iter()
+        .map(|z| {
+            assert!(
+                z.re > -1e-6,
+                "circulant embedding produced negative eigenvalue {}",
+                z.re
+            );
+            z.re.max(0.0)
+        })
+        .collect();
+    // Build the spectrally-weighted Gaussian vector with Hermitian
+    // symmetry so the transform is real.
+    let mut a = vec![Complex64::ZERO; g];
+    a[0] = Complex64::from_real((lambda[0] / g as f64).sqrt() * standard_normal(rng));
+    a[half] = Complex64::from_real((lambda[half] / g as f64).sqrt() * standard_normal(rng));
+    for j in 1..half {
+        let scale = (lambda[j] / (2.0 * g as f64)).sqrt();
+        let re = scale * standard_normal(rng);
+        let im = scale * standard_normal(rng);
+        a[j] = Complex64::new(re, im);
+        a[g - j] = Complex64::new(re, -im);
+    }
+    fft_in_place(&mut a, FftDirection::Forward);
+    a.truncate(n);
+    a.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_num::{acf, mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn autocovariance_sanity() {
+        // H = 1/2 is white noise: γ(k) = 0 for k ≥ 1.
+        for k in 1..10 {
+            assert!(fgn_autocovariance(0.5, k).abs() < 1e-12, "lag {k}");
+        }
+        // H > 1/2: positive, slowly-decaying correlations.
+        assert!(fgn_autocovariance(0.8, 1) > 0.3);
+        assert!(fgn_autocovariance(0.8, 100) > 0.0);
+        // H < 1/2: negative lag-1 correlation.
+        assert!(fgn_autocovariance(0.3, 1) < 0.0);
+        // γ(0) = 1 always.
+        assert_eq!(fgn_autocovariance(0.7, 0), 1.0);
+    }
+
+    #[test]
+    fn autocovariance_power_law_tail() {
+        // γ(k) ~ H(2H−1) k^{2H−2}: check the log-log slope.
+        let h = 0.8;
+        let g1 = fgn_autocovariance(h, 100);
+        let g2 = fgn_autocovariance(h, 1000);
+        let slope = (g2 / g1).ln() / 10f64.ln();
+        assert!(
+            (slope - (2.0 * h - 2.0)).abs() < 0.01,
+            "tail slope {slope}, want {}",
+            2.0 * h - 2.0
+        );
+    }
+
+    /// Autocorrelation around the *known* zero mean. The usual sample
+    /// ACF subtracts the sample mean, which for LRD series of length n
+    /// is biased downward by ≈ Var(X̄ₙ) ≈ n^{2H−2} — material at the
+    /// path lengths used here, so the tests avoid it.
+    fn acf_known_mean(x: &[f64], max_lag: usize) -> Vec<f64> {
+        let n = x.len();
+        let c0: f64 = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        (0..=max_lag)
+            .map(|k| {
+                let c: f64 =
+                    (0..n - k).map(|i| x[i] * x[i + k]).sum::<f64>() / n as f64;
+                c / c0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hosking_matches_target_acf() {
+        let h = 0.75;
+        let mut rng = StdRng::seed_from_u64(41);
+        // Average the sample ACF over many medium-length paths.
+        let paths = 200;
+        let len = 256;
+        let mut acc = vec![0.0; 6];
+        for _ in 0..paths {
+            let x = hosking(h, len, &mut rng);
+            let r = acf_known_mean(&x, 5);
+            for (k, v) in r.iter().enumerate() {
+                acc[k] += v / paths as f64;
+            }
+        }
+        for k in 1..=5 {
+            let want = fgn_autocovariance(h, k);
+            assert!(
+                (acc[k] - want).abs() < 0.05,
+                "Hosking ACF[{k}] = {}, want {want}",
+                acc[k]
+            );
+        }
+    }
+
+    #[test]
+    fn davies_harte_matches_target_acf() {
+        let h = 0.75;
+        let mut rng = StdRng::seed_from_u64(43);
+        let paths = 200;
+        let len = 256;
+        let mut acc = vec![0.0; 6];
+        let mut var_acc = 0.0;
+        for _ in 0..paths {
+            let x = davies_harte(h, len, &mut rng);
+            let r = acf_known_mean(&x, 5);
+            for (k, v) in r.iter().enumerate() {
+                acc[k] += v / paths as f64;
+            }
+            var_acc += x.iter().map(|v| v * v).sum::<f64>() / len as f64 / paths as f64;
+        }
+        assert!((var_acc - 1.0).abs() < 0.1, "variance {var_acc}");
+        for k in 1..=5 {
+            let want = fgn_autocovariance(h, k);
+            assert!(
+                (acc[k] - want).abs() < 0.05,
+                "Davies–Harte ACF[{k}] = {}, want {want}",
+                acc[k]
+            );
+        }
+    }
+
+    #[test]
+    fn generators_agree_with_each_other() {
+        let h = 0.7;
+        let mut rng = StdRng::seed_from_u64(45);
+        let paths = 150;
+        let len = 200;
+        let (mut a_hos, mut a_dh) = (0.0, 0.0);
+        for _ in 0..paths {
+            a_hos += acf_known_mean(&hosking(h, len, &mut rng), 1)[1] / paths as f64;
+            a_dh += acf_known_mean(&davies_harte(h, len, &mut rng), 1)[1] / paths as f64;
+        }
+        assert!(
+            (a_hos - a_dh).abs() < 0.05,
+            "lag-1 ACF: Hosking {a_hos} vs Davies–Harte {a_dh}"
+        );
+    }
+
+    #[test]
+    fn half_hurst_is_white_noise() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let x = davies_harte(0.5, 4096, &mut rng);
+        assert!(mean(&x).abs() < 0.08);
+        assert!((variance(&x) - 1.0).abs() < 0.1);
+        let r = acf(&x, 3);
+        for k in 1..=3 {
+            assert!(r[k].abs() < 0.05, "white-noise ACF[{k}] = {}", r[k]);
+        }
+    }
+
+    #[test]
+    fn aggregated_variance_shows_lrd() {
+        // For fGn, Var(mean of m samples) ~ m^{2H−2}; white noise decays
+        // like m^{-1}. Check H = 0.85 decays much more slowly.
+        let h = 0.85;
+        let mut rng = StdRng::seed_from_u64(49);
+        let x = davies_harte(h, 1 << 15, &mut rng);
+        let block_var = |m: usize| {
+            let blocks: Vec<f64> = x.chunks_exact(m).map(|c| mean(c)).collect();
+            variance(&blocks)
+        };
+        let v4 = block_var(4);
+        let v64 = block_var(64);
+        let slope = (v64 / v4).ln() / (64f64 / 4.0).ln();
+        assert!(
+            (slope - (2.0 * h - 2.0)).abs() < 0.25,
+            "variance-time slope {slope}, want {}",
+            2.0 * h - 2.0
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = davies_harte(0.7, 100, &mut StdRng::seed_from_u64(51));
+        let b = davies_harte(0.7, 100, &mut StdRng::seed_from_u64(51));
+        assert_eq!(a, b);
+        let c = hosking(0.7, 50, &mut StdRng::seed_from_u64(52));
+        let d = hosking(0.7, 50, &mut StdRng::seed_from_u64(52));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn single_sample_paths() {
+        let mut rng = StdRng::seed_from_u64(53);
+        assert_eq!(hosking(0.8, 1, &mut rng).len(), 1);
+        assert_eq!(davies_harte(0.8, 1, &mut rng).len(), 1);
+    }
+}

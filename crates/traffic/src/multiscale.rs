@@ -1,0 +1,249 @@
+//! Multi-time-scale traffic: a superposition of independent RCBR
+//! components with different correlation time-scales.
+//!
+//! §5.3 of the paper argues the `T_m = T̃_h` window rule extends beyond
+//! single-time-scale traffic, because fluctuations faster than `T̃_h`
+//! get smoothed and slower ones get tracked. This source provides the
+//! multi-scale test traffic: `X(t) = μ + Σ_i D_i(t)` where each
+//! `D_i` is an independent zero-mean RCBR deviation with its own `T_c,i`
+//! and variance share, giving the mixture autocorrelation
+//! `ρ(τ) = Σ_i w_i e^{−|τ|/T_c,i}` (a discrete approximation of
+//! long-range dependence when the `T_c,i` span decades).
+
+use crate::process::{RateProcess, SourceModel};
+use mbac_num::rng::{exponential, normal};
+use rand::RngCore;
+
+/// One correlation component of the mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleComponent {
+    /// Correlation time-scale of this component.
+    pub t_c: f64,
+    /// Variance contributed by this component.
+    pub variance: f64,
+}
+
+/// Configuration of a multi-scale source.
+#[derive(Debug, Clone)]
+pub struct MultiScaleConfig {
+    /// Overall mean rate `μ`.
+    pub mean: f64,
+    /// Variance components (their variances add to `σ²`).
+    pub components: Vec<ScaleComponent>,
+    /// Clamp the summed rate at zero.
+    pub clamp_at_zero: bool,
+}
+
+impl MultiScaleConfig {
+    /// A geometric ladder of `k` time-scales from `t_c_min` to
+    /// `t_c_max` with equal variance shares summing to `variance` —
+    /// the standard LRD-like test configuration.
+    pub fn geometric_ladder(mean: f64, variance: f64, t_c_min: f64, t_c_max: f64, k: usize) -> Self {
+        assert!(k >= 1 && t_c_min > 0.0 && t_c_max >= t_c_min);
+        let components = (0..k)
+            .map(|i| {
+                let t_c = if k == 1 {
+                    t_c_min
+                } else {
+                    t_c_min * (t_c_max / t_c_min).powf(i as f64 / (k - 1) as f64)
+                };
+                ScaleComponent { t_c, variance: variance / k as f64 }
+            })
+            .collect();
+        MultiScaleConfig { mean, components, clamp_at_zero: true }
+    }
+}
+
+/// Factory for multi-scale flows.
+#[derive(Debug, Clone)]
+pub struct MultiScaleModel {
+    cfg: MultiScaleConfig,
+}
+
+impl MultiScaleModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics on empty components or non-positive parameters.
+    pub fn new(cfg: MultiScaleConfig) -> Self {
+        assert!(cfg.mean > 0.0 && cfg.mean.is_finite());
+        assert!(!cfg.components.is_empty(), "need at least one component");
+        for c in &cfg.components {
+            assert!(c.t_c > 0.0 && c.variance >= 0.0);
+        }
+        MultiScaleModel { cfg }
+    }
+}
+
+impl SourceModel for MultiScaleModel {
+    fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
+        let mut s = MultiScaleSource {
+            cfg: self.cfg.clone(),
+            states: vec![ComponentState::default(); self.cfg.components.len()],
+        };
+        s.reset(rng);
+        Box::new(s)
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.components.iter().map(|c| c.variance).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ComponentState {
+    deviation: f64,
+    remaining: f64,
+}
+
+/// One multi-scale flow: a bank of independent piecewise-constant
+/// zero-mean deviations.
+#[derive(Debug, Clone)]
+pub struct MultiScaleSource {
+    cfg: MultiScaleConfig,
+    states: Vec<ComponentState>,
+}
+
+impl MultiScaleSource {
+    /// Creates a flow in its stationary distribution.
+    pub fn new(cfg: MultiScaleConfig, rng: &mut dyn RngCore) -> Self {
+        let n = cfg.components.len();
+        let mut s = MultiScaleSource { cfg, states: vec![ComponentState::default(); n] };
+        s.reset(rng);
+        s
+    }
+}
+
+impl RateProcess for MultiScaleSource {
+    fn rate(&self) -> f64 {
+        let dev: f64 = self.states.iter().map(|s| s.deviation).sum();
+        let r = self.cfg.mean + dev;
+        if self.cfg.clamp_at_zero {
+            r.max(0.0)
+        } else {
+            r
+        }
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut dyn RngCore) {
+        assert!(dt >= 0.0);
+        for (comp, st) in self.cfg.components.iter().zip(&mut self.states) {
+            let mut left = dt;
+            while left >= st.remaining {
+                left -= st.remaining;
+                st.deviation = normal(rng, 0.0, comp.variance.sqrt());
+                st.remaining = exponential(rng, comp.t_c);
+            }
+            st.remaining -= left;
+        }
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        for (comp, st) in self.cfg.components.iter().zip(&mut self.states) {
+            st.deviation = normal(rng, 0.0, comp.variance.sqrt());
+            st.remaining = exponential(rng, comp.t_c);
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.components.iter().map(|c| c.variance).sum()
+    }
+
+    fn autocorrelation(&self, tau: f64) -> Option<f64> {
+        let total: f64 = self.variance();
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        Some(
+            self.cfg
+                .components
+                .iter()
+                .map(|c| c.variance / total * (-tau.abs() / c.t_c).exp())
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::test_util::{check_acf, check_moments};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> MultiScaleConfig {
+        MultiScaleConfig {
+            mean: 1.0,
+            components: vec![
+                ScaleComponent { t_c: 0.2, variance: 0.03 },
+                ScaleComponent { t_c: 2.0, variance: 0.03 },
+                ScaleComponent { t_c: 20.0, variance: 0.03 },
+            ],
+            clamp_at_zero: false,
+        }
+    }
+
+    #[test]
+    fn moments_add_across_components() {
+        let m = MultiScaleModel::new(cfg());
+        assert!((m.variance() - 0.09).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut s = MultiScaleSource::new(cfg(), &mut rng);
+        check_moments(&mut s, 0.5, 400_000, 0.02, 0.01, 32);
+    }
+
+    #[test]
+    fn mixture_autocorrelation() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut s = MultiScaleSource::new(cfg(), &mut rng);
+        // Analytic mixture at τ = 1: (e^{-5} + e^{-0.5} + e^{-0.05})/3.
+        let want = ((-5.0f64).exp() + (-0.5f64).exp() + (-0.05f64).exp()) / 3.0;
+        assert!((s.autocorrelation(1.0).unwrap() - want).abs() < 1e-12);
+        check_acf(&mut s, 1.0, 400_000, &[1, 2], 0.03, 34);
+    }
+
+    #[test]
+    fn slow_component_produces_long_memory() {
+        // The mixture ACF at τ = 10 must vastly exceed a single-scale
+        // exponential with the fast time constant.
+        let mut rng = StdRng::seed_from_u64(35);
+        let s = MultiScaleSource::new(cfg(), &mut rng);
+        let mix = s.autocorrelation(10.0).unwrap();
+        let single = (-10.0f64 / 0.2).exp();
+        assert!(mix > 1000.0 * single, "mixture {mix} vs single-scale {single}");
+    }
+
+    #[test]
+    fn geometric_ladder_construction() {
+        let cfg = MultiScaleConfig::geometric_ladder(2.0, 0.36, 0.1, 100.0, 4);
+        assert_eq!(cfg.components.len(), 4);
+        assert!((cfg.components[0].t_c - 0.1).abs() < 1e-12);
+        assert!((cfg.components[3].t_c - 100.0).abs() < 1e-9);
+        let total: f64 = cfg.components.iter().map(|c| c.variance).sum();
+        assert!((total - 0.36).abs() < 1e-12);
+        // Geometric spacing: ratio of consecutive scales is constant.
+        let r1 = cfg.components[1].t_c / cfg.components[0].t_c;
+        let r2 = cfg.components[2].t_c / cfg.components[1].t_c;
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_component_reduces_to_rcbr_statistics() {
+        let cfg = MultiScaleConfig {
+            mean: 1.0,
+            components: vec![ScaleComponent { t_c: 1.0, variance: 0.09 }],
+            clamp_at_zero: false,
+        };
+        let mut rng = StdRng::seed_from_u64(36);
+        let s = MultiScaleSource::new(cfg, &mut rng);
+        assert!((s.autocorrelation(0.5).unwrap() - (-0.5f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,354 @@
+//! The paper's simulation source (§5.2): an RCBR (Renegotiated Constant
+//! Bit Rate) flow.
+//!
+//! The rate is piecewise constant; at the end of each interval the flow
+//! "renegotiates" to a fresh rate drawn from a Gaussian marginal with
+//! `σ/μ` given (the paper uses 0.3). Interval lengths are i.i.d.
+//! exponential with mean `T_c`, which — by memorylessness — makes the
+//! rate process Markov with autocorrelation exactly
+//! `ρ(τ) = e^{−|τ|/T_c}` (the paper's eqn (31)): the aggregate
+//! fluctuation converges to the Ornstein–Uhlenbeck process assumed in
+//! the theory.
+//!
+//! Rates can optionally be truncated at zero to stay physical; with the
+//! paper's `σ/μ = 0.3` the truncated mass is `Q(3.33) ≈ 4e-4`, a
+//! negligible perturbation of the moments (the analytic `mean()` /
+//! `variance()` report the *untruncated* values, as the theory assumes).
+
+use crate::process::{RateProcess, SourceModel};
+use mbac_num::rng::{exponential, normal, normal_truncated_below};
+use rand::RngCore;
+
+/// Configuration for RCBR flows.
+#[derive(Debug, Clone, Copy)]
+pub struct RcbrConfig {
+    /// Marginal mean rate `μ`.
+    pub mean: f64,
+    /// Marginal standard deviation `σ`.
+    pub std_dev: f64,
+    /// Mean renegotiation interval `T_c` (the correlation time-scale).
+    pub t_c: f64,
+    /// Truncate negotiated rates at zero (keeps rates physical; see
+    /// module docs).
+    pub truncate_at_zero: bool,
+}
+
+impl RcbrConfig {
+    /// The paper's standard setting: Gaussian marginal with
+    /// `σ/μ = 0.3`, unit mean, and the given correlation time-scale.
+    pub fn paper_default(t_c: f64) -> Self {
+        RcbrConfig { mean: 1.0, std_dev: 0.3, t_c, truncate_at_zero: true }
+    }
+}
+
+/// Factory for independent RCBR flows.
+#[derive(Debug, Clone, Copy)]
+pub struct RcbrModel {
+    cfg: RcbrConfig,
+}
+
+impl RcbrModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics unless mean, std-dev and `T_c` are positive and finite.
+    pub fn new(cfg: RcbrConfig) -> Self {
+        assert!(cfg.mean > 0.0 && cfg.mean.is_finite());
+        assert!(cfg.std_dev >= 0.0 && cfg.std_dev.is_finite());
+        assert!(cfg.t_c > 0.0 && cfg.t_c.is_finite());
+        RcbrModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> RcbrConfig {
+        self.cfg
+    }
+}
+
+impl SourceModel for RcbrModel {
+    fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
+        let mut src = RcbrSource { cfg: self.cfg, rate: 0.0, remaining: 0.0 };
+        src.reset(rng);
+        Box::new(src)
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.std_dev * self.cfg.std_dev
+    }
+}
+
+/// One RCBR flow: current negotiated rate plus the residual life of the
+/// current interval.
+#[derive(Debug, Clone)]
+pub struct RcbrSource {
+    cfg: RcbrConfig,
+    rate: f64,
+    remaining: f64,
+}
+
+impl RcbrSource {
+    /// Creates a flow in its stationary distribution.
+    pub fn new(cfg: RcbrConfig, rng: &mut dyn RngCore) -> Self {
+        let mut s = RcbrSource { cfg, rate: 0.0, remaining: 0.0 };
+        s.reset(rng);
+        s
+    }
+
+    fn draw_rate(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.cfg.truncate_at_zero {
+            normal_truncated_below(rng, self.cfg.mean, self.cfg.std_dev.max(1e-300), 0.0)
+        } else {
+            normal(rng, self.cfg.mean, self.cfg.std_dev)
+        }
+    }
+}
+
+impl RateProcess for RcbrSource {
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut dyn RngCore) {
+        assert!(dt >= 0.0, "cannot advance backwards");
+        let mut left = dt;
+        while left >= self.remaining {
+            left -= self.remaining;
+            // Renegotiate: fresh rate, fresh exponential interval.
+            self.rate = self.draw_rate(rng);
+            self.remaining = exponential(rng, self.cfg.t_c);
+        }
+        self.remaining -= left;
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.rate = self.draw_rate(rng);
+        // Memorylessness: the stationary residual interval is again
+        // exponential with mean T_c.
+        self.remaining = exponential(rng, self.cfg.t_c);
+    }
+
+    fn mean(&self) -> f64 {
+        self.cfg.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.cfg.std_dev * self.cfg.std_dev
+    }
+
+    fn autocorrelation(&self, tau: f64) -> Option<f64> {
+        Some((-tau.abs() / self.cfg.t_c).exp())
+    }
+}
+
+/// Generalized RCBR source: same renewal structure (piecewise-constant
+/// rate, exponential intervals ⇒ exact OU autocorrelation), arbitrary
+/// [`Marginal`] rate distribution. Used by the Prop. 3.3 universality
+/// experiment to hold `(μ, σ, T_c)` fixed while swapping the shape.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralRcbrModel {
+    marginal: Marginal,
+    t_c: f64,
+}
+
+use crate::marginal::Marginal;
+
+impl GeneralRcbrModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics unless `t_c > 0` and finite.
+    pub fn new(marginal: Marginal, t_c: f64) -> Self {
+        assert!(t_c > 0.0 && t_c.is_finite());
+        GeneralRcbrModel { marginal, t_c }
+    }
+
+    /// The configured marginal.
+    pub fn marginal(&self) -> Marginal {
+        self.marginal
+    }
+}
+
+impl SourceModel for GeneralRcbrModel {
+    fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
+        Box::new(GeneralRcbrSource {
+            marginal: self.marginal,
+            t_c: self.t_c,
+            rate: self.marginal.sample(rng),
+            remaining: exponential(rng, self.t_c),
+        })
+    }
+
+    fn mean(&self) -> f64 {
+        self.marginal.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.marginal.variance()
+    }
+}
+
+/// One generalized-RCBR flow.
+#[derive(Debug, Clone)]
+pub struct GeneralRcbrSource {
+    marginal: Marginal,
+    t_c: f64,
+    rate: f64,
+    remaining: f64,
+}
+
+impl RateProcess for GeneralRcbrSource {
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut dyn RngCore) {
+        assert!(dt >= 0.0);
+        let mut left = dt;
+        while left >= self.remaining {
+            left -= self.remaining;
+            self.rate = self.marginal.sample(rng);
+            self.remaining = exponential(rng, self.t_c);
+        }
+        self.remaining -= left;
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.rate = self.marginal.sample(rng);
+        self.remaining = exponential(rng, self.t_c);
+    }
+
+    fn mean(&self) -> f64 {
+        self.marginal.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.marginal.variance()
+    }
+
+    fn autocorrelation(&self, tau: f64) -> Option<f64> {
+        Some((-tau.abs() / self.t_c).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::test_util::{check_acf, check_moments};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> RcbrConfig {
+        RcbrConfig::paper_default(1.0)
+    }
+
+    #[test]
+    fn stationary_moments_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src = RcbrSource::new(cfg(), &mut rng);
+        check_moments(&mut src, 0.25, 200_000, 0.01, 0.01, 2);
+    }
+
+    #[test]
+    fn autocorrelation_is_exponential() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut src = RcbrSource::new(cfg(), &mut rng);
+        // dt = 0.5, so lags 1..6 cover τ = 0.5..3 = 3 T_c.
+        check_acf(&mut src, 0.5, 400_000, &[1, 2, 4, 6], 0.02, 4);
+    }
+
+    #[test]
+    fn rate_constant_within_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut src = RcbrSource::new(
+            RcbrConfig { mean: 1.0, std_dev: 0.3, t_c: 1e9, truncate_at_zero: true },
+            &mut rng,
+        );
+        let r0 = src.rate();
+        for _ in 0..100 {
+            src.advance(0.001, &mut rng);
+            assert_eq!(src.rate(), r0, "rate must not change inside an interval");
+        }
+    }
+
+    #[test]
+    fn advancing_past_many_intervals_changes_rate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut src = RcbrSource::new(cfg(), &mut rng);
+        let r0 = src.rate();
+        src.advance(1000.0, &mut rng); // ~1000 renegotiations
+        assert_ne!(src.rate(), r0);
+    }
+
+    #[test]
+    fn truncation_keeps_rates_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Heavier tail into zero: σ/μ = 0.5.
+        let mut src = RcbrSource::new(
+            RcbrConfig { mean: 1.0, std_dev: 0.5, t_c: 0.1, truncate_at_zero: true },
+            &mut rng,
+        );
+        for _ in 0..50_000 {
+            src.advance(0.1, &mut rng);
+            assert!(src.rate() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn model_spawns_independent_flows() {
+        let model = RcbrModel::new(cfg());
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = model.spawn(&mut rng);
+        let b = model.spawn(&mut rng);
+        // Two fresh stationary draws are almost surely different.
+        assert_ne!(a.rate(), b.rate());
+        assert_eq!(model.mean(), 1.0);
+        assert!((model.std_dev() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_rcbr_uniform_marginal_moments() {
+        let model =
+            GeneralRcbrModel::new(Marginal::uniform_with_moments(1.0, 0.3), 1.0);
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut src = model.spawn(&mut rng);
+        check_moments(src.as_mut(), 0.25, 150_000, 0.01, 0.01, 101);
+    }
+
+    #[test]
+    fn general_rcbr_two_point_autocorrelation() {
+        let model =
+            GeneralRcbrModel::new(Marginal::two_point_with_moments(1.0, 0.3), 1.0);
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut src = model.spawn(&mut rng);
+        check_acf(src.as_mut(), 0.5, 300_000, &[1, 2, 4], 0.02, 103);
+    }
+
+    #[test]
+    fn general_rcbr_matches_classic_for_gaussian_marginal() {
+        let general = GeneralRcbrModel::new(Marginal::Gaussian { mean: 1.0, sd: 0.3 }, 2.0);
+        let classic = RcbrModel::new(RcbrConfig {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 2.0,
+            truncate_at_zero: true,
+        });
+        assert_eq!(general.mean(), classic.mean());
+        assert_eq!(general.variance(), classic.variance());
+        let mut rng = StdRng::seed_from_u64(104);
+        let g = general.spawn(&mut rng);
+        assert_eq!(g.autocorrelation(1.0), Some((-0.5f64).exp()));
+    }
+
+    #[test]
+    fn zero_dt_advance_is_identity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut src = RcbrSource::new(cfg(), &mut rng);
+        let r = src.rate();
+        src.advance(0.0, &mut rng);
+        assert_eq!(src.rate(), r);
+    }
+}

@@ -1,0 +1,183 @@
+//! Empirical validators for traffic models: Hurst-parameter estimation
+//! and autocorrelation fitting.
+//!
+//! Used to certify that the synthetic Starwars-like trace really is
+//! long-range dependent (Figs 11–12 depend on that property) and that
+//! the short-memory sources really have the exponential autocorrelation
+//! the theory assumes.
+
+use mbac_num::{acf, linear_fit, mean, variance};
+
+/// Hurst estimate from the variance-time plot: `Var(X̄_m) ~ m^{2H−2}`,
+/// fit on a log-log grid of aggregation levels.
+///
+/// # Panics
+/// Panics if the series is shorter than 64 samples (too short for any
+/// meaningful aggregation fit).
+pub fn hurst_variance_time(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 64, "series too short for variance-time analysis");
+    let mut log_m = Vec::new();
+    let mut log_v = Vec::new();
+    let mut m = 1usize;
+    while xs.len() / m >= 16 {
+        let blocks: Vec<f64> = xs.chunks_exact(m).map(mean).collect();
+        let v = variance(&blocks);
+        if v > 0.0 {
+            log_m.push((m as f64).ln());
+            log_v.push(v.ln());
+        }
+        m *= 2;
+    }
+    let fit = linear_fit(&log_m, &log_v);
+    // slope = 2H − 2.
+    ((fit.slope + 2.0) / 2.0).clamp(0.0, 1.0)
+}
+
+/// Hurst estimate from rescaled-range (R/S) analysis:
+/// `E[R(m)/S(m)] ~ m^H`.
+///
+/// # Panics
+/// Panics if the series is shorter than 64 samples.
+pub fn hurst_rs(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 64, "series too short for R/S analysis");
+    let mut log_m = Vec::new();
+    let mut log_rs = Vec::new();
+    let mut m = 16usize;
+    while xs.len() / m >= 4 {
+        let mut rs_acc = 0.0;
+        let mut blocks = 0usize;
+        for block in xs.chunks_exact(m) {
+            if let Some(rs) = rescaled_range(block) {
+                rs_acc += rs;
+                blocks += 1;
+            }
+        }
+        if blocks > 0 {
+            log_m.push((m as f64).ln());
+            log_rs.push((rs_acc / blocks as f64).ln());
+        }
+        m *= 2;
+    }
+    let fit = linear_fit(&log_m, &log_rs);
+    fit.slope.clamp(0.0, 1.0)
+}
+
+/// The rescaled range R/S of one block, or `None` for a constant block.
+fn rescaled_range(block: &[f64]) -> Option<f64> {
+    let m = mean(block);
+    let s = variance(block).sqrt();
+    if s <= 0.0 {
+        return None;
+    }
+    let mut cum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in block {
+        cum += x - m;
+        min = min.min(cum);
+        max = max.max(cum);
+    }
+    Some((max - min) / s)
+}
+
+/// Fits an exponential autocorrelation `ρ(τ) = e^{−τ/T_c}` to a sampled
+/// series and returns the estimated `T_c`. The fit regresses `ln ρ(k)`
+/// on lag over the range where `ρ` stays positive and above `min_rho`.
+///
+/// Returns `None` if fewer than 3 usable lags exist (e.g. white noise).
+pub fn fit_correlation_timescale(xs: &[f64], dt: f64, max_lag: usize, min_rho: f64) -> Option<f64> {
+    assert!(dt > 0.0 && max_lag >= 3);
+    let r = acf(xs, max_lag);
+    let mut lags = Vec::new();
+    let mut lnr = Vec::new();
+    for (k, &v) in r.iter().enumerate().skip(1) {
+        if v <= min_rho {
+            break;
+        }
+        lags.push(k as f64 * dt);
+        lnr.push(v.ln());
+    }
+    if lags.len() < 3 {
+        return None;
+    }
+    let fit = linear_fit(&lags, &lnr);
+    if fit.slope >= 0.0 {
+        return None;
+    }
+    Some(-1.0 / fit.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgn::davies_harte;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| mbac_num::rng::standard_normal(&mut rng)).collect()
+    }
+
+    #[test]
+    fn white_noise_hurst_is_half() {
+        let xs = white_noise(1 << 14, 81);
+        let h_vt = hurst_variance_time(&xs);
+        let h_rs = hurst_rs(&xs);
+        assert!((h_vt - 0.5).abs() < 0.08, "variance-time H = {h_vt}");
+        // R/S has a well-known small-sample bias toward ~0.55-0.6.
+        assert!((h_rs - 0.55).abs() < 0.12, "R/S H = {h_rs}");
+    }
+
+    #[test]
+    fn fgn_hurst_recovered() {
+        for &h in &[0.7, 0.85] {
+            let xs = davies_harte(h, 1 << 15, &mut StdRng::seed_from_u64(83));
+            let h_vt = hurst_variance_time(&xs);
+            assert!(
+                (h_vt - h).abs() < 0.1,
+                "variance-time H = {h_vt}, true H = {h}"
+            );
+            let h_rs = hurst_rs(&xs);
+            assert!((h_rs - h).abs() < 0.15, "R/S H = {h_rs}, true H = {h}");
+        }
+    }
+
+    #[test]
+    fn correlation_timescale_recovered_from_ar1() {
+        // AR(1) with a = e^{-dt/T_c}, T_c = 2, dt = 0.5.
+        let t_c: f64 = 2.0;
+        let dt = 0.5;
+        let a = (-dt / t_c).exp();
+        let mut rng = StdRng::seed_from_u64(85);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = a * x
+                    + (1.0 - a * a).sqrt() * mbac_num::rng::standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let est = fit_correlation_timescale(&xs, dt, 20, 0.02).unwrap();
+        assert!((est - t_c).abs() < 0.2, "estimated T_c = {est}");
+    }
+
+    #[test]
+    fn white_noise_has_no_timescale() {
+        let xs = white_noise(50_000, 87);
+        assert!(fit_correlation_timescale(&xs, 1.0, 20, 0.02).is_none());
+    }
+
+    #[test]
+    fn rescaled_range_edge_cases() {
+        assert!(rescaled_range(&[1.0, 1.0, 1.0]).is_none());
+        let rs = rescaled_range(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        assert!(rs > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn variance_time_rejects_short_series() {
+        hurst_variance_time(&[1.0; 10]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the traffic sources.
+
+use mbac_traffic::fgn::fgn_autocovariance;
+use mbac_traffic::marginal::Marginal;
+use mbac_traffic::markov::MarkovFluidModel;
+use mbac_traffic::process::{RateProcess, SourceModel};
+use mbac_traffic::rcbr::{GeneralRcbrModel, RcbrConfig, RcbrModel};
+use mbac_traffic::trace::Trace;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// RCBR advancement is associative: advance(a+b) has the same
+    /// distribution as advance(a); advance(b) — and with a shared seed,
+    /// the *same* renegotiation draws, hence identical rates.
+    #[test]
+    fn rcbr_advance_composes(
+        seed in 0u64..1000,
+        a in 0.0f64..5.0,
+        b in 0.0f64..5.0,
+    ) {
+        let cfg = RcbrConfig::paper_default(1.0);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let mut s1 = mbac_traffic::rcbr::RcbrSource::new(cfg, &mut r1);
+        let mut s2 = mbac_traffic::rcbr::RcbrSource::new(cfg, &mut r2);
+        s1.advance(a + b, &mut r1);
+        s2.advance(a, &mut r2);
+        s2.advance(b, &mut r2);
+        prop_assert_eq!(s1.rate().to_bits(), s2.rate().to_bits());
+    }
+
+    /// Every marginal's sample mean/variance constructors are honest.
+    #[test]
+    fn marginal_constructors_hit_moments(mean in 0.6f64..5.0, cov in 0.05f64..0.45) {
+        let sd = mean * cov;
+        for m in [
+            Marginal::uniform_with_moments(mean, sd),
+            Marginal::two_point_with_moments(mean, sd),
+            Marginal::lognormal_with_moments(mean, sd),
+        ] {
+            prop_assert!((m.mean() - mean).abs() < 1e-9 * mean, "{m:?}");
+            prop_assert!((m.variance() - sd * sd).abs() < 1e-9 * sd * sd, "{m:?}");
+        }
+    }
+
+    /// Marginal samples stay inside their support.
+    #[test]
+    fn marginal_samples_in_support(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = Marginal::Uniform { lo: 0.5, hi: 2.0 };
+        let t = Marginal::TwoPoint { low: 0.3, high: 1.9, p_high: 0.4 };
+        for _ in 0..100 {
+            let x = u.sample(&mut rng);
+            prop_assert!((0.5..2.0).contains(&x));
+            let y = t.sample(&mut rng);
+            prop_assert!((y - 0.3).abs() < 1e-12 || (y - 1.9).abs() < 1e-12);
+        }
+    }
+
+    /// fGn autocovariance is a valid correlation sequence: γ(0) = 1,
+    /// |γ(k)| ≤ 1, and positive/decaying for H > 1/2.
+    #[test]
+    fn fgn_covariance_sane(h in 0.05f64..0.95, k in 1usize..500) {
+        let g = fgn_autocovariance(h, k);
+        prop_assert!(g.abs() <= 1.0 + 1e-12, "γ({k}) = {g}");
+        if h > 0.5 {
+            prop_assert!(g > 0.0);
+            prop_assert!(g <= fgn_autocovariance(h, k.max(2) - 1) + 1e-12, "decay at {k}");
+        }
+    }
+
+    /// On–off fluids: stationary activity and moments follow the rates.
+    #[test]
+    fn on_off_moments(peak in 0.5f64..10.0, on in 0.1f64..5.0, off in 0.1f64..5.0) {
+        let m = MarkovFluidModel::on_off(peak, on, off);
+        let p = on / (on + off);
+        prop_assert!((m.stationary()[1] - p).abs() < 1e-9);
+        let f = mbac_traffic::markov::MarkovFluidFactory::new(m);
+        prop_assert!((f.mean() - p * peak).abs() < 1e-9);
+        prop_assert!((f.variance() - p * (1.0 - p) * peak * peak).abs() < 1e-9);
+    }
+
+    /// Generalized RCBR reports the marginal's analytic moments.
+    #[test]
+    fn general_rcbr_moments_consistent(mean in 0.6f64..3.0, cov in 0.05f64..0.4, t_c in 0.1f64..10.0) {
+        let m = GeneralRcbrModel::new(Marginal::uniform_with_moments(mean, mean * cov), t_c);
+        prop_assert!((m.mean() - mean).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = m.spawn(&mut rng);
+        prop_assert_eq!(src.autocorrelation(t_c), Some((-1.0f64).exp()));
+    }
+
+    /// Trace playback position always lands in a valid slot.
+    #[test]
+    fn trace_playback_in_bounds(
+        rates in proptest::collection::vec(0.0f64..10.0, 1..50),
+        steps in 1usize..200,
+        dt in 0.01f64..10.0,
+        seed in 0u64..100,
+    ) {
+        let trace = std::sync::Arc::new(Trace::new(rates.clone(), 1.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = mbac_traffic::trace::TraceSource::new(trace, &mut rng);
+        for _ in 0..steps {
+            src.advance(dt, &mut rng);
+            let r = src.rate();
+            prop_assert!(rates.contains(&r), "rate {r} not from the trace");
+        }
+    }
+
+    /// Classic RCBR model moments match config.
+    #[test]
+    fn rcbr_model_reports_config(mean in 0.5f64..4.0, sd in 0.0f64..1.0, t_c in 0.1f64..10.0) {
+        let m = RcbrModel::new(RcbrConfig { mean, std_dev: sd, t_c, truncate_at_zero: false });
+        prop_assert_eq!(m.mean(), mean);
+        prop_assert!((m.variance() - sd * sd).abs() < 1e-12);
+    }
+}

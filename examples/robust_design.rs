@@ -1,0 +1,84 @@
+//! Robust design walkthrough: how much memory, how much conservatism?
+//!
+//! An operator's view of the paper's framework as a *design tool*: given
+//! a link and a QoS promise, sweep the two design knobs — estimator
+//! memory `T_m` and certainty-equivalent target `p_ce` — through the
+//! theory formulas (no simulation) and print the resulting
+//! safety/utilization frontier. Then run the §5.3 procedure and show
+//! where its choice lands.
+//!
+//! Run with: `cargo run --release --example robust_design`
+
+use mbac_core::params::{FlowStats, QosTarget};
+use mbac_core::robust::{DesignInputs, RobustDesign};
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::invert::{invert_pce, InvertMethod};
+use mbac_core::theory::utilization::mean_utilization;
+
+fn main() {
+    // The system on the whiteboard.
+    let n: f64 = 2500.0;
+    let flow = FlowStats::from_mean_sd(1.0, 0.3);
+    let holding = 5000.0;
+    let p_q = 1e-4;
+    let qos = QosTarget::new(p_q);
+    let t_h_tilde = holding / n.sqrt();
+    println!("system: n = {n}, T_h = {holding}, T̃_h = {t_h_tilde}, target p_q = {p_q}\n");
+
+    // Design surface: for each memory window, the p_ce that meets the
+    // target (worst-cased over an unknown T_c ∈ [0.1, 10]) and the
+    // utilization that p_ce costs (eqn (5)/(40) arithmetic).
+    println!(
+        "{:>10} {:>14} {:>10} {:>12} {:>14}",
+        "T_m", "p_ce(required)", "alpha_ce", "utilization", "worst T_c"
+    );
+    let t_cs: Vec<f64> = (0..=8).map(|k| 0.1 * 10f64.powf(k as f64 / 4.0)).collect();
+    for &ratio in &[0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let t_m = ratio * t_h_tilde;
+        // Worst-case inversion over the unknown correlation time-scale.
+        let mut alpha_req = qos.alpha();
+        let mut worst_tc = t_cs[0];
+        for &t_c in &t_cs {
+            let model = ContinuousModel::new(flow.cov(), t_h_tilde, t_c);
+            if let Ok(adj) = invert_pce(&model, t_m, p_q, InvertMethod::General) {
+                if adj.alpha_ce > alpha_req {
+                    alpha_req = adj.alpha_ce;
+                    worst_tc = t_c;
+                }
+            }
+        }
+        let p_ce = mbac_num::q(alpha_req);
+        let util = mean_utilization(n, flow, alpha_req);
+        println!(
+            "{:>10.1} {:>14.3e} {:>10.3} {:>11.2}% {:>14.2}",
+            t_m,
+            p_ce,
+            alpha_req,
+            100.0 * util,
+            worst_tc
+        );
+    }
+
+    // The §5.3 procedure's own pick.
+    let design = RobustDesign::design(&DesignInputs {
+        n,
+        flow,
+        holding_time: holding,
+        qos,
+        t_c_range: (0.1, 10.0),
+    });
+    println!(
+        "\nRobustDesign picks: T_m = {:.1} (= T̃_h), p_ce = {:.3e}, predicted p_f = {:.2e}",
+        design.t_m, design.p_ce, design.predicted_pf
+    );
+    println!(
+        "utilization at the design point: {:.2}% (vs {:.2}% for a clairvoyant controller at α_q)",
+        100.0 * mean_utilization(n, flow, design.alpha_ce),
+        100.0 * mean_utilization(n, flow, qos.alpha())
+    );
+    println!(
+        "\nreading the table: short windows force p_ce down by orders of magnitude and\n\
+         tax utilization; past T_m ≈ T̃_h the required adjustment — and the tax —\n\
+         flattens out. That knee is the paper's design rule."
+    );
+}

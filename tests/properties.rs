@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use mbac_core::admission::{
+    gaussian_admissible_count, AdmissionPolicy, CertaintyEquivalent,
+};
+use mbac_core::estimators::{Estimate, Estimator, FilteredEstimator};
+use mbac_core::theory::continuous::ContinuousModel;
+use mbac_core::theory::impulsive;
+use mbac_num::{inv_q, q};
+use proptest::prelude::*;
+
+proptest! {
+    /// Q and Q⁻¹ are inverse over many orders of magnitude.
+    #[test]
+    fn q_inverse_roundtrip(exp in 0.31f64..12.0) {
+        let p = 10f64.powf(-exp);
+        let x = inv_q(p);
+        let back = q(x);
+        prop_assert!((back / p - 1.0).abs() < 1e-8, "p={p}, x={x}, back={back}");
+    }
+
+    /// The admissible count solves its defining equation for arbitrary
+    /// parameters.
+    #[test]
+    fn admissible_count_solves_equation(
+        mean in 0.1f64..10.0,
+        cov in 0.01f64..1.0,
+        cap_mult in 10.0f64..10000.0,
+        exp in 1.0f64..8.0,
+    ) {
+        let sd = mean * cov;
+        let capacity = mean * cap_mult;
+        let p = 10f64.powf(-exp);
+        let alpha = inv_q(p);
+        let m = gaussian_admissible_count(mean, sd, alpha, capacity);
+        prop_assert!(m > 0.0);
+        let realized = q((capacity - m * mean) / (sd * m.sqrt()));
+        prop_assert!((realized / p - 1.0).abs() < 1e-6,
+            "m={m}: Q(...)={realized} vs p={p}");
+    }
+
+    /// Admission is monotone: more capacity ⇒ more flows; stricter QoS
+    /// or burstier traffic ⇒ fewer.
+    #[test]
+    fn admission_monotonicity(
+        mean in 0.1f64..5.0,
+        cov in 0.05f64..0.8,
+        capacity in 50.0f64..5000.0,
+        exp in 1.0f64..6.0,
+    ) {
+        let sd = mean * cov;
+        let alpha = inv_q(10f64.powf(-exp));
+        let base = gaussian_admissible_count(mean, sd, alpha, capacity);
+        prop_assert!(gaussian_admissible_count(mean, sd, alpha, capacity * 1.1) > base);
+        prop_assert!(gaussian_admissible_count(mean, sd * 1.2, alpha, capacity) < base);
+        prop_assert!(gaussian_admissible_count(mean, sd, alpha + 0.5, capacity) < base);
+        // And never exceeds the fluid limit for α ≥ 0.
+        if alpha >= 0.0 {
+            prop_assert!(base <= capacity / mean + 1e-9);
+        }
+    }
+
+    /// Estimators are scale-equivariant: scaling all rates by k scales
+    /// the mean by k and the variance by k².
+    #[test]
+    fn estimator_scale_equivariance(
+        k in 0.1f64..10.0,
+        rates in proptest::collection::vec(0.0f64..10.0, 2..20),
+        t_m in 0.0f64..5.0,
+    ) {
+        let mut a = FilteredEstimator::new(t_m);
+        let mut b = FilteredEstimator::new(t_m);
+        let scaled: Vec<f64> = rates.iter().map(|&r| r * k).collect();
+        a.observe(0.0, &rates);
+        b.observe(0.0, &scaled);
+        a.observe(1.0, &rates);
+        b.observe(1.0, &scaled);
+        let ea = a.estimate().unwrap();
+        let eb = b.estimate().unwrap();
+        prop_assert!((eb.mean - k * ea.mean).abs() < 1e-9 * (1.0 + eb.mean.abs()));
+        prop_assert!((eb.variance - k * k * ea.variance).abs() < 1e-8 * (1.0 + eb.variance.abs()));
+    }
+
+    /// The certainty-equivalence penalty is universal: worse than the
+    /// target but bounded by Q(α/√2) exactly, for any target.
+    #[test]
+    fn sqrt2_penalty_ordering(exp in 1.0f64..10.0) {
+        let p_q = 10f64.powf(-exp);
+        let pf = impulsive::pf_certainty_equivalent(p_q);
+        prop_assert!(pf > p_q);
+        // And the fix restores the target exactly.
+        let p_ce = impulsive::pce_for_target(p_q);
+        prop_assert!(p_ce < p_q);
+        let restored = impulsive::pf_certainty_equivalent(p_ce);
+        prop_assert!((restored / p_q - 1.0).abs() < 1e-6);
+    }
+
+    /// The overflow formula (37) is monotone decreasing in the safety
+    /// factor everywhere, and monotone decreasing in memory *under
+    /// time-scale separation* (γ ≫ 1). Outside that regime more memory
+    /// can legitimately hurt: against slowly-moving traffic a long
+    /// window produces a stale estimate (the `Q(α√(1+T_c/T_m))`
+    /// immediate-mismatch term), while the memoryless estimate is
+    /// momentarily exact — the flip side of the paper's masking/repair
+    /// dichotomy, and the reason the window rule is `T_m = T̃_h` rather
+    /// than "as large as possible".
+    #[test]
+    fn pf_formula_monotonicity(
+        cov in 0.1f64..0.6,
+        t_h_tilde in 5.0f64..200.0,
+        t_c in 0.05f64..20.0,
+        alpha in 1.0f64..5.0,
+        t_m in 0.0f64..50.0,
+    ) {
+        let m = ContinuousModel::new(cov, t_h_tilde, t_c);
+        let p0 = m.pf_with_memory(alpha, t_m);
+        let p_more_alpha = m.pf_with_memory(alpha + 0.5, t_m);
+        prop_assert!(p_more_alpha <= p0 * 1.001, "alpha: {p_more_alpha} vs {p0}");
+        prop_assert!((0.0..=1.0).contains(&p0));
+        if m.gamma() > 20.0 {
+            // 25% slack: once T_m is already large the (tiny) stale-
+            // estimate term Q(α√(1+T_c/T_m)) creeps up slightly with
+            // extra memory even though the dominant drift term falls.
+            let p_more_mem = m.pf_with_memory(alpha, t_m + 10.0);
+            prop_assert!(
+                p_more_mem <= p0 * 1.25 + 1e-12,
+                "separated regime (γ={}): memory must help: {p_more_mem} vs {p0}",
+                m.gamma()
+            );
+        }
+    }
+
+    /// The separated closed form (38) agrees with the numeric (37)
+    /// whenever time scales actually separate.
+    #[test]
+    fn closed_form_agrees_under_separation(
+        cov in 0.2f64..0.4,
+        alpha in 2.0f64..4.0,
+        t_m_ratio in 0.0f64..1.0,
+    ) {
+        // Force γ = cov·T̃_h/T_c ≥ 60.
+        let t_c = 0.5;
+        let t_h_tilde = 60.0 * t_c / cov;
+        let m = ContinuousModel::new(cov, t_h_tilde, t_c);
+        let t_m = t_m_ratio * t_h_tilde;
+        let numeric = m.pf_with_memory(alpha, t_m);
+        let closed = m.pf_with_memory_separated(alpha, t_m);
+        prop_assert!((numeric / closed - 1.0).abs() < 0.1,
+            "γ={}: numeric {numeric} vs closed {closed}", m.gamma());
+    }
+
+    /// Policy trait-object dispatch matches direct calls.
+    #[test]
+    fn dyn_policy_matches_static(
+        mean in 0.5f64..2.0,
+        var in 0.01f64..1.0,
+        capacity in 50.0f64..500.0,
+    ) {
+        let est = Estimate::new(mean, var);
+        let ce = CertaintyEquivalent::from_probability(1e-3);
+        let dynamic: &dyn AdmissionPolicy = &ce;
+        prop_assert_eq!(
+            ce.admissible_count(est, capacity).to_bits(),
+            dynamic.admissible_count(est, capacity).to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulator conservation law across random small configurations:
+    /// admitted − departed = in-system, and utilization ∈ (0, ~1].
+    #[test]
+    fn simulator_conservation(
+        seed in 0u64..1000,
+        capacity in 20.0f64..60.0,
+        holding in 10.0f64..50.0,
+    ) {
+        use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+        use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+        let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl = MbacController::new(
+            Box::new(FilteredEstimator::new(2.0)),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let cfg = ContinuousConfig {
+            capacity,
+            mean_holding: holding,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 30,
+            seed,
+        };
+        let rep = run_continuous(&cfg, &model, &mut ctl);
+        prop_assert!(rep.admitted >= rep.departed);
+        prop_assert!(rep.mean_utilization > 0.0 && rep.mean_utilization < 1.3);
+        prop_assert!(rep.pf.samples == 30 || rep.pf.samples < 30);
+        prop_assert!((rep.pf.value >= 0.0) && (rep.pf.value <= 1.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests of the trace/LRD pipeline: fGn generation →
+//! synthetic movie trace → trace-driven simulation → robust control.
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::FilteredEstimator;
+use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
+use mbac_traffic::trace::{Trace, TraceModel};
+use mbac_traffic::{hurst_variance_time, SourceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn small_trace(seed: u64) -> Arc<Trace> {
+    let cfg = StarwarsConfig { slots: 1 << 13, ..StarwarsConfig::default() };
+    Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(seed)))
+}
+
+#[test]
+fn synthetic_trace_certified_lrd_and_plays_back() {
+    let trace = small_trace(201);
+    // Certified long-range dependent…
+    let h = hurst_variance_time(trace.rates());
+    assert!(h > 0.62, "Hurst {h} must indicate LRD");
+    // …and its playback statistics match the trace statistics.
+    let model = TraceModel::new(trace.clone());
+    let mut rng = StdRng::seed_from_u64(202);
+    let mut src = model.spawn(&mut rng);
+    let mut acc = mbac_num::RunningStats::new();
+    for _ in 0..20_000 {
+        src.advance(1.0, &mut rng);
+        acc.push(src.rate());
+    }
+    // One full cycle plus wrap: time average ≈ trace mean. LRD sample
+    // paths converge slowly; generous tolerance.
+    assert!(
+        (acc.mean() - trace.mean()).abs() < 0.15 * trace.mean(),
+        "playback mean {} vs trace mean {}",
+        acc.mean(),
+        trace.mean()
+    );
+}
+
+#[test]
+fn trace_io_roundtrip_through_disk() {
+    let trace = small_trace(203);
+    let dir = std::env::temp_dir().join("mbac_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("starwars_like.txt");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        trace.write_to(&mut f).unwrap();
+    }
+    let back = Trace::read_from(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(*trace, back);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn robust_rule_beats_memoryless_on_lrd_traffic() {
+    // Figs 11–12 in miniature: memoryless vs T_m = T̃_h on the same
+    // LRD trace, same seed, same budget.
+    let trace = small_trace(205);
+    let n: f64 = 100.0;
+    let t_h = 1000.0;
+    let t_h_tilde = t_h / n.sqrt();
+    let model = TraceModel::new(trace.clone());
+    let run = |t_m: f64| {
+        let mut ctl = MbacController::new(
+            Box::new(FilteredEstimator::new(t_m)),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let cfg = ContinuousConfig {
+            capacity: n * trace.mean(),
+            mean_holding: t_h,
+            tick: 0.5,
+            warmup: 5.0 * t_h_tilde.max(t_m),
+            sample_spacing: 2.0 * t_h_tilde.max(t_m),
+            target: 1e-2,
+            max_samples: 400,
+            seed: 206,
+        };
+        run_continuous(&cfg, &model, &mut ctl)
+    };
+    let memoryless = run(0.0);
+    let robust = run(t_h_tilde);
+    assert!(
+        robust.pf.value < memoryless.pf.value,
+        "window rule must help on LRD traffic: {} vs {}",
+        robust.pf.value,
+        memoryless.pf.value
+    );
+}
+
+#[test]
+fn quantization_does_not_change_first_two_moments_much() {
+    let base = StarwarsConfig { slots: 1 << 13, levels: 0, ..StarwarsConfig::default() };
+    let quant = StarwarsConfig { slots: 1 << 13, levels: 32, ..StarwarsConfig::default() };
+    let a = generate_starwars_like(&base, &mut StdRng::seed_from_u64(207));
+    let b = generate_starwars_like(&quant, &mut StdRng::seed_from_u64(207));
+    assert!((a.mean() - b.mean()).abs() < 0.02 * a.mean());
+    assert!((a.variance() - b.variance()).abs() < 0.1 * a.variance());
+}
+
+#[test]
+fn different_flows_see_different_phases() {
+    let trace = small_trace(209);
+    let model = TraceModel::new(trace);
+    let mut rng = StdRng::seed_from_u64(210);
+    let flows: Vec<_> = (0..8).map(|_| model.spawn(&mut rng)).collect();
+    let rates: Vec<f64> = flows.iter().map(|f| f.rate()).collect();
+    let distinct = {
+        let mut r: Vec<u64> = rates.iter().map(|x| x.to_bits()).collect();
+        r.sort_unstable();
+        r.dedup();
+        r.len()
+    };
+    assert!(distinct >= 4, "8 random phases should give ≥ 4 distinct rates");
+}
