@@ -21,7 +21,9 @@ fn bench_admission_decision(c: &mut Criterion) {
     let mut g = c.benchmark_group("admission_decision");
     let alpha = inv_q(1e-3);
     g.bench_function("gaussian_admissible_count", |b| {
-        b.iter(|| gaussian_admissible_count(black_box(1.0), black_box(0.3), alpha, black_box(1000.0)))
+        b.iter(|| {
+            gaussian_admissible_count(black_box(1.0), black_box(0.3), alpha, black_box(1000.0))
+        })
     });
     let ce = CertaintyEquivalent::new(QosTarget::new(1e-3));
     let est = Estimate::new(1.02, 0.091);

@@ -84,7 +84,11 @@ fn bench_fig5(c: &mut Criterion) {
     g.bench_function("theory_plus_sim_point", |b| {
         b.iter(|| {
             let sc = tiny_continuous(5.0, 1.0, 3);
-            (sc.theory_pf_closed(), sc.theory_pf_general(), sc.run().pf.value)
+            (
+                sc.theory_pf_closed(),
+                sc.theory_pf_general(),
+                sc.run().pf.value,
+            )
         })
     });
     g.finish();
@@ -162,7 +166,10 @@ fn bench_fig10(c: &mut Criterion) {
 
 fn lrd_trace() -> Arc<mbac_traffic::trace::Trace> {
     Arc::new(generate_starwars_like(
-        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &StarwarsConfig {
+            slots: 1 << 12,
+            ..StarwarsConfig::default()
+        },
         &mut StdRng::seed_from_u64(6),
     ))
 }
@@ -231,8 +238,14 @@ fn bench_heterogeneous(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig_sec54");
     g.bench_function("classified_estimator_snapshot_400", |b| {
         use mbac_core::estimators::heterogeneous::ClassifiedEstimator;
-        let flows: Vec<(usize, f64)> =
-            (0..400).map(|i| (i % 2, 1.0 + (i % 2) as f64 * 3.0 + (i as f64 * 0.7).sin() * 0.2)).collect();
+        let flows: Vec<(usize, f64)> = (0..400)
+            .map(|i| {
+                (
+                    i % 2,
+                    1.0 + (i % 2) as f64 * 3.0 + (i as f64 * 0.7).sin() * 0.2,
+                )
+            })
+            .collect();
         let mut est = ClassifiedEstimator::new(2, 5.0);
         let mut t = 0.0;
         b.iter(|| {

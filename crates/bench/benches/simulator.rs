@@ -4,9 +4,23 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
-use mbac_sim::{run_continuous, ContinuousConfig, EventQueue, FlowTable, MbacController};
+use mbac_sim::{
+    run_continuous, run_continuous_in, run_impulsive_with_workers, ContinuousConfig, EventQueue,
+    FlowTable, ImpulsiveConfig, MbacController,
+};
+use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn bench_ar1() -> Ar1Model {
+    Ar1Model::new(Ar1Config {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        tick: 0.05,
+        clamp_at_zero: true,
+    })
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -62,32 +76,112 @@ fn bench_continuous_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("continuous_sim");
     g.sample_size(10);
     for &n in &[100.0f64, 400.0] {
-        g.bench_with_input(
-            BenchmarkId::new("200_samples", n as u64),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut ctl = MbacController::new(
-                        Box::new(FilteredEstimator::new(5.0)),
-                        Box::new(CertaintyEquivalent::from_probability(1e-2)),
-                    );
-                    let cfg = ContinuousConfig {
-                        capacity: n,
-                        mean_holding: 10.0 * n.sqrt(),
-                        tick: 0.25,
-                        warmup: 50.0,
-                        sample_spacing: 20.0,
-                        target: 1e-2,
-                        max_samples: 200,
-                        seed: 6,
-                    };
-                    run_continuous(&cfg, &mbac_bench::bench_rcbr(), &mut ctl)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("200_samples", n as u64), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctl = MbacController::new(
+                    Box::new(FilteredEstimator::new(5.0)),
+                    Box::new(CertaintyEquivalent::from_probability(1e-2)),
+                );
+                let cfg = ContinuousConfig {
+                    capacity: n,
+                    mean_holding: 10.0 * n.sqrt(),
+                    tick: 0.25,
+                    warmup: 50.0,
+                    sample_spacing: 20.0,
+                    target: 1e-2,
+                    max_samples: 200,
+                    seed: 6,
+                };
+                run_continuous(&cfg, &mbac_bench::bench_rcbr(), &mut ctl)
+            })
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_flow_table, bench_continuous_sim);
+/// Boxed vs batched engines on the continuous tick loop — the headline
+/// comparison for the SoA flow engine (see results/BENCH_simulator.json
+/// for the machine-readable numbers produced by `bench_json`).
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let cfg = |n: f64| ContinuousConfig {
+        capacity: n,
+        mean_holding: 10.0 * n.sqrt(),
+        tick: 0.25,
+        warmup: 50.0,
+        sample_spacing: 20.0,
+        target: 1e-2,
+        max_samples: 100,
+        seed: 6,
+    };
+    let mk = || {
+        MbacController::new(
+            Box::new(FilteredEstimator::new(5.0)),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        )
+    };
+    {
+        let &n = &400.0f64;
+        g.bench_with_input(BenchmarkId::new("boxed_rcbr", n as u64), &n, |b, &n| {
+            b.iter(|| {
+                run_continuous_in(
+                    &cfg(n),
+                    &mbac_bench::bench_rcbr(),
+                    &mut mk(),
+                    FlowTable::new_unbatched(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched_rcbr", n as u64), &n, |b, &n| {
+            b.iter(|| {
+                run_continuous_in(
+                    &cfg(n),
+                    &mbac_bench::bench_rcbr(),
+                    &mut mk(),
+                    FlowTable::new(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("boxed_ar1", n as u64), &n, |b, &n| {
+            b.iter(|| {
+                run_continuous_in(&cfg(n), &bench_ar1(), &mut mk(), FlowTable::new_unbatched())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched_ar1", n as u64), &n, |b, &n| {
+            b.iter(|| run_continuous_in(&cfg(n), &bench_ar1(), &mut mk(), FlowTable::new()))
+        });
+    }
+    g.finish();
+}
+
+/// Replication-parallel impulsive harness at 1 vs N workers.
+fn bench_impulsive_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("impulsive_workers");
+    g.sample_size(10);
+    let cfg = ImpulsiveConfig {
+        capacity: 100.0,
+        estimation_flows: 100,
+        mean_holding: Some(10.0),
+        observe_times: vec![1.0, 5.0, 20.0],
+        replications: 200,
+        seed: 3,
+    };
+    let policy = CertaintyEquivalent::from_probability(1e-2);
+    for &workers in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("200_reps", workers), &workers, |b, &w| {
+            b.iter(|| run_impulsive_with_workers(&cfg, &mbac_bench::bench_rcbr(), &policy, w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_flow_table,
+    bench_continuous_sim,
+    bench_engine_comparison,
+    bench_impulsive_workers,
+);
 criterion_main!(benches);

@@ -5,10 +5,10 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mbac_traffic::ar1::{Ar1Config, Ar1Source};
 use mbac_traffic::fgn::{davies_harte, hosking};
 use mbac_traffic::markov::{MarkovFluidModel, MarkovFluidSource};
+use mbac_traffic::process::{RateProcess, SourceModel};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrSource};
 use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
 use mbac_traffic::trace::{TraceModel, TraceSource};
-use mbac_traffic::process::{RateProcess, SourceModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -34,7 +34,13 @@ fn bench_source_advance(c: &mut Criterion) {
     });
 
     let mut ar1 = Ar1Source::new(
-        Ar1Config { mean: 1.0, std_dev: 0.3, t_c: 1.0, tick: 0.05, clamp_at_zero: true },
+        Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: true,
+        },
         &mut rng,
     );
     g.bench_function("ar1", |b| {
@@ -45,7 +51,10 @@ fn bench_source_advance(c: &mut Criterion) {
     });
 
     let trace = Arc::new(generate_starwars_like(
-        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &StarwarsConfig {
+            slots: 1 << 12,
+            ..StarwarsConfig::default()
+        },
         &mut rng,
     ));
     let mut playback = TraceSource::new(trace, &mut rng);
@@ -80,7 +89,10 @@ fn bench_flow_spawn(c: &mut Criterion) {
     let rcbr = mbac_bench::bench_rcbr();
     g.bench_function("rcbr_spawn", |b| b.iter(|| rcbr.spawn(&mut rng)));
     let trace = Arc::new(generate_starwars_like(
-        &StarwarsConfig { slots: 1 << 12, ..StarwarsConfig::default() },
+        &StarwarsConfig {
+            slots: 1 << 12,
+            ..StarwarsConfig::default()
+        },
         &mut rng,
     ));
     let model = TraceModel::new(trace);
@@ -88,5 +100,10 @@ fn bench_flow_spawn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_source_advance, bench_fgn_generation, bench_flow_spawn);
+criterion_group!(
+    benches,
+    bench_source_advance,
+    bench_fgn_generation,
+    bench_flow_spawn
+);
 criterion_main!(benches);

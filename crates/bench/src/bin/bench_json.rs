@@ -1,0 +1,419 @@
+//! Emits machine-readable performance numbers for the batched flow
+//! engine and the parallel replication harness to
+//! `results/BENCH_simulator.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Tick loop** (the hot path): advance + departures + snapshot for
+//!    `N = 400` flows, comparing
+//!    * `seed_boxed` — the pre-batching engine, reproduced literally
+//!      (including its Marsaglia-polar Gaussian and inverse-CDF
+//!      exponential samplers): one box per flow, a virtual `advance`
+//!      walk, a second virtual `rate()` walk for the snapshot, and an
+//!      O(N) `retain` departure scan per tick;
+//!    * `unbatched` — `FlowTable::new_unbatched()` (boxed fallback
+//!      group: single fused advance+rate walk, cached min-departure);
+//!    * `batched` — `FlowTable::new()` (struct-of-arrays kernels).
+//! 2. **End-to-end continuous run** (controller + meter included),
+//!    boxed fallback vs batched.
+//! 3. **Replication scaling** of the impulsive harness at 1/2/4
+//!    workers (deterministic by construction; scaling is bounded by
+//!    the machine's `available_parallelism`, which is recorded).
+//!
+//! Usage: `cargo run --release -p mbac-bench --bin bench_json`
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::FilteredEstimator;
+use mbac_sim::{
+    run_continuous_in, run_impulsive_with_workers, ContinuousConfig, FlowTable, ImpulsiveConfig,
+    MbacController,
+};
+use mbac_traffic::ar1::{Ar1Config, Ar1Model};
+use mbac_traffic::process::SourceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N_FLOWS: usize = 400;
+const TICKS: usize = 5_000;
+const TICK: f64 = 0.25;
+
+fn ar1_model() -> Ar1Model {
+    Ar1Model::new(Ar1Config {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        tick: 0.05,
+        clamp_at_zero: true,
+    })
+}
+
+/// The engine exactly as it stood at the seed commit, frozen here so
+/// the baseline cannot silently improve as the library evolves:
+/// Marsaglia-polar Gaussians, inverse-CDF exponentials, per-flow heap
+/// boxes, per-step recomputation of the AR(1) constants, a virtual
+/// `advance` walk, an O(N) `retain` departure scan, and a second
+/// virtual `rate()` walk for the snapshot.
+mod seed_engine {
+    use mbac_traffic::ar1::Ar1Config;
+    use mbac_traffic::rcbr::RcbrConfig;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    fn standard_normal(rng: &mut StdRng) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+        mean + sd * standard_normal(rng)
+    }
+
+    fn normal_truncated_below(rng: &mut StdRng, mean: f64, sd: f64, lo: f64) -> f64 {
+        loop {
+            let x = normal(rng, mean, sd);
+            if x >= lo {
+                return x;
+            }
+        }
+    }
+
+    fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        -mean * (1.0 - u).ln()
+    }
+
+    pub trait SeedProcess {
+        fn advance(&mut self, dt: f64, rng: &mut StdRng);
+        fn rate(&self) -> f64;
+    }
+
+    struct SeedRcbr {
+        cfg: RcbrConfig,
+        rate: f64,
+        remaining: f64,
+    }
+
+    impl SeedRcbr {
+        fn draw_rate(&self, rng: &mut StdRng) -> f64 {
+            if self.cfg.truncate_at_zero {
+                normal_truncated_below(rng, self.cfg.mean, self.cfg.std_dev.max(1e-300), 0.0)
+            } else {
+                normal(rng, self.cfg.mean, self.cfg.std_dev)
+            }
+        }
+    }
+
+    impl SeedProcess for SeedRcbr {
+        fn advance(&mut self, dt: f64, rng: &mut StdRng) {
+            let mut left = dt;
+            while left >= self.remaining {
+                left -= self.remaining;
+                self.rate = self.draw_rate(rng);
+                self.remaining = exponential(rng, self.cfg.t_c);
+            }
+            self.remaining -= left;
+        }
+
+        fn rate(&self) -> f64 {
+            self.rate
+        }
+    }
+
+    pub fn spawn_rcbr(cfg: RcbrConfig, rng: &mut StdRng) -> Box<dyn SeedProcess> {
+        let mut s = SeedRcbr {
+            cfg,
+            rate: 0.0,
+            remaining: 0.0,
+        };
+        s.rate = s.draw_rate(rng);
+        s.remaining = exponential(rng, cfg.t_c);
+        Box::new(s)
+    }
+
+    struct SeedAr1 {
+        cfg: Ar1Config,
+        value: f64,
+        elapsed: f64,
+    }
+
+    impl SeedProcess for SeedAr1 {
+        fn advance(&mut self, dt: f64, rng: &mut StdRng) {
+            self.elapsed += dt;
+            while self.elapsed >= self.cfg.tick {
+                self.elapsed -= self.cfg.tick;
+                // The seed recomputed both constants on every step.
+                let a = (-self.cfg.tick / self.cfg.t_c).exp();
+                let innovation_sd = self.cfg.std_dev * (1.0 - a * a).sqrt();
+                self.value = self.cfg.mean
+                    + a * (self.value - self.cfg.mean)
+                    + innovation_sd * standard_normal(rng);
+            }
+        }
+
+        fn rate(&self) -> f64 {
+            if self.cfg.clamp_at_zero {
+                self.value.max(0.0)
+            } else {
+                self.value
+            }
+        }
+    }
+
+    pub fn spawn_ar1(cfg: Ar1Config, rng: &mut StdRng) -> Box<dyn SeedProcess> {
+        let value = normal(rng, cfg.mean, cfg.std_dev);
+        Box::new(SeedAr1 {
+            cfg,
+            value,
+            elapsed: 0.0,
+        })
+    }
+}
+
+/// The seed's tick loop, reproduced literally for an honest baseline.
+struct SeedBoxedLoop {
+    flows: Vec<(Box<dyn seed_engine::SeedProcess>, f64)>,
+}
+
+impl SeedBoxedLoop {
+    fn tick(&mut self, dt: f64, t: f64, rng: &mut StdRng, snap: &mut Vec<f64>) -> f64 {
+        for (p, _) in &mut self.flows {
+            p.advance(dt, rng);
+        }
+        self.flows.retain(|&(_, departs_at)| departs_at > t);
+        snap.clear();
+        snap.extend(self.flows.iter().map(|(p, _)| p.rate()));
+        snap.iter().sum()
+    }
+}
+
+/// Minimum over interleaved rounds: the standard estimator for
+/// wall-clock timings on a shared machine, where noise is strictly
+/// additive. The contenders are interleaved (a full round runs each
+/// once) so a noisy phase hits all of them rather than biasing one.
+fn best_of_interleaved<const K: usize>(mut runs: [&mut dyn FnMut() -> f64; K]) -> [f64; K] {
+    let mut best = [f64::INFINITY; K];
+    for _ in 0..5 {
+        for (b, run) in best.iter_mut().zip(runs.iter_mut()) {
+            *b = b.min(run());
+        }
+    }
+    best
+}
+
+/// ns/tick for the seed-style boxed loop.
+fn time_seed_loop(spawn: &dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProcess>) -> f64 {
+    let mut rng = StdRng::seed_from_u64(5);
+    let flows = (0..N_FLOWS)
+        .map(|_| (spawn(&mut rng), f64::INFINITY))
+        .collect();
+    let mut engine = SeedBoxedLoop { flows };
+    let mut snap = Vec::new();
+    let mut acc = 0.0;
+    let start = Instant::now();
+    let mut t = 0.0;
+    for _ in 0..TICKS {
+        t += TICK;
+        acc += engine.tick(TICK, t, &mut rng, &mut snap);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / TICKS as f64;
+    assert!(acc.is_finite());
+    elapsed
+}
+
+/// ns/tick for a FlowTable engine (batched or unbatched fallback).
+fn time_table_loop(model: &dyn SourceModel, table: &mut FlowTable) -> f64 {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..N_FLOWS {
+        table.admit(model, f64::INFINITY, &mut rng);
+    }
+    let mut snap = Vec::new();
+    let mut acc = 0.0;
+    let start = Instant::now();
+    let mut t = 0.0;
+    for _ in 0..TICKS {
+        t += TICK;
+        table.advance_to(t, &mut rng);
+        table.depart_until(t);
+        table.snapshot_into(&mut snap);
+        acc += snap.iter().sum::<f64>();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / TICKS as f64;
+    assert!(acc.is_finite());
+    elapsed
+}
+
+fn continuous_cfg() -> ContinuousConfig {
+    ContinuousConfig {
+        capacity: N_FLOWS as f64,
+        mean_holding: 10.0 * (N_FLOWS as f64).sqrt(),
+        tick: TICK,
+        warmup: 50.0,
+        sample_spacing: 20.0,
+        target: 1e-2,
+        max_samples: 200,
+        seed: 6,
+    }
+}
+
+fn controller() -> MbacController {
+    MbacController::new(
+        Box::new(FilteredEstimator::new(5.0)),
+        Box::new(CertaintyEquivalent::from_probability(1e-2)),
+    )
+}
+
+/// Seconds for one end-to-end continuous run on the given table.
+fn time_continuous(model: &dyn SourceModel, table: FlowTable) -> f64 {
+    let start = Instant::now();
+    let rep = run_continuous_in(&continuous_cfg(), model, &mut controller(), table);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(rep.pf.samples > 0);
+    secs
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p mbac-bench --bin bench_json\","
+    );
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+
+    // 1. Tick loop.
+    let _ = writeln!(json, "  \"tick_loop\": [");
+    type SeedSpawner = Box<dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProcess>>;
+    let rcbr_cfg = mbac_bench::bench_rcbr().config();
+    let ar1_cfg = Ar1Config {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        tick: 0.05,
+        clamp_at_zero: true,
+    };
+    let models: [(&str, Box<dyn SourceModel>, SeedSpawner); 2] = [
+        (
+            "rcbr",
+            Box::new(mbac_bench::bench_rcbr()),
+            Box::new(move |rng| seed_engine::spawn_rcbr(rcbr_cfg, rng)),
+        ),
+        (
+            "ar1",
+            Box::new(ar1_model()),
+            Box::new(move |rng| seed_engine::spawn_ar1(ar1_cfg, rng)),
+        ),
+    ];
+    for (i, (name, model, seed_spawn)) in models.iter().enumerate() {
+        let [seed_ns, unbatched_ns, batched_ns] = best_of_interleaved([
+            &mut || time_seed_loop(seed_spawn.as_ref()),
+            &mut || time_table_loop(model.as_ref(), &mut FlowTable::new_unbatched()),
+            &mut || time_table_loop(model.as_ref(), &mut FlowTable::new()),
+        ]);
+        eprintln!(
+            "tick_loop/{name}: seed {seed_ns:.0} ns, unbatched {unbatched_ns:.0} ns, \
+             batched {batched_ns:.0} ns ({:.2}x vs seed)",
+            seed_ns / batched_ns
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"model\": \"{name}\",");
+        let _ = writeln!(json, "      \"n_flows\": {N_FLOWS},");
+        let _ = writeln!(json, "      \"ticks\": {TICKS},");
+        let _ = writeln!(json, "      \"seed_boxed_ns_per_tick\": {seed_ns:.1},");
+        let _ = writeln!(json, "      \"unbatched_ns_per_tick\": {unbatched_ns:.1},");
+        let _ = writeln!(json, "      \"batched_ns_per_tick\": {batched_ns:.1},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_batched_vs_seed\": {:.2},",
+            seed_ns / batched_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_batched_vs_unbatched\": {:.2}",
+            unbatched_ns / batched_ns
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < models.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // 2. End-to-end continuous run.
+    let _ = writeln!(json, "  \"continuous_run\": [");
+    for (i, (name, model, _)) in models.iter().enumerate() {
+        let [boxed_s, batched_s] = best_of_interleaved([
+            &mut || time_continuous(model.as_ref(), FlowTable::new_unbatched()),
+            &mut || time_continuous(model.as_ref(), FlowTable::new()),
+        ]);
+        eprintln!(
+            "continuous_run/{name}: boxed {boxed_s:.3} s, batched {batched_s:.3} s \
+             ({:.2}x)",
+            boxed_s / batched_s
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"model\": \"{name}\",");
+        let _ = writeln!(json, "      \"capacity\": {N_FLOWS},");
+        let _ = writeln!(json, "      \"boxed_seconds\": {boxed_s:.4},");
+        let _ = writeln!(json, "      \"batched_seconds\": {batched_s:.4},");
+        let _ = writeln!(json, "      \"speedup\": {:.2}", boxed_s / batched_s);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < models.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // 3. Replication scaling.
+    let cfg = ImpulsiveConfig {
+        capacity: 100.0,
+        estimation_flows: 100,
+        mean_holding: Some(10.0),
+        observe_times: vec![1.0, 5.0, 20.0],
+        replications: 400,
+        seed: 3,
+    };
+    let policy = CertaintyEquivalent::from_probability(1e-2);
+    let model = mbac_bench::bench_rcbr();
+    let mut seconds = Vec::new();
+    let _ = writeln!(json, "  \"replication_scaling\": {{");
+    let _ = writeln!(json, "    \"replications\": {},", cfg.replications);
+    let _ = writeln!(json, "    \"workers\": [");
+    let worker_counts = [1usize, 2, 4];
+    for (i, &w) in worker_counts.iter().enumerate() {
+        let start = Instant::now();
+        let rep = run_impulsive_with_workers(&cfg, &model, &policy, w);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(rep.replications, cfg.replications);
+        seconds.push(secs);
+        eprintln!(
+            "impulsive/{w} workers: {secs:.3} s ({:.2}x vs 1 worker)",
+            seconds[0] / secs
+        );
+        let _ = writeln!(
+            json,
+            "      {{ \"workers\": {w}, \"seconds\": {secs:.4}, \"speedup_vs_1\": {:.2} }}{}",
+            seconds[0] / secs,
+            if i + 1 < worker_counts.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_simulator.json", &json)
+        .expect("write results/BENCH_simulator.json");
+    println!("wrote results/BENCH_simulator.json");
+}

@@ -74,7 +74,8 @@ impl Args {
             .flags
             .get(key)
             .ok_or_else(|| ArgError(format!("--{key} is required")))?;
-        v.parse().map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'")))
+        v.parse()
+            .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'")))
     }
 
     /// `u64` flag with a default.
@@ -93,7 +94,9 @@ impl Args {
         if p > 0.0 && p < 1.0 {
             Ok(p)
         } else {
-            Err(ArgError(format!("--{key} must be a probability in (0,1), got {p}")))
+            Err(ArgError(format!(
+                "--{key} must be a probability in (0,1), got {p}"
+            )))
         }
     }
 
@@ -103,7 +106,11 @@ impl Args {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError(format!(
                     "unknown flag --{key}; expected one of: {}",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }

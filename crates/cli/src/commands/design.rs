@@ -17,7 +17,9 @@ in [tc-min, tc-max] (default [0.1, 10]).";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["capacity", "mean", "sd", "holding", "p-q", "tc-min", "tc-max"])?;
+    args.expect_only(&[
+        "capacity", "mean", "sd", "holding", "p-q", "tc-min", "tc-max",
+    ])?;
     let capacity = args.f64_required("capacity")?;
     let mean = args.f64_or("mean", 1.0)?;
     let sd = args.f64_required("sd")?;
@@ -26,7 +28,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let tc_min = args.f64_or("tc-min", 0.1)?;
     let tc_max = args.f64_or("tc-max", 10.0)?;
     if capacity <= 0.0 || mean <= 0.0 || sd < 0.0 || holding <= 0.0 {
-        return Err(ArgError("capacity, mean, holding must be positive; sd >= 0".into()));
+        return Err(ArgError(
+            "capacity, mean, holding must be positive; sd >= 0".into(),
+        ));
     }
     if tc_min <= 0.0 || tc_max < tc_min {
         return Err(ArgError("need 0 < tc-min <= tc-max".into()));
@@ -45,10 +49,19 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("robust MBAC design");
     println!("  system size n           : {n:.1} mean-rate flows");
     println!("  critical time-scale T~h : {:.3}", design.t_h_tilde);
-    println!("  memory window T_m       : {:.3}  (rule: T_m = T~h)", design.t_m);
-    println!("  adjusted target p_ce    : {:.4e}  (alpha_ce = {:.3})", design.p_ce, design.alpha_ce);
+    println!(
+        "  memory window T_m       : {:.3}  (rule: T_m = T~h)",
+        design.t_m
+    );
+    println!(
+        "  adjusted target p_ce    : {:.4e}  (alpha_ce = {:.3})",
+        design.p_ce, design.alpha_ce
+    );
     println!("  worst-case T_c          : {:.3}", design.worst_t_c);
-    println!("  predicted overflow p_f  : {:.3e}  (target {p_q:.1e})", design.predicted_pf);
+    println!(
+        "  predicted overflow p_f  : {:.3e}  (target {p_q:.1e})",
+        design.predicted_pf
+    );
     println!(
         "  expected utilization    : {:.2}%  (clairvoyant bound {:.2}%)",
         100.0 * mean_utilization(n, flow, design.alpha_ce),

@@ -25,7 +25,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let t_m = args.f64_or("t-m", 0.0)?;
     let p_ce = args.prob_or("p-ce", 1e-3)?;
     if cov <= 0.0 || th_tilde <= 0.0 || t_c <= 0.0 || t_m < 0.0 {
-        return Err(ArgError("cov, th-tilde, t-c must be positive; t-m >= 0".into()));
+        return Err(ArgError(
+            "cov, th-tilde, t-c must be positive; t-m >= 0".into(),
+        ));
     }
 
     let model = ContinuousModel::new(cov, th_tilde, t_c);
@@ -34,12 +36,30 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("  beta (repair drift)      : {:.4}", model.beta());
     println!("  gamma (scale separation) : {:.4}", model.gamma());
     println!("controller: p_ce = {p_ce:.3e} (alpha = {alpha:.3}), T_m = {t_m}");
-    println!("  p_f  eqn(37) numeric     : {:.4e}", model.pf_with_memory(alpha, t_m));
-    println!("  p_f  eqn(38) closed form : {:.4e}", model.pf_with_memory_separated(alpha, t_m));
-    println!("  p_f  memoryless (T_m=0)  : {:.4e}", model.pf_memoryless(alpha));
-    println!("  impulsive sqrt2 penalty  : {:.4e}", impulsive::pf_certainty_equivalent(p_ce));
-    println!("  masking-regime approx    : {:.4e}", model.pf_masking_regime(alpha));
-    println!("  repair-regime approx     : {:.4e}", model.pf_repair_regime(alpha));
+    println!(
+        "  p_f  eqn(37) numeric     : {:.4e}",
+        model.pf_with_memory(alpha, t_m)
+    );
+    println!(
+        "  p_f  eqn(38) closed form : {:.4e}",
+        model.pf_with_memory_separated(alpha, t_m)
+    );
+    println!(
+        "  p_f  memoryless (T_m=0)  : {:.4e}",
+        model.pf_memoryless(alpha)
+    );
+    println!(
+        "  impulsive sqrt2 penalty  : {:.4e}",
+        impulsive::pf_certainty_equivalent(p_ce)
+    );
+    println!(
+        "  masking-regime approx    : {:.4e}",
+        model.pf_masking_regime(alpha)
+    );
+    println!(
+        "  repair-regime approx     : {:.4e}",
+        model.pf_repair_regime(alpha)
+    );
 
     if args.get("p-q").is_some() {
         let p_q = args.prob_or("p-q", 1e-3)?;

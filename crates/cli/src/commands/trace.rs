@@ -42,9 +42,11 @@ fn gen(args: &Args, file: &str) -> Result<(), ArgError> {
     }
     let seed = args.u64_or("seed", 0x57A7)?;
     let trace = generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(seed));
-    let mut f = std::fs::File::create(file)
-        .map_err(|e| ArgError(format!("cannot create {file}: {e}")))?;
-    trace.write_to(&mut f).map_err(|e| ArgError(format!("write failed: {e}")))?;
+    let mut f =
+        std::fs::File::create(file).map_err(|e| ArgError(format!("cannot create {file}: {e}")))?;
+    trace
+        .write_to(&mut f)
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
     println!(
         "wrote {file}: {} slots of {} time units, mean {:.4}, peak {:.4}",
         trace.len(),
@@ -59,12 +61,24 @@ fn info(file: &str) -> Result<(), ArgError> {
     let f = std::fs::File::open(file).map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
     let trace = Trace::read_from(f).map_err(|e| ArgError(format!("parse failed: {e}")))?;
     println!("{file}:");
-    println!("  slots           : {} x {} time units ({} total)", trace.len(), trace.slot(), trace.duration());
+    println!(
+        "  slots           : {} x {} time units ({} total)",
+        trace.len(),
+        trace.slot(),
+        trace.duration()
+    );
     println!("  mean rate       : {:.4}", trace.mean());
-    println!("  std dev         : {:.4}  (cov {:.3})", trace.variance().sqrt(), trace.variance().sqrt() / trace.mean());
+    println!(
+        "  std dev         : {:.4}  (cov {:.3})",
+        trace.variance().sqrt(),
+        trace.variance().sqrt() / trace.mean()
+    );
     println!("  peak rate       : {:.4}", trace.peak());
     if trace.len() >= 64 {
-        println!("  Hurst (var-time): {:.3}", hurst_variance_time(trace.rates()));
+        println!(
+            "  Hurst (var-time): {:.3}",
+            hurst_variance_time(trace.rates())
+        );
         println!("  Hurst (R/S)     : {:.3}", hurst_rs(trace.rates()));
     }
     match fit_correlation_timescale(trace.rates(), trace.slot(), 50, 0.05) {

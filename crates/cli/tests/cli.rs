@@ -31,9 +31,21 @@ fn help_subcommands() {
 #[test]
 fn design_produces_configuration() {
     let out = mbacctl(&[
-        "design", "--capacity", "400", "--sd", "0.3", "--holding", "1000", "--p-q", "0.001",
+        "design",
+        "--capacity",
+        "400",
+        "--sd",
+        "0.3",
+        "--holding",
+        "1000",
+        "--p-q",
+        "0.001",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("memory window"));
     assert!(text.contains("adjusted target"));
@@ -44,7 +56,15 @@ fn design_produces_configuration() {
 #[test]
 fn design_rejects_bad_probability() {
     let out = mbacctl(&[
-        "design", "--capacity", "400", "--sd", "0.3", "--holding", "1000", "--p-q", "1.5",
+        "design",
+        "--capacity",
+        "400",
+        "--sd",
+        "0.3",
+        "--holding",
+        "1000",
+        "--p-q",
+        "1.5",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("probability"));
@@ -53,7 +73,15 @@ fn design_rejects_bad_probability() {
 #[test]
 fn theory_evaluates_formulas() {
     let out = mbacctl(&[
-        "theory", "--cov", "0.3", "--th-tilde", "31.6", "--t-c", "1.0", "--t-m", "8",
+        "theory",
+        "--cov",
+        "0.3",
+        "--th-tilde",
+        "31.6",
+        "--t-c",
+        "1.0",
+        "--t-m",
+        "8",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -64,7 +92,17 @@ fn theory_evaluates_formulas() {
 
 #[test]
 fn unknown_flag_is_reported() {
-    let out = mbacctl(&["theory", "--cov", "0.3", "--th-tilde", "10", "--t-c", "1", "--oops", "1"]);
+    let out = mbacctl(&[
+        "theory",
+        "--cov",
+        "0.3",
+        "--th-tilde",
+        "10",
+        "--t-c",
+        "1",
+        "--oops",
+        "1",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --oops"));
 }
@@ -76,7 +114,11 @@ fn trace_gen_info_roundtrip() {
     let file = dir.join("t.txt");
     let path = file.to_str().unwrap();
     let out = mbacctl(&["trace", "gen", path, "--slots", "2048", "--seed", "9"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = mbacctl(&["trace", "info", path]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -89,13 +131,22 @@ fn trace_gen_info_roundtrip() {
 fn simulate_small_run_reports_result() {
     let out = mbacctl(&[
         "simulate",
-        "--capacity", "50",
-        "--holding", "50",
-        "--samples", "40",
-        "--p-q", "0.01",
-        "--seed", "3",
+        "--capacity",
+        "50",
+        "--holding",
+        "50",
+        "--samples",
+        "40",
+        "--p-q",
+        "0.01",
+        "--seed",
+        "3",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("overflow probability"));
     assert!(text.contains("mean utilization"));

@@ -55,7 +55,11 @@ mod tests {
     use crate::estimators::Estimate;
 
     fn agg(mean: f64, variance: f64, flows: usize) -> AggregateEstimate {
-        AggregateEstimate { mean, variance, flows }
+        AggregateEstimate {
+            mean,
+            variance,
+            flows,
+        }
     }
 
     #[test]
@@ -77,7 +81,11 @@ mod tests {
         let m = hom.admissible_count(Estimate::from(flow), c).floor() as usize;
         let ctl = AggregateGaussian::new(target);
         // m-1 flows in the system: admitting the m-th must pass.
-        let below = agg((m - 1) as f64 * flow.mean, (m - 1) as f64 * flow.variance, m - 1);
+        let below = agg(
+            (m - 1) as f64 * flow.mean,
+            (m - 1) as f64 * flow.variance,
+            m - 1,
+        );
         assert!(ctl.admit(below, flow, c), "should admit flow #{m}");
         // m flows in the system: admitting one more must fail.
         let at = agg(m as f64 * flow.mean, m as f64 * flow.variance, m);

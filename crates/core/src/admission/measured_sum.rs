@@ -132,7 +132,9 @@ impl MeasuredSum {
     /// `max(0, ⌊(u·c − ν̂)/r⌋)`. `None` before any observation.
     pub fn headroom_flows(&self, capacity: f64) -> Option<f64> {
         self.load_estimate().map(|nu| {
-            ((self.utilization_target * capacity - nu) / self.declared_rate).floor().max(0.0)
+            ((self.utilization_target * capacity - nu) / self.declared_rate)
+                .floor()
+                .max(0.0)
         })
     }
 
@@ -169,7 +171,10 @@ mod tests {
         feed(&mut ms, 1.5, 0.5, &[8.0, 8.0, 8.0]); // completes block [1,2)ish
         ms.observe_aggregate(3.0, 2.0);
         let nu = ms.load_estimate().unwrap();
-        assert!(nu >= 8.0 - 1e-9, "max-based estimate must remember the peak: {nu}");
+        assert!(
+            nu >= 8.0 - 1e-9,
+            "max-based estimate must remember the peak: {nu}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ use crate::estimators::Estimate;
 
 /// A policy that maps (estimated) per-flow statistics to the number of
 /// flows the link can carry at the configured QoS.
-pub trait AdmissionPolicy {
+///
+/// Policies are `Send + Sync`: the Monte Carlo harnesses share one
+/// policy across replication worker threads.
+pub trait AdmissionPolicy: Send + Sync {
     /// The estimated admissible number of flows `M` (the paper's `M_t`),
     /// given per-flow statistics and the link capacity. Returns a real
     /// number; callers compare against the integer flow count (a flow is
@@ -87,10 +90,7 @@ mod tests {
             let alpha = inv_q(p);
             let m = gaussian_admissible_count(mu, sd, alpha, c);
             let lhs = q((c - m * mu) / (sd * m.sqrt()));
-            assert!(
-                (lhs / p - 1.0).abs() < 1e-9,
-                "p={p}: M={m}, Q(...)={lhs}"
-            );
+            assert!((lhs / p - 1.0).abs() < 1e-9, "p={p}: M={m}, Q(...)={lhs}");
         }
     }
 

@@ -106,7 +106,8 @@ impl Estimator for AggregateOnlyEstimator {
     }
 
     fn estimate(&self) -> Option<Estimate> {
-        self.state.map(|s| Estimate::new(s.mean, (s.agg_var / s.last_n.max(1.0)).max(0.0)))
+        self.state
+            .map(|s| Estimate::new(s.mean, (s.agg_var / s.last_n.max(1.0)).max(0.0)))
     }
 
     fn reset(&mut self) {
@@ -150,8 +151,7 @@ mod tests {
         let n = 100usize;
         let mut var_track = mbac_num::RunningStats::new();
         for k in 0..40_000 {
-            let total: f64 =
-                (0..n).map(|_| 1.0 + 0.3 * standard_normal(&mut rng)).sum();
+            let total: f64 = (0..n).map(|_| 1.0 + 0.3 * standard_normal(&mut rng)).sum();
             agg.observe_aggregate(k as f64, n, total);
             if k > 2000 {
                 var_track.push(agg.estimate().unwrap().variance);
@@ -181,14 +181,19 @@ mod tests {
         // *single* snapshot the per-flow estimator already knows σ²,
         // while the aggregate-only one knows nothing.
         let mut rng = StdRng::seed_from_u64(2);
-        let rates: Vec<f64> = (0..200).map(|_| 1.0 + 0.3 * standard_normal(&mut rng)).collect();
+        let rates: Vec<f64> = (0..200)
+            .map(|_| 1.0 + 0.3 * standard_normal(&mut rng))
+            .collect();
         let mut per_flow = super::super::MemorylessEstimator::new();
         per_flow.observe(0.0, &rates);
         let mut agg = AggregateOnlyEstimator::new(5.0);
         agg.observe(0.0, &rates);
         let v_pf = per_flow.estimate().unwrap().variance;
         let v_agg = agg.estimate().unwrap().variance;
-        assert!((v_pf - 0.09).abs() < 0.03, "per-flow sees variance instantly: {v_pf}");
+        assert!(
+            (v_pf - 0.09).abs() < 0.03,
+            "per-flow sees variance instantly: {v_pf}"
+        );
         assert_eq!(v_agg, 0.0, "aggregate-only has no variance info yet");
     }
 
@@ -202,7 +207,11 @@ mod tests {
             agg.observe_aggregate(k as f64 * 0.1, n, n as f64 * 1.0);
         }
         let est = agg.estimate().unwrap();
-        assert!(est.variance < 0.02, "population churn leaked into σ̂²: {}", est.variance);
+        assert!(
+            est.variance < 0.02,
+            "population churn leaked into σ̂²: {}",
+            est.variance
+        );
     }
 
     #[test]

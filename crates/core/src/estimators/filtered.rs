@@ -39,7 +39,10 @@ impl FilteredEstimator {
     /// # Panics
     /// Panics if `t_m` is negative or non-finite.
     pub fn new(t_m: f64) -> Self {
-        assert!(t_m >= 0.0 && t_m.is_finite(), "memory time-scale must be finite and >= 0");
+        assert!(
+            t_m >= 0.0 && t_m.is_finite(),
+            "memory time-scale must be finite and >= 0"
+        );
         FilteredEstimator { t_m, state: None }
     }
 
@@ -80,12 +83,20 @@ impl Estimator for FilteredEstimator {
                         .sum::<f64>()
                         / (n - 1.0)
                 };
-                self.state = Some(FilterState { mean: snap_mean, variance, last_t: t });
+                self.state = Some(FilterState {
+                    mean: snap_mean,
+                    variance,
+                    last_t: t,
+                });
             }
             Some(s) => {
                 debug_assert!(t >= s.last_t, "snapshot times must be non-decreasing");
                 let dt = (t - s.last_t).max(0.0);
-                let a = if t_m == 0.0 { 1.0 } else { 1.0 - (-dt / t_m).exp() };
+                let a = if t_m == 0.0 {
+                    1.0
+                } else {
+                    1.0 - (-dt / t_m).exp()
+                };
                 s.mean += a * (snap_mean - s.mean);
                 // Variance snapshot around the *filtered* mean (paper §4.3).
                 let v_snap = if rates.len() < 2 {

@@ -77,13 +77,18 @@ impl ClassifiedEstimator {
         let num_classes = self.classes.len();
         let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); num_classes];
         for &(k, rate) in flows {
-            assert!(k < num_classes, "class index {k} out of range (< {num_classes})");
+            assert!(
+                k < num_classes,
+                "class index {k} out of range (< {num_classes})"
+            );
             buckets[k].push(rate);
         }
         for (k, rates) in buckets.iter().enumerate() {
             let state = &mut self.classes[k];
             state.count = rates.len();
-            let Some(snap) = snapshot_stats(rates) else { continue };
+            let Some(snap) = snapshot_stats(rates) else {
+                continue;
+            };
             if !state.initialized {
                 state.mean = snap.mean;
                 state.variance = snap.variance;
@@ -95,8 +100,7 @@ impl ClassifiedEstimator {
                 let v = if rates.len() < 2 {
                     0.0
                 } else {
-                    rates.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
-                        / (rates.len() - 1) as f64
+                    rates.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (rates.len() - 1) as f64
                 };
                 state.variance += gain * (v - state.variance);
             }
@@ -155,8 +159,12 @@ pub fn naive_variance_bias(class_means: &[f64], class_fractions: &[f64]) -> f64 
     assert_eq!(class_means.len(), class_fractions.len());
     let wsum: f64 = class_fractions.iter().sum();
     assert!(wsum > 0.0);
-    let mbar: f64 =
-        class_means.iter().zip(class_fractions).map(|(&m, &w)| m * w).sum::<f64>() / wsum;
+    let mbar: f64 = class_means
+        .iter()
+        .zip(class_fractions)
+        .map(|(&m, &w)| m * w)
+        .sum::<f64>()
+        / wsum;
     class_means
         .iter()
         .zip(class_fractions)

@@ -65,7 +65,10 @@ impl Estimate {
 
 impl From<FlowStats> for Estimate {
     fn from(f: FlowStats) -> Self {
-        Estimate { mean: f.mean, variance: f.variance }
+        Estimate {
+            mean: f.mean,
+            variance: f.variance,
+        }
     }
 }
 

@@ -34,8 +34,15 @@ impl PriorSmoothedEstimator {
     /// # Panics
     /// Panics if `weight` is negative or non-finite.
     pub fn new(prior: FlowStats, weight: f64) -> Self {
-        assert!(weight >= 0.0 && weight.is_finite(), "prior weight must be finite and >= 0");
-        PriorSmoothedEstimator { prior, weight, last: None }
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "prior weight must be finite and >= 0"
+        );
+        PriorSmoothedEstimator {
+            prior,
+            weight,
+            last: None,
+        }
     }
 
     /// The prior belief.
@@ -141,7 +148,11 @@ mod tests {
             e.observe(k as f64, &[2.0, 2.0, 2.0, 2.0]); // truth: mean 2
         }
         let est = e.estimate().unwrap();
-        assert!(est.mean < 1.9, "posterior mean {} stays biased toward the prior", est.mean);
+        assert!(
+            est.mean < 1.9,
+            "posterior mean {} stays biased toward the prior",
+            est.mean
+        );
     }
 
     #[test]

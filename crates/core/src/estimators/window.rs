@@ -23,8 +23,14 @@ impl WindowEstimator {
     /// # Panics
     /// Panics unless `t_w` is positive and finite.
     pub fn new(t_w: f64) -> Self {
-        assert!(t_w > 0.0 && t_w.is_finite(), "window length must be positive and finite");
-        WindowEstimator { t_w, samples: VecDeque::new() }
+        assert!(
+            t_w > 0.0 && t_w.is_finite(),
+            "window length must be positive and finite"
+        );
+        WindowEstimator {
+            t_w,
+            samples: VecDeque::new(),
+        }
     }
 
     /// The configured window length.
@@ -75,8 +81,12 @@ impl Estimator for WindowEstimator {
         // snapshot spread of the means, so the estimate reflects the
         // total per-flow variability seen over the window.
         let within = self.samples.iter().map(|(_, e)| e.variance).sum::<f64>() / n;
-        let between =
-            self.samples.iter().map(|(_, e)| (e.mean - mean) * (e.mean - mean)).sum::<f64>() / n;
+        let between = self
+            .samples
+            .iter()
+            .map(|(_, e)| (e.mean - mean) * (e.mean - mean))
+            .sum::<f64>()
+            / n;
         Some(Estimate::new(mean, within + between))
     }
 

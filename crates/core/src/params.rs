@@ -24,7 +24,10 @@ impl FlowStats {
     /// Panics unless `mean > 0` and `variance >= 0`.
     pub fn new(mean: f64, variance: f64) -> Self {
         assert!(mean > 0.0, "flow mean must be positive, got {mean}");
-        assert!(variance >= 0.0, "flow variance must be non-negative, got {variance}");
+        assert!(
+            variance >= 0.0,
+            "flow variance must be non-negative, got {variance}"
+        );
         FlowStats { mean, variance }
     }
 
@@ -102,7 +105,11 @@ impl SystemParams {
     /// Panics unless `capacity > 0`.
     pub fn new(capacity: f64, flow: FlowStats, qos: QosTarget) -> Self {
         assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
-        SystemParams { capacity, flow, qos }
+        SystemParams {
+            capacity,
+            flow,
+            qos,
+        }
     }
 
     /// Convenience constructor from the normalized size `n` (capacity is

@@ -91,8 +91,8 @@ impl RobustDesign {
             }
         }
         // Predicted p_f at the worst-case T_c with the chosen α_ce.
-        let predicted = ContinuousModel::new(cov, t_h_tilde, worst_t_c)
-            .pf_with_memory(worst_alpha, t_m);
+        let predicted =
+            ContinuousModel::new(cov, t_h_tilde, worst_t_c).pf_with_memory(worst_alpha, t_m);
         RobustDesign {
             t_m,
             t_h_tilde,

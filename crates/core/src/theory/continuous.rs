@@ -39,9 +39,16 @@ impl ContinuousModel {
     /// Panics unless all three parameters are positive and finite.
     pub fn new(cov: f64, t_h_tilde: f64, t_c: f64) -> Self {
         assert!(cov > 0.0 && cov.is_finite(), "cov must be positive");
-        assert!(t_h_tilde > 0.0 && t_h_tilde.is_finite(), "T̃_h must be positive");
+        assert!(
+            t_h_tilde > 0.0 && t_h_tilde.is_finite(),
+            "T̃_h must be positive"
+        );
         assert!(t_c > 0.0 && t_c.is_finite(), "T_c must be positive");
-        ContinuousModel { cov, t_h_tilde, t_c }
+        ContinuousModel {
+            cov,
+            t_h_tilde,
+            t_c,
+        }
     }
 
     /// The repair drift `β = μ/(σ T̃_h)` (eqn (28)).
@@ -101,7 +108,11 @@ impl ContinuousModel {
         let beta = self.beta();
         let v_plus_0 = 2.0 / (self.t_c + t_m);
         hitting_probability(
-            HittingProblem { alpha, beta, v_plus_0 },
+            HittingProblem {
+                alpha,
+                beta,
+                v_plus_0,
+            },
             |t: f64| self.sigma_m_sq(beta * t, t_m),
             1e-13,
         )
@@ -182,9 +193,8 @@ impl ContinuousModel {
     /// The paper's eqn (34) comparison form for the memoryless case:
     /// `p_f ≈ (T̃_h/(2T_c)) (σ α_q/μ) Q(α_q/√2)`.
     pub fn pf_memoryless_eqn34(&self, alpha: f64) -> f64 {
-        (self.t_h_tilde / (2.0 * self.t_c) * self.cov * alpha
-            * q(alpha / std::f64::consts::SQRT_2))
-        .min(1.0)
+        (self.t_h_tilde / (2.0 * self.t_c) * self.cov * alpha * q(alpha / std::f64::consts::SQRT_2))
+            .min(1.0)
     }
 }
 
@@ -203,7 +213,9 @@ pub fn pf_memoryless_integral(gamma: f64, alpha: f64) -> f64 {
         let s = s2.sqrt();
         gamma * (alpha + t) / (s2 * s) * phi((alpha + t) / s)
     };
-    mbac_num::integrate_to_inf(integrand, 0.0, 1e-13).value.min(1.0)
+    mbac_num::integrate_to_inf(integrand, 0.0, 1e-13)
+        .value
+        .min(1.0)
 }
 
 #[cfg(test)]
@@ -258,7 +270,10 @@ mod tests {
         let p_small = m.pf_with_memory(alpha, m.t_h_tilde / 10.0);
         let p_big = m.pf_with_memory(alpha, m.t_h_tilde);
         assert!(p_small < p0, "memory must help: {p_small} vs {p0}");
-        assert!(p_big < p_small, "more memory must help more: {p_big} vs {p_small}");
+        assert!(
+            p_big < p_small,
+            "more memory must help more: {p_big} vs {p_small}"
+        );
     }
 
     #[test]
@@ -268,7 +283,11 @@ mod tests {
         let m = model();
         let alpha = inv_q(1e-3);
         let p = m.pf_with_memory_separated(alpha, 1e9);
-        assert!((p / q(alpha) - 1.0).abs() < 1e-3, "p = {p}, Q(α) = {}", q(alpha));
+        assert!(
+            (p / q(alpha) - 1.0).abs() < 1e-3,
+            "p = {p}, Q(α) = {}",
+            q(alpha)
+        );
     }
 
     #[test]
@@ -323,7 +342,10 @@ mod tests {
         let p = m.pf_repair_regime(alpha);
         assert!(p < 1e-100, "repair regime p = {p}");
         let general = m.pf_with_memory(alpha, m.t_h_tilde);
-        assert!(general < 1e-3, "general formula should also meet target: {general}");
+        assert!(
+            general < 1e-3,
+            "general formula should also meet target: {general}"
+        );
     }
 
     #[test]

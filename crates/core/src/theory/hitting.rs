@@ -40,11 +40,7 @@ pub struct HittingProblem {
 /// `σ²(0⁺) → 0`; the adaptive quadrature resolves it, and points where
 /// `σ²(t) ≤ 0` contribute zero (the process cannot be above a positive
 /// boundary with zero variance).
-pub fn hitting_probability<S: Fn(f64) -> f64>(
-    prob: HittingProblem,
-    sigma2: S,
-    tol: f64,
-) -> f64 {
+pub fn hitting_probability<S: Fn(f64) -> f64>(prob: HittingProblem, sigma2: S, tol: f64) -> f64 {
     assert!(prob.alpha >= 0.0, "boundary offset must be non-negative");
     assert!(prob.beta >= 0.0, "boundary slope must be non-negative");
     assert!(prob.v_plus_0 >= 0.0, "v⁺(0) must be non-negative");
@@ -78,7 +74,11 @@ mod tests {
     fn brownian_motion_exact_comparison() {
         for &(alpha, beta) in &[(3.0, 1.0), (4.0, 0.5), (5.0, 1.5)] {
             let p = hitting_probability(
-                HittingProblem { alpha, beta, v_plus_0: 1.0 },
+                HittingProblem {
+                    alpha,
+                    beta,
+                    v_plus_0: 1.0,
+                },
                 |t| t,
                 1e-12,
             );
@@ -101,7 +101,11 @@ mod tests {
         // exact — a sharp end-to-end check of the quadrature.
         for &alpha in &[2.0, 3.0, 6.0] {
             let p = hitting_probability(
-                HittingProblem { alpha, beta: 1.0, v_plus_0: 1.0 },
+                HittingProblem {
+                    alpha,
+                    beta: 1.0,
+                    v_plus_0: 1.0,
+                },
                 |t| t,
                 1e-14,
             );
@@ -118,13 +122,23 @@ mod tests {
         let sigma2 = |t: f64| 2.0 * (1.0 - (-t).exp());
         let p = |alpha: f64, beta: f64| {
             hitting_probability(
-                HittingProblem { alpha, beta, v_plus_0: 2.0 },
+                HittingProblem {
+                    alpha,
+                    beta,
+                    v_plus_0: 2.0,
+                },
                 sigma2,
                 1e-12,
             )
         };
-        assert!(p(3.0, 1.0) > p(4.0, 1.0), "higher boundary, lower probability");
-        assert!(p(3.0, 1.0) > p(3.0, 2.0), "steeper boundary, lower probability");
+        assert!(
+            p(3.0, 1.0) > p(4.0, 1.0),
+            "higher boundary, lower probability"
+        );
+        assert!(
+            p(3.0, 1.0) > p(3.0, 2.0),
+            "steeper boundary, lower probability"
+        );
     }
 
     #[test]
@@ -133,7 +147,11 @@ mod tests {
         // no drift crossing contributes much beyond the immediate hit
         // Q(α) as v⁺(0) = 0.
         let p = hitting_probability(
-            HittingProblem { alpha: 3.0, beta: 1.0, v_plus_0: 0.0 },
+            HittingProblem {
+                alpha: 3.0,
+                beta: 1.0,
+                v_plus_0: 0.0,
+            },
             |_| 1.0,
             1e-12,
         );
@@ -143,7 +161,11 @@ mod tests {
     #[test]
     fn zero_variance_process_never_hits() {
         let p = hitting_probability(
-            HittingProblem { alpha: 3.0, beta: 1.0, v_plus_0: 0.0 },
+            HittingProblem {
+                alpha: 3.0,
+                beta: 1.0,
+                v_plus_0: 0.0,
+            },
             |_| 0.0,
             1e-12,
         );
@@ -159,13 +181,17 @@ mod tests {
         let alpha = 3.090232306167813; // α for p_q = 1e-3
         let t_c = 1.0;
         let beta = 100.0; // γ = 1/(βT_c)… careful: γ = 1/(β T_c)? No:
-        // In the paper γ := 1/(β T_c)⁻¹… γ = T̃_h σ /(T_c μ) = 1/(β T_c).
-        // With t_c = 1 and β = 1/γ_target: pick γ_target = 100 ⇒ β = 0.01.
+                          // In the paper γ := 1/(β T_c)⁻¹… γ = T̃_h σ /(T_c μ) = 1/(β T_c).
+                          // With t_c = 1 and β = 1/γ_target: pick γ_target = 100 ⇒ β = 0.01.
         let _ = beta;
         let gamma = 100.0;
         let beta = 1.0 / (gamma * t_c);
         let p = hitting_probability(
-            HittingProblem { alpha, beta, v_plus_0: 2.0 / t_c },
+            HittingProblem {
+                alpha,
+                beta,
+                v_plus_0: 2.0 / t_c,
+            },
             |t: f64| 2.0 * (1.0 - (-t / t_c).exp()),
             1e-13,
         );

@@ -159,8 +159,7 @@ mod tests {
     #[test]
     fn safety_margin_scales_with_sqrt_n() {
         let qos = QosTarget::new(1e-3);
-        let margin =
-            |n: f64| n - m_star_approx(n, flow(), qos);
+        let margin = |n: f64| n - m_star_approx(n, flow(), qos);
         assert!((margin(40_000.0) / margin(10_000.0) - 2.0).abs() < 1e-9);
     }
 

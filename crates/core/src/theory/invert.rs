@@ -68,14 +68,22 @@ pub fn invert_pce(
     }
     let root = brent(g, 0.0, ALPHA_MAX, 1e-10, 300)?;
     let alpha_ce = root.x;
-    Ok(AdjustedTarget { alpha_ce, p_ce: q(alpha_ce), ln_pce: ln_q(alpha_ce) })
+    Ok(AdjustedTarget {
+        alpha_ce,
+        p_ce: q(alpha_ce),
+        ln_pce: ln_q(alpha_ce),
+    })
 }
 
 /// Impulsive-load adjustment (eqn (15)): `α_ce = √2 α_q`, exact and
 /// closed-form. Provided here for symmetry with [`invert_pce`].
 pub fn invert_pce_impulsive(p_q: f64) -> AdjustedTarget {
     let alpha_ce = std::f64::consts::SQRT_2 * mbac_num::inv_q(p_q);
-    AdjustedTarget { alpha_ce, p_ce: q(alpha_ce), ln_pce: ln_q(alpha_ce) }
+    AdjustedTarget {
+        alpha_ce,
+        p_ce: q(alpha_ce),
+        ln_pce: ln_q(alpha_ce),
+    }
 }
 
 #[cfg(test)]

@@ -59,12 +59,7 @@ mod tests {
     #[test]
     fn loss_matches_alpha_form() {
         let a = utilization_loss(400.0, flow(), 1e-5, 1e-3);
-        let b = utilization_loss_alpha(
-            400.0,
-            flow(),
-            mbac_num::inv_q(1e-5),
-            mbac_num::inv_q(1e-3),
-        );
+        let b = utilization_loss_alpha(400.0, flow(), mbac_num::inv_q(1e-5), mbac_num::inv_q(1e-3));
         assert!((a - b).abs() < 1e-9);
     }
 
@@ -96,7 +91,10 @@ mod tests {
         let alpha = 3.0;
         let u_small = mean_utilization(100.0, flow(), alpha);
         let u_big = mean_utilization(10_000.0, flow(), alpha);
-        assert!(u_big > u_small, "statistical multiplexing gain grows with n");
+        assert!(
+            u_big > u_small,
+            "statistical multiplexing gain grows with n"
+        );
         assert!(u_big < 1.0 && u_small > 0.0);
     }
 }

@@ -208,9 +208,11 @@ mod tests {
         let u = UtilityFunction::Elastic { exponent: 0.5 };
         let eps = 1e-3;
         let m = admissible_flows_utility(flow, 100.0, eps, u);
-        let realized =
-            expected_utility_loss(m * flow.mean, (m * flow.variance).sqrt(), 100.0, u);
-        assert!((realized / eps - 1.0).abs() < 1e-4, "m={m}, realized {realized}");
+        let realized = expected_utility_loss(m * flow.mean, (m * flow.variance).sqrt(), 100.0, u);
+        assert!(
+            (realized / eps - 1.0).abs() < 1e-4,
+            "m={m}, realized {realized}"
+        );
     }
 
     #[test]
@@ -220,20 +222,15 @@ mod tests {
         let flow = FlowStats::from_mean_sd(1.0, 0.3);
         let eps = 1e-3;
         let m_hard = admissible_flows_utility(flow, 100.0, eps, UtilityFunction::Hard);
-        let m_elastic = admissible_flows_utility(
-            flow,
-            100.0,
-            eps,
-            UtilityFunction::Elastic { exponent: 0.5 },
-        );
+        let m_elastic =
+            admissible_flows_utility(flow, 100.0, eps, UtilityFunction::Elastic { exponent: 0.5 });
         // Hard metric must agree with the eqn (4) Gaussian count.
-        let gauss = crate::admission::gaussian_admissible_count(
-            1.0,
-            0.3,
-            mbac_num::inv_q(eps),
-            100.0,
+        let gauss =
+            crate::admission::gaussian_admissible_count(1.0, 0.3, mbac_num::inv_q(eps), 100.0);
+        assert!(
+            (m_hard - gauss).abs() < 0.5,
+            "m_hard {m_hard} vs gaussian {gauss}"
         );
-        assert!((m_hard - gauss).abs() < 0.5, "m_hard {m_hard} vs gaussian {gauss}");
         assert!(
             m_elastic > m_hard + 1.0,
             "elastic {m_elastic} should beat hard {m_hard}"
@@ -251,13 +248,11 @@ mod tests {
             eps,
             UtilityFunction::Adaptive { min_share: 0.9 },
         );
-        let m_elastic = admissible_flows_utility(
-            flow,
-            100.0,
-            eps,
-            UtilityFunction::Elastic { exponent: 0.5 },
+        let m_elastic =
+            admissible_flows_utility(flow, 100.0, eps, UtilityFunction::Elastic { exponent: 0.5 });
+        assert!(
+            m_hard <= m_floor + 0.5 && m_floor <= m_elastic + 0.5,
+            "ordering: hard {m_hard} ≤ floor {m_floor} ≤ elastic {m_elastic}"
         );
-        assert!(m_hard <= m_floor + 0.5 && m_floor <= m_elastic + 0.5,
-            "ordering: hard {m_hard} ≤ floor {m_floor} ≤ elastic {m_elastic}");
     }
 }

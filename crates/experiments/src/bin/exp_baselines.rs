@@ -26,7 +26,10 @@ use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
 use mbac_experiments::{budget, paper, parallel_map, write_csv, Table};
-use mbac_sim::{run_continuous, AdmissionEngine, ContinuousConfig, ContinuousReport, MbacController, MeasuredSumController};
+use mbac_sim::{
+    run_continuous, AdmissionEngine, ContinuousConfig, ContinuousReport, MbacController,
+    MeasuredSumController,
+};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn main() {
@@ -67,9 +70,8 @@ fn main() {
 
     // Engines are stateful boxed trait objects; run the cases across
     // worker threads by index, rebuilding each engine inside its worker.
-    let labels: Vec<usize> = (0..rebuild_cases(n, t_h_tilde, p_q, p_ce_robust, true_flow, t_c)
-        .len())
-        .collect();
+    let labels: Vec<usize> =
+        (0..rebuild_cases(n, t_h_tilde, p_q, p_ce_robust, true_flow, t_c).len()).collect();
     let reports = parallel_map(labels, |&i| {
         let (label, engine) = rebuild_cases(n, t_h_tilde, p_q, p_ce_robust, true_flow, t_c)
             .into_iter()
@@ -89,7 +91,13 @@ fn main() {
             "{:<22} {:>12.3e} {:>9.1e} {:>7.3} {:>11.1} {:>14?}",
             label, rep.pf.value, p_q, rep.mean_utilization, rep.mean_flows, rep.pf.method
         );
-        table.push(vec![case_idx, rep.pf.value, p_q, rep.mean_utilization, rep.mean_flows]);
+        table.push(vec![
+            case_idx,
+            rep.pf.value,
+            p_q,
+            rep.mean_utilization,
+            rep.mean_flows,
+        ]);
         case_idx += 1.0;
     }
     // Peak-rate floor, analytically.
@@ -135,7 +143,9 @@ fn rebuild_cases(
             "robust-ce",
             Box::new(MbacController::new(
                 Box::new(FilteredEstimator::new(t_h_tilde)),
-                Box::new(CertaintyEquivalent::from_probability(p_ce_robust.max(1e-300))),
+                Box::new(CertaintyEquivalent::from_probability(
+                    p_ce_robust.max(1e-300),
+                )),
             )),
         ),
         (
@@ -158,8 +168,7 @@ fn rebuild_cases(
         (
             "measured-sum",
             Box::new(MeasuredSumController::new(MeasuredSum::new(
-                (1.0 - true_flow.cov()
-                    * QosTarget::new(p_ce_robust.max(1e-300)).alpha()
+                (1.0 - true_flow.cov() * QosTarget::new(p_ce_robust.max(1e-300)).alpha()
                     / n.sqrt())
                 .clamp(0.5, 1.0),
                 t_h_tilde,

@@ -21,8 +21,14 @@ use std::sync::Arc;
 fn main() {
     let p_q = paper::P_Q;
     let n: f64 = 400.0;
-    let cfg = StarwarsConfig { slots: 1 << 16, ..StarwarsConfig::default() };
-    let trace = Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(0x57A7)));
+    let cfg = StarwarsConfig {
+        slots: 1 << 16,
+        ..StarwarsConfig::default()
+    };
+    let trace = Arc::new(generate_starwars_like(
+        &cfg,
+        &mut StdRng::seed_from_u64(0x57A7),
+    ));
     let h_vt = hurst_variance_time(trace.rates());
     let h_rs = hurst_rs(trace.rates());
     let t_hs: Vec<f64> = vec![8_000.0, 4_000.0, 2_000.0, 1_000.0, 500.0, 250.0];
@@ -73,7 +79,12 @@ fn main() {
     let path = write_csv("fig11", &table).expect("write CSV");
     println!(
         "\n{}",
-        ascii_plot(&[("pf memoryless", &s_sim), ("p_q target", &target_line)], true, 60, 12)
+        ascii_plot(
+            &[("pf memoryless", &s_sim), ("p_q target", &target_line)],
+            true,
+            60,
+            12
+        )
     );
     println!("wrote {}", path.display());
     println!(

@@ -19,8 +19,14 @@ use std::sync::Arc;
 fn main() {
     let p_q = paper::P_Q;
     let n: f64 = 400.0;
-    let cfg = StarwarsConfig { slots: 1 << 16, ..StarwarsConfig::default() };
-    let trace = Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(0x57A7)));
+    let cfg = StarwarsConfig {
+        slots: 1 << 16,
+        ..StarwarsConfig::default()
+    };
+    let trace = Arc::new(generate_starwars_like(
+        &cfg,
+        &mut StdRng::seed_from_u64(0x57A7),
+    ));
     let cov = trace.variance().sqrt() / trace.mean();
     let t_hs: Vec<f64> = vec![8_000.0, 4_000.0, 2_000.0, 1_000.0, 500.0, 250.0];
     let max_samples = budget(10_000, 200);
@@ -52,8 +58,15 @@ fn main() {
         (t_h, t_h_tilde, p_ce, sc.run())
     });
 
-    let mut table =
-        Table::new(vec!["t_h", "inv_thtilde", "t_m", "pce_adj", "pf_sim", "target", "util"]);
+    let mut table = Table::new(vec![
+        "t_h",
+        "inv_thtilde",
+        "t_m",
+        "pce_adj",
+        "pf_sim",
+        "target",
+        "util",
+    ]);
     let mut s_sim = Vec::new();
     println!(
         "{:>9} {:>10} {:>8} {:>12} {:>12} {:>9} {:>7} {:>14}",
@@ -65,7 +78,15 @@ fn main() {
             "{:>9.0} {:>10.4} {:>8.1} {:>12.3e} {:>12.3e} {:>9.1e} {:>7.3} {:>14?}",
             t_h, x, tht, p_ce, rep.pf.value, p_q, rep.mean_utilization, rep.pf.method
         );
-        table.push(vec![t_h, x, tht, p_ce, rep.pf.value, p_q, rep.mean_utilization]);
+        table.push(vec![
+            t_h,
+            x,
+            tht,
+            p_ce,
+            rep.pf.value,
+            p_q,
+            rep.mean_utilization,
+        ]);
         s_sim.push((x, rep.pf.value.max(1e-9)));
     }
     let target_line: Vec<(f64, f64)> = s_sim.iter().map(|&(x, _)| (x, p_q)).collect();

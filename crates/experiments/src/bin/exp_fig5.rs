@@ -42,7 +42,9 @@ fn main() {
         (t_m, theory38, theory37, rep)
     });
 
-    let mut table = Table::new(vec!["t_m", "pf_eqn38", "pf_eqn37", "pf_sim", "util", "samples"]);
+    let mut table = Table::new(vec![
+        "t_m", "pf_eqn38", "pf_eqn37", "pf_sim", "util", "samples",
+    ]);
     let mut s_theory = Vec::new();
     let mut s_sim = Vec::new();
     println!(
@@ -68,7 +70,12 @@ fn main() {
     let path = write_csv("fig5", &table).expect("write CSV");
     println!(
         "\n{}",
-        ascii_plot(&[("theory eqn(38)", &s_theory), ("simulation", &s_sim)], true, 60, 16)
+        ascii_plot(
+            &[("theory eqn(38)", &s_theory), ("simulation", &s_sim)],
+            true,
+            60,
+            16
+        )
     );
     println!("wrote {}", path.display());
     println!(

@@ -15,8 +15,7 @@ use mbac_experiments::{ascii_plot, paper, write_csv, Table};
 fn main() {
     let p_q = paper::P_Q;
     let t_c = paper::FIG5_T_C;
-    let grid: Vec<(f64, f64)> =
-        vec![(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)];
+    let grid: Vec<(f64, f64)> = vec![(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)];
     let t_ms: Vec<f64> = (0..=14).map(|k| 2f64.powi(k - 2)).collect(); // 0.25 .. 4096
 
     println!("== fig-6: adjusted p_ce by inversion of eqn (38) ==");
@@ -29,7 +28,10 @@ fn main() {
         let model = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
         let mut series = Vec::new();
         println!("-- n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}) --");
-        println!("{:>9} {:>12} {:>12} {:>9}", "T_m", "p_ce", "ln p_ce", "alpha_ce");
+        println!(
+            "{:>9} {:>12} {:>12} {:>9}",
+            "T_m", "p_ce", "ln p_ce", "alpha_ce"
+        );
         for &t_m in &t_ms {
             match invert_pce(&model, t_m, p_q, InvertMethod::Separated) {
                 Ok(adj) => {
@@ -41,7 +43,10 @@ fn main() {
                     series.push((t_m.log10(), adj.ln_pce / std::f64::consts::LN_10));
                 }
                 Err(_) => {
-                    println!("{t_m:>9.2} {:>12} (repair-dominated: no adjustment needed)", "-");
+                    println!(
+                        "{t_m:>9.2} {:>12} (repair-dominated: no adjustment needed)",
+                        "-"
+                    );
                     table.push(vec![n, t_h, t_m, p_q.ln(), p_q, mbac_num::inv_q(p_q)]);
                 }
             }
@@ -51,8 +56,10 @@ fn main() {
     }
 
     let path = write_csv("fig6", &table).expect("write CSV");
-    let plot_series: Vec<(&str, &[(f64, f64)])> =
-        series_store.iter().map(|(s, v)| (s.as_str(), v.as_slice())).collect();
+    let plot_series: Vec<(&str, &[(f64, f64)])> = series_store
+        .iter()
+        .map(|(s, v)| (s.as_str(), v.as_slice()))
+        .collect();
     println!("{}", ascii_plot(&plot_series, false, 64, 18));
     println!("axes: x = log10(T_m), y = log10(p_ce)\n");
     println!("wrote {}", path.display());

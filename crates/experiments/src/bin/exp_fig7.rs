@@ -64,7 +64,12 @@ fn main() {
     let path = write_csv("fig7", &table).expect("write CSV");
     println!(
         "\n{}",
-        ascii_plot(&[("pf simulated", &s_sim), ("p_q target", &s_target)], true, 60, 12)
+        ascii_plot(
+            &[("pf simulated", &s_sim), ("p_q target", &s_target)],
+            true,
+            60,
+            12
+        )
     );
     println!("wrote {}", path.display());
     println!(

@@ -27,8 +27,7 @@ fn main() {
     let qos = QosTarget::new(p);
     let rho = |t: f64| (-t / t_c).exp();
 
-    let times: Vec<f64> =
-        vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let times: Vec<f64> = vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
     let reps = budget(120_000, 5_000) as usize;
 
     let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
@@ -48,7 +47,10 @@ fn main() {
     let mut table = Table::new(vec!["t", "pf_theory", "pf_sim", "mean_flows"]);
     let mut theory_series = Vec::new();
     let mut sim_series = Vec::new();
-    println!("{:>8} {:>12} {:>12} {:>12}", "t", "pf_theory", "pf_sim", "flows");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "t", "pf_theory", "pf_sim", "flows"
+    );
     for (i, &t) in times.iter().enumerate() {
         let pf_th = pf_at_time(t, flow, qos, t_h_tilde, rho);
         let pf_sim = rep.pf_at(i);
@@ -59,12 +61,18 @@ fn main() {
         sim_series.push((t, pf_sim));
     }
     let path = write_csv("finite_holding", &table).expect("write CSV");
-    println!("\n{}", ascii_plot(
-        &[("theory eqn(21)", &theory_series), ("simulation", &sim_series)],
-        false,
-        60,
-        14,
-    ));
+    println!(
+        "\n{}",
+        ascii_plot(
+            &[
+                ("theory eqn(21)", &theory_series),
+                ("simulation", &sim_series)
+            ],
+            false,
+            60,
+            14,
+        )
+    );
     println!("wrote {}", path.display());
     println!(
         "\nExpected shape: p_f(0) ≈ 0, an interior peak near the correlation/repair\n\

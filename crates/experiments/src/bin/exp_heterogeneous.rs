@@ -26,8 +26,18 @@ use rand::SeedableRng;
 fn main() {
     // Class 0: audio-like (mean 1, sd 0.3); class 1: video-like
     // (mean 4, sd 1.2). Equal populations.
-    let c0 = RcbrModel::new(RcbrConfig { mean: 1.0, std_dev: 0.3, t_c: 1.0, truncate_at_zero: true });
-    let c1 = RcbrModel::new(RcbrConfig { mean: 4.0, std_dev: 1.2, t_c: 1.0, truncate_at_zero: true });
+    let c0 = RcbrModel::new(RcbrConfig {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        truncate_at_zero: true,
+    });
+    let c1 = RcbrModel::new(RcbrConfig {
+        mean: 4.0,
+        std_dev: 1.2,
+        t_c: 1.0,
+        truncate_at_zero: true,
+    });
     let per_class = 200usize;
     let p_q = 1e-3;
     let capacity = 600.0;
@@ -56,8 +66,8 @@ fn main() {
         naive_mean.push(snap.mean);
         let labeled: Vec<(usize, f64)> = flows.iter().map(|(c, f)| (*c, f.rate())).collect();
         classified.observe(t, &labeled);
-        for cls in 0..2 {
-            class_var[cls].push(classified.estimate_class(cls).unwrap().variance);
+        for (cls, cv) in class_var.iter_mut().enumerate() {
+            cv.push(classified.estimate_class(cls).unwrap().variance);
         }
     }
 
@@ -67,7 +77,10 @@ fn main() {
     println!("true within-class variance (pooled): {within:.4}");
     println!("predicted naive bias (between-class): {bias:.4}");
     println!("predicted naive variance:             {:.4}", within + bias);
-    println!("measured naive variance:              {:.4}", naive_var.mean());
+    println!(
+        "measured naive variance:              {:.4}",
+        naive_var.mean()
+    );
     println!(
         "measured per-class variances:         {:.4} / {:.4} (true {:.4} / {:.4})",
         class_var[0].mean(),
@@ -86,7 +99,11 @@ fn main() {
     let mut m_classified = 0usize;
     let mut virt = mbac_core::estimators::heterogeneous::AggregateEstimate::default();
     loop {
-        let cls: &dyn SourceModel = if m_classified % 2 == 0 { &c0 } else { &c1 };
+        let cls: &dyn SourceModel = if m_classified.is_multiple_of(2) {
+            &c0
+        } else {
+            &c1
+        };
         let cand = FlowStats::new(cls.mean(), cls.variance());
         if !ctl.admit(virt, cand, capacity) {
             break;
@@ -100,7 +117,10 @@ fn main() {
     println!("  naive (unclassified) admissible flows: {m_naive:.1}");
     println!("  per-class admissible flows:            {m_classified}");
     println!("  (naive < classified ⇒ conservative, as §5.4 predicts)");
-    println!("  aggregate measured mean/var: {:.1} / {:.1}", agg.mean, agg.variance);
+    println!(
+        "  aggregate measured mean/var: {:.1} / {:.1}",
+        agg.mean, agg.variance
+    );
 
     let mut table = Table::new(vec![
         "within_var",

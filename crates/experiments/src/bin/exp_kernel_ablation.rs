@@ -61,7 +61,10 @@ fn main() {
     });
 
     let mut table = Table::new(vec!["t_m", "pf_exponential", "pf_rectangular"]);
-    println!("{:>8} {:>16} {:>16} {:>9}", "T_m", "pf exp-kernel", "pf rect-window", "ratio");
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "T_m", "pf exp-kernel", "pf rect-window", "ratio"
+    );
     for (i, &t_m) in t_ms.iter().enumerate() {
         let exp_rep = &results[2 * i];
         let rect_rep = &results[2 * i + 1];

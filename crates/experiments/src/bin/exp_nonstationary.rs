@@ -36,8 +36,18 @@ fn main() {
 
     // Phase 1: the paper's σ/μ = 0.3 flows; phase 2: new arrivals are
     // burstier (σ/μ = 0.5).
-    let calm = RcbrModel::new(RcbrConfig { mean: 1.0, std_dev: 0.3, t_c, truncate_at_zero: true });
-    let wild = RcbrModel::new(RcbrConfig { mean: 1.0, std_dev: 0.5, t_c, truncate_at_zero: true });
+    let calm = RcbrModel::new(RcbrConfig {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c,
+        truncate_at_zero: true,
+    });
+    let wild = RcbrModel::new(RcbrConfig {
+        mean: 1.0,
+        std_dev: 0.5,
+        t_c,
+        truncate_at_zero: true,
+    });
 
     // Adjusted target from the *phase-1* statistics (the operator
     // designed before the shift — that is the point).
@@ -102,7 +112,12 @@ fn main() {
             .into_iter()
             .enumerate()
             .map(|(i, (pf, util, samples))| {
-                (i, pf / replications as f64, util / replications as f64, samples)
+                (
+                    i,
+                    pf / replications as f64,
+                    util / replications as f64,
+                    samples,
+                )
             })
             .collect();
         (label, averaged)

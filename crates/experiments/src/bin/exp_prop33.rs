@@ -51,7 +51,13 @@ fn with_marginal(
     p_q: f64,
     adjusted: bool,
 ) -> Case {
-    Case { label, n, p_q, model: Box::new(GeneralRcbrModel::new(marginal, 1.0)), adjusted }
+    Case {
+        label,
+        n,
+        p_q,
+        model: Box::new(GeneralRcbrModel::new(marginal, 1.0)),
+        adjusted,
+    }
 }
 
 fn onoff(n: usize, p_q: f64, adjusted: bool) -> Case {
@@ -61,7 +67,9 @@ fn onoff(n: usize, p_q: f64, adjusted: bool) -> Case {
         label: "onoff-two-point",
         n,
         p_q,
-        model: Box::new(MarkovFluidFactory::new(MarkovFluidModel::on_off(2.0, 3.0, 1.0))),
+        model: Box::new(MarkovFluidFactory::new(MarkovFluidModel::on_off(
+            2.0, 3.0, 1.0,
+        ))),
         adjusted,
     }
 }
@@ -69,8 +77,8 @@ fn onoff(n: usize, p_q: f64, adjusted: bool) -> Case {
 fn main() {
     let reps = budget(60_000, 4_000) as usize;
     let p_q = 0.01; // large enough to resolve by direct simulation
-    // Universality sweep: same (μ, σ, T_c), four marginal shapes,
-    // three system sizes, plus the adjusted-target checks.
+                    // Universality sweep: same (μ, σ, T_c), four marginal shapes,
+                    // three system sizes, plus the adjusted-target checks.
     let cases = vec![
         rcbr(100, p_q, false),
         rcbr(400, p_q, false),
@@ -132,7 +140,15 @@ fn main() {
         let pf_pk = rep_pk.pf_at(0);
         // M0 fluctuation check (Prop 3.1): sd ≈ (σ/μ)√n.
         let m0_sd_pred = flow.cov() * (case.n as f64).sqrt();
-        (case.label, case.n, case.adjusted, pf_ce, pf_pk, rep.m0.std_dev(), m0_sd_pred)
+        (
+            case.label,
+            case.n,
+            case.adjusted,
+            pf_ce,
+            pf_pk,
+            rep.m0.std_dev(),
+            m0_sd_pred,
+        )
     });
 
     let mut table = Table::new(vec![
@@ -147,7 +163,15 @@ fn main() {
     ]);
     println!(
         "{:<16} {:>6} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "distribution", "n", "adjusted", "pf_ce_sim", "pf_theory", "pf_pk_sim", "target", "m0_sd", "m0_sd_th"
+        "distribution",
+        "n",
+        "adjusted",
+        "pf_ce_sim",
+        "pf_theory",
+        "pf_pk_sim",
+        "target",
+        "m0_sd",
+        "m0_sd_th"
     );
     for (label, n, adjusted, pf_ce, pf_pk, m0_sd, m0_sd_pred) in rows {
         let theory = if adjusted {

@@ -16,9 +16,7 @@
 use mbac_core::admission::AdmissionPolicy;
 use mbac_core::estimators::Estimate;
 use mbac_core::params::FlowStats;
-use mbac_core::utility::{
-    admissible_flows_utility, expected_utility_loss, UtilityFunction,
-};
+use mbac_core::utility::{admissible_flows_utility, expected_utility_loss, UtilityFunction};
 use mbac_experiments::{budget, parallel_map, write_csv, Table};
 use mbac_sim::{run_continuous, ContinuousConfig, MbacController, UtilityMeter};
 use mbac_traffic::process::{RateProcess, SourceModel};
@@ -43,8 +41,14 @@ fn main() {
     let samples = budget(6_000, 400);
     let utilities: Vec<(&'static str, UtilityFunction)> = vec![
         ("hard (overflow)", UtilityFunction::Hard),
-        ("adaptive floor 0.9", UtilityFunction::Adaptive { min_share: 0.9 }),
-        ("adaptive floor 0.5", UtilityFunction::Adaptive { min_share: 0.5 }),
+        (
+            "adaptive floor 0.9",
+            UtilityFunction::Adaptive { min_share: 0.9 },
+        ),
+        (
+            "adaptive floor 0.5",
+            UtilityFunction::Adaptive { min_share: 0.5 },
+        ),
         ("elastic sqrt", UtilityFunction::Elastic { exponent: 0.5 }),
     ];
 
@@ -60,8 +64,9 @@ fn main() {
         // realized utility.
         let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
         let mut rng = StdRng::seed_from_u64(0x07EC + m as u64);
-        let mut flows: Vec<Box<dyn RateProcess>> =
-            (0..m.floor() as usize).map(|_| model.spawn(&mut rng)).collect();
+        let mut flows: Vec<Box<dyn RateProcess>> = (0..m.floor() as usize)
+            .map(|_| model.spawn(&mut rng))
+            .collect();
         let mut meter = UtilityMeter::new(capacity, u);
         let spacing = 2.0 * t_c;
         for _ in 0..samples {
@@ -73,7 +78,13 @@ fn main() {
         (label, u, m, predicted, meter.mean_loss())
     });
 
-    let mut table = Table::new(vec!["case", "flows", "loss_theory", "loss_sim", "utilization"]);
+    let mut table = Table::new(vec![
+        "case",
+        "flows",
+        "loss_theory",
+        "loss_sim",
+        "utilization",
+    ]);
     println!(
         "{:<20} {:>8} {:>12} {:>12} {:>12}",
         "utility", "flows", "loss_theory", "loss_sim", "utilization"
@@ -105,8 +116,12 @@ fn main() {
     }
     // Also exercise the dynamic path: a full continuous-load run sized
     // by the elastic metric, with the MBAC in the loop.
-    let m_elastic =
-        admissible_flows_utility(flow, capacity, eps, UtilityFunction::Elastic { exponent: 0.5 });
+    let m_elastic = admissible_flows_utility(
+        flow,
+        capacity,
+        eps,
+        UtilityFunction::Elastic { exponent: 0.5 },
+    );
     let mut ctl = MbacController::new(
         Box::new(mbac_core::estimators::FilteredEstimator::new(10.0)),
         Box::new(FixedCount(m_elastic)),

@@ -42,8 +42,13 @@ fn main() {
         (p_ce, sc.run())
     });
 
-    let mut table =
-        Table::new(vec!["p_ce", "util_sim", "util_theory", "flows_sim", "pf_sim"]);
+    let mut table = Table::new(vec![
+        "p_ce",
+        "util_sim",
+        "util_theory",
+        "flows_sim",
+        "pf_sim",
+    ]);
     println!(
         "{:>9} {:>9} {:>12} {:>10} {:>12}",
         "p_ce", "util_sim", "util_theory", "flows", "pf_sim"
@@ -55,7 +60,13 @@ fn main() {
             "{:>9.1e} {:>9.4} {:>12.4} {:>10.1} {:>12.3e}",
             p_ce, rep.mean_utilization, util_th, rep.mean_flows, rep.pf.value
         );
-        table.push(vec![*p_ce, rep.mean_utilization, util_th, rep.mean_flows, rep.pf.value]);
+        table.push(vec![
+            *p_ce,
+            rep.mean_utilization,
+            util_th,
+            rep.mean_flows,
+            rep.pf.value,
+        ]);
         sim_utils.push((*p_ce, rep.mean_utilization));
     }
 

@@ -20,7 +20,9 @@ pub use sweep::parallel_map;
 /// shrink their sample budgets for smoke runs (CI, benches) at the cost
 /// of statistical precision.
 pub fn quick_mode() -> bool {
-    std::env::var("MBAC_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("MBAC_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Picks `full` normally, `quick` under [`quick_mode`]. A fractional
@@ -31,7 +33,10 @@ pub fn budget(full: u64, quick: u64) -> u64 {
     if quick_mode() {
         return quick;
     }
-    match std::env::var("MBAC_SCALE").ok().and_then(|s| s.parse::<f64>().ok()) {
+    match std::env::var("MBAC_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
         Some(scale) if scale > 0.0 => ((full as f64 * scale) as u64).max(quick),
         _ => full,
     }

@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -109,7 +112,12 @@ pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
 /// Renders an ASCII scatter/line plot of `(x, y)` series. `log_y`
 /// plots `log10(y)`; non-positive values are dropped in that mode.
 /// Multiple series are overlaid with distinct glyphs.
-pub fn ascii_plot(series: &[(&str, &[(f64, f64)])], log_y: bool, width: usize, height: usize) -> String {
+pub fn ascii_plot(
+    series: &[(&str, &[(f64, f64)])],
+    log_y: bool,
+    width: usize,
+    height: usize,
+) -> String {
     const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let mut pts: Vec<(usize, f64, f64)> = Vec::new();
     for (si, (_, s)) in series.iter().enumerate() {

@@ -46,7 +46,8 @@ impl ContinuousScenario {
 
     /// Theory prediction by numerical integration of eqn (37).
     pub fn theory_pf_general(&self) -> f64 {
-        self.theory().pf_with_memory(QosTarget::new(self.p_ce).alpha(), self.t_m)
+        self.theory()
+            .pf_with_memory(QosTarget::new(self.p_ce).alpha(), self.t_m)
     }
 
     /// Theory prediction by the closed form of eqn (38).
@@ -172,8 +173,8 @@ mod tests {
     #[test]
     fn theory_matches_direct_model_call() {
         let s = scenario();
-        let direct = ContinuousModel::new(0.3, 10.0, 1.0)
-            .pf_with_memory(QosTarget::new(1e-2).alpha(), 5.0);
+        let direct =
+            ContinuousModel::new(0.3, 10.0, 1.0).pf_with_memory(QosTarget::new(1e-2).alpha(), 5.0);
         assert!((s.theory_pf_general() - direct).abs() < 1e-12);
     }
 
@@ -189,9 +190,11 @@ mod tests {
         use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let cfg = StarwarsConfig { slots: 4096, ..StarwarsConfig::default() };
-        let trace =
-            Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(5)));
+        let cfg = StarwarsConfig {
+            slots: 4096,
+            ..StarwarsConfig::default()
+        };
+        let trace = Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(5)));
         let s = TraceScenario {
             trace,
             n: 50.0,

@@ -1,115 +1,8 @@
-//! Parallel parameter sweeps over OS threads.
+//! Parallel parameter sweeps.
 //!
-//! Simulation points are independent and CPU-bound, so we shard them
-//! across `crossbeam` scoped threads (no async runtime — see DESIGN.md
-//! §2). Results come back in input order regardless of completion order.
+//! The implementation now lives in [`mbac_num::parallel`] so the
+//! simulator's replication sharding and the experiment sweeps share one
+//! fork-join primitive; this module re-exports it to keep the historic
+//! `mbac_experiments::parallel_map` path working for the binaries.
 
-/// Applies `f` to every item, running up to `available_parallelism`
-/// workers, and returns the outputs in input order.
-///
-/// `f` must be `Sync` (it is shared across workers); items are consumed
-/// by index so no cloning occurs.
-pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send + Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    parallel_map_with(items, f, workers)
-}
-
-/// As [`parallel_map`] with an explicit worker count.
-pub fn parallel_map_with<I, O, F>(items: Vec<I>, f: F, workers: usize) -> Vec<O>
-where
-    I: Send + Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    assert!(workers > 0);
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let slot_ptr = SlotVec(slots.as_mut_ptr());
-    let items_ref = &items;
-    let f_ref = &f;
-    crossbeam::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            let next = &next;
-            let slot_ptr = &slot_ptr;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f_ref(&items_ref[i]);
-                // SAFETY: each index i is claimed by exactly one worker
-                // via the atomic counter, so writes are disjoint; the
-                // scope guarantees the Vec outlives all workers.
-                unsafe {
-                    *slot_ptr.0.add(i) = Some(out);
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
-}
-
-/// Send/Sync wrapper for the disjoint-write output pointer.
-struct SlotVec<O>(*mut Option<O>);
-unsafe impl<O: Send> Send for SlotVec<O> {}
-unsafe impl<O: Send> Sync for SlotVec<O> {}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items, |&x| x * x);
-        for (i, &v) in out.iter().enumerate() {
-            assert_eq!(v, (i * i) as u64);
-        }
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_worker_matches_sequential() {
-        let items: Vec<i32> = (0..37).collect();
-        let seq: Vec<i32> = items.iter().map(|&x| x - 3).collect();
-        let par = parallel_map_with(items, |&x| x - 3, 1);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn more_workers_than_items() {
-        let out = parallel_map_with(vec![1, 2, 3], |&x| x + 1, 64);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn heavy_uneven_work_still_ordered() {
-        let items: Vec<u64> = (0..32).collect();
-        let out = parallel_map(items, |&x| {
-            // Uneven busy work.
-            let mut acc = 0u64;
-            for i in 0..(x * 1000) {
-                acc = acc.wrapping_add(i);
-            }
-            (x, acc)
-        });
-        for (i, (x, _)) in out.iter().enumerate() {
-            assert_eq!(*x, i as u64);
-        }
-    }
-}
+pub use mbac_num::parallel::{parallel_map, parallel_map_with};

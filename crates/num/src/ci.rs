@@ -41,7 +41,10 @@ impl ConfidenceInterval {
 /// Two-sided z critical value for a confidence `level` (e.g. 0.95 →
 /// 1.959963...).
 pub fn z_critical(level: f64) -> f64 {
-    assert!((0.0..1.0).contains(&level), "confidence level must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&level),
+        "confidence level must be in (0,1)"
+    );
     inv_q(0.5 * (1.0 - level))
 }
 
@@ -51,7 +54,12 @@ pub fn mean_ci(mean: f64, sd: f64, n: u64, level: f64) -> ConfidenceInterval {
     assert!(n > 0, "mean_ci needs at least one sample");
     let z = z_critical(level);
     let half = z * sd / (n as f64).sqrt();
-    ConfidenceInterval { estimate: mean, lo: mean - half, hi: mean + half, level }
+    ConfidenceInterval {
+        estimate: mean,
+        lo: mean - half,
+        hi: mean + half,
+        level,
+    }
 }
 
 /// Wald (normal-approximation) CI for a binomial proportion.

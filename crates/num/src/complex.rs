@@ -45,7 +45,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`.
@@ -63,7 +66,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Complex64 { re: self.re * k, im: self.im * k }
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 

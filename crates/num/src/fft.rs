@@ -26,7 +26,10 @@ pub enum FftDirection {
 /// length 1 is a no-op).
 pub fn fft_in_place(data: &mut [Complex64], dir: FftDirection) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         return;
     }
@@ -134,9 +137,13 @@ mod tests {
         // Deterministic pseudo-data.
         let mut s = 1u64;
         for _ in 0..64 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let re = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let im = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             x.push(Complex64::new(re, im));
         }
@@ -204,7 +211,9 @@ mod tests {
 
     #[test]
     fn rfft_of_real_signal_is_conjugate_symmetric() {
-        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.3).cos() + 0.1 * i as f64)
+            .collect();
         let s = rfft(&x);
         for k in 1..16 {
             let a = s[k];

@@ -126,8 +126,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut x = vec![0.0; n];
     for r in (0..n).rev() {
         let mut acc = rhs[r];
-        for c in r + 1..n {
-            acc -= m.get(r, c) * x[c];
+        for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+            acc -= m.get(r, c) * xc;
         }
         x[r] = acc / m.get(r, r);
     }
@@ -189,7 +189,9 @@ mod tests {
         let n = 8;
         let mut s = 7u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let data: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -211,7 +213,10 @@ mod tests {
     #[test]
     fn dimension_mismatch_detected() {
         let a = Matrix::from_rows(2, 3, vec![0.0; 6]);
-        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::DimensionMismatch);
+        assert_eq!(
+            solve(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
     }
 
     #[test]
@@ -228,11 +233,7 @@ mod tests {
     fn three_state_birth_death_stationary() {
         // Birth rate 1 (0->1->2), death rate 2 (2->1->0):
         // detailed balance: π1 = π0/2, π2 = π1/2 -> π ∝ (4, 2, 1)/7.
-        let q = Matrix::from_rows(
-            3,
-            3,
-            vec![-1.0, 1.0, 0.0, 2.0, -3.0, 1.0, 0.0, 2.0, -2.0],
-        );
+        let q = Matrix::from_rows(3, 3, vec![-1.0, 1.0, 0.0, 2.0, -3.0, 1.0, 0.0, 2.0, -2.0]);
         let pi = ctmc_stationary(&q).unwrap();
         assert!((pi[0] - 4.0 / 7.0).abs() < 1e-12);
         assert!((pi[1] - 2.0 / 7.0).abs() < 1e-12);
@@ -241,11 +242,7 @@ mod tests {
 
     #[test]
     fn stationary_sums_to_one() {
-        let q = Matrix::from_rows(
-            3,
-            3,
-            vec![-5.0, 3.0, 2.0, 1.0, -1.5, 0.5, 4.0, 1.0, -5.0],
-        );
+        let q = Matrix::from_rows(3, 3, vec![-5.0, 3.0, 2.0, 1.0, -1.5, 0.5, 4.0, 1.0, -5.0]);
         let pi = ctmc_stationary(&q).unwrap();
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(pi.iter().all(|&p| p >= 0.0));

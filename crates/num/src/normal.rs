@@ -76,10 +76,7 @@ pub fn mills_ratio(x: f64) -> f64 {
 /// assert!((mbac_num::q(alpha) / 1e-5 - 1.0).abs() < 1e-10);
 /// ```
 pub fn inv_q(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "inv_q requires p in (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "inv_q requires p in (0,1), got {p}");
     if p == 0.5 {
         return 0.0;
     }
@@ -225,10 +222,7 @@ mod tests {
         for &x in &[10.0, 30.0, 100.0] {
             let m = mills_ratio(x);
             // m = 1/x · (1 - 1/x² + O(1/x⁴))
-            assert!(
-                (m * x - 1.0).abs() < 2.0 / (x * x),
-                "mills({x}) = {m}"
-            );
+            assert!((m * x - 1.0).abs() < 2.0 / (x * x), "mills({x}) = {m}");
         }
         // And at 0: Q(0)/φ(0) = 0.5/(1/√(2π)) = √(π/2).
         assert!((mills_ratio(0.0) - (std::f64::consts::PI / 2.0).sqrt()).abs() < 1e-12);

@@ -1,0 +1,141 @@
+//! Deterministic fork-join parallelism over OS threads.
+//!
+//! Simulation points and Monte Carlo replications are independent and
+//! CPU-bound, so we shard them across `std::thread::scope` workers (no
+//! async runtime — see DESIGN.md §2). Results come back in **input
+//! order** regardless of completion order or worker count, which is
+//! what lets the parallel replication harnesses stay bit-deterministic.
+//!
+//! This lives in `mbac-num` (the dependency-free substrate crate) so
+//! that both the simulator's replication sharding and the experiment
+//! sweeps can reach it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, running up to `available_parallelism`
+/// workers, and returns the outputs in input order.
+///
+/// `f` must be `Sync` (it is shared across workers); items are consumed
+/// by index so no cloning occurs.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    parallel_map_with(items, f, default_workers())
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// As [`parallel_map`] with an explicit worker count. `workers == 1`
+/// runs on a single spawned thread; output is identical for any count.
+pub fn parallel_map_with<I, O, F>(items: Vec<I>, f: F, workers: usize) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(workers > 0);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let items = &items;
+    let f = &f;
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    // Work-steal by index: each worker claims the next
+                    // unclaimed item, so uneven costs balance out.
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out) in handle.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let items: Vec<i32> = (0..37).collect();
+        let seq: Vec<i32> = items.iter().map(|&x| x - 3).collect();
+        let par = parallel_map_with(items, |&x| x - 3, 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map_with(vec![1, 2, 3], |&x| x + 1, 64);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn output_independent_of_worker_count() {
+        let items: Vec<u64> = (0..50).collect();
+        let run = |w: usize| parallel_map_with(items.clone(), |&x| x.wrapping_mul(x) ^ 0xA5, w);
+        let one = run(1);
+        for w in [2, 3, 4, 8] {
+            assert_eq!(one, run(w), "worker count {w} changed the output");
+        }
+    }
+
+    #[test]
+    fn heavy_uneven_work_still_ordered() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(items, |&x| {
+            // Uneven busy work.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

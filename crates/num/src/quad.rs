@@ -26,10 +26,17 @@ pub struct Quadrature {
 /// (`|S₂ - S₁|/15`) and a depth cap of 50, which bounds the work while
 /// being far deeper than any integrand in this crate requires.
 pub fn integrate<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Quadrature {
-    assert!(a.is_finite() && b.is_finite(), "integrate requires finite bounds");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "integrate requires finite bounds"
+    );
     assert!(tol > 0.0, "tolerance must be positive");
     if a == b {
-        return Quadrature { value: 0.0, error: 0.0, evals: 0 };
+        return Quadrature {
+            value: 0.0,
+            error: 0.0,
+            evals: 0,
+        };
     }
     let mut evals = 0u32;
     let mut eval = |x: f64| {
@@ -47,7 +54,11 @@ pub fn integrate<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Qu
     let fb = eval(b);
     let whole = simpson(a, b, fa, fm, fb);
     let (value, error) = adaptive(&mut eval, a, b, fa, fm, fb, whole, tol, 50);
-    Quadrature { value, error, evals }
+    Quadrature {
+        value,
+        error,
+        evals,
+    }
 }
 
 /// Integrates `f` over `[a, ∞)` to absolute tolerance `tol`, via the

@@ -40,8 +40,17 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "all x values coincide; slope undefined");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    LinearFit { slope, intercept, r_squared, n: xs.len() }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: xs.len(),
+    }
 }
 
 #[cfg(test)]

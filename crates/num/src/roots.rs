@@ -56,14 +56,23 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         return Err(RootError::NanEncountered);
     }
     if fa == 0.0 {
-        return Ok(Root { x: a, fx: 0.0, evals });
+        return Ok(Root {
+            x: a,
+            fx: 0.0,
+            evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, fx: 0.0, evals });
+        return Ok(Root {
+            x: b,
+            fx: 0.0,
+            evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(RootError::NotBracketed);
     }
+    #[allow(clippy::explicit_counter_loop)] // `evals` also counts the bracket evaluations
     for _ in 0..max_iter {
         let m = 0.5 * (a + b);
         let fm = f(m);
@@ -72,7 +81,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
             return Err(RootError::NanEncountered);
         }
         if fm == 0.0 || (b - a).abs() <= xtol {
-            return Ok(Root { x: m, fx: fm, evals });
+            return Ok(Root {
+                x: m,
+                fx: fm,
+                evals,
+            });
         }
         if fm.signum() == fa.signum() {
             a = m;
@@ -105,10 +118,18 @@ pub fn brent<F: FnMut(f64) -> f64>(
         return Err(RootError::NanEncountered);
     }
     if fa == 0.0 {
-        return Ok(Root { x: a, fx: 0.0, evals });
+        return Ok(Root {
+            x: a,
+            fx: 0.0,
+            evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, fx: 0.0, evals });
+        return Ok(Root {
+            x: b,
+            fx: 0.0,
+            evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(RootError::NotBracketed);
@@ -122,6 +143,7 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut fc = fa;
     let mut d = b - a;
     let mut e = d;
+    #[allow(clippy::explicit_counter_loop)] // `evals` also counts the bracket evaluations
     for _ in 0..max_iter {
         if fc.abs() < fb.abs() {
             // Rename so that b stays the best approximation.
@@ -135,7 +157,11 @@ pub fn brent<F: FnMut(f64) -> f64>(
         let tol = 2.0 * f64::EPSILON * b.abs() + 0.5 * xtol;
         let m = 0.5 * (c - b);
         if m.abs() <= tol || fb == 0.0 {
-            return Ok(Root { x: b, fx: fb, evals });
+            return Ok(Root {
+                x: b,
+                fx: fb,
+                evals,
+            });
         }
         if e.abs() < tol || fa.abs() <= fb.abs() {
             // Fall back to bisection.
@@ -206,7 +232,11 @@ pub fn brent_auto_bracket<F: FnMut(f64) -> f64>(
         return Err(RootError::NanEncountered);
     }
     if fg == 0.0 {
-        return Ok(Root { x: g, fx: 0.0, evals: 1 });
+        return Ok(Root {
+            x: g,
+            fx: 0.0,
+            evals: 1,
+        });
     }
     // Walk outward in both directions with doubling strides.
     let mut lo = g;
@@ -233,7 +263,10 @@ pub fn brent_auto_bracket<F: FnMut(f64) -> f64>(
             }
         }
         stride *= 2.0;
-        if lo <= lo_limit && hi >= hi_limit && flo.signum() == fg.signum() && fhi.signum() == fg.signum()
+        if lo <= lo_limit
+            && hi >= hi_limit
+            && flo.signum() == fg.signum()
+            && fhi.signum() == fg.signum()
         {
             return Err(RootError::NotBracketed);
         }

@@ -20,7 +20,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -142,7 +148,7 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(max_lag + 1);
     if c0 <= 0.0 {
         out.push(1.0);
-        out.extend(std::iter::repeat(0.0).take(max_lag));
+        out.extend(std::iter::repeat_n(0.0, max_lag));
         return out;
     }
     for lag in 0..=max_lag {
@@ -158,7 +164,10 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
 /// Panics on an empty slice or `p` outside `[0, 1]`.
 pub fn quantile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile p must be in [0,1], got {p}"
+    );
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let h = p * (sorted.len() - 1) as f64;
@@ -219,7 +228,11 @@ mod tests {
             rs.push(x);
         }
         assert!((rs.mean() - (offset + 10.0)).abs() < 1e-5);
-        assert!((rs.variance() - 30.0).abs() < 1e-6, "var = {}", rs.variance());
+        assert!(
+            (rs.variance() - 30.0).abs() < 1e-6,
+            "var = {}",
+            rs.variance()
+        );
     }
 
     #[test]
@@ -241,14 +254,16 @@ mod tests {
         let mut s = 123456789u64;
         let xs: Vec<f64> = (0..20_000)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect();
         let r = acf(&xs, 5);
         assert!((r[0] - 1.0).abs() < 1e-12);
-        for lag in 1..=5 {
-            assert!(r[lag].abs() < 0.03, "acf[{lag}] = {}", r[lag]);
+        for (lag, v) in r.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.03, "acf[{lag}] = {v}");
         }
     }
 
@@ -260,9 +275,13 @@ mod tests {
         let mut x = 0.0;
         let xs: Vec<f64> = (0..200_000)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u1 = ((s >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u2 = (s >> 11) as f64 / (1u64 << 53) as f64;
                 let eps = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 x = phi * x + eps;
@@ -270,13 +289,9 @@ mod tests {
             })
             .collect();
         let r = acf(&xs, 4);
-        for lag in 1..=4usize {
+        for (lag, v) in r.iter().enumerate().skip(1) {
             let want = phi.powi(lag as i32);
-            assert!(
-                (r[lag] - want).abs() < 0.02,
-                "acf[{lag}] = {}, want {want}",
-                r[lag]
-            );
+            assert!((v - want).abs() < 0.02, "acf[{lag}] = {v}, want {want}");
         }
     }
 

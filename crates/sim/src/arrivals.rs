@@ -141,9 +141,9 @@ pub fn run_poisson(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::MbacController;
     use mbac_core::admission::CertaintyEquivalent;
     use mbac_core::estimators::MemorylessEstimator;
-    use crate::controller::MbacController;
     use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
     fn controller(p: f64) -> MbacController {
@@ -178,7 +178,11 @@ mod tests {
             "blocking {} under light load",
             rep.blocking_probability
         );
-        assert!(rep.mean_flows > 5.0 && rep.mean_flows < 15.0, "flows {}", rep.mean_flows);
+        assert!(
+            rep.mean_flows > 5.0 && rep.mean_flows < 15.0,
+            "flows {}",
+            rep.mean_flows
+        );
     }
 
     #[test]
@@ -193,7 +197,11 @@ mod tests {
             rep.blocking_probability
         );
         // But the link is well used.
-        assert!(rep.mean_utilization > 0.7, "utilization {}", rep.mean_utilization);
+        assert!(
+            rep.mean_utilization > 0.7,
+            "utilization {}",
+            rep.mean_utilization
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue with the clock at 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time: the time of the last popped event.
@@ -70,7 +74,11 @@ impl<T> EventQueue<T> {
     /// Panics if `time` is NaN or lies in the past.
     pub fn schedule_at(&mut self, time: f64, payload: T) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });

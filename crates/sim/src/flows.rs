@@ -1,29 +1,73 @@
-//! The flow table: per-flow rate processes plus lifecycle bookkeeping.
+//! The flow table: admitted flows grouped into batched rate engines,
+//! plus lifecycle bookkeeping.
 //!
 //! Holds the admitted flows, advances their bandwidth processes in
 //! lock-step, applies departures, and produces the per-flow snapshots
 //! the estimators consume. Conservation (`admitted − departed =
 //! in-system`) is tracked and asserted by the property tests.
+//!
+//! Flows are stored in [`FlowBatch`] groups keyed by
+//! [`SourceModel::batch_key`]: homogeneous flows share a
+//! struct-of-arrays kernel that advances all of them in one pass and
+//! leaves a cached rate vector, while heterogeneous or pre-spawned
+//! processes fall back to a boxed group with identical semantics (see
+//! `mbac_traffic::batch`). Departures use swap-remove against a cached
+//! minimum departure time, so a tick with no departure costs one
+//! comparison instead of a scan — the table is O(departures), not
+//! O(N·ticks).
+//!
+//! Batched and unbatched tables consume the RNG identically (the
+//! kernels' documented stream contract), so [`FlowTable::new`] and
+//! [`FlowTable::new_unbatched`] produce bit-identical simulations for a
+//! fixed seed; the equivalence tests below assert this.
 
+use mbac_traffic::batch::{BatchKey, DynBatch, FlowBatch};
 use mbac_traffic::process::{RateProcess, SourceModel};
-use rand::RngCore;
+use rand::rngs::StdRng;
 
-/// One admitted flow.
-struct Flow {
+/// Lifecycle bookkeeping for one flow; slot-parallel to its batch.
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
     id: u64,
-    process: Box<dyn RateProcess>,
     /// Absolute departure time.
     departs_at: f64,
 }
 
+/// One group of flows sharing a batched kernel (or the boxed fallback).
+struct BatchGroup {
+    /// `None` marks the boxed fallback group.
+    key: Option<BatchKey>,
+    batch: Box<dyn FlowBatch>,
+    /// Slot-parallel metadata, reordered in lock-step with the batch.
+    meta: Vec<FlowMeta>,
+    /// Cached `min(departs_at)` over the group; `INFINITY` when empty.
+    min_departure: f64,
+}
+
+impl BatchGroup {
+    fn recompute_min(&mut self) {
+        self.min_departure = self
+            .meta
+            .iter()
+            .map(|m| m.departs_at)
+            .fold(f64::INFINITY, f64::min);
+    }
+}
+
 /// The set of flows currently in the system.
 pub struct FlowTable {
-    flows: Vec<Flow>,
+    groups: Vec<BatchGroup>,
+    /// Route flows into specialized kernels when the model offers one.
+    batching: bool,
+    /// Flows currently in the system (sum of group lengths).
+    count: usize,
     next_id: u64,
     admitted_total: u64,
     departed_total: u64,
     /// Time up to which all processes have been advanced.
     advanced_to: f64,
+    /// Cached `min(departs_at)` over all groups; `INFINITY` when empty.
+    min_departure: f64,
 }
 
 impl Default for FlowTable {
@@ -33,25 +77,38 @@ impl Default for FlowTable {
 }
 
 impl FlowTable {
-    /// Creates an empty table.
+    /// Creates an empty table using batched kernels where available.
     pub fn new() -> Self {
         FlowTable {
-            flows: Vec::new(),
+            groups: Vec::new(),
+            batching: true,
+            count: 0,
             next_id: 0,
             admitted_total: 0,
             departed_total: 0,
             advanced_to: 0.0,
+            min_departure: f64::INFINITY,
+        }
+    }
+
+    /// Creates an empty table that keeps every flow on the boxed
+    /// fallback path — the reference engine for equivalence tests and
+    /// A/B benchmarks.
+    pub fn new_unbatched() -> Self {
+        FlowTable {
+            batching: false,
+            ..Self::new()
         }
     }
 
     /// Number of flows currently in the system (the paper's `N_t`).
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.count
     }
 
     /// Whether the system is empty.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.count == 0
     }
 
     /// Total flows ever admitted.
@@ -64,87 +121,168 @@ impl FlowTable {
         self.departed_total
     }
 
-    /// Admits a new flow spawned from `model`, departing at absolute
-    /// time `departs_at`. Returns the flow id.
-    pub fn admit(
-        &mut self,
-        model: &dyn SourceModel,
-        departs_at: f64,
-        rng: &mut dyn RngCore,
-    ) -> u64 {
+    fn register(&mut self, group: usize, departs_at: f64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.admitted_total += 1;
-        self.flows.push(Flow { id, process: model.spawn(rng), departs_at });
+        self.count += 1;
+        let g = &mut self.groups[group];
+        g.meta.push(FlowMeta { id, departs_at });
+        g.min_departure = g.min_departure.min(departs_at);
+        self.min_departure = self.min_departure.min(departs_at);
         id
+    }
+
+    fn fallback_group(&mut self) -> usize {
+        match self.groups.iter().position(|g| g.key.is_none()) {
+            Some(i) => i,
+            None => {
+                self.groups.push(BatchGroup {
+                    key: None,
+                    batch: Box::new(DynBatch::new()),
+                    meta: Vec::new(),
+                    min_departure: f64::INFINITY,
+                });
+                self.groups.len() - 1
+            }
+        }
+    }
+
+    /// Admits a new flow spawned from `model`, departing at absolute
+    /// time `departs_at`. Returns the flow id.
+    pub fn admit(&mut self, model: &dyn SourceModel, departs_at: f64, rng: &mut StdRng) -> u64 {
+        let group = match self.batching.then(|| model.batch_key()).flatten() {
+            Some(key) => match self.groups.iter().position(|g| g.key == Some(key)) {
+                Some(i) => i,
+                None => {
+                    let batch = model
+                        .new_batch()
+                        .expect("batch_key() implies new_batch() (see SourceModel docs)");
+                    self.groups.push(BatchGroup {
+                        key: Some(key),
+                        batch,
+                        meta: Vec::new(),
+                        min_departure: f64::INFINITY,
+                    });
+                    self.groups.len() - 1
+                }
+            },
+            None => self.fallback_group(),
+        };
+        if self.groups[group].key.is_some() {
+            self.groups[group].batch.spawn_one(rng);
+        } else {
+            let process = model.spawn(rng);
+            self.groups[group]
+                .batch
+                .try_push_boxed(process)
+                .ok()
+                .expect("fallback group accepts boxed processes");
+        }
+        self.register(group, departs_at)
     }
 
     /// Admits a flow whose rate process already exists (used by the
     /// impulsive-load harness, where the *measured* candidate processes
-    /// are the ones admitted). Returns the flow id.
-    pub fn admit_process(
-        &mut self,
-        process: Box<dyn RateProcess>,
-        departs_at: f64,
-    ) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.admitted_total += 1;
-        self.flows.push(Flow { id, process, departs_at });
-        id
+    /// are the ones admitted). Always lands in the boxed fallback
+    /// group. Returns the flow id.
+    pub fn admit_process(&mut self, process: Box<dyn RateProcess>, departs_at: f64) -> u64 {
+        let group = self.fallback_group();
+        self.groups[group]
+            .batch
+            .try_push_boxed(process)
+            .ok()
+            .expect("fallback group accepts boxed processes");
+        self.register(group, departs_at)
     }
 
     /// Advances every flow's bandwidth process to absolute time `t`.
-    pub fn advance_to(&mut self, t: f64, rng: &mut dyn RngCore) {
+    pub fn advance_to(&mut self, t: f64, rng: &mut StdRng) {
         let dt = t - self.advanced_to;
-        assert!(dt >= -1e-9, "cannot advance flows backwards ({t} < {})", self.advanced_to);
+        assert!(
+            dt >= -1e-9,
+            "cannot advance flows backwards ({t} < {})",
+            self.advanced_to
+        );
         if dt > 0.0 {
-            for f in &mut self.flows {
-                f.process.advance(dt, rng);
+            for g in &mut self.groups {
+                g.batch.advance_all(dt, rng);
             }
             self.advanced_to = t;
         }
     }
 
     /// Removes every flow whose departure time is ≤ `t`. Returns how
-    /// many departed.
+    /// many departed. O(1) when no departure is pending (the common
+    /// case, via the cached minimum), O(departures) otherwise.
     pub fn depart_until(&mut self, t: f64) -> usize {
-        let before = self.flows.len();
-        self.flows.retain(|f| f.departs_at > t);
-        let gone = before - self.flows.len();
+        if self.min_departure > t {
+            return 0;
+        }
+        let mut gone = 0;
+        for g in &mut self.groups {
+            if g.min_departure > t {
+                continue;
+            }
+            let mut i = 0;
+            while i < g.meta.len() {
+                if g.meta[i].departs_at <= t {
+                    g.meta.swap_remove(i);
+                    g.batch.swap_remove(i);
+                    gone += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            g.recompute_min();
+        }
+        self.count -= gone;
         self.departed_total += gone as u64;
+        self.min_departure = self
+            .groups
+            .iter()
+            .map(|g| g.min_departure)
+            .fold(f64::INFINITY, f64::min);
         gone
     }
 
     /// The earliest pending departure time, if any.
     pub fn next_departure(&self) -> Option<f64> {
-        self.flows.iter().map(|f| f.departs_at).fold(None, |acc, t| match acc {
-            None => Some(t),
-            Some(a) => Some(a.min(t)),
-        })
+        (self.count > 0).then_some(self.min_departure)
     }
 
-    /// Sum of the instantaneous rates (the aggregate load `S_t`).
+    /// Sum of the instantaneous rates (the aggregate load `S_t`), read
+    /// from the batches' cached rate vectors.
     pub fn aggregate_rate(&self) -> f64 {
-        self.flows.iter().map(|f| f.process.rate()).sum()
+        self.groups
+            .iter()
+            .map(|g| g.batch.rates().iter().sum::<f64>())
+            .sum()
     }
 
     /// Writes the per-flow instantaneous rates into `out` (cleared
     /// first). The estimator snapshot of eqn (23).
     pub fn snapshot_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.flows.iter().map(|f| f.process.rate()));
+        for g in &self.groups {
+            out.extend_from_slice(g.batch.rates());
+        }
     }
 
     /// Ids of the flows currently in the system (test/diagnostic aid).
     pub fn ids(&self) -> Vec<u64> {
-        self.flows.iter().map(|f| f.id).collect()
+        self.groups
+            .iter()
+            .flat_map(|g| g.meta.iter().map(|m| m.id))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mbac_traffic::ar1::{Ar1Config, Ar1Model};
+    use mbac_traffic::markov::{MarkovFluidFactory, MarkovFluidModel};
     use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -214,6 +352,58 @@ mod tests {
         assert_eq!(table.next_departure(), Some(7.0));
     }
 
+    /// Regression test for the cached minimum: interleave admissions and
+    /// departures (including several with the same departure time and
+    /// admissions that lower the pending minimum) and check the cache
+    /// against a brute-force reference at every step.
+    #[test]
+    fn next_departure_survives_interleaved_admits_and_departs() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut table = FlowTable::new();
+        let mut reference: Vec<(u64, f64)> = Vec::new();
+
+        let check = |table: &FlowTable, reference: &[(u64, f64)]| {
+            let want = reference
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::INFINITY, f64::min);
+            match table.next_departure() {
+                None => assert!(reference.is_empty()),
+                Some(got) => assert_eq!(got, want),
+            }
+            let mut ids: Vec<u64> = reference.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            let mut got_ids = table.ids();
+            got_ids.sort_unstable();
+            assert_eq!(got_ids, ids);
+        };
+
+        // Deterministic but irregular schedule of admits/departs.
+        let departure_times = [7.0, 3.0, 3.0, 9.0, 1.5, 12.0, 2.5, 2.5, 8.0, 4.0, 11.0, 0.5];
+        let mut now = 0.0;
+        for (k, &d) in departure_times.iter().enumerate() {
+            let id = table.admit(&m, now + d, &mut rng);
+            reference.push((id, now + d));
+            check(&table, &reference);
+            if k % 3 == 2 {
+                now += 2.0;
+                table.advance_to(now, &mut rng);
+                table.depart_until(now);
+                reference.retain(|&(_, t)| t > now);
+                check(&table, &reference);
+            }
+        }
+        // Drain everything.
+        now += 100.0;
+        table.depart_until(now);
+        reference.retain(|&(_, t)| t > now);
+        check(&table, &reference);
+        assert!(table.is_empty());
+        assert_eq!(table.admitted_total(), departure_times.len() as u64);
+        assert_eq!(table.departed_total(), departure_times.len() as u64);
+    }
+
     #[test]
     fn ids_are_unique_and_monotone() {
         let m = model();
@@ -225,6 +415,57 @@ mod tests {
         let ids = table.ids();
         for w in ids.windows(2) {
             assert!(w[1] > w[0]);
+        }
+    }
+
+    /// Batched and unbatched tables must yield bit-identical snapshots
+    /// for the same seed, through admissions, advances, and departures.
+    #[test]
+    fn batched_table_is_bit_exact_with_unbatched() {
+        for (name, m) in [
+            ("rcbr", Box::new(model()) as Box<dyn SourceModel>),
+            (
+                "ar1",
+                Box::new(Ar1Model::new(Ar1Config {
+                    mean: 1.0,
+                    std_dev: 0.3,
+                    t_c: 1.0,
+                    tick: 0.05,
+                    clamp_at_zero: true,
+                })),
+            ),
+            (
+                "markov",
+                Box::new(MarkovFluidFactory::new(MarkovFluidModel::on_off(
+                    2.0, 1.0, 3.0,
+                ))),
+            ),
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let mut batched = FlowTable::new();
+            let mut boxed = FlowTable::new_unbatched();
+            let mut snap_a = Vec::new();
+            let mut snap_b = Vec::new();
+            let mut now = 0.0;
+            for step in 0..200 {
+                now += 0.1;
+                batched.advance_to(now, &mut rng_a);
+                boxed.advance_to(now, &mut rng_b);
+                batched.depart_until(now);
+                boxed.depart_until(now);
+                if step % 3 == 0 {
+                    let holding = 1.0 + (step % 17) as f64;
+                    batched.admit(m.as_ref(), now + holding, &mut rng_a);
+                    boxed.admit(m.as_ref(), now + holding, &mut rng_b);
+                }
+                batched.snapshot_into(&mut snap_a);
+                boxed.snapshot_into(&mut snap_b);
+                assert_eq!(snap_a, snap_b, "{name} diverged at step {step}");
+                assert_eq!(batched.len(), boxed.len());
+                assert_eq!(batched.next_departure(), boxed.next_departure());
+            }
+            assert!(batched.admitted_total() > 0 && batched.departed_total() > 0);
         }
     }
 }

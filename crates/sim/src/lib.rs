@@ -35,6 +35,7 @@ pub use events::EventQueue;
 pub use flows::FlowTable;
 pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter};
 pub use runner::{
-    run_continuous, run_continuous_phased, run_impulsive, ContinuousConfig, ContinuousReport,
-    ImpulsiveConfig, ImpulsiveReport, PhaseReport,
+    run_continuous, run_continuous_in, run_continuous_phased, run_impulsive,
+    run_impulsive_with_workers, ContinuousConfig, ContinuousReport, ImpulsiveConfig,
+    ImpulsiveReport, PhaseReport,
 };

@@ -124,7 +124,11 @@ impl OverflowMeter {
     pub fn gaussian_tail_estimate(&self) -> f64 {
         let sd = self.load.std_dev();
         if sd <= 0.0 {
-            return if self.load.mean() > self.capacity { 1.0 } else { 0.0 };
+            return if self.load.mean() > self.capacity {
+                1.0
+            } else {
+                0.0
+            };
         }
         q((self.capacity - self.load.mean()) / sd)
     }
@@ -153,9 +157,7 @@ impl OverflowMeter {
         let ci = wilson_ci(self.overflows, self.samples, self.level);
         let (value, method) = match stopped {
             StopReason::CiConverged => (ci.estimate, PfMethod::Direct),
-            StopReason::FarBelowTarget => {
-                (self.gaussian_tail_estimate(), PfMethod::GaussianTail)
-            }
+            StopReason::FarBelowTarget => (self.gaussian_tail_estimate(), PfMethod::GaussianTail),
             StopReason::BudgetExhausted => {
                 // Use the direct estimate when it has real support,
                 // otherwise fall back to the parametric tail.
@@ -191,7 +193,11 @@ impl UtilityMeter {
     /// Creates a meter for the given link capacity and utility model.
     pub fn new(capacity: f64, utility: mbac_core::utility::UtilityFunction) -> Self {
         assert!(capacity > 0.0);
-        UtilityMeter { capacity, utility, stats: RunningStats::new() }
+        UtilityMeter {
+            capacity,
+            utility,
+            stats: RunningStats::new(),
+        }
     }
 
     /// Records one spaced sample of the aggregate demand.

@@ -77,23 +77,61 @@ impl ImpulsiveReport {
     }
 }
 
+/// What one replication of the impulsive experiment produces; merged
+/// into the report in input (replication) order.
+struct RepOutcome {
+    m0: f64,
+    /// Per observation time: `(load, flows in system)`.
+    at: Vec<(f64, usize)>,
+}
+
 /// Runs the impulsive-load model: per replication, estimate `(μ̂, σ̂)`
 /// from the initial bandwidths of `estimation_flows` flows (eqn (7)),
 /// admit `⌊M₀⌋` flows per the policy (eqn (6)), then let the system
 /// evolve and record the overflow indicator at each observation time.
+///
+/// Replications run in parallel over [`mbac_num::parallel::default_workers`]
+/// threads; see [`run_impulsive_with_workers`] for the determinism
+/// guarantees.
 pub fn run_impulsive(
     cfg: &ImpulsiveConfig,
     model: &dyn SourceModel,
     policy: &dyn AdmissionPolicy,
 ) -> ImpulsiveReport {
+    run_impulsive_with_workers(cfg, model, policy, mbac_num::parallel::default_workers())
+}
+
+/// [`run_impulsive`] with an explicit worker count.
+///
+/// Each replication `rep` draws from its own RNG stream seeded
+/// `cfg.seed ^ rep`, and outcomes are merged in replication order, so
+/// the report is **bit-identical for any worker count** (and across
+/// machines): parallelism is an implementation detail, never a change
+/// in scientific results.
+pub fn run_impulsive_with_workers(
+    cfg: &ImpulsiveConfig,
+    model: &dyn SourceModel,
+    policy: &dyn AdmissionPolicy,
+    workers: usize,
+) -> ImpulsiveReport {
     assert!(cfg.capacity > 0.0);
-    assert!(cfg.estimation_flows >= 2, "need ≥ 2 flows to estimate a variance");
+    assert!(
+        cfg.estimation_flows >= 2,
+        "need ≥ 2 flows to estimate a variance"
+    );
     assert!(cfg.replications > 0);
     let mut times = cfg.observe_times.clone();
     times.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation time"));
     assert!(times.first().is_none_or(|&t| t >= 0.0));
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let reps: Vec<u64> = (0..cfg.replications as u64).collect();
+    let times_ref = &times;
+    let outcomes = mbac_num::parallel::parallel_map_with(
+        reps,
+        |&rep| run_one_impulsive_rep(cfg, model, policy, times_ref, cfg.seed ^ rep),
+        workers,
+    );
+
     let mut m0_stats = RunningStats::new();
     let mut obs: Vec<ImpulsiveObservation> = times
         .iter()
@@ -104,53 +142,73 @@ pub fn run_impulsive(
             mean_flows: 0.0,
         })
         .collect();
-
-    for _ in 0..cfg.replications {
-        // Measure the initial bandwidths of the candidate burst.
-        let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> =
-            (0..cfg.estimation_flows).map(|_| model.spawn(&mut rng)).collect();
-        let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
-        let est = snapshot_stats(&rates).expect("non-empty candidate burst");
-        let m0 = policy.admissible_count(est, cfg.capacity);
-        m0_stats.push(m0);
-        let admit = m0.floor().max(0.0) as usize;
-
-        // Admit: reuse the measured candidates first (their *measured*
-        // bandwidths are the admitted flows' bandwidths — essential for
-        // the Y₀ correlation the theory predicts), spawn extras if
-        // M₀ > n.
-        let mut table = FlowTable::new();
-        let mut iter = candidates.into_iter();
-        for k in 0..admit {
-            let departs_at = match cfg.mean_holding {
-                Some(th) => exponential(&mut rng, th),
-                None => f64::INFINITY,
-            };
-            let _ = k;
-            match iter.next() {
-                Some(proc_) => {
-                    table.admit_process(proc_, departs_at);
-                }
-                None => {
-                    table.admit(model, departs_at, &mut rng);
-                }
-            }
-        }
-
-        // Evolve and observe.
-        for o in obs.iter_mut() {
-            table.advance_to(o.t, &mut rng);
-            table.depart_until(o.t);
-            let load = table.aggregate_rate();
+    for outcome in outcomes {
+        m0_stats.push(outcome.m0);
+        for (o, &(load, flows)) in obs.iter_mut().zip(&outcome.at) {
             o.load.push(load);
-            o.mean_flows += table.len() as f64 / cfg.replications as f64;
+            o.mean_flows += flows as f64 / cfg.replications as f64;
             if load > cfg.capacity {
                 o.overflows += 1;
             }
         }
     }
 
-    ImpulsiveReport { m0: m0_stats, observations: obs, replications: cfg.replications }
+    ImpulsiveReport {
+        m0: m0_stats,
+        observations: obs,
+        replications: cfg.replications,
+    }
+}
+
+fn run_one_impulsive_rep(
+    cfg: &ImpulsiveConfig,
+    model: &dyn SourceModel,
+    policy: &dyn AdmissionPolicy,
+    times: &[f64],
+    seed: u64,
+) -> RepOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Measure the initial bandwidths of the candidate burst.
+    let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> = (0..cfg.estimation_flows)
+        .map(|_| model.spawn(&mut rng))
+        .collect();
+    let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
+    let est = snapshot_stats(&rates).expect("non-empty candidate burst");
+    let m0 = policy.admissible_count(est, cfg.capacity);
+    let admit = m0.floor().max(0.0) as usize;
+
+    // Admit: reuse the measured candidates first (their *measured*
+    // bandwidths are the admitted flows' bandwidths — essential for
+    // the Y₀ correlation the theory predicts), spawn extras if
+    // M₀ > n.
+    let mut table = FlowTable::new();
+    let mut iter = candidates.into_iter();
+    for _ in 0..admit {
+        let departs_at = match cfg.mean_holding {
+            Some(th) => exponential(&mut rng, th),
+            None => f64::INFINITY,
+        };
+        match iter.next() {
+            Some(proc_) => {
+                table.admit_process(proc_, departs_at);
+            }
+            None => {
+                table.admit(model, departs_at, &mut rng);
+            }
+        }
+    }
+
+    // Evolve and observe.
+    let at = times
+        .iter()
+        .map(|&t| {
+            table.advance_to(t, &mut rng);
+            table.depart_until(t);
+            (table.aggregate_rate(), table.len())
+        })
+        .collect();
+    RepOutcome { m0, at }
 }
 
 // ---------------------------------------------------------------------
@@ -213,11 +271,30 @@ pub fn run_continuous(
     model: &dyn SourceModel,
     ctl: &mut dyn AdmissionEngine,
 ) -> ContinuousReport {
+    run_continuous_in(cfg, model, ctl, FlowTable::new())
+}
+
+/// [`run_continuous`] against a caller-provided (empty) flow table —
+/// the hook that lets benchmarks and the CLI A/B the batched engine
+/// ([`FlowTable::new`]) against the boxed reference
+/// ([`FlowTable::new_unbatched`]). Both engines consume the RNG
+/// identically, so the two reports are bit-equal for a fixed seed.
+///
+/// Each tick takes **one** per-flow snapshot after advancing and
+/// applying departures; the controller's `observe` and the overflow
+/// meter both consume that same rate vector (the meter through its
+/// sum), so measurement and metering can never disagree about the load.
+pub fn run_continuous_in(
+    cfg: &ContinuousConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
+    mut table: FlowTable,
+) -> ContinuousReport {
     assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
     assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
     assert!(cfg.warmup >= 0.0);
+    assert!(table.is_empty(), "run_continuous_in needs a fresh table");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut table = FlowTable::new();
     let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
     let mut snapshot = Vec::new();
     let mut flow_count = RunningStats::new();
@@ -230,9 +307,27 @@ pub fn run_continuous(
         table.advance_to(t, &mut rng);
         table.depart_until(t);
 
-        // Measure, then fill to the admissible limit.
+        // Measure once; the controller and the meter share the vector.
         table.snapshot_into(&mut snapshot);
         ctl.observe(t, &snapshot);
+
+        // Spaced overflow sampling after warm-up (before admissions:
+        // a flow admitted this tick enters the measured load next tick).
+        if t >= next_sample {
+            next_sample += cfg.sample_spacing;
+            meter.record(snapshot.iter().sum());
+            flow_count.push(table.len() as f64);
+            if let Some(reason) = meter.should_stop() {
+                stop_reason = reason;
+                break;
+            }
+            if meter.samples() >= cfg.max_samples {
+                stop_reason = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+
+        // Fill to the admissible limit.
         match ctl.admissible_count(cfg.capacity, table.len()) {
             Some(m) => {
                 let limit = m.floor().max(0.0) as usize;
@@ -260,21 +355,6 @@ pub fn run_continuous(
                     let departs = t + exponential(&mut rng, cfg.mean_holding);
                     table.admit(model, departs, &mut rng);
                 }
-            }
-        }
-
-        // Spaced overflow sampling after warm-up.
-        if t >= next_sample {
-            next_sample += cfg.sample_spacing;
-            meter.record(table.aggregate_rate());
-            flow_count.push(table.len() as f64);
-            if let Some(reason) = meter.should_stop() {
-                stop_reason = reason;
-                break;
-            }
-            if meter.samples() >= cfg.max_samples {
-                stop_reason = StopReason::BudgetExhausted;
-                break;
             }
         }
     }
@@ -339,9 +419,8 @@ pub fn run_continuous_phased(
         .map(|_| OverflowMeter::new(cfg.capacity, cfg.target).with_min_samples(u64::MAX))
         .collect();
     let mut snapshot = Vec::new();
-    let active_phase = |t: f64| -> usize {
-        phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0)
-    };
+    let active_phase =
+        |t: f64| -> usize { phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0) };
 
     let mut t = 0.0f64;
     let mut next_sample = cfg.warmup.max(cfg.tick);
@@ -350,8 +429,15 @@ pub fn run_continuous_phased(
         t += cfg.tick;
         table.advance_to(t, &mut rng);
         table.depart_until(t);
+        // One snapshot per tick, shared by controller and meter (the
+        // sampling runs before admissions, as in `run_continuous_in`).
         table.snapshot_into(&mut snapshot);
         ctl.observe(t, &snapshot);
+        if t >= next_sample {
+            next_sample += cfg.sample_spacing;
+            meters[active_phase(t)].record(snapshot.iter().sum());
+            total_samples += 1;
+        }
         let model = phases[active_phase(t)].1;
         match ctl.admissible_count(cfg.capacity, table.len()) {
             Some(m) => {
@@ -381,11 +467,6 @@ pub fn run_continuous_phased(
                 }
             }
         }
-        if t >= next_sample {
-            next_sample += cfg.sample_spacing;
-            meters[active_phase(t)].record(table.aggregate_rate());
-            total_samples += 1;
-        }
     }
 
     phases
@@ -404,9 +485,9 @@ pub fn run_continuous_phased(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::MbacController;
     use mbac_core::admission::{CertaintyEquivalent, PerfectKnowledge};
     use mbac_core::estimators::{FilteredEstimator, MemorylessEstimator};
-    use crate::controller::MbacController;
     use mbac_core::params::{FlowStats, QosTarget};
     use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
@@ -457,7 +538,10 @@ mod tests {
         let rep = run_impulsive(&cfg, &m, &ce);
         let pf = rep.pf_at(0);
         let predicted = mbac_num::q(mbac_num::inv_q(p_q) / std::f64::consts::SQRT_2);
-        assert!(pf > 1.5 * p_q, "penalty must be visible: pf {pf} vs target {p_q}");
+        assert!(
+            pf > 1.5 * p_q,
+            "penalty must be visible: pf {pf} vs target {p_q}"
+        );
         assert!(
             (pf - predicted).abs() < 0.03,
             "pf {pf} should be near the √2 prediction {predicted}"
@@ -521,7 +605,11 @@ mod tests {
             "utilization {}",
             rep.mean_utilization
         );
-        assert!(rep.mean_flows > 80.0 && rep.mean_flows < 105.0, "flows {}", rep.mean_flows);
+        assert!(
+            rep.mean_flows > 80.0 && rep.mean_flows < 105.0,
+            "flows {}",
+            rep.mean_flows
+        );
         assert!(rep.admitted > rep.departed);
         assert!(rep.pf.samples > 0);
     }
@@ -604,6 +692,60 @@ mod tests {
         assert_eq!(a.pf.value, b.pf.value);
         assert_eq!(a.admitted, b.admitted);
         assert_eq!(a.mean_utilization, b.mean_utilization);
+    }
+
+    #[test]
+    fn impulsive_is_deterministic_for_any_worker_count() {
+        let m = model();
+        let ce = CertaintyEquivalent::from_probability(0.05);
+        let cfg = ImpulsiveConfig {
+            capacity: 60.0,
+            estimation_flows: 60,
+            mean_holding: Some(20.0),
+            observe_times: vec![1.0, 5.0, 25.0],
+            replications: 64,
+            seed: 99,
+        };
+        let reference = run_impulsive_with_workers(&cfg, &m, &ce, 1);
+        for workers in [2, 3, 4, 8] {
+            let rep = run_impulsive_with_workers(&cfg, &m, &ce, workers);
+            assert_eq!(rep.m0.mean(), reference.m0.mean(), "{workers} workers");
+            assert_eq!(rep.m0.variance(), reference.m0.variance());
+            for (a, b) in rep.observations.iter().zip(&reference.observations) {
+                assert_eq!(a.overflows, b.overflows, "{workers} workers at t={}", a.t);
+                assert_eq!(a.load.mean(), b.load.mean());
+                assert_eq!(a.load.variance(), b.load.variance());
+                assert_eq!(a.mean_flows, b.mean_flows);
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_batched_and_boxed_engines_are_bit_equal() {
+        let m = model();
+        let mk = || {
+            MbacController::new(
+                Box::new(FilteredEstimator::new(5.0)),
+                Box::new(CertaintyEquivalent::from_probability(1e-2)),
+            )
+        };
+        let cfg = ContinuousConfig {
+            capacity: 50.0,
+            mean_holding: 20.0,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 50,
+            seed: 31,
+        };
+        let batched = run_continuous_in(&cfg, &m, &mut mk(), FlowTable::new());
+        let boxed = run_continuous_in(&cfg, &m, &mut mk(), FlowTable::new_unbatched());
+        assert_eq!(batched.pf.value, boxed.pf.value);
+        assert_eq!(batched.mean_utilization, boxed.mean_utilization);
+        assert_eq!(batched.mean_flows, boxed.mean_flows);
+        assert_eq!(batched.admitted, boxed.admitted);
+        assert_eq!(batched.departed, boxed.departed);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! tick grid. Used to confirm that the theory's predictions do not hinge
 //! on the RCBR jump structure — only on the second-order statistics.
 
+use crate::batch::{BatchKey, FlowBatch};
 use crate::process::{RateProcess, SourceModel};
 use mbac_num::rng::{normal, standard_normal};
+use rand::rngs::StdRng;
 use rand::RngCore;
 
 /// Configuration of an AR(1) source.
@@ -51,7 +53,11 @@ impl Ar1Model {
 
 impl SourceModel for Ar1Model {
     fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
-        let mut s = Ar1Source { cfg: self.cfg, value: 0.0, elapsed: 0.0 };
+        let mut s = Ar1Source {
+            cfg: self.cfg,
+            value: 0.0,
+            elapsed: 0.0,
+        };
         s.reset(rng);
         Box::new(s)
     }
@@ -62,6 +68,109 @@ impl SourceModel for Ar1Model {
 
     fn variance(&self) -> f64 {
         self.cfg.std_dev * self.cfg.std_dev
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        Some(BatchKey::Ar1 {
+            mean: self.cfg.mean,
+            std_dev: self.cfg.std_dev,
+            t_c: self.cfg.t_c,
+            tick: self.cfg.tick,
+            clamp_at_zero: self.cfg.clamp_at_zero,
+        })
+    }
+
+    fn new_batch(&self) -> Option<Box<dyn FlowBatch>> {
+        Some(Box::new(Ar1Batch::new(self.cfg)))
+    }
+}
+
+/// Struct-of-arrays batch of AR(1) flows. The tick coefficient
+/// `a = e^{−Δ/T_c}` and the innovation σ are hoisted out of the per-flow
+/// loop (the boxed source recomputes both on every step), and the rate
+/// cache is refreshed in the same pass as the advance.
+pub struct Ar1Batch {
+    cfg: Ar1Config,
+    /// Hoisted `e^{−Δ/T_c}`.
+    a: f64,
+    /// Hoisted `σ √(1−a²)`.
+    innovation_sd: f64,
+    /// Untruncated AR(1) state per flow.
+    values: Vec<f64>,
+    /// Time since the last tick boundary per flow.
+    elapsed: Vec<f64>,
+    /// Cached (clamped) rates per flow.
+    rates: Vec<f64>,
+}
+
+impl Ar1Batch {
+    /// Creates an empty batch for flows of the given configuration.
+    pub fn new(cfg: Ar1Config) -> Self {
+        let a = (-cfg.tick / cfg.t_c).exp();
+        let innovation_sd = cfg.std_dev * (1.0 - a * a).sqrt();
+        Ar1Batch {
+            cfg,
+            a,
+            innovation_sd,
+            values: Vec::new(),
+            elapsed: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    fn clamp(&self, value: f64) -> f64 {
+        if self.cfg.clamp_at_zero {
+            value.max(0.0)
+        } else {
+            value
+        }
+    }
+}
+
+impl FlowBatch for Ar1Batch {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+        assert!(dt >= 0.0);
+        let (mean, tick, clamp) = (self.cfg.mean, self.cfg.tick, self.cfg.clamp_at_zero);
+        let (a, sd) = (self.a, self.innovation_sd);
+        // Lock-step slice iteration: no bounds checks in the hot loop.
+        for ((value, elapsed), rate) in self
+            .values
+            .iter_mut()
+            .zip(self.elapsed.iter_mut())
+            .zip(self.rates.iter_mut())
+        {
+            let mut v = *value;
+            let mut e = *elapsed + dt;
+            while e >= tick {
+                e -= tick;
+                v = mean + a * (v - mean) + sd * standard_normal(rng);
+            }
+            *value = v;
+            *elapsed = e;
+            *rate = if clamp { v.max(0.0) } else { v };
+        }
+    }
+
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn spawn_one(&mut self, rng: &mut StdRng) {
+        // Same draw as `Ar1Source::reset`.
+        let value = normal(rng, self.cfg.mean, self.cfg.std_dev);
+        self.values.push(value);
+        self.elapsed.push(0.0);
+        self.rates.push(self.clamp(value));
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        self.values.swap_remove(i);
+        self.elapsed.swap_remove(i);
+        self.rates.swap_remove(i);
     }
 }
 
@@ -78,7 +187,11 @@ pub struct Ar1Source {
 impl Ar1Source {
     /// Creates a flow in its stationary distribution.
     pub fn new(cfg: Ar1Config, rng: &mut dyn RngCore) -> Self {
-        let mut s = Ar1Source { cfg, value: 0.0, elapsed: 0.0 };
+        let mut s = Ar1Source {
+            cfg,
+            value: 0.0,
+            elapsed: 0.0,
+        };
         s.reset(rng);
         s
     }
@@ -86,9 +199,8 @@ impl Ar1Source {
     fn step(&mut self, rng: &mut dyn RngCore) {
         let a = (-self.cfg.tick / self.cfg.t_c).exp();
         let innovation_sd = self.cfg.std_dev * (1.0 - a * a).sqrt();
-        self.value = self.cfg.mean
-            + a * (self.value - self.cfg.mean)
-            + innovation_sd * standard_normal(rng);
+        self.value =
+            self.cfg.mean + a * (self.value - self.cfg.mean) + innovation_sd * standard_normal(rng);
     }
 }
 
@@ -136,7 +248,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> Ar1Config {
-        Ar1Config { mean: 1.0, std_dev: 0.3, t_c: 1.0, tick: 0.05, clamp_at_zero: false }
+        Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: false,
+        }
     }
 
     #[test]
@@ -168,7 +286,13 @@ mod tests {
     fn clamping_keeps_rates_physical() {
         let mut rng = StdRng::seed_from_u64(26);
         let mut s = Ar1Source::new(
-            Ar1Config { mean: 0.3, std_dev: 0.4, t_c: 0.5, tick: 0.05, clamp_at_zero: true },
+            Ar1Config {
+                mean: 0.3,
+                std_dev: 0.4,
+                t_c: 0.5,
+                tick: 0.05,
+                clamp_at_zero: true,
+            },
             &mut rng,
         );
         for _ in 0..50_000 {

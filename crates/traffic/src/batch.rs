@@ -1,0 +1,429 @@
+//! Batched struct-of-arrays (SoA) flow engines.
+//!
+//! The simulator's hot path advances `N` flows over millions of ticks.
+//! With one `Box<dyn RateProcess>` per flow, every tick costs `N`
+//! virtual `advance` calls plus `N` more virtual `rate()` calls per
+//! snapshot, and the per-flow state is scattered across the heap — the
+//! loop can neither vectorize nor stay in cache. A [`FlowBatch`]
+//! instead holds the state of *all* flows of one model in contiguous
+//! arrays and advances them in a single pass with the model constants
+//! (`e^{−Δ/T_c}`, innovation σ, …) hoisted out of the loop, leaving a
+//! cached rate vector the simulator reads for free.
+//!
+//! Models opt in by returning a [`BatchKey`] from
+//! [`SourceModel::batch_key`] and an empty batch from
+//! [`SourceModel::new_batch`]; heterogeneous, trace-driven, or
+//! otherwise unbatchable sources keep working through the boxed
+//! [`DynBatch`] fallback, which preserves the exact per-flow semantics
+//! of the unbatched engine (it still refreshes its rate cache in the
+//! same pass as the advance, halving the virtual walks of the old
+//! engine).
+//!
+//! # RNG-stream contract
+//!
+//! Batched kernels must consume the RNG in **exactly** the same order
+//! as their boxed counterparts: [`FlowBatch::spawn_one`] draws what
+//! [`SourceModel::spawn`] draws, and [`FlowBatch::advance_all`]
+//! advances flow 0, then flow 1, … drawing per flow what
+//! [`RateProcess::advance`] draws. This makes a batched simulation
+//! bit-identical to the boxed one for a fixed seed (the equivalence
+//! tests in `mbac-sim` assert this), so switching engines never
+//! changes scientific results.
+
+use crate::process::RateProcess;
+#[cfg(doc)]
+use crate::process::SourceModel;
+use rand::rngs::StdRng;
+
+/// Identifies which [`FlowBatch`] a model's flows can join. Two models
+/// with equal keys must spawn statistically identical flows (they share
+/// one batch inside the simulator's flow table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchKey {
+    /// AR(1) / sampled-OU sources (see [`crate::ar1`]).
+    Ar1 {
+        /// Stationary mean `μ`.
+        mean: f64,
+        /// Stationary standard deviation `σ`.
+        std_dev: f64,
+        /// Correlation time-scale `T_c`.
+        t_c: f64,
+        /// Update tick `Δ`.
+        tick: f64,
+        /// Whether rates are clamped at zero.
+        clamp_at_zero: bool,
+    },
+    /// RCBR sources with a Gaussian marginal (see [`crate::rcbr`]).
+    Rcbr {
+        /// Marginal mean `μ`.
+        mean: f64,
+        /// Marginal standard deviation `σ`.
+        std_dev: f64,
+        /// Mean renegotiation interval `T_c`.
+        t_c: f64,
+        /// Whether negotiated rates are truncated at zero.
+        truncate_at_zero: bool,
+    },
+    /// Generalized RCBR sources with an arbitrary marginal.
+    GeneralRcbr {
+        /// The marginal rate distribution.
+        marginal: crate::marginal::Marginal,
+        /// Mean renegotiation interval `T_c`.
+        t_c: f64,
+    },
+    /// Markov fluids sharing one generator. The key is the address of
+    /// the shared [`crate::markov::MarkovFluidModel`]; the batch holds
+    /// an `Arc` to the model, so the address cannot be reused while the
+    /// batch is alive.
+    Markov(usize),
+}
+
+/// A contiguous batch of flows spawned from one source model, advanced
+/// together. See the module docs for the RNG-stream contract.
+pub trait FlowBatch: Send {
+    /// Number of flows in the batch.
+    fn len(&self) -> usize;
+
+    /// Whether the batch holds no flows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advances every flow by `dt` (flow 0 first, then flow 1, …) and
+    /// refreshes the cached rate vector in the same pass.
+    ///
+    /// Takes a concrete [`StdRng`] (not `&mut dyn RngCore`): the hot
+    /// path is dominated by random draws, and the concrete type lets
+    /// the samplers monomorphize and inline into the kernel loop while
+    /// still consuming the exact same stream as the boxed path.
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng);
+
+    /// The per-flow instantaneous rates, contiguous and in slot order.
+    /// Valid until the next mutating call.
+    fn rates(&self) -> &[f64];
+
+    /// Spawns one fresh stationary flow at the end of the batch,
+    /// drawing from the RNG exactly as [`SourceModel::spawn`] would.
+    ///
+    /// # Panics
+    /// Panics on batches that can only adopt existing processes
+    /// ([`DynBatch`]): their flows are spawned boxed and pushed via
+    /// [`FlowBatch::try_push_boxed`].
+    fn spawn_one(&mut self, rng: &mut StdRng);
+
+    /// Adopts an already-running boxed process, if this batch supports
+    /// heterogeneous members. Specialized SoA batches return the
+    /// process back as `Err` (default); [`DynBatch`] accepts.
+    fn try_push_boxed(
+        &mut self,
+        process: Box<dyn RateProcess>,
+    ) -> Result<(), Box<dyn RateProcess>> {
+        Err(process)
+    }
+
+    /// Removes the flow in slot `i` by swapping the last slot into it
+    /// (O(1); the caller mirrors the reorder in its own bookkeeping).
+    fn swap_remove(&mut self, i: usize);
+}
+
+/// The boxed fallback batch: a plain list of `Box<dyn RateProcess>`
+/// plus a rate cache refreshed in the advance pass. Used for models
+/// without a specialized kernel and for flows admitted as existing
+/// processes (the impulsive harness's measured candidates).
+#[derive(Default)]
+pub struct DynBatch {
+    procs: Vec<Box<dyn RateProcess>>,
+    rates: Vec<f64>,
+}
+
+impl DynBatch {
+    /// Creates an empty fallback batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FlowBatch for DynBatch {
+    fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+        for (p, r) in self.procs.iter_mut().zip(self.rates.iter_mut()) {
+            p.advance(dt, rng);
+            *r = p.rate();
+        }
+    }
+
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn spawn_one(&mut self, _rng: &mut StdRng) {
+        unreachable!("DynBatch flows are spawned boxed and pushed via try_push_boxed")
+    }
+
+    fn try_push_boxed(
+        &mut self,
+        process: Box<dyn RateProcess>,
+    ) -> Result<(), Box<dyn RateProcess>> {
+        self.rates.push(process.rate());
+        self.procs.push(process);
+        Ok(())
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        self.procs.swap_remove(i);
+        self.rates.swap_remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ar1::{Ar1Config, Ar1Model};
+    use crate::marginal::Marginal;
+    use crate::markov::{MarkovFluidFactory, MarkovFluidModel};
+    use crate::process::test_util::{check_acf_fn, check_moments_fn};
+    use crate::process::SourceModel;
+    use crate::rcbr::{GeneralRcbrModel, RcbrConfig, RcbrModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Verifies the RNG-stream contract: for identical seeds, a batch of
+    /// `n` flows spawned via `spawn_one` and advanced via `advance_all`
+    /// must produce bit-identical rates to `n` boxed flows spawned via
+    /// `SourceModel::spawn` and advanced one by one — including after a
+    /// mid-run swap-remove mirrored on both sides.
+    fn assert_bit_exact(model: &dyn SourceModel, seed: u64) {
+        let n = 6;
+        let mut boxed_rng = StdRng::seed_from_u64(seed);
+        let mut batch_rng = StdRng::seed_from_u64(seed);
+
+        let mut boxed: Vec<Box<dyn RateProcess>> =
+            (0..n).map(|_| model.spawn(&mut boxed_rng)).collect();
+        let mut batch = model
+            .new_batch()
+            .expect("model advertises a batched kernel");
+        for _ in 0..n {
+            batch.spawn_one(&mut batch_rng);
+        }
+        let boxed_rates = |boxed: &[Box<dyn RateProcess>]| -> Vec<f64> {
+            boxed.iter().map(|p| p.rate()).collect()
+        };
+        assert_eq!(boxed_rates(&boxed), batch.rates());
+
+        for step in 0..200 {
+            let dt = 0.05 + 0.11 * (step % 7) as f64;
+            for p in boxed.iter_mut() {
+                p.advance(dt, &mut boxed_rng);
+            }
+            batch.advance_all(dt, &mut batch_rng);
+            assert_eq!(
+                boxed_rates(&boxed),
+                batch.rates(),
+                "diverged at step {step}"
+            );
+        }
+
+        // Departure: remove slot 1 on both sides, keep evolving.
+        boxed.swap_remove(1);
+        batch.swap_remove(1);
+        for _ in 0..50 {
+            for p in boxed.iter_mut() {
+                p.advance(0.25, &mut boxed_rng);
+            }
+            batch.advance_all(0.25, &mut batch_rng);
+            assert_eq!(boxed_rates(&boxed), batch.rates());
+        }
+
+        // Admission mid-run: spawn one more on both sides.
+        boxed.push(model.spawn(&mut boxed_rng));
+        batch.spawn_one(&mut batch_rng);
+        for _ in 0..50 {
+            for p in boxed.iter_mut() {
+                p.advance(0.4, &mut boxed_rng);
+            }
+            batch.advance_all(0.4, &mut batch_rng);
+            assert_eq!(boxed_rates(&boxed), batch.rates());
+        }
+    }
+
+    #[test]
+    fn ar1_batch_is_bit_exact() {
+        let model = Ar1Model::new(Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: true,
+        });
+        assert_bit_exact(&model, 41);
+    }
+
+    #[test]
+    fn rcbr_batch_is_bit_exact() {
+        let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        assert_bit_exact(&model, 42);
+    }
+
+    #[test]
+    fn general_rcbr_batch_is_bit_exact() {
+        let model = GeneralRcbrModel::new(Marginal::two_point_with_moments(1.0, 0.3), 1.0);
+        assert_bit_exact(&model, 43);
+    }
+
+    #[test]
+    fn markov_batch_is_bit_exact() {
+        let model = MarkovFluidFactory::new(MarkovFluidModel::on_off(2.0, 1.0, 3.0));
+        assert_bit_exact(&model, 44);
+    }
+
+    /// Runs a one-flow batch through the same statistical harness
+    /// (`check_moments_fn` / `check_acf_fn`, same tolerances) as the
+    /// boxed sources: stationary moments and exponential ACF with
+    /// time-scale `t_c`.
+    #[allow(clippy::too_many_arguments)]
+    fn check_batch_statistics(
+        model: &dyn SourceModel,
+        t_c: f64,
+        dt_m: f64,
+        steps_m: usize,
+        tol_var: f64,
+        dt_a: f64,
+        steps_a: usize,
+        lags: &[usize],
+        seeds: (u64, u64, u64),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seeds.0);
+        let mut batch = model.new_batch().expect("batched kernel");
+        batch.spawn_one(&mut rng);
+        check_moments_fn(
+            |dt, rng| {
+                batch.advance_all(dt, rng);
+                batch.rates()[0]
+            },
+            dt_m,
+            steps_m,
+            model.mean(),
+            model.variance(),
+            0.01,
+            tol_var,
+            seeds.1,
+        );
+        let mut batch = model.new_batch().expect("batched kernel");
+        batch.spawn_one(&mut rng);
+        let want: Vec<f64> = lags
+            .iter()
+            .map(|&lag| (-(lag as f64) * dt_a / t_c).exp())
+            .collect();
+        check_acf_fn(
+            |dt, rng| {
+                batch.advance_all(dt, rng);
+                batch.rates()[0]
+            },
+            dt_a,
+            steps_a,
+            lags,
+            &want,
+            0.02,
+            seeds.2,
+        );
+    }
+
+    #[test]
+    fn ar1_batch_stationary_moments_and_acf() {
+        let model = Ar1Model::new(Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: false,
+        });
+        check_batch_statistics(
+            &model,
+            1.0,
+            0.25,
+            200_000,
+            0.01,
+            0.5,
+            300_000,
+            &[1, 2, 4],
+            (21, 22, 24),
+        );
+    }
+
+    #[test]
+    fn rcbr_batch_stationary_moments_and_acf() {
+        let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        check_batch_statistics(
+            &model,
+            1.0,
+            0.25,
+            200_000,
+            0.01,
+            0.5,
+            400_000,
+            &[1, 2, 4, 6],
+            (1, 2, 4),
+        );
+    }
+
+    #[test]
+    fn markov_batch_stationary_moments_and_acf() {
+        // λ + μ = 4/3 ⇒ ρ(τ) = e^{−4τ/3} ⇒ effective T_c = 3/4.
+        let model = MarkovFluidFactory::new(MarkovFluidModel::on_off(1.0, 1.0, 3.0));
+        check_batch_statistics(
+            &model,
+            0.75,
+            0.2,
+            300_000,
+            0.02,
+            0.25,
+            400_000,
+            &[1, 2, 4],
+            (13, 12, 14),
+        );
+    }
+
+    #[test]
+    fn dyn_batch_tracks_boxed_processes() {
+        let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = DynBatch::new();
+        for _ in 0..8 {
+            batch.try_push_boxed(model.spawn(&mut rng)).ok().unwrap();
+        }
+        assert_eq!(batch.len(), 8);
+        let before = batch.rates().to_vec();
+        batch.advance_all(10.0, &mut rng);
+        assert_ne!(batch.rates(), &before[..]);
+        batch.swap_remove(0);
+        assert_eq!(batch.len(), 7);
+        assert_eq!(batch.rates().len(), 7);
+    }
+
+    #[test]
+    fn batch_keys_compare_by_configuration() {
+        let a = BatchKey::Rcbr {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            truncate_at_zero: true,
+        };
+        let b = BatchKey::Rcbr {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            truncate_at_zero: true,
+        };
+        let c = BatchKey::Rcbr {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 2.0,
+            truncate_at_zero: true,
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

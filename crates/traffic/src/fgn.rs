@@ -26,7 +26,10 @@ use rand::RngCore;
 /// Autocovariance of unit-variance fGn at integer lag `k` for Hurst
 /// parameter `h`.
 pub fn fgn_autocovariance(h: f64, k: usize) -> f64 {
-    assert!(h > 0.0 && h < 1.0, "Hurst parameter must be in (0,1), got {h}");
+    assert!(
+        h > 0.0 && h < 1.0,
+        "Hurst parameter must be in (0,1), got {h}"
+    );
     if k == 0 {
         return 1.0;
     }
@@ -171,8 +174,7 @@ mod tests {
         let c0: f64 = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
         (0..=max_lag)
             .map(|k| {
-                let c: f64 =
-                    (0..n - k).map(|i| x[i] * x[i + k]).sum::<f64>() / n as f64;
+                let c: f64 = (0..n - k).map(|i| x[i] * x[i + k]).sum::<f64>() / n as f64;
                 c / c0
             })
             .collect()
@@ -185,7 +187,7 @@ mod tests {
         // Average the sample ACF over many medium-length paths.
         let paths = 200;
         let len = 256;
-        let mut acc = vec![0.0; 6];
+        let mut acc = [0.0; 6];
         for _ in 0..paths {
             let x = hosking(h, len, &mut rng);
             let r = acf_known_mean(&x, 5);
@@ -193,12 +195,11 @@ mod tests {
                 acc[k] += v / paths as f64;
             }
         }
-        for k in 1..=5 {
+        for (k, &a) in acc.iter().enumerate().skip(1) {
             let want = fgn_autocovariance(h, k);
             assert!(
-                (acc[k] - want).abs() < 0.05,
-                "Hosking ACF[{k}] = {}, want {want}",
-                acc[k]
+                (a - want).abs() < 0.05,
+                "Hosking ACF[{k}] = {a}, want {want}"
             );
         }
     }
@@ -209,7 +210,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let paths = 200;
         let len = 256;
-        let mut acc = vec![0.0; 6];
+        let mut acc = [0.0; 6];
         let mut var_acc = 0.0;
         for _ in 0..paths {
             let x = davies_harte(h, len, &mut rng);
@@ -220,12 +221,11 @@ mod tests {
             var_acc += x.iter().map(|v| v * v).sum::<f64>() / len as f64 / paths as f64;
         }
         assert!((var_acc - 1.0).abs() < 0.1, "variance {var_acc}");
-        for k in 1..=5 {
+        for (k, &a) in acc.iter().enumerate().skip(1) {
             let want = fgn_autocovariance(h, k);
             assert!(
-                (acc[k] - want).abs() < 0.05,
-                "Davies–Harte ACF[{k}] = {}, want {want}",
-                acc[k]
+                (a - want).abs() < 0.05,
+                "Davies–Harte ACF[{k}] = {a}, want {want}"
             );
         }
     }
@@ -254,8 +254,8 @@ mod tests {
         assert!(mean(&x).abs() < 0.08);
         assert!((variance(&x) - 1.0).abs() < 0.1);
         let r = acf(&x, 3);
-        for k in 1..=3 {
-            assert!(r[k].abs() < 0.05, "white-noise ACF[{k}] = {}", r[k]);
+        for (k, v) in r.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.05, "white-noise ACF[{k}] = {v}");
         }
     }
 
@@ -267,7 +267,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(49);
         let x = davies_harte(h, 1 << 15, &mut rng);
         let block_var = |m: usize| {
-            let blocks: Vec<f64> = x.chunks_exact(m).map(|c| mean(c)).collect();
+            let blocks: Vec<f64> = x.chunks_exact(m).map(mean).collect();
             variance(&blocks)
         };
         let v4 = block_var(4);

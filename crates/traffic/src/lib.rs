@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ar1;
+pub mod batch;
 pub mod fgn;
 pub mod marginal;
 pub mod markov;
@@ -38,11 +39,12 @@ pub mod trace;
 pub mod validate;
 
 pub use ar1::{Ar1Config, Ar1Model, Ar1Source};
+pub use batch::{BatchKey, DynBatch, FlowBatch};
 pub use fgn::{davies_harte, fgn_autocovariance, hosking};
+pub use marginal::Marginal;
 pub use markov::{MarkovFluidFactory, MarkovFluidModel, MarkovFluidSource};
 pub use multiscale::{MultiScaleConfig, MultiScaleModel, MultiScaleSource, ScaleComponent};
 pub use process::{RateProcess, SourceModel};
-pub use marginal::Marginal;
 pub use rcbr::{GeneralRcbrModel, GeneralRcbrSource, RcbrConfig, RcbrModel, RcbrSource};
 pub use starwars::{generate_starwars_like, StarwarsConfig};
 pub use trace::{Trace, TraceModel, TraceSource};

@@ -55,15 +55,28 @@ impl Marginal {
     /// Panics if the implied lower endpoint is negative.
     pub fn uniform_with_moments(mean: f64, sd: f64) -> Self {
         let half = 3f64.sqrt() * sd;
-        assert!(mean - half >= 0.0, "uniform marginal would reach negative rates");
-        Marginal::Uniform { lo: mean - half, hi: mean + half }
+        assert!(
+            mean - half >= 0.0,
+            "uniform marginal would reach negative rates"
+        );
+        Marginal::Uniform {
+            lo: mean - half,
+            hi: mean + half,
+        }
     }
 
     /// Symmetric two-point marginal with the given mean and standard
     /// deviation (`low,high = mean ∓ sd`, `p_high = 1/2`).
     pub fn two_point_with_moments(mean: f64, sd: f64) -> Self {
-        assert!(mean - sd >= 0.0, "two-point marginal would reach negative rates");
-        Marginal::TwoPoint { low: mean - sd, high: mean + sd, p_high: 0.5 }
+        assert!(
+            mean - sd >= 0.0,
+            "two-point marginal would reach negative rates"
+        );
+        Marginal::TwoPoint {
+            low: mean - sd,
+            high: mean + sd,
+            p_high: 0.5,
+        }
     }
 
     /// Log-normal marginal with the given mean and standard deviation.
@@ -196,7 +209,11 @@ mod tests {
 
     #[test]
     fn asymmetric_two_point() {
-        let m = Marginal::TwoPoint { low: 0.0, high: 4.0, p_high: 0.25 };
+        let m = Marginal::TwoPoint {
+            low: 0.0,
+            high: 4.0,
+            p_high: 0.25,
+        };
         assert!((m.mean() - 1.0).abs() < 1e-12);
         assert!((m.variance() - 3.0).abs() < 1e-12);
     }

@@ -7,9 +7,11 @@
 //! sources exercise the theory beyond the RCBR/OU case. The classical
 //! on–off voice model is provided as a convenience constructor.
 
+use crate::batch::{BatchKey, FlowBatch};
 use crate::process::{RateProcess, SourceModel};
 use mbac_num::linalg::{ctmc_stationary, Matrix};
 use mbac_num::rng::{discrete, exponential};
+use rand::rngs::StdRng;
 use rand::RngCore;
 use std::sync::Arc;
 
@@ -52,7 +54,10 @@ impl MarkovFluidModel {
                 }
                 row_sum += v;
             }
-            assert!(row_sum.abs() < 1e-9, "generator row {r} sums to {row_sum}, not 0");
+            assert!(
+                row_sum.abs() < 1e-9,
+                "generator row {r} sums to {row_sum}, not 0"
+            );
         }
         let stationary = ctmc_stationary(&generator).expect("generator has no stationary law");
         let mean: f64 = stationary.iter().zip(&rates).map(|(&p, &r)| p * r).sum();
@@ -62,7 +67,14 @@ impl MarkovFluidModel {
             .map(|(&p, &r)| p * (r - mean) * (r - mean))
             .sum();
         let exit_rates = (0..k).map(|i| -generator.get(i, i)).collect();
-        Arc::new(MarkovFluidModel { generator, rates, stationary, mean, variance, exit_rates })
+        Arc::new(MarkovFluidModel {
+            generator,
+            rates,
+            stationary,
+            mean,
+            variance,
+            exit_rates,
+        })
     }
 
     /// The classical on–off source: rate `peak` while on, 0 while off,
@@ -106,7 +118,13 @@ impl MarkovFluidModel {
     fn jump_from(&self, state: usize, rng: &mut dyn RngCore) -> usize {
         let k = self.num_states();
         let weights: Vec<f64> = (0..k)
-            .map(|c| if c == state { 0.0 } else { self.generator.get(state, c) })
+            .map(|c| {
+                if c == state {
+                    0.0
+                } else {
+                    self.generator.get(state, c)
+                }
+            })
             .collect();
         discrete(rng, &weights)
     }
@@ -138,6 +156,124 @@ impl SourceModel for MarkovFluidFactory {
     fn variance(&self) -> f64 {
         self.model.variance
     }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        // Flows can share a batch exactly when they share the generator;
+        // the batch holds an `Arc` to the model, so the address stays
+        // valid (and un-reused) for the batch's lifetime.
+        Some(BatchKey::Markov(Arc::as_ptr(&self.model) as usize))
+    }
+
+    fn new_batch(&self) -> Option<Box<dyn FlowBatch>> {
+        Some(Box::new(MarkovFluidBatch::new(self.model.clone())))
+    }
+}
+
+/// Struct-of-arrays batch of Markov fluid flows sharing one generator.
+/// The per-state jump weights are precomputed once (the boxed source
+/// rebuilds the weight vector on every jump), and per-flow state lives
+/// in contiguous arrays.
+pub struct MarkovFluidBatch {
+    model: Arc<MarkovFluidModel>,
+    /// Jump weights per origin state (diagonal zeroed), precomputed.
+    jump_weights: Vec<Vec<f64>>,
+    /// Modulation state per flow.
+    states: Vec<usize>,
+    /// Residual sojourn time per flow.
+    remaining: Vec<f64>,
+    /// Cached emission rate per flow.
+    rates: Vec<f64>,
+}
+
+impl MarkovFluidBatch {
+    /// Creates an empty batch over a shared model.
+    pub fn new(model: Arc<MarkovFluidModel>) -> Self {
+        let k = model.num_states();
+        let jump_weights = (0..k)
+            .map(|s| {
+                (0..k)
+                    .map(|c| {
+                        if c == s {
+                            0.0
+                        } else {
+                            model.generator.get(s, c)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        MarkovFluidBatch {
+            model,
+            jump_weights,
+            states: Vec::new(),
+            remaining: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    fn draw_sojourn(&self, state: usize, rng: &mut dyn RngCore) -> f64 {
+        // Same draw as `MarkovFluidSource::draw_sojourn`.
+        let rate = self.model.exit_rates[state];
+        if rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            exponential(rng, 1.0 / rate)
+        }
+    }
+}
+
+impl FlowBatch for MarkovFluidBatch {
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+        assert!(dt >= 0.0);
+        // Lock-step slice iteration: no bounds checks in the hot loop.
+        let (model, jump_weights) = (&self.model, &self.jump_weights);
+        for ((state, rem), rate) in self
+            .states
+            .iter_mut()
+            .zip(self.remaining.iter_mut())
+            .zip(self.rates.iter_mut())
+        {
+            let mut left = dt;
+            let mut s = *state;
+            while left >= *rem {
+                left -= *rem;
+                s = discrete(rng, &jump_weights[s]);
+                // Same draws as `MarkovFluidSource::draw_sojourn`.
+                let exit = model.exit_rates[s];
+                *rem = if exit <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    exponential(rng, 1.0 / exit)
+                };
+            }
+            *rem -= left;
+            *state = s;
+            *rate = model.rates[s];
+        }
+    }
+
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn spawn_one(&mut self, rng: &mut StdRng) {
+        // Same draws as `MarkovFluidSource::reset`.
+        let state = discrete(rng, &self.model.stationary);
+        let remaining = self.draw_sojourn(state, rng);
+        self.states.push(state);
+        self.remaining.push(remaining);
+        self.rates.push(self.model.rates[state]);
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        self.states.swap_remove(i);
+        self.remaining.swap_remove(i);
+        self.rates.swap_remove(i);
+    }
 }
 
 /// One Markov fluid flow.
@@ -152,7 +288,11 @@ pub struct MarkovFluidSource {
 impl MarkovFluidSource {
     /// Creates a flow with stationary initial state.
     pub fn new(model: Arc<MarkovFluidModel>, rng: &mut dyn RngCore) -> Self {
-        let mut s = MarkovFluidSource { model, state: 0, remaining: 0.0 };
+        let mut s = MarkovFluidSource {
+            model,
+            state: 0,
+            remaining: 0.0,
+        };
         s.reset(rng);
         s
     }
@@ -247,16 +387,11 @@ mod tests {
     #[test]
     fn three_state_video_model() {
         // Low/medium/high activity video: birth-death chain.
-        let q = Matrix::from_rows(
-            3,
-            3,
-            vec![-0.5, 0.5, 0.0, 0.25, -0.75, 0.5, 0.0, 0.5, -0.5],
-        );
+        let q = Matrix::from_rows(3, 3, vec![-0.5, 0.5, 0.0, 0.25, -0.75, 0.5, 0.0, 0.5, -0.5]);
         let model = MarkovFluidModel::new(q, vec![1.0, 3.0, 6.0]);
         let pi = model.stationary().to_vec();
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        let mean_direct: f64 =
-            pi.iter().zip(model.rates()).map(|(&p, &r)| p * r).sum();
+        let mean_direct: f64 = pi.iter().zip(model.rates()).map(|(&p, &r)| p * r).sum();
         let mut rng = StdRng::seed_from_u64(15);
         let mut src = MarkovFluidSource::new(model, &mut rng);
         check_moments(&mut src, 0.5, 200_000, 0.05, 0.2, 16);

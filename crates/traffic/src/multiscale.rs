@@ -38,7 +38,13 @@ impl MultiScaleConfig {
     /// A geometric ladder of `k` time-scales from `t_c_min` to
     /// `t_c_max` with equal variance shares summing to `variance` —
     /// the standard LRD-like test configuration.
-    pub fn geometric_ladder(mean: f64, variance: f64, t_c_min: f64, t_c_max: f64, k: usize) -> Self {
+    pub fn geometric_ladder(
+        mean: f64,
+        variance: f64,
+        t_c_min: f64,
+        t_c_max: f64,
+        k: usize,
+    ) -> Self {
         assert!(k >= 1 && t_c_min > 0.0 && t_c_max >= t_c_min);
         let components = (0..k)
             .map(|i| {
@@ -47,10 +53,17 @@ impl MultiScaleConfig {
                 } else {
                     t_c_min * (t_c_max / t_c_min).powf(i as f64 / (k - 1) as f64)
                 };
-                ScaleComponent { t_c, variance: variance / k as f64 }
+                ScaleComponent {
+                    t_c,
+                    variance: variance / k as f64,
+                }
             })
             .collect();
-        MultiScaleConfig { mean, components, clamp_at_zero: true }
+        MultiScaleConfig {
+            mean,
+            components,
+            clamp_at_zero: true,
+        }
     }
 }
 
@@ -112,7 +125,10 @@ impl MultiScaleSource {
     /// Creates a flow in its stationary distribution.
     pub fn new(cfg: MultiScaleConfig, rng: &mut dyn RngCore) -> Self {
         let n = cfg.components.len();
-        let mut s = MultiScaleSource { cfg, states: vec![ComponentState::default(); n] };
+        let mut s = MultiScaleSource {
+            cfg,
+            states: vec![ComponentState::default(); n],
+        };
         s.reset(rng);
         s
     }
@@ -183,9 +199,18 @@ mod tests {
         MultiScaleConfig {
             mean: 1.0,
             components: vec![
-                ScaleComponent { t_c: 0.2, variance: 0.03 },
-                ScaleComponent { t_c: 2.0, variance: 0.03 },
-                ScaleComponent { t_c: 20.0, variance: 0.03 },
+                ScaleComponent {
+                    t_c: 0.2,
+                    variance: 0.03,
+                },
+                ScaleComponent {
+                    t_c: 2.0,
+                    variance: 0.03,
+                },
+                ScaleComponent {
+                    t_c: 20.0,
+                    variance: 0.03,
+                },
             ],
             clamp_at_zero: false,
         }
@@ -218,7 +243,10 @@ mod tests {
         let s = MultiScaleSource::new(cfg(), &mut rng);
         let mix = s.autocorrelation(10.0).unwrap();
         let single = (-10.0f64 / 0.2).exp();
-        assert!(mix > 1000.0 * single, "mixture {mix} vs single-scale {single}");
+        assert!(
+            mix > 1000.0 * single,
+            "mixture {mix} vs single-scale {single}"
+        );
     }
 
     #[test]
@@ -239,7 +267,10 @@ mod tests {
     fn single_component_reduces_to_rcbr_statistics() {
         let cfg = MultiScaleConfig {
             mean: 1.0,
-            components: vec![ScaleComponent { t_c: 1.0, variance: 0.09 }],
+            components: vec![ScaleComponent {
+                t_c: 1.0,
+                variance: 0.09,
+            }],
             clamp_at_zero: false,
         };
         let mut rng = StdRng::seed_from_u64(36);

@@ -51,6 +51,22 @@ pub trait SourceModel: Send + Sync {
     fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// A structural key identifying which flows this model's spawns can
+    /// share a batched kernel with (see [`crate::batch`]). `None` means
+    /// the model has no batched kernel and its flows fall back to the
+    /// boxed-process path.
+    fn batch_key(&self) -> Option<crate::batch::BatchKey> {
+        None
+    }
+
+    /// Creates an empty struct-of-arrays batch for this model's flows.
+    /// Must return `Some` exactly when [`SourceModel::batch_key`] does,
+    /// and the batch's per-flow draws must consume the RNG identically
+    /// to [`SourceModel::spawn`] / [`RateProcess::advance`].
+    fn new_batch(&self) -> Option<Box<dyn crate::batch::FlowBatch>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -69,14 +85,42 @@ pub(crate) mod test_util {
         tol_var: f64,
         seed: u64,
     ) {
+        let (want_mean, want_var) = (proc.mean(), proc.variance());
+        check_moments_fn(
+            |dt, rng| {
+                proc.advance(dt, rng);
+                proc.rate()
+            },
+            dt,
+            steps,
+            want_mean,
+            want_var,
+            tol_mean,
+            tol_var,
+            seed,
+        );
+    }
+
+    /// Closure form of [`check_moments`]: `step(dt, rng)` advances the
+    /// sampled object by `dt` and returns its rate. Lets the batched
+    /// kernels (whose `advance_all` takes a concrete [`StdRng`]) run
+    /// through the same harness as boxed [`RateProcess`]es.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_moments_fn(
+        mut step: impl FnMut(f64, &mut StdRng) -> f64,
+        dt: f64,
+        steps: usize,
+        want_mean: f64,
+        want_var: f64,
+        tol_mean: f64,
+        tol_var: f64,
+        seed: u64,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stats = mbac_num::RunningStats::new();
         for _ in 0..steps {
-            proc.advance(dt, &mut rng);
-            stats.push(proc.rate());
+            stats.push(step(dt, &mut rng));
         }
-        let want_mean = proc.mean();
-        let want_var = proc.variance();
         assert!(
             (stats.mean() - want_mean).abs() < tol_mean,
             "mean: got {}, want {want_mean}",
@@ -91,19 +135,53 @@ pub(crate) mod test_util {
 
     /// Empirically checks the autocorrelation at the given lags against
     /// the process's analytic form.
-    pub fn check_acf(proc: &mut dyn RateProcess, dt: f64, steps: usize, lags: &[usize], tol: f64, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let series: Vec<f64> = (0..steps)
-            .map(|_| {
-                proc.advance(dt, &mut rng);
-                proc.rate()
+    pub fn check_acf(
+        proc: &mut dyn RateProcess,
+        dt: f64,
+        steps: usize,
+        lags: &[usize],
+        tol: f64,
+        seed: u64,
+    ) {
+        let analytic: Vec<f64> = lags
+            .iter()
+            .map(|&lag| {
+                proc.autocorrelation(lag as f64 * dt)
+                    .expect("analytic ACF required")
             })
             .collect();
+        check_acf_fn(
+            |dt, rng| {
+                proc.advance(dt, rng);
+                proc.rate()
+            },
+            dt,
+            steps,
+            lags,
+            &analytic,
+            tol,
+            seed,
+        );
+    }
+
+    /// Closure form of [`check_acf`]; `want[i]` is the analytic ACF at
+    /// `lags[i] * dt`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_acf_fn(
+        mut step: impl FnMut(f64, &mut StdRng) -> f64,
+        dt: f64,
+        steps: usize,
+        lags: &[usize],
+        want: &[f64],
+        tol: f64,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let series: Vec<f64> = (0..steps).map(|_| step(dt, &mut rng)).collect();
         let max_lag = *lags.iter().max().unwrap();
         let acf = mbac_num::acf(&series, max_lag);
-        for &lag in lags {
+        for (&lag, &want) in lags.iter().zip(want) {
             let tau = lag as f64 * dt;
-            let want = proc.autocorrelation(tau).expect("analytic ACF required");
             assert!(
                 (acf[lag] - want).abs() < tol,
                 "acf at lag {lag} (τ={tau}): got {}, want {want}",

@@ -15,8 +15,12 @@
 //! negligible perturbation of the moments (the analytic `mean()` /
 //! `variance()` report the *untruncated* values, as the theory assumes).
 
+use crate::batch::{BatchKey, FlowBatch};
 use crate::process::{RateProcess, SourceModel};
-use mbac_num::rng::{exponential, normal, normal_truncated_below};
+use mbac_num::rng::{
+    exponential, normal, normal_truncated_below, standard_exponential, standard_normal,
+};
+use rand::rngs::StdRng;
 use rand::RngCore;
 
 /// Configuration for RCBR flows.
@@ -37,7 +41,12 @@ impl RcbrConfig {
     /// The paper's standard setting: Gaussian marginal with
     /// `σ/μ = 0.3`, unit mean, and the given correlation time-scale.
     pub fn paper_default(t_c: f64) -> Self {
-        RcbrConfig { mean: 1.0, std_dev: 0.3, t_c, truncate_at_zero: true }
+        RcbrConfig {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c,
+            truncate_at_zero: true,
+        }
     }
 }
 
@@ -67,7 +76,11 @@ impl RcbrModel {
 
 impl SourceModel for RcbrModel {
     fn spawn(&self, rng: &mut dyn RngCore) -> Box<dyn RateProcess> {
-        let mut src = RcbrSource { cfg: self.cfg, rate: 0.0, remaining: 0.0 };
+        let mut src = RcbrSource {
+            cfg: self.cfg,
+            rate: 0.0,
+            remaining: 0.0,
+        };
         src.reset(rng);
         Box::new(src)
     }
@@ -78,6 +91,136 @@ impl SourceModel for RcbrModel {
 
     fn variance(&self) -> f64 {
         self.cfg.std_dev * self.cfg.std_dev
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        Some(BatchKey::Rcbr {
+            mean: self.cfg.mean,
+            std_dev: self.cfg.std_dev,
+            t_c: self.cfg.t_c,
+            truncate_at_zero: self.cfg.truncate_at_zero,
+        })
+    }
+
+    fn new_batch(&self) -> Option<Box<dyn FlowBatch>> {
+        Some(Box::new(RcbrBatch::new(self.cfg)))
+    }
+}
+
+/// Struct-of-arrays batch of RCBR flows: the negotiated rates double as
+/// the cached rate vector (the rate *is* the state), and residual
+/// interval lives sit in a parallel array, so a tick that renegotiates
+/// nothing touches exactly two contiguous arrays with no virtual calls.
+pub struct RcbrBatch {
+    cfg: RcbrConfig,
+    /// Negotiated rate per flow — also the cached rate vector.
+    rates: Vec<f64>,
+    /// Residual life of the current interval per flow.
+    remaining: Vec<f64>,
+    /// Scratch: slots whose interval expired this tick.
+    due: Vec<u32>,
+}
+
+impl RcbrBatch {
+    /// Creates an empty batch for flows of the given configuration.
+    pub fn new(cfg: RcbrConfig) -> Self {
+        RcbrBatch {
+            cfg,
+            rates: Vec::new(),
+            remaining: Vec::new(),
+            due: Vec::new(),
+        }
+    }
+
+    fn draw_rate(&self, rng: &mut dyn RngCore) -> f64 {
+        // Same draw as `RcbrSource::draw_rate`.
+        if self.cfg.truncate_at_zero {
+            normal_truncated_below(rng, self.cfg.mean, self.cfg.std_dev.max(1e-300), 0.0)
+        } else {
+            normal(rng, self.cfg.mean, self.cfg.std_dev)
+        }
+    }
+}
+
+impl FlowBatch for RcbrBatch {
+    fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+        assert!(dt >= 0.0, "cannot advance backwards");
+        let RcbrConfig {
+            mean,
+            std_dev,
+            t_c,
+            truncate_at_zero,
+        } = self.cfg;
+        // The boxed source floors σ only on the truncated path.
+        let sd = if truncate_at_zero {
+            std_dev.max(1e-300)
+        } else {
+            std_dev
+        };
+        // Pass 1: age every interval (a branchless subtract the
+        // compiler vectorizes), then collect the flows whose interval
+        // expired. The boxed source's `left >= remaining` is
+        // `remaining - dt <= 0` here — exactly, since a nonzero
+        // difference of nearby doubles never rounds to zero (Sterbenz)
+        // and IEEE subtraction is antisymmetric. The conditional-append
+        // idiom keeps the scan free of data-dependent branches, which
+        // would otherwise mispredict on ~20% of flows per tick.
+        let n = self.remaining.len();
+        self.due.resize(n, 0);
+        for rem in self.remaining.iter_mut() {
+            *rem -= dt;
+        }
+        let mut count = 0usize;
+        for (i, rem) in self.remaining.iter().enumerate() {
+            self.due[count] = i as u32;
+            count += (*rem <= 0.0) as usize;
+        }
+        // Pass 2: renegotiate the due flows, in flow order, consuming
+        // the RNG exactly as `RcbrSource::advance` does (rate draw then
+        // interval draw per renegotiation). The draws are inlined
+        // rather than routed through `normal_truncated_below` /
+        // `exponential` so their per-call argument checks stay out of
+        // the loop; the draw sequence is identical.
+        for &i in &self.due[..count] {
+            let i = i as usize;
+            let mut left = -self.remaining[i]; // dt minus the old residual
+            loop {
+                self.rates[i] = loop {
+                    let x = mean + sd * standard_normal(rng);
+                    if !truncate_at_zero || x >= 0.0 {
+                        break x;
+                    }
+                };
+                let interval = t_c * standard_exponential(rng);
+                if left >= interval {
+                    left -= interval;
+                } else {
+                    self.remaining[i] = interval - left;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn spawn_one(&mut self, rng: &mut StdRng) {
+        // Same draws as `RcbrSource::reset`.
+        let rate = self.draw_rate(rng);
+        let remaining = exponential(rng, self.cfg.t_c);
+        self.rates.push(rate);
+        self.remaining.push(remaining);
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        self.rates.swap_remove(i);
+        self.remaining.swap_remove(i);
     }
 }
 
@@ -93,7 +236,11 @@ pub struct RcbrSource {
 impl RcbrSource {
     /// Creates a flow in its stationary distribution.
     pub fn new(cfg: RcbrConfig, rng: &mut dyn RngCore) -> Self {
-        let mut s = RcbrSource { cfg, rate: 0.0, remaining: 0.0 };
+        let mut s = RcbrSource {
+            cfg,
+            rate: 0.0,
+            remaining: 0.0,
+        };
         s.reset(rng);
         s
     }
@@ -189,6 +336,67 @@ impl SourceModel for GeneralRcbrModel {
     fn variance(&self) -> f64 {
         self.marginal.variance()
     }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        Some(BatchKey::GeneralRcbr {
+            marginal: self.marginal,
+            t_c: self.t_c,
+        })
+    }
+
+    fn new_batch(&self) -> Option<Box<dyn FlowBatch>> {
+        Some(Box::new(GeneralRcbrBatch {
+            marginal: self.marginal,
+            t_c: self.t_c,
+            rates: Vec::new(),
+            remaining: Vec::new(),
+        }))
+    }
+}
+
+/// Struct-of-arrays batch of generalized-RCBR flows; same layout as
+/// [`RcbrBatch`] with the marginal sampler swapped in.
+pub struct GeneralRcbrBatch {
+    marginal: Marginal,
+    t_c: f64,
+    rates: Vec<f64>,
+    remaining: Vec<f64>,
+}
+
+impl FlowBatch for GeneralRcbrBatch {
+    fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+        assert!(dt >= 0.0);
+        for i in 0..self.rates.len() {
+            let mut left = dt;
+            while left >= self.remaining[i] {
+                left -= self.remaining[i];
+                self.rates[i] = self.marginal.sample(rng);
+                self.remaining[i] = exponential(rng, self.t_c);
+            }
+            self.remaining[i] -= left;
+        }
+    }
+
+    fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn spawn_one(&mut self, rng: &mut StdRng) {
+        // Same draws as `GeneralRcbrModel::spawn`.
+        let rate = self.marginal.sample(rng);
+        let remaining = exponential(rng, self.t_c);
+        self.rates.push(rate);
+        self.remaining.push(remaining);
+    }
+
+    fn swap_remove(&mut self, i: usize) {
+        self.rates.swap_remove(i);
+        self.remaining.swap_remove(i);
+    }
 }
 
 /// One generalized-RCBR flow.
@@ -264,7 +472,12 @@ mod tests {
     fn rate_constant_within_interval() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut src = RcbrSource::new(
-            RcbrConfig { mean: 1.0, std_dev: 0.3, t_c: 1e9, truncate_at_zero: true },
+            RcbrConfig {
+                mean: 1.0,
+                std_dev: 0.3,
+                t_c: 1e9,
+                truncate_at_zero: true,
+            },
             &mut rng,
         );
         let r0 = src.rate();
@@ -288,7 +501,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // Heavier tail into zero: σ/μ = 0.5.
         let mut src = RcbrSource::new(
-            RcbrConfig { mean: 1.0, std_dev: 0.5, t_c: 0.1, truncate_at_zero: true },
+            RcbrConfig {
+                mean: 1.0,
+                std_dev: 0.5,
+                t_c: 0.1,
+                truncate_at_zero: true,
+            },
             &mut rng,
         );
         for _ in 0..50_000 {
@@ -311,8 +529,7 @@ mod tests {
 
     #[test]
     fn general_rcbr_uniform_marginal_moments() {
-        let model =
-            GeneralRcbrModel::new(Marginal::uniform_with_moments(1.0, 0.3), 1.0);
+        let model = GeneralRcbrModel::new(Marginal::uniform_with_moments(1.0, 0.3), 1.0);
         let mut rng = StdRng::seed_from_u64(100);
         let mut src = model.spawn(&mut rng);
         check_moments(src.as_mut(), 0.25, 150_000, 0.01, 0.01, 101);
@@ -320,8 +537,7 @@ mod tests {
 
     #[test]
     fn general_rcbr_two_point_autocorrelation() {
-        let model =
-            GeneralRcbrModel::new(Marginal::two_point_with_moments(1.0, 0.3), 1.0);
+        let model = GeneralRcbrModel::new(Marginal::two_point_with_moments(1.0, 0.3), 1.0);
         let mut rng = StdRng::seed_from_u64(102);
         let mut src = model.spawn(&mut rng);
         check_acf(src.as_mut(), 0.5, 300_000, &[1, 2, 4], 0.02, 103);

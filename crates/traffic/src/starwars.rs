@@ -41,7 +41,14 @@ pub struct StarwarsConfig {
 
 impl Default for StarwarsConfig {
     fn default() -> Self {
-        StarwarsConfig { mean: 1.0, cov: 0.3, hurst: 0.8, slots: 1 << 15, slot: 1.0, levels: 32 }
+        StarwarsConfig {
+            mean: 1.0,
+            cov: 0.3,
+            hurst: 0.8,
+            slots: 1 << 15,
+            slot: 1.0,
+            levels: 32,
+        }
     }
 }
 
@@ -98,7 +105,10 @@ mod tests {
         let t = make(72);
         let h_vt = hurst_variance_time(t.rates());
         let h_rs = hurst_rs(t.rates());
-        assert!(h_vt > 0.65, "variance-time Hurst {h_vt} should indicate LRD");
+        assert!(
+            h_vt > 0.65,
+            "variance-time Hurst {h_vt} should indicate LRD"
+        );
         assert!(h_rs > 0.6, "R/S Hurst {h_rs} should indicate LRD");
     }
 
@@ -113,31 +123,48 @@ mod tests {
             "expected ≤ 32 distinct rates, got {}",
             levels.len()
         );
-        assert!(levels.len() > 5, "quantization should still leave real variety");
+        assert!(
+            levels.len() > 5,
+            "quantization should still leave real variety"
+        );
     }
 
     #[test]
     fn rates_respect_floor_and_cap() {
         let t = make(74);
         for &r in t.rates() {
-            assert!(r >= 0.05 - 1e-12 && r <= 1.0 + 4.0 * 0.3 + 1e-12, "rate {r}");
+            assert!(
+                (0.05 - 1e-12..=1.0 + 4.0 * 0.3 + 1e-12).contains(&r),
+                "rate {r}"
+            );
         }
     }
 
     #[test]
     fn unquantized_variant_has_continuous_rates() {
-        let cfg = StarwarsConfig { levels: 0, slots: 4096, ..StarwarsConfig::default() };
+        let cfg = StarwarsConfig {
+            levels: 0,
+            slots: 4096,
+            ..StarwarsConfig::default()
+        };
         let t = generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(75));
         let mut levels: Vec<u64> = t.rates().iter().map(|r| r.to_bits()).collect();
         levels.sort_unstable();
         levels.dedup();
-        assert!(levels.len() > 1000, "unquantized trace should be continuous-ish");
+        assert!(
+            levels.len() > 1000,
+            "unquantized trace should be continuous-ish"
+        );
     }
 
     #[test]
     fn short_memory_config_is_not_lrd() {
         // Control: H = 0.5 produces white-noise rates.
-        let cfg = StarwarsConfig { hurst: 0.5, slots: 1 << 14, ..StarwarsConfig::default() };
+        let cfg = StarwarsConfig {
+            hurst: 0.5,
+            slots: 1 << 14,
+            ..StarwarsConfig::default()
+        };
         let t = generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(76));
         let h = hurst_variance_time(t.rates());
         assert!((h - 0.5).abs() < 0.1, "H estimate {h} for white noise");

@@ -32,9 +32,15 @@ impl Trace {
     /// non-finite rates.
     pub fn new(rates: Vec<f64>, slot: f64) -> Self {
         assert!(!rates.is_empty(), "trace must have at least one slot");
-        assert!(slot > 0.0 && slot.is_finite(), "slot duration must be positive");
+        assert!(
+            slot > 0.0 && slot.is_finite(),
+            "slot duration must be positive"
+        );
         for (i, &r) in rates.iter().enumerate() {
-            assert!(r >= 0.0 && r.is_finite(), "rate[{i}] = {r} must be finite and >= 0");
+            assert!(
+                r >= 0.0 && r.is_finite(),
+                "rate[{i}] = {r} must be finite and >= 0"
+            );
         }
         Trace { rates, slot }
     }
@@ -240,7 +246,10 @@ mod tests {
     fn playback_follows_slots() {
         let t = Arc::new(Trace::new(vec![10.0, 20.0], 1.0));
         let mut rng = StdRng::seed_from_u64(61);
-        let mut s = TraceSource { trace: t, position: 0.0 };
+        let mut s = TraceSource {
+            trace: t,
+            position: 0.0,
+        };
         assert_eq!(s.rate(), 10.0);
         s.advance(1.0, &mut rng);
         assert_eq!(s.rate(), 20.0);

@@ -15,7 +15,10 @@ use mbac_num::{acf, linear_fit, mean, variance};
 /// Panics if the series is shorter than 64 samples (too short for any
 /// meaningful aggregation fit).
 pub fn hurst_variance_time(xs: &[f64]) -> f64 {
-    assert!(xs.len() >= 64, "series too short for variance-time analysis");
+    assert!(
+        xs.len() >= 64,
+        "series too short for variance-time analysis"
+    );
     let mut log_m = Vec::new();
     let mut log_v = Vec::new();
     let mut m = 1usize;
@@ -116,7 +119,9 @@ mod tests {
 
     fn white_noise(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| mbac_num::rng::standard_normal(&mut rng)).collect()
+        (0..n)
+            .map(|_| mbac_num::rng::standard_normal(&mut rng))
+            .collect()
     }
 
     #[test]
@@ -153,8 +158,7 @@ mod tests {
         let mut x = 0.0;
         let xs: Vec<f64> = (0..200_000)
             .map(|_| {
-                x = a * x
-                    + (1.0 - a * a).sqrt() * mbac_num::rng::standard_normal(&mut rng);
+                x = a * x + (1.0 - a * a).sqrt() * mbac_num::rng::standard_normal(&mut rng);
                 x
             })
             .collect();

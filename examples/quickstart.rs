@@ -27,7 +27,10 @@ fn main() {
     let flow = FlowStats::from_mean_sd(1.0, 0.3);
     let qos = QosTarget::new(1e-2);
     let holding_time = 500.0;
-    println!("link: capacity {}, flows ~ (mean 1.0, sd 0.3), target p_q = {}", n, qos.p);
+    println!(
+        "link: capacity {}, flows ~ (mean 1.0, sd 0.3), target p_q = {}",
+        n, qos.p
+    );
 
     // 2. Robust design: T_m = T̃_h and an adjusted certainty-equivalent
     //    target, robust over an order-of-magnitude range of unknown
@@ -52,7 +55,9 @@ fn main() {
     let model = RcbrModel::new(RcbrConfig::paper_default(true_t_c));
     let mut controller = MbacController::new(
         Box::new(FilteredEstimator::new(design.t_m)),
-        Box::new(CertaintyEquivalent::from_probability(design.p_ce.max(1e-300))),
+        Box::new(CertaintyEquivalent::from_probability(
+            design.p_ce.max(1e-300),
+        )),
     );
     let cfg = ContinuousConfig {
         capacity: n * flow.mean,

@@ -31,7 +31,10 @@ use std::sync::Arc;
 fn main() {
     // The movie library: one LRD trace, streamed by every viewer from a
     // random position (independent phases).
-    let trace_cfg = StarwarsConfig { slots: 1 << 15, ..StarwarsConfig::default() };
+    let trace_cfg = StarwarsConfig {
+        slots: 1 << 15,
+        ..StarwarsConfig::default()
+    };
     let trace = Arc::new(generate_starwars_like(
         &trace_cfg,
         &mut StdRng::seed_from_u64(0x51DE0),

@@ -9,9 +9,7 @@ use mbac_core::admission::{AdmissionPolicy, CertaintyEquivalent, PerfectKnowledg
 use mbac_core::estimators::{Estimate, FilteredEstimator, MemorylessEstimator};
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::theory::impulsive;
-use mbac_sim::{
-    run_continuous, run_impulsive, ContinuousConfig, ImpulsiveConfig, MbacController,
-};
+use mbac_sim::{run_continuous, run_impulsive, ContinuousConfig, ImpulsiveConfig, MbacController};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn rcbr(t_c: f64) -> RcbrModel {
@@ -78,7 +76,10 @@ fn perfect_knowledge_is_the_gold_standard() {
     };
     let pf_pk = run_impulsive(&cfg, &rcbr(1.0), &pk).pf_at(0);
     let pf_ce = run_impulsive(&cfg, &rcbr(1.0), &ce).pf_at(0);
-    assert!((pf_pk - p_q).abs() < 0.02, "perfect knowledge holds the target: {pf_pk}");
+    assert!(
+        (pf_pk - p_q).abs() < 0.02,
+        "perfect knowledge holds the target: {pf_pk}"
+    );
     assert!(pf_ce > pf_pk, "measurement uncertainty must cost something");
 }
 
@@ -151,11 +152,7 @@ fn theory_formula_tracks_simulation_shape() {
     let t_h = 100.0;
     let t_c = 1.0;
     let p_ce = 2e-2;
-    let theory = mbac_core::theory::continuous::ContinuousModel::new(
-        0.3,
-        t_h / n.sqrt(),
-        t_c,
-    );
+    let theory = mbac_core::theory::continuous::ContinuousModel::new(0.3, t_h / n.sqrt(), t_c);
     let alpha = QosTarget::new(p_ce).alpha();
     let mut last_sim = f64::INFINITY;
     for &t_m in &[0.0, 2.0, 10.0] {

@@ -3,9 +3,7 @@
 //! marginals, and the pluggable AdmissionEngine.
 
 use mbac_core::admission::{CertaintyEquivalent, MeasuredSum};
-use mbac_core::estimators::{
-    AggregateOnlyEstimator, FilteredEstimator, PriorSmoothedEstimator,
-};
+use mbac_core::estimators::{AggregateOnlyEstimator, FilteredEstimator, PriorSmoothedEstimator};
 use mbac_core::params::FlowStats;
 use mbac_core::utility::{admissible_flows_utility, UtilityFunction};
 use mbac_sim::{
@@ -39,7 +37,11 @@ fn measured_sum_engine_runs_and_respects_target_utilization() {
         "utilization {} should respect u = 0.85 + noise",
         rep.mean_utilization
     );
-    assert!(rep.mean_utilization > 0.6, "but the link is not idle: {}", rep.mean_utilization);
+    assert!(
+        rep.mean_utilization > 0.6,
+        "but the link is not idle: {}",
+        rep.mean_utilization
+    );
     assert!(rep.admitted > 0);
 }
 
@@ -140,12 +142,18 @@ fn utility_sizing_orders_by_adaptivity() {
     let flow = FlowStats::from_mean_sd(1.0, 0.3);
     let eps = 1e-2;
     let m_hard = admissible_flows_utility(flow, 200.0, eps, UtilityFunction::Hard);
-    let m_adaptive =
-        admissible_flows_utility(flow, 200.0, eps, UtilityFunction::Adaptive { min_share: 0.8 });
+    let m_adaptive = admissible_flows_utility(
+        flow,
+        200.0,
+        eps,
+        UtilityFunction::Adaptive { min_share: 0.8 },
+    );
     let m_elastic =
         admissible_flows_utility(flow, 200.0, eps, UtilityFunction::Elastic { exponent: 0.5 });
-    assert!(m_hard < m_adaptive && m_adaptive < m_elastic,
-        "ordering: {m_hard} < {m_adaptive} < {m_elastic}");
+    assert!(
+        m_hard < m_adaptive && m_adaptive < m_elastic,
+        "ordering: {m_hard} < {m_adaptive} < {m_elastic}"
+    );
 }
 
 #[test]

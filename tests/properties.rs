@@ -1,8 +1,6 @@
 //! Property-based tests (proptest) on cross-crate invariants.
 
-use mbac_core::admission::{
-    gaussian_admissible_count, AdmissionPolicy, CertaintyEquivalent,
-};
+use mbac_core::admission::{gaussian_admissible_count, AdmissionPolicy, CertaintyEquivalent};
 use mbac_core::estimators::{Estimate, Estimator, FilteredEstimator};
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::impulsive;
@@ -197,7 +195,7 @@ proptest! {
         let rep = run_continuous(&cfg, &model, &mut ctl);
         prop_assert!(rep.admitted >= rep.departed);
         prop_assert!(rep.mean_utilization > 0.0 && rep.mean_utilization < 1.3);
-        prop_assert!(rep.pf.samples == 30 || rep.pf.samples < 30);
+        prop_assert!(rep.pf.samples <= 30);
         prop_assert!((rep.pf.value >= 0.0) && (rep.pf.value <= 1.0));
     }
 }

@@ -12,8 +12,14 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn small_trace(seed: u64) -> Arc<Trace> {
-    let cfg = StarwarsConfig { slots: 1 << 13, ..StarwarsConfig::default() };
-    Arc::new(generate_starwars_like(&cfg, &mut StdRng::seed_from_u64(seed)))
+    let cfg = StarwarsConfig {
+        slots: 1 << 13,
+        ..StarwarsConfig::default()
+    };
+    Arc::new(generate_starwars_like(
+        &cfg,
+        &mut StdRng::seed_from_u64(seed),
+    ))
 }
 
 #[test]
@@ -94,8 +100,16 @@ fn robust_rule_beats_memoryless_on_lrd_traffic() {
 
 #[test]
 fn quantization_does_not_change_first_two_moments_much() {
-    let base = StarwarsConfig { slots: 1 << 13, levels: 0, ..StarwarsConfig::default() };
-    let quant = StarwarsConfig { slots: 1 << 13, levels: 32, ..StarwarsConfig::default() };
+    let base = StarwarsConfig {
+        slots: 1 << 13,
+        levels: 0,
+        ..StarwarsConfig::default()
+    };
+    let quant = StarwarsConfig {
+        slots: 1 << 13,
+        levels: 32,
+        ..StarwarsConfig::default()
+    };
     let a = generate_starwars_like(&base, &mut StdRng::seed_from_u64(207));
     let b = generate_starwars_like(&quant, &mut StdRng::seed_from_u64(207));
     assert!((a.mean() - b.mean()).abs() < 0.02 * a.mean());
@@ -115,5 +129,8 @@ fn different_flows_see_different_phases() {
         r.dedup();
         r.len()
     };
-    assert!(distinct >= 4, "8 random phases should give ≥ 4 distinct rates");
+    assert!(
+        distinct >= 4,
+        "8 random phases should give ≥ 4 distinct rates"
+    );
 }

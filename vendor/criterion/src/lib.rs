@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `criterion` to this crate. It supports the surface the
+//! workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input` /
+//! `sample_size` / `finish`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop instead of upstream's statistical
+//! machinery: warm up briefly, then time batches until a fixed budget
+//! elapses and report the per-iteration mean. Honest numbers, no
+//! dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point; one per bench binary.
+pub struct Criterion {
+    /// Target measurement budget per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_scale: 1.0,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let budget = self.measure_for;
+        run_one(name, budget, f);
+        self
+    }
+}
+
+/// Identifies a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scales the measurement budget (upstream semantics: fewer samples
+    /// for expensive benchmarks; here: a smaller time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        Duration::from_secs_f64(self.criterion.measure_for.as_secs_f64() * self.sample_scale)
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let budget = self.budget();
+        run_one(name, budget, f);
+        self
+    }
+
+    /// Benchmarks a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let budget = self.budget();
+        run_one(&id.name, budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (cosmetic; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up: one timing pass, also sizes the batches.
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name:<40} (no iterations)");
+        return;
+    }
+    let mut total = b.elapsed;
+    let mut iters = b.iters;
+    while total < budget {
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    println!("  {name:<40} {:>12.1} ns/iter  ({iters} iters)", per_iter);
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `payload`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Calibrate a batch so each measured run is at least ~1ms.
+        let start = Instant::now();
+        black_box(payload());
+        let once = start.elapsed().max(Duration::from_nanos(10));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(payload());
+        }
+        self.elapsed += start.elapsed() + once;
+        self.iters += batch + 1;
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("test");
+        g.sample_size(10);
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}
