@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_sim::{
-    run_continuous, run_continuous_in, run_impulsive_with_workers, ContinuousConfig, EventQueue,
-    FlowTable, ImpulsiveConfig, MbacController,
+    run_continuous, run_continuous_in, run_continuous_metered, run_impulsive_with_workers,
+    ContinuousConfig, EventQueue, FlowTable, ImpulsiveConfig, MbacController, MetricsSink,
 };
 use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use rand::rngs::StdRng;
@@ -155,6 +155,59 @@ fn bench_engine_comparison(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead guard: the same continuous run with the sink
+/// disabled (the default every scientific caller gets — must stay
+/// within noise of the pre-telemetry baseline) vs enabled (full
+/// instrument bundle). The disabled case costs one `Option` branch per
+/// record site; any visible gap between `disabled` and the historic
+/// `continuous_sim` numbers is a regression in the zero-cost mode.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10);
+    let cfg = ContinuousConfig {
+        capacity: 400.0,
+        mean_holding: 200.0,
+        tick: 0.25,
+        warmup: 50.0,
+        sample_spacing: 20.0,
+        target: 1e-2,
+        max_samples: 200,
+        seed: 6,
+    };
+    let mk = || {
+        MbacController::new(
+            Box::new(FilteredEstimator::new(5.0)),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        )
+    };
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut sink = MetricsSink::disabled();
+            run_continuous_metered(
+                &cfg,
+                &mbac_bench::bench_rcbr(),
+                &mut mk(),
+                FlowTable::new(),
+                &mut sink,
+            )
+        })
+    });
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut sink = MetricsSink::enabled();
+            run_continuous_metered(
+                &cfg,
+                &mbac_bench::bench_rcbr(),
+                &mut mk(),
+                FlowTable::new(),
+                &mut sink,
+            );
+            sink.snapshot().len()
+        })
+    });
+    g.finish();
+}
+
 /// Replication-parallel impulsive harness at 1 vs N workers.
 fn bench_impulsive_workers(c: &mut Criterion) {
     let mut g = c.benchmark_group("impulsive_workers");
@@ -182,6 +235,7 @@ criterion_group!(
     bench_flow_table,
     bench_continuous_sim,
     bench_engine_comparison,
+    bench_metrics_overhead,
     bench_impulsive_workers,
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 use crate::args::{ArgError, Args};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
-use mbac_sim::{run_continuous_in, ContinuousConfig, FlowTable, MbacController};
+use mbac_sim::{run_continuous_metered, ContinuousConfig, FlowTable, MbacController, MetricsSink};
 use mbac_traffic::process::SourceModel;
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 use mbac_traffic::trace::{Trace, TraceModel};
@@ -16,20 +16,45 @@ mbacctl simulate --capacity <c> --holding <T_h>
                  [--trace <file> | --mean <mu> --sd <sigma> --t-c <T_c>]
                  [--t-m <T_m>] [--p-ce <p>] [--p-q <p>]
                  [--samples <n>] [--seed <s>] [--engine batched|boxed]
+                 [--metrics-out <file|->]
 
 Continuous-load (infinite arrival pressure) simulation of a filtered
 certainty-equivalent MBAC. Defaults: RCBR sources with mean 1, sd 0.3,
 T_c 1; T_m = T_h/sqrt(n) (the robust rule); p_ce = p_q = 1e-3.
 --engine selects the flow engine: batched (struct-of-arrays kernels,
 the default) or boxed (one heap process per flow); both produce
-bit-identical results for the same seed.";
+bit-identical results for the same seed.
+--metrics-out writes the run's aggregated metrics as mbac-metrics/v1
+JSON (see results/METRICS_schema.md) to the file, or to stdout for -.
+--trace cannot be combined with the RCBR flags --mean/--sd/--t-c.";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "capacity", "holding", "trace", "mean", "sd", "t-c", "t-m", "p-ce", "p-q", "samples",
-        "seed", "engine",
+        "capacity",
+        "holding",
+        "trace",
+        "mean",
+        "sd",
+        "t-c",
+        "t-m",
+        "p-ce",
+        "p-q",
+        "samples",
+        "seed",
+        "engine",
+        "metrics-out",
     ])?;
+    if args.get("trace").is_some() {
+        for rcbr_flag in ["mean", "sd", "t-c"] {
+            if args.get(rcbr_flag).is_some() {
+                return Err(ArgError(format!(
+                    "--trace and --{rcbr_flag} are mutually exclusive: a trace \
+                     file fixes the source statistics"
+                )));
+            }
+        }
+    }
     let table = match args.get("engine").unwrap_or("batched") {
         "batched" => FlowTable::new(),
         "boxed" => FlowTable::new_unbatched(),
@@ -104,7 +129,21 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
          tick = {:.3}, spacing = {:.1}",
         cfg.tick, cfg.sample_spacing
     );
-    let rep = run_continuous_in(&cfg, model.as_ref(), &mut ctl, table);
+    let mut sink = if args.get("metrics-out").is_some() {
+        MetricsSink::enabled()
+    } else {
+        MetricsSink::disabled()
+    };
+    let rep = run_continuous_metered(&cfg, model.as_ref(), &mut ctl, table, &mut sink);
+    if let Some(dest) = args.get("metrics-out") {
+        let json = sink.snapshot().to_json();
+        if dest == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(dest, &json)
+                .map_err(|e| ArgError(format!("cannot write {dest}: {e}")))?;
+        }
+    }
     println!("result:");
     println!(
         "  overflow probability : {:.4e}  [{:.1e}, {:.1e}]  ({:?}, {:?})",

@@ -158,3 +158,127 @@ fn simulate_rejects_missing_capacity() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--capacity is required"));
 }
+
+/// The small deterministic simulate invocation shared by the metrics
+/// and engine tests below.
+fn small_sim_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "simulate",
+        "--capacity",
+        "50",
+        "--holding",
+        "50",
+        "--samples",
+        "30",
+        "--p-q",
+        "0.01",
+        "--seed",
+        "5",
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+#[test]
+fn simulate_metrics_out_stdout_emits_schema_json() {
+    let out = mbacctl(&small_sim_args(&["--metrics-out", "-"]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Schema shape: versioned header plus the documented metric names.
+    assert!(text.contains("\"schema\": \"mbac-metrics/v1\""), "{text}");
+    for name in [
+        "\"sim.ticks\"",
+        "\"sim.admitted\"",
+        "\"sim.load\"",
+        "\"engine.occupancy\"",
+        "\"ctl.admissible\"",
+        "\"sim.pf.samples\"",
+        "\"sim.pf.overflows\"",
+        "\"type\": \"histogram\"",
+        "\"type\": \"counter\"",
+        "\"type\": \"gauge\"",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    // Timing is opt-in; the default snapshot must be deterministic.
+    assert!(!text.contains("engine.tick_ns"));
+    // The human-readable report still follows the JSON.
+    assert!(text.contains("overflow probability"));
+}
+
+#[test]
+fn simulate_metrics_out_file_roundtrip_and_engine_equality() {
+    let dir = std::env::temp_dir().join("mbacctl_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let batched = dir.join("batched.json");
+    let boxed_ = dir.join("boxed.json");
+    let out = mbacctl(&small_sim_args(&[
+        "--engine",
+        "batched",
+        "--metrics-out",
+        batched.to_str().unwrap(),
+    ]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = mbacctl(&small_sim_args(&[
+        "--engine",
+        "boxed",
+        "--metrics-out",
+        boxed_.to_str().unwrap(),
+    ]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read_to_string(&batched).unwrap();
+    let b = std::fs::read_to_string(&boxed_).unwrap();
+    assert!(a.contains("\"schema\": \"mbac-metrics/v1\""));
+    // Same seed, same config: both engines must emit byte-identical
+    // metric snapshots.
+    assert_eq!(a, b, "batched and boxed engine metrics diverged");
+    std::fs::remove_file(batched).unwrap();
+    std::fs::remove_file(boxed_).unwrap();
+}
+
+#[test]
+fn simulate_rejects_bad_engine() {
+    let out = mbacctl(&small_sim_args(&["--engine", "quantum"]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine must be batched or boxed"));
+}
+
+#[test]
+fn simulate_rejects_trace_with_rcbr_flags() {
+    let out = mbacctl(&[
+        "simulate",
+        "--capacity",
+        "50",
+        "--holding",
+        "50",
+        "--trace",
+        "whatever.txt",
+        "--mean",
+        "1.0",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn simulate_rejects_unwritable_metrics_out() {
+    let out = mbacctl(&small_sim_args(&[
+        "--metrics-out",
+        "/nonexistent-dir/metrics.json",
+    ]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
+}

@@ -5,62 +5,36 @@
 //! robust once `T_m` is a significant fraction of `T̃_h` — with the
 //! simulated surface sitting somewhat below the (conservative) theory.
 
-use mbac_experiments::scenarios::ContinuousScenario;
-use mbac_experiments::{budget, paper, parallel_map, write_csv, Table};
+use mbac_experiments::figures::{fig10_rows, fig10_table, FIG10_T_CS};
+use mbac_experiments::{budget, paper, write_csv};
 
 fn main() {
     let p_ce = paper::P_Q;
     let n: f64 = 400.0; // smaller than fig-9's nominal size to keep sim cost sane
     let t_h = 400.0 * 31.6 / 20.0; // chosen so T̃_h = 31.6 matches fig-9
     let t_h_tilde = t_h / n.sqrt();
-    let ratios: Vec<f64> = vec![0.01, 0.1, 0.5, 1.0];
-    let t_cs: Vec<f64> = vec![0.1, 0.3, 1.0, 3.0, 10.0];
     let max_samples = budget(8_000, 200);
 
     println!("== fig-10: simulated p_f over the (T_m/T̃_h, T_c) grid ==");
     println!("n = {n}, T_h = {t_h:.0} (T̃_h = {t_h_tilde:.1}), p_ce = {p_ce}\n");
 
-    let mut points = Vec::new();
-    for &r in &ratios {
-        for &t_c in &t_cs {
-            points.push((r, t_c));
-        }
-    }
-    let results = parallel_map(points, |&(r, t_c)| {
-        let sc = ContinuousScenario {
-            n,
-            t_h,
-            t_c,
-            t_m: r * t_h_tilde,
-            p_ce,
-            p_q: p_ce,
-            max_samples,
-            seed: 0x0F20 + (r * 1000.0) as u64 + (t_c * 17.0) as u64,
-        };
-        (r, t_c, sc.run())
-    });
+    let rows = fig10_rows(max_samples);
 
-    let mut table = Table::new(vec!["tm_over_thtilde", "t_c", "pf_sim", "util"]);
     print!("{:>14} |", "T_m/T̃_h \\ T_c");
-    for &t_c in &t_cs {
+    for &t_c in &FIG10_T_CS {
         print!(" {t_c:>9.2}");
     }
     println!();
-    println!("{}", "-".repeat(16 + 10 * t_cs.len()));
-    let mut idx = 0;
-    for &r in &ratios {
-        print!("{r:>14.2} |");
-        for _ in &t_cs {
-            let (rr, t_c, ref rep) = results[idx];
-            debug_assert_eq!(rr, r);
-            print!(" {:>9.2e}", rep.pf.value);
-            table.push(vec![r, t_c, rep.pf.value, rep.mean_utilization]);
-            idx += 1;
+    println!("{}", "-".repeat(16 + 10 * FIG10_T_CS.len()));
+    for chunk in rows.chunks(FIG10_T_CS.len()) {
+        print!("{:>14.2} |", chunk[0].ratio);
+        for r in chunk {
+            print!(" {:>9.2e}", r.report.pf.value);
         }
         println!();
     }
 
-    let path = write_csv("fig10", &table).expect("write CSV");
+    let path = write_csv("fig10", &fig10_table(&rows)).expect("write CSV");
     println!("\nwrote {}", path.display());
     println!(
         "\nExpected shape: mirrors fig-9 — the top row misses the target {p_ce} by 1–2\n\

@@ -10,28 +10,16 @@
 //! the memoryless MBAC misses the target by 1–2 orders of magnitude;
 //! performance improves as `T̃_h` shrinks (repair strengthens).
 
-use mbac_experiments::scenarios::TraceScenario;
-use mbac_experiments::{ascii_plot, budget, paper, parallel_map, write_csv, Table};
-use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
+use mbac_experiments::figures::{fig11_rows, fig11_table, lrd_trace};
+use mbac_experiments::{ascii_plot, budget, paper, write_csv};
 use mbac_traffic::{hurst_rs, hurst_variance_time};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
 
 fn main() {
     let p_q = paper::P_Q;
     let n: f64 = 400.0;
-    let cfg = StarwarsConfig {
-        slots: 1 << 16,
-        ..StarwarsConfig::default()
-    };
-    let trace = Arc::new(generate_starwars_like(
-        &cfg,
-        &mut StdRng::seed_from_u64(0x57A7),
-    ));
+    let trace = lrd_trace(1 << 16);
     let h_vt = hurst_variance_time(trace.rates());
     let h_rs = hurst_rs(trace.rates());
-    let t_hs: Vec<f64> = vec![8_000.0, 4_000.0, 2_000.0, 1_000.0, 500.0, 250.0];
     let max_samples = budget(8_000, 200);
 
     println!("== fig-11: LRD trace, memoryless estimation (T_m = 0) ==");
@@ -45,38 +33,23 @@ fn main() {
     );
     println!("n = {n}, p_ce = p_q = {p_q}\n");
 
-    let trace2 = trace.clone();
-    let rows = parallel_map(t_hs, move |&t_h| {
-        let sc = TraceScenario {
-            trace: trace2.clone(),
-            n,
-            t_h,
-            t_m: 0.0,
-            p_ce: p_q,
-            p_q,
-            max_samples,
-            seed: 0x0F11 + t_h as u64,
-        };
-        (t_h, sc.t_h_tilde(), sc.run())
-    });
+    let rows = fig11_rows(&trace, max_samples);
 
-    let mut table = Table::new(vec!["t_h", "inv_thtilde", "pf_sim", "target", "util"]);
     let mut s_sim = Vec::new();
     println!(
         "{:>9} {:>10} {:>12} {:>9} {:>7} {:>14}",
         "T_h", "1/T̃_h", "pf_sim", "target", "util", "method"
     );
-    for (t_h, tht, rep) in rows {
-        let x = 1.0 / tht;
+    for r in &rows {
+        let x = 1.0 / r.t_h_tilde;
         println!(
             "{:>9.0} {:>10.4} {:>12.3e} {:>9.1e} {:>7.3} {:>14?}",
-            t_h, x, rep.pf.value, p_q, rep.mean_utilization, rep.pf.method
+            r.t_h, x, r.report.pf.value, p_q, r.report.mean_utilization, r.report.pf.method
         );
-        table.push(vec![t_h, x, rep.pf.value, p_q, rep.mean_utilization]);
-        s_sim.push((x, rep.pf.value));
+        s_sim.push((x, r.report.pf.value));
     }
     let target_line: Vec<(f64, f64)> = s_sim.iter().map(|&(x, _)| (x, p_q)).collect();
-    let path = write_csv("fig11", &table).expect("write CSV");
+    let path = write_csv("fig11", &fig11_table(&rows)).expect("write CSV");
     println!(
         "\n{}",
         ascii_plot(

@@ -7,90 +7,43 @@
 //! "apparently, the strong long-term fluctuations of this traffic do not
 //! degrade the performance of the MBAC".
 
-use mbac_core::theory::continuous::ContinuousModel;
-use mbac_core::theory::invert::{invert_pce, InvertMethod};
-use mbac_experiments::scenarios::TraceScenario;
-use mbac_experiments::{ascii_plot, budget, paper, parallel_map, write_csv, Table};
-use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
+use mbac_experiments::figures::{fig12_rows, fig12_table, lrd_trace};
+use mbac_experiments::{ascii_plot, budget, paper, write_csv};
 
 fn main() {
     let p_q = paper::P_Q;
     let n: f64 = 400.0;
-    let cfg = StarwarsConfig {
-        slots: 1 << 16,
-        ..StarwarsConfig::default()
-    };
-    let trace = Arc::new(generate_starwars_like(
-        &cfg,
-        &mut StdRng::seed_from_u64(0x57A7),
-    ));
+    let trace = lrd_trace(1 << 16);
     let cov = trace.variance().sqrt() / trace.mean();
-    let t_hs: Vec<f64> = vec![8_000.0, 4_000.0, 2_000.0, 1_000.0, 500.0, 250.0];
     let max_samples = budget(10_000, 200);
 
     println!("== fig-12: LRD trace with the robust window rule T_m = T̃_h ==");
     println!("n = {n}, p_q = {p_q}, trace cov = {cov:.3}\n");
 
-    let trace2 = trace.clone();
-    let rows = parallel_map(t_hs, move |&t_h| {
-        let t_h_tilde = t_h / n.sqrt();
-        // Robust procedure: adjust p_ce by inverting eqn (38) at the
-        // nominal single-scale model (T_c = trace slot), worst-cased by
-        // the masking regime being T_c-insensitive.
-        let model = ContinuousModel::new(cov, t_h_tilde, trace2.slot());
-        let p_ce = invert_pce(&model, t_h_tilde, p_q, InvertMethod::Separated)
-            .map(|a| a.p_ce)
-            .unwrap_or(p_q)
-            .max(1e-300);
-        let sc = TraceScenario {
-            trace: trace2.clone(),
-            n,
-            t_h,
-            t_m: t_h_tilde,
-            p_ce,
-            p_q,
-            max_samples,
-            seed: 0x0F12 + t_h as u64,
-        };
-        (t_h, t_h_tilde, p_ce, sc.run())
-    });
+    let rows = fig12_rows(&trace, max_samples);
 
-    let mut table = Table::new(vec![
-        "t_h",
-        "inv_thtilde",
-        "t_m",
-        "pce_adj",
-        "pf_sim",
-        "target",
-        "util",
-    ]);
     let mut s_sim = Vec::new();
     println!(
         "{:>9} {:>10} {:>8} {:>12} {:>12} {:>9} {:>7} {:>14}",
         "T_h", "1/T̃_h", "T_m", "p_ce(adj)", "pf_sim", "target", "util", "method"
     );
-    for (t_h, tht, p_ce, rep) in rows {
-        let x = 1.0 / tht;
+    for r in &rows {
+        let x = 1.0 / r.t_h_tilde;
         println!(
             "{:>9.0} {:>10.4} {:>8.1} {:>12.3e} {:>12.3e} {:>9.1e} {:>7.3} {:>14?}",
-            t_h, x, tht, p_ce, rep.pf.value, p_q, rep.mean_utilization, rep.pf.method
-        );
-        table.push(vec![
-            t_h,
+            r.t_h,
             x,
-            tht,
-            p_ce,
-            rep.pf.value,
+            r.t_h_tilde,
+            r.p_ce,
+            r.report.pf.value,
             p_q,
-            rep.mean_utilization,
-        ]);
-        s_sim.push((x, rep.pf.value.max(1e-9)));
+            r.report.mean_utilization,
+            r.report.pf.method
+        );
+        s_sim.push((x, r.report.pf.value.max(1e-9)));
     }
     let target_line: Vec<(f64, f64)> = s_sim.iter().map(|&(x, _)| (x, p_q)).collect();
-    let path = write_csv("fig12", &table).expect("write CSV");
+    let path = write_csv("fig12", &fig12_table(&rows)).expect("write CSV");
     println!(
         "\n{}",
         ascii_plot(

@@ -10,8 +10,8 @@
 //! `T_m ≈ T̃_h`; the theory curve is conservative (sits above the
 //! simulation) but matches the shape and knee location.
 
-use mbac_experiments::scenarios::ContinuousScenario;
-use mbac_experiments::{ascii_plot, budget, paper, parallel_map, write_csv, Table};
+use mbac_experiments::figures::{fig5_rows, fig5_table};
+use mbac_experiments::{ascii_plot, budget, paper, write_csv};
 
 fn main() {
     let n: f64 = 1000.0;
@@ -19,55 +19,34 @@ fn main() {
     let t_c = paper::FIG5_T_C;
     let p_ce = paper::FIG5_P_CE;
     let t_h_tilde = t_h / n.sqrt();
-    let t_ms: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 31.6, 64.0];
     let max_samples = budget(20_000, 400);
 
     println!("== fig-5: p_f vs memory window T_m ==");
     println!("n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}), T_c = {t_c}, p_ce = {p_ce}\n");
 
-    let rows = parallel_map(t_ms, |&t_m| {
-        let sc = ContinuousScenario {
-            n,
-            t_h,
-            t_c,
-            t_m,
-            p_ce,
-            p_q: p_ce,
-            max_samples,
-            seed: 0x0F15 + (t_m * 64.0) as u64,
-        };
-        let theory38 = sc.theory_pf_closed();
-        let theory37 = sc.theory_pf_general();
-        let rep = sc.run();
-        (t_m, theory38, theory37, rep)
-    });
+    let rows = fig5_rows(max_samples);
 
-    let mut table = Table::new(vec![
-        "t_m", "pf_eqn38", "pf_eqn37", "pf_sim", "util", "samples",
-    ]);
     let mut s_theory = Vec::new();
     let mut s_sim = Vec::new();
     println!(
         "{:>7} {:>12} {:>12} {:>12} {:>7} {:>8} {:>14}",
         "T_m", "pf_eqn38", "pf_eqn37", "pf_sim", "util", "samples", "method"
     );
-    for (t_m, th38, th37, rep) in rows {
+    for r in &rows {
         println!(
             "{:>7.1} {:>12.3e} {:>12.3e} {:>12.3e} {:>7.3} {:>8} {:>14?}",
-            t_m, th38, th37, rep.pf.value, rep.mean_utilization, rep.pf.samples, rep.pf.method
+            r.t_m,
+            r.pf_eqn38,
+            r.pf_eqn37,
+            r.report.pf.value,
+            r.report.mean_utilization,
+            r.report.pf.samples,
+            r.report.pf.method
         );
-        table.push(vec![
-            t_m,
-            th38,
-            th37,
-            rep.pf.value,
-            rep.mean_utilization,
-            rep.pf.samples as f64,
-        ]);
-        s_theory.push((t_m, th38));
-        s_sim.push((t_m, rep.pf.value));
+        s_theory.push((r.t_m, r.pf_eqn38));
+        s_sim.push((r.t_m, r.report.pf.value));
     }
-    let path = write_csv("fig5", &table).expect("write CSV");
+    let path = write_csv("fig5", &fig5_table(&rows)).expect("write CSV");
     println!(
         "\n{}",
         ascii_plot(

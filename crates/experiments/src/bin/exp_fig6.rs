@@ -8,54 +8,53 @@
 //! `T̃_h` the required adjustment relaxes toward `p_q`. Larger `T̃_h`
 //! (longer holding times / smaller systems) demands more conservatism.
 
-use mbac_core::theory::continuous::ContinuousModel;
-use mbac_core::theory::invert::{invert_pce, InvertMethod};
-use mbac_experiments::{ascii_plot, paper, write_csv, Table};
+use mbac_experiments::figures::{fig6_rows, fig6_table};
+use mbac_experiments::{ascii_plot, paper, write_csv};
 
 fn main() {
     let p_q = paper::P_Q;
     let t_c = paper::FIG5_T_C;
-    let grid: Vec<(f64, f64)> = vec![(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)];
-    let t_ms: Vec<f64> = (0..=14).map(|k| 2f64.powi(k - 2)).collect(); // 0.25 .. 4096
 
     println!("== fig-6: adjusted p_ce by inversion of eqn (38) ==");
     println!("p_q = {p_q}, T_c = {t_c}\n");
-    let mut table = Table::new(vec!["n", "t_h", "t_m", "ln_pce", "pce", "alpha_ce"]);
+    let rows = fig6_rows();
     let mut series_store: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
 
-    for &(n, t_h) in &grid {
-        let t_h_tilde = t_h / n.sqrt();
-        let model = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
-        let mut series = Vec::new();
-        println!("-- n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}) --");
-        println!(
-            "{:>9} {:>12} {:>12} {:>9}",
-            "T_m", "p_ce", "ln p_ce", "alpha_ce"
-        );
-        for &t_m in &t_ms {
-            match invert_pce(&model, t_m, p_q, InvertMethod::Separated) {
-                Ok(adj) => {
-                    println!(
-                        "{:>9.2} {:>12.3e} {:>12.2} {:>9.3}",
-                        t_m, adj.p_ce, adj.ln_pce, adj.alpha_ce
-                    );
-                    table.push(vec![n, t_h, t_m, adj.ln_pce, adj.p_ce, adj.alpha_ce]);
-                    series.push((t_m.log10(), adj.ln_pce / std::f64::consts::LN_10));
-                }
-                Err(_) => {
-                    println!(
-                        "{t_m:>9.2} {:>12} (repair-dominated: no adjustment needed)",
-                        "-"
-                    );
-                    table.push(vec![n, t_h, t_m, p_q.ln(), p_q, mbac_num::inv_q(p_q)]);
-                }
+    let mut current: Option<(f64, f64)> = None;
+    let mut series = Vec::new();
+    for r in &rows {
+        if current != Some((r.n, r.t_h)) {
+            if let Some((n, t_h)) = current {
+                series_store.push((format!("n={n},T_h={t_h:.0}"), std::mem::take(&mut series)));
+                println!();
             }
+            current = Some((r.n, r.t_h));
+            let t_h_tilde = r.t_h / r.n.sqrt();
+            println!("-- n = {}, T_h = {} (T̃_h = {t_h_tilde:.1}) --", r.n, r.t_h);
+            println!(
+                "{:>9} {:>12} {:>12} {:>9}",
+                "T_m", "p_ce", "ln p_ce", "alpha_ce"
+            );
         }
+        if r.inverted {
+            println!(
+                "{:>9.2} {:>12.3e} {:>12.2} {:>9.3}",
+                r.t_m, r.pce, r.ln_pce, r.alpha_ce
+            );
+            series.push((r.t_m.log10(), r.ln_pce / std::f64::consts::LN_10));
+        } else {
+            println!(
+                "{:>9.2} {:>12} (repair-dominated: no adjustment needed)",
+                r.t_m, "-"
+            );
+        }
+    }
+    if let Some((n, t_h)) = current {
         series_store.push((format!("n={n},T_h={t_h:.0}"), series));
         println!();
     }
 
-    let path = write_csv("fig6", &table).expect("write CSV");
+    let path = write_csv("fig6", &fig6_table(&rows)).expect("write CSV");
     let plot_series: Vec<(&str, &[(f64, f64)])> = series_store
         .iter()
         .map(|(s, v)| (s.as_str(), v.as_slice()))

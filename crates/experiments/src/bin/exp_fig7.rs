@@ -9,10 +9,8 @@
 //! `p_q = 1e-3` across the whole `T_m` range (slightly below because the
 //! theory is conservative).
 
-use mbac_core::theory::continuous::ContinuousModel;
-use mbac_core::theory::invert::{invert_pce, InvertMethod};
-use mbac_experiments::scenarios::ContinuousScenario;
-use mbac_experiments::{ascii_plot, budget, paper, parallel_map, write_csv, Table};
+use mbac_experiments::figures::{fig7_rows, fig7_table};
+use mbac_experiments::{ascii_plot, budget, paper, write_csv};
 
 fn main() {
     let p_q = paper::P_Q;
@@ -20,48 +18,33 @@ fn main() {
     let t_h = 1000.0;
     let t_c = paper::FIG5_T_C;
     let t_h_tilde = t_h / n.sqrt();
-    let t_ms: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 31.6, 64.0];
     let max_samples = budget(30_000, 400);
 
     println!("== fig-7: simulated p_f with the adjusted p_ce of fig-6 ==");
     println!("n = {n}, T_h = {t_h} (T̃_h = {t_h_tilde:.1}), T_c = {t_c}, p_q = {p_q}\n");
 
-    let rows = parallel_map(t_ms, |&t_m| {
-        let model = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
-        let adjusted = invert_pce(&model, t_m, p_q, InvertMethod::Separated)
-            .map(|a| a.p_ce)
-            .unwrap_or(p_q)
-            .max(1e-300);
-        let sc = ContinuousScenario {
-            n,
-            t_h,
-            t_c,
-            t_m,
-            p_ce: adjusted,
-            p_q,
-            max_samples,
-            seed: 0x0F17 + (t_m * 64.0) as u64,
-        };
-        (t_m, adjusted, sc.run())
-    });
+    let rows = fig7_rows(max_samples);
 
-    let mut table = Table::new(vec!["t_m", "pce_adjusted", "pf_sim", "target", "util"]);
     let mut s_sim = Vec::new();
     let mut s_target = Vec::new();
     println!(
         "{:>7} {:>13} {:>12} {:>9} {:>7} {:>14}",
         "T_m", "p_ce(adj)", "pf_sim", "target", "util", "method"
     );
-    for (t_m, pce, rep) in rows {
+    for r in &rows {
         println!(
             "{:>7.1} {:>13.3e} {:>12.3e} {:>9.1e} {:>7.3} {:>14?}",
-            t_m, pce, rep.pf.value, p_q, rep.mean_utilization, rep.pf.method
+            r.t_m,
+            r.pce_adjusted,
+            r.report.pf.value,
+            p_q,
+            r.report.mean_utilization,
+            r.report.pf.method
         );
-        table.push(vec![t_m, pce, rep.pf.value, p_q, rep.mean_utilization]);
-        s_sim.push((t_m, rep.pf.value));
-        s_target.push((t_m, p_q));
+        s_sim.push((r.t_m, r.report.pf.value));
+        s_target.push((r.t_m, p_q));
     }
-    let path = write_csv("fig7", &table).expect("write CSV");
+    let path = write_csv("fig7", &fig7_table(&rows)).expect("write CSV");
     println!(
         "\n{}",
         ascii_plot(

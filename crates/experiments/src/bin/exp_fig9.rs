@@ -7,41 +7,38 @@
 //! holds over the whole `T_c` range (masking regime on the left of the
 //! `T_c` axis, repair regime on the right).
 
-use mbac_core::params::QosTarget;
-use mbac_core::theory::continuous::ContinuousModel;
-use mbac_experiments::{paper, write_csv, Table};
+use mbac_experiments::figures::{fig9_rows, fig9_table};
+use mbac_experiments::{paper, write_csv};
 
 fn main() {
     let p_ce = paper::P_Q;
-    let alpha = QosTarget::new(p_ce).alpha();
     let t_h_tilde = 31.6; // n = 1000, T_h = 1000
-    let ratios: Vec<f64> = vec![0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
-    let t_cs: Vec<f64> = vec![0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
 
     println!("== fig-9: p_f by numerical integration of eqn (37) ==");
     println!("T̃_h = {t_h_tilde}, p_ce = {p_ce}, σ/μ = {}\n", paper::COV);
-    let mut table = Table::new(vec!["tm_over_thtilde", "t_c", "pf"]);
+    let rows = fig9_rows();
 
-    // Header row of the matrix printout.
+    // Matrix printout: rows come out grouped by ratio, t_c fastest.
+    let t_cs: Vec<f64> = rows
+        .iter()
+        .take_while(|r| r.ratio == rows[0].ratio)
+        .map(|r| r.t_c)
+        .collect();
     print!("{:>14} |", "T_m/T̃_h \\ T_c");
     for &t_c in &t_cs {
         print!(" {t_c:>9.2}");
     }
     println!();
     println!("{}", "-".repeat(16 + 10 * t_cs.len()));
-    for &r in &ratios {
-        let t_m = r * t_h_tilde;
-        print!("{r:>14.2} |");
-        for &t_c in &t_cs {
-            let model = ContinuousModel::new(paper::COV, t_h_tilde, t_c);
-            let pf = model.pf_with_memory(alpha, t_m);
-            print!(" {pf:>9.2e}");
-            table.push(vec![r, t_c, pf]);
+    for chunk in rows.chunks(t_cs.len()) {
+        print!("{:>14.2} |", chunk[0].ratio);
+        for r in chunk {
+            print!(" {:>9.2e}", r.pf);
         }
         println!();
     }
 
-    let path = write_csv("fig9", &table).expect("write CSV");
+    let path = write_csv("fig9", &fig9_table(&rows)).expect("write CSV");
     println!("\nwrote {}", path.display());
     println!(
         "\nExpected shape: top rows (tiny memory) exceed the target {p_ce} by orders of\n\

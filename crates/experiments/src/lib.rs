@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod figures;
 pub mod output;
 pub mod scenarios;
 pub mod sweep;

@@ -51,6 +51,21 @@ impl Table {
         Some(self.rows.iter().map(|r| r[idx]).collect())
     }
 
+    /// Renders as CSV — the exact bytes [`write_csv`] puts on disk,
+    /// also used by the golden-snapshot tests to compare against
+    /// committed fixtures.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders as an aligned text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -101,11 +116,7 @@ pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut f = fs::File::create(&path)?;
-    writeln!(f, "{}", table.headers.join(","))?;
-    for row in &table.rows {
-        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
-        writeln!(f, "{}", line.join(","))?;
-    }
+    f.write_all(table.to_csv().as_bytes())?;
     Ok(path)
 }
 

@@ -1,0 +1,140 @@
+//! Golden-snapshot tests for the figure-generation pipeline.
+//!
+//! Each test regenerates one `results/figN.csv` table through the same
+//! builders the `exp_figN` binaries use — fixed seeds, a small Monte
+//! Carlo budget — and diffs it against the committed fixture under
+//! `tests/golden/`. Every value is compared as a parsed float with a
+//! relative tolerance, so a cosmetic change to float formatting does not
+//! trip the suite but any change to the simulated or theoretical
+//! numbers does.
+//!
+//! To re-bless the fixtures after an intentional numeric change:
+//!
+//! ```text
+//! MBAC_BLESS=1 cargo test -p mbac-experiments --test golden
+//! ```
+
+use mbac_experiments::figures::{
+    fig10_rows, fig10_table, fig11_rows, fig11_table, fig12_rows, fig12_table, fig5_rows,
+    fig5_table, fig6_rows, fig6_table, fig7_rows, fig7_table, fig9_rows, fig9_table, lrd_trace,
+};
+use mbac_experiments::Table;
+use std::path::PathBuf;
+
+/// Monte Carlo budget for the simulation-backed figures — far below the
+/// binaries' full budgets; the goal is regression detection on the
+/// pipeline, not statistical precision.
+const SIM_BUDGET: u64 = 120;
+
+/// Trace length for the LRD figures (the binaries use 1 << 16).
+const TRACE_SLOTS: usize = 1 << 13;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.csv"))
+}
+
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return a.to_bits() == b.to_bits();
+    }
+    (a - b).abs() <= 1e-12 + 1e-9 * a.abs().max(b.abs())
+}
+
+/// Diffs the regenerated table against the committed fixture (or
+/// rewrites the fixture under `MBAC_BLESS=1`).
+fn check_golden(name: &str, table: &Table) {
+    let path = fixture_path(name);
+    let generated = table.to_csv();
+    if std::env::var("MBAC_BLESS")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &generated).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); generate it with \
+             MBAC_BLESS=1 cargo test -p mbac-experiments --test golden",
+            path.display()
+        )
+    });
+    let gen_lines: Vec<&str> = generated.lines().collect();
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        gen_lines.first(),
+        exp_lines.first(),
+        "{name}: header drift (re-bless if intentional)"
+    );
+    assert_eq!(
+        gen_lines.len(),
+        exp_lines.len(),
+        "{name}: row count drift (re-bless if intentional)"
+    );
+    for (row, (g, e)) in gen_lines.iter().zip(&exp_lines).enumerate().skip(1) {
+        let gc: Vec<&str> = g.split(',').collect();
+        let ec: Vec<&str> = e.split(',').collect();
+        assert_eq!(gc.len(), ec.len(), "{name} row {row}: column count drift");
+        for (col, (gv, ev)) in gc.iter().zip(&ec).enumerate() {
+            let gv: f64 = gv
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} row {row} col {col}: unparsable {gv:?}"));
+            let ev: f64 = ev
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} row {row} col {col}: unparsable {ev:?}"));
+            assert!(
+                close(gv, ev),
+                "{name} row {row} col {col}: {gv} != fixture {ev} \
+                 (re-bless with MBAC_BLESS=1 if this change is intentional)"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig5_matches_fixture() {
+    check_golden("fig5", &fig5_table(&fig5_rows(SIM_BUDGET)));
+}
+
+#[test]
+fn fig6_matches_fixture() {
+    check_golden("fig6", &fig6_table(&fig6_rows()));
+}
+
+#[test]
+fn fig7_matches_fixture() {
+    check_golden("fig7", &fig7_table(&fig7_rows(SIM_BUDGET)));
+}
+
+#[test]
+fn fig9_matches_fixture() {
+    check_golden("fig9", &fig9_table(&fig9_rows()));
+}
+
+#[test]
+fn fig10_matches_fixture() {
+    check_golden("fig10", &fig10_table(&fig10_rows(SIM_BUDGET)));
+}
+
+#[test]
+fn fig11_matches_fixture() {
+    check_golden(
+        "fig11",
+        &fig11_table(&fig11_rows(&lrd_trace(TRACE_SLOTS), SIM_BUDGET)),
+    );
+}
+
+#[test]
+fn fig12_matches_fixture() {
+    check_golden(
+        "fig12",
+        &fig12_table(&fig12_rows(&lrd_trace(TRACE_SLOTS), SIM_BUDGET)),
+    );
+}

@@ -1,0 +1,36 @@
+//! Typed simulation instruments with associatively mergeable snapshots.
+//!
+//! The crate separates *live* instruments (cheap to update on the hot
+//! path, owned by one thread) from their *frozen snapshots* (plain data
+//! that merges associatively, crosses thread boundaries, and serializes
+//! to stable JSON). The split is what lets the simulator's parallel
+//! replication workers each record locally and still produce a result
+//! that is bit-identical for any worker count: workers snapshot, the
+//! harness folds the snapshots in replication input order.
+//!
+//! Instruments:
+//! - [`Counter`] — monotone event count.
+//! - [`Gauge`] — last-value instrument whose snapshot keeps the value
+//!   distribution (count/sum/min/max).
+//! - [`Histogram`] — full distribution: moments, extremes, fixed
+//!   log-scale bins (exactly mergeable), plus live P² quantile
+//!   estimators ([`P2Quantile`]) for in-flight queries.
+//! - [`TimeSeries`] — bounded-memory (t, v) trace with stride-doubling
+//!   decimation.
+//!
+//! Snapshots are collected into a named [`MetricsSnapshot`], merged with
+//! [`MetricsSnapshot::merge`], and emitted as `mbac-metrics/v1` JSON via
+//! [`MetricsSnapshot::to_json`] (see `results/METRICS_schema.md`).
+
+#![warn(missing_docs)]
+
+pub mod instruments;
+pub mod p2;
+pub mod snapshot;
+
+pub use instruments::{
+    bin_index, bin_representative, Aggregated, Counter, CounterSnapshot, Gauge, GaugeSnapshot,
+    Histogram, HistogramSnapshot, Mergeable, SeriesSnapshot, TimeSeries,
+};
+pub use p2::P2Quantile;
+pub use snapshot::{MetricValue, MetricsSnapshot};

@@ -1,0 +1,247 @@
+//! The P² streaming quantile estimator (Jain & Chlamtac, CACM 1985).
+//!
+//! Estimates one quantile of a stream in O(1) space and time per
+//! observation by maintaining five markers whose heights are adjusted
+//! with a piecewise-parabolic (hence "P²") interpolation whenever their
+//! positions drift from the ideal positions for the target quantile.
+//!
+//! The estimator is *order-sensitive* (two streams with the same
+//! multiset of values can give slightly different estimates), so it
+//! backs the *live* quantile queries on a [`crate::Histogram`]; the
+//! histogram's mergeable snapshot derives quantiles from fixed log-scale
+//! bins instead, which merge exactly.
+
+/// Streaming estimator for a single quantile `p ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (ascending once initialized).
+    q: [f64; 5],
+    /// Marker positions, 1-indexed as in the paper.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of (finite) observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.count <= 5 {
+            // Initialization: collect the first five into sorted order.
+            let k = self.count as usize - 1;
+            self.q[k] = x;
+            self.q[..=k].sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return;
+        }
+
+        // Find the cell containing x and clamp the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust the three interior markers if they are off by ≥ 1.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current estimate: the middle marker once ≥ 5 observations
+    /// exist, the exact sample quantile of the buffered values before
+    /// that, and `NaN` for an empty stream.
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            c if c >= 5 => self.q[2],
+            c => {
+                // Exact quantile over the first `c` (sorted) values,
+                // type-7 interpolation.
+                let c = c as usize;
+                let h = self.p * (c - 1) as f64;
+                let lo = h.floor() as usize;
+                let hi = h.ceil() as usize;
+                if lo == hi {
+                    self.q[lo]
+                } else {
+                    self.q[lo] + (h - lo as f64) * (self.q[hi] - self.q[lo])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(xs: &[f64], p: f64) -> f64 {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = p * (s.len() - 1) as f64;
+        let (lo, hi) = (h.floor() as usize, h.ceil() as usize);
+        if lo == hi {
+            s[lo]
+        } else {
+            s[lo] + (h - lo as f64) * (s[hi] - s[lo])
+        }
+    }
+
+    #[test]
+    fn empty_is_nan_small_is_exact() {
+        let mut e = P2Quantile::new(0.5);
+        assert!(e.estimate().is_nan());
+        for &x in &[3.0, 1.0, 2.0] {
+            e.observe(x);
+        }
+        assert_eq!(e.estimate(), 2.0);
+    }
+
+    #[test]
+    fn median_of_uniform_ramp() {
+        let mut e = P2Quantile::new(0.5);
+        // Deterministic shuffle of 0..10000 via an LCG.
+        let mut s = 12345u64;
+        for _ in 0..10_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            e.observe((s >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        assert!((e.estimate() - 0.5).abs() < 0.02, "{}", e.estimate());
+    }
+
+    #[test]
+    fn p99_of_exponential_like_tail() {
+        let mut e = P2Quantile::new(0.99);
+        let mut xs = Vec::new();
+        let mut s = 99u64;
+        for _ in 0..20_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((s >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+            let x = -u.ln(); // Exp(1)
+            xs.push(x);
+            e.observe(x);
+        }
+        let exact = exact_quantile(&xs, 0.99);
+        assert!(
+            (e.estimate() / exact - 1.0).abs() < 0.1,
+            "p2 {} vs exact {exact}",
+            e.estimate()
+        );
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut e = P2Quantile::new(0.5);
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        assert_eq!(e.count(), 0);
+        for x in 0..7 {
+            e.observe(x as f64);
+        }
+        assert_eq!(e.count(), 7);
+        assert!(e.estimate().is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_out_of_range() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn estimate_stays_within_sample_range() {
+        let mut e = P2Quantile::new(0.9);
+        let mut s = 7u64;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..5000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 200.0;
+            lo = lo.min(x);
+            hi = hi.max(x);
+            e.observe(x);
+            let est = e.estimate();
+            assert!(est >= lo && est <= hi, "{est} outside [{lo}, {hi}]");
+        }
+    }
+}

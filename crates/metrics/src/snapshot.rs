@@ -1,0 +1,324 @@
+//! Named collections of frozen instrument states, with merge and
+//! structured-JSON emission.
+//!
+//! A [`MetricsSnapshot`] is what crosses thread/process boundaries: the
+//! simulator's per-replication workers each produce one, the harness
+//! folds them in replication order with [`MetricsSnapshot::merge`], and
+//! the CLI serializes the result with [`MetricsSnapshot::to_json`]
+//! (contract: `results/METRICS_schema.md`).
+
+use crate::instruments::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Mergeable, SeriesSnapshot,
+};
+use std::collections::BTreeMap;
+
+/// One frozen instrument, tagged by kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A [`crate::Counter`] snapshot.
+    Counter(CounterSnapshot),
+    /// A [`crate::Gauge`] snapshot.
+    Gauge(GaugeSnapshot),
+    /// A [`crate::Histogram`] snapshot.
+    Histogram(HistogramSnapshot),
+    /// A [`crate::TimeSeries`] snapshot.
+    Series(SeriesSnapshot),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+            MetricValue::Series(_) => "series",
+        }
+    }
+
+    fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => a.merge(b),
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => a.merge(b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (MetricValue::Series(a), MetricValue::Series(b)) => a.merge(b),
+            (a, b) => panic!(
+                "cannot merge metric kinds {} and {} under one name",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+}
+
+/// A named, mergeable collection of frozen instruments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Inserts (or replaces) one named metric.
+    pub fn insert<S: Into<String>>(&mut self, name: S, value: MetricValue) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Metric names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges `other` into `self`, metric by metric (union of names).
+    ///
+    /// # Panics
+    /// Panics if a name is bound to different instrument kinds.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.entries {
+            match self.entries.get_mut(name) {
+                Some(mine) => mine.merge(value),
+                None => {
+                    self.entries.insert(name.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes per the `mbac-metrics/v1` contract
+    /// (`results/METRICS_schema.md`): a stable, name-sorted JSON object.
+    /// Non-finite floats (e.g. the min of an empty histogram) become
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"mbac-metrics/v1\",\n  \"metrics\": {");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            json_value(&mut out, value);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest-round-trip float formatting; non-finite → `null` (JSON has
+/// no NaN/Infinity).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_value(out: &mut String, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(c) => {
+            out.push_str(&format!(
+                "{{\"type\": \"counter\", \"count\": {}}}",
+                c.count
+            ));
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str(&format!("{{\"type\": \"gauge\", \"count\": {}, ", g.count));
+            out.push_str("\"sum\": ");
+            json_f64(out, g.sum);
+            out.push_str(", \"min\": ");
+            json_f64(out, g.min);
+            out.push_str(", \"max\": ");
+            json_f64(out, g.max);
+            out.push_str(", \"mean\": ");
+            json_f64(out, g.mean());
+            out.push_str(", \"var\": ");
+            json_f64(out, g.variance());
+            out.push('}');
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str(&format!(
+                "{{\"type\": \"histogram\", \"count\": {}, ",
+                h.count
+            ));
+            out.push_str("\"sum\": ");
+            json_f64(out, h.sum);
+            out.push_str(", \"min\": ");
+            json_f64(out, h.min);
+            out.push_str(", \"max\": ");
+            json_f64(out, h.max);
+            out.push_str(", \"mean\": ");
+            json_f64(out, h.mean());
+            out.push_str(", \"var\": ");
+            json_f64(out, h.variance());
+            out.push_str(", \"p50\": ");
+            json_f64(out, h.quantile(0.5));
+            out.push_str(", \"p90\": ");
+            json_f64(out, h.quantile(0.9));
+            out.push_str(", \"p99\": ");
+            json_f64(out, h.quantile(0.99));
+            out.push_str(", \"bins\": [");
+            for (i, (&key, &n)) in h.bins.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{key}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        MetricValue::Series(s) => {
+            out.push_str(&format!(
+                "{{\"type\": \"series\", \"capacity\": {}, \"points\": [",
+                s.capacity
+            ));
+            for (i, &(t, v)) in s.points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                json_f64(out, t);
+                out.push_str(", ");
+                json_f64(out, v);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruments::{Aggregated, Counter, Gauge, Histogram, TimeSeries};
+
+    fn sample() -> MetricsSnapshot {
+        let mut c = Counter::new();
+        c.add(7);
+        let mut g = Gauge::new();
+        g.set(2.5);
+        g.set(3.5);
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let mut ts = TimeSeries::new(4);
+        ts.record(0.0, 1.0);
+        ts.record(1.0, 2.0);
+        let mut snap = MetricsSnapshot::new();
+        snap.insert("a.count", MetricValue::Counter(c.snapshot()));
+        snap.insert("b.level", MetricValue::Gauge(g.snapshot()));
+        snap.insert("c.dist", MetricValue::Histogram(h.snapshot()));
+        snap.insert("d.series", MetricValue::Series(ts.snapshot()));
+        snap
+    }
+
+    #[test]
+    fn merge_unions_names_and_sums() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        match a.get("a.count") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 14),
+            other => panic!("{other:?}"),
+        }
+        match a.get("c.dist") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 200),
+            other => panic!("{other:?}"),
+        }
+        let mut lone = MetricsSnapshot::new();
+        lone.insert(
+            "only.here",
+            MetricValue::Counter(CounterSnapshot { count: 1 }),
+        );
+        a.merge(&lone);
+        assert!(a.get("only.here").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge metric kinds")]
+    fn kind_mismatch_panics() {
+        let mut a = MetricsSnapshot::new();
+        a.insert("x", MetricValue::Counter(CounterSnapshot { count: 1 }));
+        let mut b = MetricsSnapshot::new();
+        b.insert("x", MetricValue::Gauge(GaugeSnapshot::default()));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_stable() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"mbac-metrics/v1\""));
+        for key in [
+            "\"a.count\"",
+            "\"b.level\"",
+            "\"c.dist\"",
+            "\"d.series\"",
+            "\"type\": \"histogram\"",
+            "\"p99\"",
+            "\"bins\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Stable across identical snapshots.
+        assert_eq!(json, sample().to_json());
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_renders_empty_extremes_as_null() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(
+            "empty",
+            MetricValue::Histogram(HistogramSnapshot::default()),
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"min\": null"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+}

@@ -22,6 +22,13 @@ pub trait AdmissionEngine {
 
     /// Clears all measurement state.
     fn reset(&mut self);
+
+    /// The engine's current `(μ̂, σ̂)` per-flow estimate, for telemetry
+    /// (estimator-innovation tracking). Engines without a per-flow
+    /// statistics estimate keep the default `None`.
+    fn estimate_stats(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 /// An estimator plus an admission policy — the complete
@@ -80,6 +87,10 @@ impl AdmissionEngine for MbacController {
 
     fn reset(&mut self) {
         MbacController::reset(self);
+    }
+
+    fn estimate_stats(&self) -> Option<(f64, f64)> {
+        self.estimate().map(|e| (e.mean, e.variance.sqrt()))
     }
 }
 

@@ -28,6 +28,7 @@ pub mod events;
 pub mod flows;
 pub mod metrics;
 pub mod runner;
+pub mod telemetry;
 
 pub use arrivals::{run_poisson, PoissonConfig, PoissonReport};
 pub use controller::{AdmissionEngine, MbacController, MeasuredSumController};
@@ -35,7 +36,8 @@ pub use events::EventQueue;
 pub use flows::FlowTable;
 pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter};
 pub use runner::{
-    run_continuous, run_continuous_in, run_continuous_phased, run_impulsive,
-    run_impulsive_with_workers, ContinuousConfig, ContinuousReport, ImpulsiveConfig,
-    ImpulsiveReport, PhaseReport,
+    run_continuous, run_continuous_in, run_continuous_metered, run_continuous_phased,
+    run_impulsive, run_impulsive_metered, run_impulsive_with_workers, ContinuousConfig,
+    ContinuousReport, ImpulsiveConfig, ImpulsiveReport, PhaseReport,
 };
+pub use telemetry::{MetricsSink, SimMetrics};

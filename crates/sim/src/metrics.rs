@@ -10,8 +10,13 @@
 //!   two orders of magnitude below the target `p_q`; in that case report
 //!   the Gaussian-tail estimate `Q((c − μ̂_S)/σ̂_S)` built from the
 //!   sample mean and variance of the aggregate load.
+//!
+//! Both meters are backed by `mbac-metrics` instruments, so their state
+//! can be exported into a [`mbac_metrics::MetricsSnapshot`] (see
+//! [`OverflowMeter::export_into`]) and merged across runs.
 
-use mbac_num::{q, wilson_ci, ConfidenceInterval, RunningStats};
+use mbac_metrics::{Aggregated, Counter, Histogram, MetricValue, MetricsSnapshot};
+use mbac_num::{q, wilson_ci, ConfidenceInterval};
 
 /// How the final overflow estimate was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +56,9 @@ pub struct PfEstimate {
     pub overflows: u64,
 }
 
-/// Streaming overflow meter.
+/// Streaming overflow meter, backed by `mbac-metrics` instruments: the
+/// sampled load feeds a [`Histogram`] (moments for the Gaussian tail,
+/// log-bins for the distribution), overflow events a [`Counter`].
 #[derive(Debug, Clone)]
 pub struct OverflowMeter {
     capacity: f64,
@@ -59,9 +66,8 @@ pub struct OverflowMeter {
     level: f64,
     rel_width: f64,
     min_samples: u64,
-    samples: u64,
-    overflows: u64,
-    load: RunningStats,
+    overflows: Counter,
+    load: Histogram,
 }
 
 impl OverflowMeter {
@@ -77,9 +83,8 @@ impl OverflowMeter {
             level: 0.95,
             rel_width: 0.20,
             min_samples: 50,
-            samples: 0,
-            overflows: 0,
-            load: RunningStats::new(),
+            overflows: Counter::new(),
+            load: Histogram::new(),
         }
     }
 
@@ -92,55 +97,82 @@ impl OverflowMeter {
 
     /// Records one spaced sample of the aggregate load.
     pub fn record(&mut self, aggregate_load: f64) {
-        self.samples += 1;
         if aggregate_load > self.capacity {
-            self.overflows += 1;
+            self.overflows.inc();
         }
-        self.load.push(aggregate_load);
+        self.load.record(aggregate_load);
     }
 
     /// Number of samples recorded so far.
     pub fn samples(&self) -> u64 {
-        self.samples
+        self.load.count()
     }
 
     /// Number of overflow events recorded so far.
     pub fn overflows(&self) -> u64 {
-        self.overflows
+        self.overflows.get()
     }
 
     /// Mean utilization observed so far (mean load / capacity).
     pub fn mean_utilization(&self) -> f64 {
-        if self.samples == 0 {
+        if self.samples() == 0 {
             0.0
         } else {
-            self.load.mean() / self.capacity
+            self.load.snapshot().mean() / self.capacity
         }
     }
 
     /// The Gaussian-tail estimate `Q((c − μ̂_S)/σ̂_S)` from the sampled
     /// aggregate-load statistics (the paper's small-`p_f` reporting
     /// path).
+    ///
+    /// Sentinels, so no `NaN` can leak into reports:
+    /// * **empty meter** (`samples() == 0`) → `f64::NAN`, the documented
+    ///   "no evidence" value — any probability here would be fabricated,
+    ///   and callers that can reach this state must check `samples()`
+    ///   first ([`finalize`](Self::finalize) already asserts it);
+    /// * **degenerate load** (zero sample variance) → the point mass
+    ///   either clears capacity or it doesn't: `1.0` if the constant
+    ///   load exceeds `c`, else `0.0`.
     pub fn gaussian_tail_estimate(&self) -> f64 {
-        let sd = self.load.std_dev();
-        if sd <= 0.0 {
-            return if self.load.mean() > self.capacity {
-                1.0
-            } else {
-                0.0
-            };
+        if self.samples() == 0 {
+            return f64::NAN;
         }
-        q((self.capacity - self.load.mean()) / sd)
+        let s = self.load.snapshot();
+        let sd = s.std_dev();
+        if sd <= 0.0 {
+            return if s.mean() > self.capacity { 1.0 } else { 0.0 };
+        }
+        q((self.capacity - s.mean()) / sd)
+    }
+
+    /// Exports the meter's state into a metrics snapshot under
+    /// `<prefix>.samples`, `<prefix>.overflows`, `<prefix>.load`.
+    pub fn export_into(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let mut samples = Counter::new();
+        samples.add(self.samples());
+        out.insert(
+            format!("{prefix}.samples"),
+            MetricValue::Counter(samples.snapshot()),
+        );
+        out.insert(
+            format!("{prefix}.overflows"),
+            MetricValue::Counter(self.overflows.snapshot()),
+        );
+        out.insert(
+            format!("{prefix}.load"),
+            MetricValue::Histogram(self.load.snapshot()),
+        );
     }
 
     /// Checks the termination criteria. Returns `Some(reason)` when
     /// sampling may stop.
     pub fn should_stop(&self) -> Option<StopReason> {
-        if self.samples < self.min_samples {
+        if self.samples() < self.min_samples {
             return None;
         }
-        let ci = wilson_ci(self.overflows, self.samples, self.level);
-        if self.overflows > 0 && ci.relative_half_width() <= self.rel_width {
+        let ci = wilson_ci(self.overflows(), self.samples(), self.level);
+        if self.overflows() > 0 && ci.relative_half_width() <= self.rel_width {
             return Some(StopReason::CiConverged);
         }
         // Criterion (b): estimate + CI at least two orders below target.
@@ -153,15 +185,15 @@ impl OverflowMeter {
     /// Produces the final estimate, applying the paper's reporting rule
     /// for the given stop reason.
     pub fn finalize(&self, stopped: StopReason) -> PfEstimate {
-        assert!(self.samples > 0, "cannot finalize an empty meter");
-        let ci = wilson_ci(self.overflows, self.samples, self.level);
+        assert!(self.samples() > 0, "cannot finalize an empty meter");
+        let ci = wilson_ci(self.overflows(), self.samples(), self.level);
         let (value, method) = match stopped {
             StopReason::CiConverged => (ci.estimate, PfMethod::Direct),
             StopReason::FarBelowTarget => (self.gaussian_tail_estimate(), PfMethod::GaussianTail),
             StopReason::BudgetExhausted => {
                 // Use the direct estimate when it has real support,
                 // otherwise fall back to the parametric tail.
-                if self.overflows >= 10 {
+                if self.overflows() >= 10 {
                     (ci.estimate, PfMethod::Direct)
                 } else {
                     (self.gaussian_tail_estimate(), PfMethod::GaussianTail)
@@ -173,8 +205,8 @@ impl OverflowMeter {
             ci,
             method,
             stopped,
-            samples: self.samples,
-            overflows: self.overflows,
+            samples: self.samples(),
+            overflows: self.overflows(),
         }
     }
 }
@@ -186,7 +218,7 @@ impl OverflowMeter {
 pub struct UtilityMeter {
     capacity: f64,
     utility: mbac_core::utility::UtilityFunction,
-    stats: RunningStats,
+    stats: Histogram,
 }
 
 impl UtilityMeter {
@@ -196,7 +228,7 @@ impl UtilityMeter {
         UtilityMeter {
             capacity,
             utility,
-            stats: RunningStats::new(),
+            stats: Histogram::new(),
         }
     }
 
@@ -207,12 +239,16 @@ impl UtilityMeter {
         } else {
             (self.capacity / aggregate_load).min(1.0)
         };
-        self.stats.push(self.utility.eval(share));
+        self.stats.record(self.utility.eval(share));
     }
 
-    /// Mean realized utility so far.
+    /// Mean realized utility so far (0 when empty).
     pub fn mean_utility(&self) -> f64 {
-        self.stats.mean()
+        if self.stats.count() == 0 {
+            0.0
+        } else {
+            self.stats.snapshot().mean()
+        }
     }
 
     /// Mean utility loss `ε̂ = 1 − mean utility` — the §7 QoS metric.
@@ -220,13 +256,22 @@ impl UtilityMeter {
         if self.stats.count() == 0 {
             0.0
         } else {
-            1.0 - self.stats.mean()
+            1.0 - self.mean_utility()
         }
     }
 
     /// Number of samples recorded.
     pub fn samples(&self) -> u64 {
         self.stats.count()
+    }
+
+    /// Exports the realized-utility distribution into a metrics snapshot
+    /// under `<prefix>.utility`.
+    pub fn export_into(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        out.insert(
+            format!("{prefix}.utility"),
+            MetricValue::Histogram(self.stats.snapshot()),
+        );
     }
 }
 
@@ -362,5 +407,64 @@ mod tests {
             m2.record(15.0);
         }
         assert_eq!(m2.gaussian_tail_estimate(), 1.0);
+    }
+
+    #[test]
+    fn empty_meter_tail_is_the_nan_sentinel() {
+        // No samples ⇒ no evidence: the documented sentinel is NaN, not
+        // a fabricated probability.
+        let m = OverflowMeter::new(10.0, 1e-2);
+        assert!(m.gaussian_tail_estimate().is_nan());
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.mean_utilization(), 0.0);
+        assert_eq!(m.should_stop(), None);
+    }
+
+    #[test]
+    fn single_and_constant_samples_never_produce_nan() {
+        // One sample: variance is 0 by convention ⇒ degenerate step.
+        let mut m = OverflowMeter::new(10.0, 1e-2);
+        m.record(5.0);
+        assert_eq!(m.gaussian_tail_estimate(), 0.0);
+        let mut m2 = OverflowMeter::new(10.0, 1e-2);
+        m2.record(15.0);
+        assert_eq!(m2.gaussian_tail_estimate(), 1.0);
+        // Constant load exactly at capacity is not an overflow (strict
+        // inequality) and the tail collapses to 0.
+        let mut m3 = OverflowMeter::new(10.0, 1e-2);
+        for _ in 0..10 {
+            m3.record(10.0);
+        }
+        assert_eq!(m3.overflows(), 0);
+        assert_eq!(m3.gaussian_tail_estimate(), 0.0);
+        let est = m3.finalize(StopReason::BudgetExhausted);
+        assert!(est.value.is_finite());
+    }
+
+    #[test]
+    fn meter_exports_instrument_backed_state() {
+        use mbac_metrics::MetricValue;
+        let mut m = OverflowMeter::new(10.0, 1e-2);
+        for &load in &[8.0, 11.0, 9.0, 12.0] {
+            m.record(load);
+        }
+        let mut snap = mbac_metrics::MetricsSnapshot::new();
+        m.export_into("sim.pf", &mut snap);
+        match snap.get("sim.pf.samples") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 4),
+            other => panic!("{other:?}"),
+        }
+        match snap.get("sim.pf.overflows") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 2),
+            other => panic!("{other:?}"),
+        }
+        match snap.get("sim.pf.load") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 4);
+                assert_eq!(h.min, 8.0);
+                assert_eq!(h.max, 12.0);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

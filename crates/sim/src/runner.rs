@@ -15,8 +15,10 @@
 use crate::controller::AdmissionEngine;
 use crate::flows::FlowTable;
 use crate::metrics::{OverflowMeter, PfEstimate, StopReason};
+use crate::telemetry::MetricsSink;
 use mbac_core::admission::AdmissionPolicy;
 use mbac_core::estimators::snapshot_stats;
+use mbac_metrics::MetricsSnapshot;
 use mbac_num::rng::exponential;
 use mbac_num::RunningStats;
 use mbac_traffic::process::SourceModel;
@@ -83,6 +85,8 @@ struct RepOutcome {
     m0: f64,
     /// Per observation time: `(load, flows in system)`.
     at: Vec<(f64, usize)>,
+    /// Per-replication telemetry, when collection is on.
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs the impulsive-load model: per replication, estimate `(μ̂, σ̂)`
@@ -114,6 +118,22 @@ pub fn run_impulsive_with_workers(
     policy: &dyn AdmissionPolicy,
     workers: usize,
 ) -> ImpulsiveReport {
+    run_impulsive_metered(cfg, model, policy, workers, false).0
+}
+
+/// [`run_impulsive_with_workers`] plus telemetry: when `collect` is
+/// true, every replication records into its own
+/// [`crate::telemetry::SimMetrics`] bundle and the per-replication snapshots are folded
+/// in replication input order, so the merged snapshot — like the report
+/// — is bit-identical for any worker count. When `collect` is false the
+/// snapshot is empty and the run costs nothing extra.
+pub fn run_impulsive_metered(
+    cfg: &ImpulsiveConfig,
+    model: &dyn SourceModel,
+    policy: &dyn AdmissionPolicy,
+    workers: usize,
+    collect: bool,
+) -> (ImpulsiveReport, MetricsSnapshot) {
     assert!(cfg.capacity > 0.0);
     assert!(
         cfg.estimation_flows >= 2,
@@ -128,7 +148,7 @@ pub fn run_impulsive_with_workers(
     let times_ref = &times;
     let outcomes = mbac_num::parallel::parallel_map_with(
         reps,
-        |&rep| run_one_impulsive_rep(cfg, model, policy, times_ref, cfg.seed ^ rep),
+        |&rep| run_one_impulsive_rep(cfg, model, policy, times_ref, cfg.seed ^ rep, collect),
         workers,
     );
 
@@ -142,6 +162,7 @@ pub fn run_impulsive_with_workers(
             mean_flows: 0.0,
         })
         .collect();
+    let mut merged = MetricsSnapshot::new();
     for outcome in outcomes {
         m0_stats.push(outcome.m0);
         for (o, &(load, flows)) in obs.iter_mut().zip(&outcome.at) {
@@ -151,13 +172,19 @@ pub fn run_impulsive_with_workers(
                 o.overflows += 1;
             }
         }
+        if let Some(snap) = &outcome.metrics {
+            merged.merge(snap);
+        }
     }
 
-    ImpulsiveReport {
-        m0: m0_stats,
-        observations: obs,
-        replications: cfg.replications,
-    }
+    (
+        ImpulsiveReport {
+            m0: m0_stats,
+            observations: obs,
+            replications: cfg.replications,
+        },
+        merged,
+    )
 }
 
 fn run_one_impulsive_rep(
@@ -166,8 +193,14 @@ fn run_one_impulsive_rep(
     policy: &dyn AdmissionPolicy,
     times: &[f64],
     seed: u64,
+    collect: bool,
 ) -> RepOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut sink = if collect {
+        MetricsSink::enabled()
+    } else {
+        MetricsSink::disabled()
+    };
 
     // Measure the initial bandwidths of the candidate burst.
     let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> = (0..cfg.estimation_flows)
@@ -186,7 +219,12 @@ fn run_one_impulsive_rep(
     let mut iter = candidates.into_iter();
     for _ in 0..admit {
         let departs_at = match cfg.mean_holding {
-            Some(th) => exponential(&mut rng, th),
+            Some(th) => {
+                if let Some(m) = sink.get_mut() {
+                    m.rng_exp_draws.inc();
+                }
+                exponential(&mut rng, th)
+            }
             None => f64::INFINITY,
         };
         match iter.next() {
@@ -198,6 +236,10 @@ fn run_one_impulsive_rep(
             }
         }
     }
+    if let Some(m) = sink.get_mut() {
+        m.admitted.add(admit as u64);
+        m.admissible.set(m0);
+    }
 
     // Evolve and observe.
     let at = times
@@ -205,10 +247,24 @@ fn run_one_impulsive_rep(
         .map(|&t| {
             table.advance_to(t, &mut rng);
             table.depart_until(t);
-            (table.aggregate_rate(), table.len())
+            let (load, flows) = (table.aggregate_rate(), table.len());
+            if let Some(m) = sink.get_mut() {
+                m.ticks.inc();
+                m.load.record(load);
+                m.load_series.record(t, load);
+                m.occupancy.record(flows as f64);
+            }
+            (load, flows)
         })
         .collect();
-    RepOutcome { m0, at }
+    if let Some(m) = sink.get_mut() {
+        m.departed.add(table.departed_total());
+    }
+    RepOutcome {
+        m0,
+        at,
+        metrics: sink.is_enabled().then(|| sink.snapshot()),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -288,7 +344,28 @@ pub fn run_continuous_in(
     cfg: &ContinuousConfig,
     model: &dyn SourceModel,
     ctl: &mut dyn AdmissionEngine,
+    table: FlowTable,
+) -> ContinuousReport {
+    run_continuous_metered(cfg, model, ctl, table, &mut MetricsSink::disabled())
+}
+
+/// [`run_continuous_in`] plus telemetry into the given sink. With a
+/// [`MetricsSink::disabled`] sink every record site reduces to one
+/// branch on an `Option` — the zero-cost mode all non-observability
+/// callers get. With an enabled sink the run records the full
+/// instrument bundle (see [`crate::telemetry::SimMetrics`]) and the
+/// overflow meter's state is exported under `sim.pf.*`.
+///
+/// Wall-clock timing (`engine.tick_ns`) is only recorded when the sink
+/// was built with timing on; default snapshots are deterministic, so
+/// the batched and boxed engines yield **identical** snapshots for the
+/// same seed.
+pub fn run_continuous_metered(
+    cfg: &ContinuousConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
     mut table: FlowTable,
+    sink: &mut MetricsSink,
 ) -> ContinuousReport {
     assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
     assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
@@ -298,11 +375,16 @@ pub fn run_continuous_in(
     let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
     let mut snapshot = Vec::new();
     let mut flow_count = RunningStats::new();
+    let mut prev_mean: Option<f64> = None;
 
     let mut t = 0.0f64;
     let mut next_sample = cfg.warmup.max(cfg.tick);
     let stop_reason;
     loop {
+        let tick_started = sink
+            .get_mut()
+            .filter(|m| m.timing_enabled())
+            .map(|_| std::time::Instant::now());
         t += cfg.tick;
         table.advance_to(t, &mut rng);
         table.depart_until(t);
@@ -310,6 +392,20 @@ pub fn run_continuous_in(
         // Measure once; the controller and the meter share the vector.
         table.snapshot_into(&mut snapshot);
         ctl.observe(t, &snapshot);
+
+        if let Some(m) = sink.get_mut() {
+            let load: f64 = snapshot.iter().sum();
+            m.ticks.inc();
+            m.load.record(load);
+            m.load_series.record(t, load);
+            m.occupancy.record(table.len() as f64);
+            if let Some((mean, _)) = ctl.estimate_stats() {
+                if let Some(prev) = prev_mean {
+                    m.innovation.record(mean - prev);
+                }
+                prev_mean = Some(mean);
+            }
+        }
 
         // Spaced overflow sampling after warm-up (before admissions:
         // a flow admitted this tick enters the measured load next tick).
@@ -342,11 +438,17 @@ pub fn run_continuous_in(
                 // the warm-up, and steady-state M fluctuations are
                 // O(√n), far below 10% of N.
                 let cap = (table.len() / 10).max(1);
-                let mut admitted_now = 0;
+                let mut admitted_now = 0usize;
                 while table.len() < limit && admitted_now < cap {
                     let departs = t + exponential(&mut rng, cfg.mean_holding);
                     table.admit(model, departs, &mut rng);
                     admitted_now += 1;
+                }
+                if let Some(sm) = sink.get_mut() {
+                    sm.admissible.set(m);
+                    sm.admitted.add(admitted_now as u64);
+                    sm.rng_exp_draws.add(admitted_now as u64);
+                    sm.denied.add(limit.saturating_sub(table.len()) as u64);
                 }
             }
             None => {
@@ -354,9 +456,31 @@ pub fn run_continuous_in(
                 if table.is_empty() {
                     let departs = t + exponential(&mut rng, cfg.mean_holding);
                     table.admit(model, departs, &mut rng);
+                    if let Some(sm) = sink.get_mut() {
+                        sm.admitted.inc();
+                        sm.rng_exp_draws.inc();
+                    }
                 }
             }
         }
+
+        if let Some(started) = tick_started {
+            let ns = started.elapsed().as_nanos() as f64;
+            if let Some(m) = sink.get_mut() {
+                m.tick_ns.record(ns);
+            }
+        }
+    }
+
+    if let Some(m) = sink.get_mut() {
+        m.departed.add(table.departed_total());
+    }
+    if sink.is_enabled() {
+        // Fold the meter's instrument state into the sink's bundle via
+        // the caller-visible snapshot path.
+        let mut extra = MetricsSnapshot::new();
+        meter.export_into("sim.pf", &mut extra);
+        sink.attach(extra);
     }
 
     ContinuousReport {

@@ -1,0 +1,261 @@
+//! Simulation telemetry: the instrument bundle threaded through the
+//! runner hot paths, behind a zero-cost disabled mode.
+//!
+//! [`MetricsSink`] wraps an optional [`SimMetrics`]; every record site
+//! in the simulator costs one branch on the `Option` when disabled (the
+//! bench guard in `tests/statistical.rs` and `crates/bench` verifies
+//! the overhead is unmeasurable). When enabled, the bundle collects:
+//!
+//! | name | instrument | meaning |
+//! |---|---|---|
+//! | `sim.ticks` | counter | simulation ticks executed |
+//! | `sim.admitted` | counter | flows admitted |
+//! | `sim.denied` | counter | admissions withheld by the ramp cap |
+//! | `sim.departed` | counter | flows departed |
+//! | `sim.rng.exp_draws` | counter | exponential holding-time draws |
+//! | `sim.load` | histogram | per-tick aggregate load |
+//! | `sim.load_series` | series | downsampled load trajectory |
+//! | `engine.occupancy` | histogram | per-tick flow-table occupancy |
+//! | `engine.tick_ns` | histogram | wall-clock ns per tick (opt-in) |
+//! | `ctl.admissible` | gauge | controller's admissible count |
+//! | `ctl.innovation` | histogram | per-observation change in μ̂ |
+//!
+//! Wall-clock timing is **off by default** and excluded from snapshots
+//! unless explicitly enabled with [`SimMetrics::with_timing`]: timings
+//! are machine-dependent, and default snapshots must stay deterministic
+//! so that the batched and boxed engines (and any worker count) produce
+//! *identical* merged snapshots for the same seed.
+
+use mbac_metrics::{
+    Aggregated, Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, TimeSeries,
+};
+
+/// Default point budget for the load trajectory sketch.
+const SERIES_CAPACITY: usize = 512;
+
+/// The instrument bundle one simulation run records into.
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    /// Simulation ticks executed.
+    pub ticks: Counter,
+    /// Flows admitted into the system.
+    pub admitted: Counter,
+    /// Admissions withheld by the per-tick ramp cap (demand the
+    /// controller allowed but signaling throttled this tick).
+    pub denied: Counter,
+    /// Flows that departed.
+    pub departed: Counter,
+    /// Exponential holding-time draws taken from the RNG.
+    pub rng_exp_draws: Counter,
+    /// Per-tick aggregate load.
+    pub load: Histogram,
+    /// Downsampled `(t, load)` trajectory.
+    pub load_series: TimeSeries,
+    /// Per-tick flow-table occupancy (batch fill of the engine).
+    pub occupancy: Histogram,
+    /// Wall-clock nanoseconds per tick (only populated with timing on).
+    pub tick_ns: Histogram,
+    /// Controller's admissible count after each decision.
+    pub admissible: Gauge,
+    /// Per-observation innovation `μ̂_t − μ̂_{t−1}` of the controller's
+    /// mean-rate estimate.
+    pub innovation: Histogram,
+    timing: bool,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMetrics {
+    /// Creates an empty bundle with wall-clock timing off.
+    pub fn new() -> Self {
+        SimMetrics {
+            ticks: Counter::new(),
+            admitted: Counter::new(),
+            denied: Counter::new(),
+            departed: Counter::new(),
+            rng_exp_draws: Counter::new(),
+            load: Histogram::new(),
+            load_series: TimeSeries::new(SERIES_CAPACITY),
+            occupancy: Histogram::new(),
+            tick_ns: Histogram::new(),
+            admissible: Gauge::new(),
+            innovation: Histogram::new(),
+            timing: false,
+        }
+    }
+
+    /// Enables wall-clock per-tick timing. The timing histogram then
+    /// appears in snapshots as `engine.tick_ns` — and the snapshot is
+    /// no longer machine-independent.
+    pub fn with_timing(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
+    /// Whether wall-clock timing is enabled.
+    pub fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// Freezes the bundle into a named, mergeable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        out.insert("sim.ticks", MetricValue::Counter(self.ticks.snapshot()));
+        out.insert(
+            "sim.admitted",
+            MetricValue::Counter(self.admitted.snapshot()),
+        );
+        out.insert("sim.denied", MetricValue::Counter(self.denied.snapshot()));
+        out.insert(
+            "sim.departed",
+            MetricValue::Counter(self.departed.snapshot()),
+        );
+        out.insert(
+            "sim.rng.exp_draws",
+            MetricValue::Counter(self.rng_exp_draws.snapshot()),
+        );
+        out.insert("sim.load", MetricValue::Histogram(self.load.snapshot()));
+        out.insert(
+            "sim.load_series",
+            MetricValue::Series(self.load_series.snapshot()),
+        );
+        out.insert(
+            "engine.occupancy",
+            MetricValue::Histogram(self.occupancy.snapshot()),
+        );
+        out.insert(
+            "ctl.admissible",
+            MetricValue::Gauge(self.admissible.snapshot()),
+        );
+        out.insert(
+            "ctl.innovation",
+            MetricValue::Histogram(self.innovation.snapshot()),
+        );
+        if self.timing {
+            out.insert(
+                "engine.tick_ns",
+                MetricValue::Histogram(self.tick_ns.snapshot()),
+            );
+        }
+        out
+    }
+}
+
+/// An optional [`SimMetrics`]: `disabled()` is the zero-cost default
+/// (one `Option` branch per record site), `enabled()` collects.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    inner: Option<Box<SimMetrics>>,
+    /// Extra snapshot entries attached by components that export their
+    /// own instrument state (e.g. the overflow meter).
+    extra: MetricsSnapshot,
+}
+
+impl MetricsSink {
+    /// A sink that records nothing.
+    pub fn disabled() -> Self {
+        MetricsSink::default()
+    }
+
+    /// A sink that records into a fresh [`SimMetrics`].
+    pub fn enabled() -> Self {
+        MetricsSink {
+            inner: Some(Box::new(SimMetrics::new())),
+            extra: MetricsSnapshot::new(),
+        }
+    }
+
+    /// A recording sink with wall-clock timing enabled.
+    pub fn enabled_with_timing() -> Self {
+        MetricsSink {
+            inner: Some(Box::new(SimMetrics::new().with_timing())),
+            extra: MetricsSnapshot::new(),
+        }
+    }
+
+    /// Whether the sink records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The bundle, when recording — every hot-path record site goes
+    /// through this single branch.
+    #[inline]
+    pub fn get_mut(&mut self) -> Option<&mut SimMetrics> {
+        self.inner.as_deref_mut()
+    }
+
+    /// Read access to the bundle.
+    pub fn get(&self) -> Option<&SimMetrics> {
+        self.inner.as_deref()
+    }
+
+    /// Merges pre-built snapshot entries into this sink's output (used
+    /// by components that export their own instrument state, like
+    /// [`crate::metrics::OverflowMeter::export_into`]). No-op when the
+    /// sink is disabled.
+    pub fn attach(&mut self, entries: MetricsSnapshot) {
+        if self.is_enabled() {
+            self.extra.merge(&entries);
+        }
+    }
+
+    /// Snapshot of the collected metrics (empty snapshot when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = self
+            .inner
+            .as_deref()
+            .map(SimMetrics::snapshot)
+            .unwrap_or_default();
+        out.merge(&self.extra);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_snapshots_empty() {
+        let sink = MetricsSink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(sink.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_records_and_snapshots() {
+        let mut sink = MetricsSink::enabled();
+        assert!(sink.is_enabled());
+        if let Some(m) = sink.get_mut() {
+            m.ticks.inc();
+            m.load.record(42.0);
+            m.admissible.set(97.0);
+        }
+        let snap = sink.snapshot();
+        match snap.get("sim.ticks") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 1),
+            other => panic!("{other:?}"),
+        }
+        match snap.get("sim.load") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("{other:?}"),
+        }
+        // Timing is off by default: deterministic snapshot only.
+        assert!(snap.get("engine.tick_ns").is_none());
+    }
+
+    #[test]
+    fn timing_histogram_is_opt_in() {
+        let mut sink = MetricsSink::enabled_with_timing();
+        if let Some(m) = sink.get_mut() {
+            assert!(m.timing_enabled());
+            m.tick_ns.record(1234.0);
+        }
+        assert!(sink.snapshot().get("engine.tick_ns").is_some());
+    }
+}

@@ -7,6 +7,8 @@
 //!
 //! * [`core`] (= `mbac-core`) — estimators, admission criteria, the
 //!   Grossglauser–Tse theory, robust design, utility-based QoS;
+//! * [`metrics`] (= `mbac-metrics`) — aggregated, mergeable simulation
+//!   instruments (counters, gauges, histograms, series);
 //! * [`traffic`] (= `mbac-traffic`) — RCBR / Markov / AR(1) /
 //!   multi-scale / fGn / trace sources;
 //! * [`sim`] (= `mbac-sim`) — the discrete-event simulator and the
@@ -14,6 +16,7 @@
 //! * [`num`] (= `mbac-num`) — the numerics substrate.
 
 pub use mbac_core as core;
+pub use mbac_metrics as metrics;
 pub use mbac_num as num;
 pub use mbac_sim as sim;
 pub use mbac_traffic as traffic;
