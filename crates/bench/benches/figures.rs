@@ -11,7 +11,7 @@ use mbac_core::params::QosTarget;
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
 use mbac_experiments::scenarios::{ContinuousScenario, TraceScenario};
-use mbac_sim::{run_impulsive, ImpulsiveConfig};
+use mbac_sim::{ImpulsiveConfig, ImpulsiveLoad, SessionBuilder};
 use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,19 +36,18 @@ fn bench_prop33(c: &mut Criterion) {
     g.bench_function("impulsive_pipeline", |b| {
         let model = mbac_bench::bench_rcbr();
         let ce = CertaintyEquivalent::from_probability(1e-2);
+        let cfg = ImpulsiveConfig {
+            capacity: 100.0,
+            estimation_flows: 100,
+            mean_holding: None,
+            observe_times: vec![20.0],
+            replications: 300,
+            seed: 1,
+        };
         b.iter(|| {
-            run_impulsive(
-                &ImpulsiveConfig {
-                    capacity: 100.0,
-                    estimation_flows: 100,
-                    mean_holding: None,
-                    observe_times: vec![20.0],
-                    replications: 300,
-                    seed: 1,
-                },
-                &model,
-                &ce,
-            )
+            SessionBuilder::new()
+                .run(&ImpulsiveLoad::new(&cfg, &model, &ce))
+                .unwrap()
         })
     });
     g.finish();
@@ -60,19 +59,18 @@ fn bench_finite_holding(c: &mut Criterion) {
     g.bench_function("impulsive_departures_pipeline", |b| {
         let model = mbac_bench::bench_rcbr();
         let ce = CertaintyEquivalent::from_probability(1e-2);
+        let cfg = ImpulsiveConfig {
+            capacity: 100.0,
+            estimation_flows: 100,
+            mean_holding: Some(50.0),
+            observe_times: vec![0.5, 2.0, 8.0, 32.0],
+            replications: 200,
+            seed: 2,
+        };
         b.iter(|| {
-            run_impulsive(
-                &ImpulsiveConfig {
-                    capacity: 100.0,
-                    estimation_flows: 100,
-                    mean_holding: Some(50.0),
-                    observe_times: vec![0.5, 2.0, 8.0, 32.0],
-                    replications: 200,
-                    seed: 2,
-                },
-                &model,
-                &ce,
-            )
+            SessionBuilder::new()
+                .run(&ImpulsiveLoad::new(&cfg, &model, &ce))
+                .unwrap()
         })
     });
     g.finish();

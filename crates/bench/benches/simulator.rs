@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_sim::{
-    run_continuous, run_continuous_in, run_continuous_metered, run_impulsive_with_workers,
-    ContinuousConfig, EventQueue, FlowTable, ImpulsiveConfig, MbacController, MetricsSink,
+    rep_seed, ContinuousConfig, ContinuousLoad, Engine, EventQueue, FlowTable, ImpulsiveConfig,
+    ImpulsiveLoad, MbacController, MetricsMode, RepContext, Scenario, SessionBuilder,
 };
 use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use rand::rngs::StdRng;
@@ -92,7 +92,13 @@ fn bench_continuous_sim(c: &mut Criterion) {
                     max_samples: 200,
                     seed: 6,
                 };
-                run_continuous(&cfg, &mbac_bench::bench_rcbr(), &mut ctl)
+                SessionBuilder::new()
+                    .run_local(&ContinuousLoad::new(
+                        &cfg,
+                        &mbac_bench::bench_rcbr(),
+                        &mut ctl,
+                    ))
+                    .unwrap()
             })
         });
     }
@@ -122,34 +128,25 @@ fn bench_engine_comparison(c: &mut Criterion) {
         )
     };
     {
+        let run = |n: f64, model: &dyn mbac_traffic::process::SourceModel, engine: Engine| {
+            let mut ctl = mk();
+            SessionBuilder::new()
+                .engine(engine)
+                .run_local(&ContinuousLoad::new(&cfg(n), model, &mut ctl))
+                .unwrap()
+        };
         let &n = &400.0f64;
         g.bench_with_input(BenchmarkId::new("boxed_rcbr", n as u64), &n, |b, &n| {
-            b.iter(|| {
-                run_continuous_in(
-                    &cfg(n),
-                    &mbac_bench::bench_rcbr(),
-                    &mut mk(),
-                    FlowTable::new_unbatched(),
-                )
-            })
+            b.iter(|| run(n, &mbac_bench::bench_rcbr(), Engine::Boxed))
         });
         g.bench_with_input(BenchmarkId::new("batched_rcbr", n as u64), &n, |b, &n| {
-            b.iter(|| {
-                run_continuous_in(
-                    &cfg(n),
-                    &mbac_bench::bench_rcbr(),
-                    &mut mk(),
-                    FlowTable::new(),
-                )
-            })
+            b.iter(|| run(n, &mbac_bench::bench_rcbr(), Engine::Batched))
         });
         g.bench_with_input(BenchmarkId::new("boxed_ar1", n as u64), &n, |b, &n| {
-            b.iter(|| {
-                run_continuous_in(&cfg(n), &bench_ar1(), &mut mk(), FlowTable::new_unbatched())
-            })
+            b.iter(|| run(n, &bench_ar1(), Engine::Boxed))
         });
         g.bench_with_input(BenchmarkId::new("batched_ar1", n as u64), &n, |b, &n| {
-            b.iter(|| run_continuous_in(&cfg(n), &bench_ar1(), &mut mk(), FlowTable::new()))
+            b.iter(|| run(n, &bench_ar1(), Engine::Batched))
         });
     }
     g.finish();
@@ -182,27 +179,28 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     };
     g.bench_function("disabled", |b| {
         b.iter(|| {
-            let mut sink = MetricsSink::disabled();
-            run_continuous_metered(
-                &cfg,
-                &mbac_bench::bench_rcbr(),
-                &mut mk(),
-                FlowTable::new(),
-                &mut sink,
-            )
+            let mut ctl = mk();
+            SessionBuilder::new()
+                .run_local(&ContinuousLoad::new(
+                    &cfg,
+                    &mbac_bench::bench_rcbr(),
+                    &mut ctl,
+                ))
+                .unwrap()
         })
     });
     g.bench_function("enabled", |b| {
         b.iter(|| {
-            let mut sink = MetricsSink::enabled();
-            run_continuous_metered(
-                &cfg,
-                &mbac_bench::bench_rcbr(),
-                &mut mk(),
-                FlowTable::new(),
-                &mut sink,
-            );
-            sink.snapshot().len()
+            let mut ctl = mk();
+            let (_, snap) = SessionBuilder::new()
+                .metrics(MetricsMode::Enabled)
+                .run_local_metered(&ContinuousLoad::new(
+                    &cfg,
+                    &mbac_bench::bench_rcbr(),
+                    &mut ctl,
+                ))
+                .unwrap();
+            snap.len()
         })
     });
     g.finish();
@@ -223,9 +221,57 @@ fn bench_impulsive_workers(c: &mut Criterion) {
     let policy = CertaintyEquivalent::from_probability(1e-2);
     for &workers in &[1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("200_reps", workers), &workers, |b, &w| {
-            b.iter(|| run_impulsive_with_workers(&cfg, &mbac_bench::bench_rcbr(), &policy, w))
+            let model = mbac_bench::bench_rcbr();
+            b.iter(|| {
+                SessionBuilder::new()
+                    .workers(w)
+                    .run(&ImpulsiveLoad::new(&cfg, &model, &policy))
+                    .unwrap()
+            })
         });
     }
+    g.finish();
+}
+
+/// Session-pipeline overhead: the same impulsive replication set driven
+/// directly (hand-built `RepContext` per rep, manual fold) vs through
+/// `SessionBuilder::run_local`. The builder path adds validation, seed
+/// derivation and the merge/fold plumbing; it must stay within noise of
+/// the direct path so no caller has a reason to bypass it.
+fn bench_session_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_overhead");
+    g.sample_size(10);
+    let cfg = ImpulsiveConfig {
+        capacity: 100.0,
+        estimation_flows: 100,
+        mean_holding: Some(10.0),
+        observe_times: vec![1.0, 5.0, 20.0],
+        replications: 100,
+        seed: 11,
+    };
+    let policy = CertaintyEquivalent::from_probability(1e-2);
+    let model = mbac_bench::bench_rcbr();
+    g.bench_function("direct", |b| {
+        let scenario = ImpulsiveLoad::new(&cfg, &model, &policy);
+        b.iter(|| {
+            let reps = (0..scenario.replications())
+                .map(|rep| {
+                    let rep = rep as u64;
+                    let ctx = RepContext {
+                        rep,
+                        seed: rep_seed(cfg.seed, rep),
+                        engine: Engine::Batched,
+                    };
+                    scenario.run_rep(&ctx, &mut mbac_sim::MetricsSink::disabled())
+                })
+                .collect();
+            scenario.fold(reps)
+        })
+    });
+    g.bench_function("builder", |b| {
+        let scenario = ImpulsiveLoad::new(&cfg, &model, &policy);
+        b.iter(|| SessionBuilder::new().run_local(&scenario).unwrap())
+    });
     g.finish();
 }
 
@@ -237,5 +283,6 @@ criterion_group!(
     bench_engine_comparison,
     bench_metrics_overhead,
     bench_impulsive_workers,
+    bench_session_overhead,
 );
 criterion_main!(benches);

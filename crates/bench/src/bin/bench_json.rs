@@ -25,8 +25,8 @@
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_sim::{
-    run_continuous_in, run_impulsive_with_workers, ContinuousConfig, FlowTable, ImpulsiveConfig,
-    MbacController,
+    ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
+    MbacController, SessionBuilder,
 };
 use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use mbac_traffic::process::SourceModel;
@@ -270,10 +270,14 @@ fn controller() -> MbacController {
     )
 }
 
-/// Seconds for one end-to-end continuous run on the given table.
-fn time_continuous(model: &dyn SourceModel, table: FlowTable) -> f64 {
+/// Seconds for one end-to-end continuous run on the given engine.
+fn time_continuous(model: &dyn SourceModel, engine: Engine) -> f64 {
+    let mut ctl = controller();
     let start = Instant::now();
-    let rep = run_continuous_in(&continuous_cfg(), model, &mut controller(), table);
+    let rep = SessionBuilder::new()
+        .engine(engine)
+        .run_local(&ContinuousLoad::new(&continuous_cfg(), model, &mut ctl))
+        .expect("valid bench config");
     let secs = start.elapsed().as_secs_f64();
     assert!(rep.pf.samples > 0);
     secs
@@ -353,8 +357,8 @@ fn main() {
     let _ = writeln!(json, "  \"continuous_run\": [");
     for (i, (name, model, _)) in models.iter().enumerate() {
         let [boxed_s, batched_s] = best_of_interleaved([
-            &mut || time_continuous(model.as_ref(), FlowTable::new_unbatched()),
-            &mut || time_continuous(model.as_ref(), FlowTable::new()),
+            &mut || time_continuous(model.as_ref(), Engine::Boxed),
+            &mut || time_continuous(model.as_ref(), Engine::Batched),
         ]);
         eprintln!(
             "continuous_run/{name}: boxed {boxed_s:.3} s, batched {batched_s:.3} s \
@@ -393,7 +397,10 @@ fn main() {
     let worker_counts = [1usize, 2, 4];
     for (i, &w) in worker_counts.iter().enumerate() {
         let start = Instant::now();
-        let rep = run_impulsive_with_workers(&cfg, &model, &policy, w);
+        let rep = SessionBuilder::new()
+            .workers(w)
+            .run(&ImpulsiveLoad::new(&cfg, &model, &policy))
+            .expect("valid bench config");
         let secs = start.elapsed().as_secs_f64();
         assert_eq!(rep.replications, cfg.replications);
         seconds.push(secs);

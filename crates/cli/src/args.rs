@@ -78,6 +78,24 @@ impl Args {
             .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'")))
     }
 
+    /// Required raw string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))
+    }
+
+    /// Required `u64` flag.
+    pub fn u64_required(&self, key: &str) -> Result<u64, ArgError> {
+        let v = self
+            .flags
+            .get(key)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'")))
+    }
+
     /// `u64` flag with a default.
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
         match self.flags.get(key) {
@@ -156,6 +174,15 @@ mod tests {
         let a = parse("--n abc").unwrap();
         assert!(a.f64_or("n", 1.0).is_err());
         assert!(a.f64_required("n").is_err());
+    }
+
+    #[test]
+    fn required_flags() {
+        let a = parse("--flows 40 --observe 1,2").unwrap();
+        assert_eq!(a.u64_required("flows").unwrap(), 40);
+        assert_eq!(a.require("observe").unwrap(), "1,2");
+        assert!(a.u64_required("missing").is_err());
+        assert!(a.require("missing").is_err());
     }
 
     #[test]

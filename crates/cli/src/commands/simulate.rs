@@ -1,10 +1,18 @@
-//! `mbacctl simulate` — run the continuous-load simulator from the
-//! command line, with either RCBR sources or a trace file.
+//! `mbacctl simulate` — run the load-model simulators from the command
+//! line, with either RCBR sources or a trace file.
+//!
+//! All three load models run through the [`SessionBuilder`] pipeline;
+//! invalid configurations surface as friendly [`ConfigError`] messages
+//! (exit code 1), never as panics.
 
 use crate::args::{ArgError, Args};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
-use mbac_sim::{run_continuous_metered, ContinuousConfig, FlowTable, MbacController, MetricsSink};
+use mbac_metrics::MetricsSnapshot;
+use mbac_sim::{
+    ConfigError, ContinuousConfig, ContinuousLoad, Engine, ImpulsiveConfig, ImpulsiveLoad,
+    MbacController, MetricsMode, PoissonConfig, PoissonLoad, SessionBuilder,
+};
 use mbac_traffic::process::SourceModel;
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 use mbac_traffic::trace::{Trace, TraceModel};
@@ -12,25 +20,49 @@ use std::sync::Arc;
 
 /// Usage text.
 pub const USAGE: &str = "\
-mbacctl simulate --capacity <c> --holding <T_h>
+mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson]
                  [--trace <file> | --mean <mu> --sd <sigma> --t-c <T_c>]
-                 [--t-m <T_m>] [--p-ce <p>] [--p-q <p>]
-                 [--samples <n>] [--seed <s>] [--engine batched|boxed]
-                 [--metrics-out <file|->]
+                 [--seed <s>] [--engine batched|boxed] [--metrics-out <file|->]
+  continuous (default): --holding <T_h> [--t-m <T_m>] [--p-ce <p>]
+                 [--p-q <p>] [--samples <n>]
+  impulsive:     --flows <n> --observe <t1,t2,...> [--reps <n>]
+                 [--holding <T_h>] [--p-ce <p>] [--workers <n>]
+  poisson:       --lambda <rate> --holding <T_h> [--t-m <T_m>]
+                 [--p-ce <p>] [--p-q <p>] [--samples <n>]
 
-Continuous-load (infinite arrival pressure) simulation of a filtered
-certainty-equivalent MBAC. Defaults: RCBR sources with mean 1, sd 0.3,
-T_c 1; T_m = T_h/sqrt(n) (the robust rule); p_ce = p_q = 1e-3.
+Simulates a certainty-equivalent MBAC under one of the paper's three
+load models. continuous applies infinite arrival pressure (§4),
+impulsive offers a burst at t = 0 and watches it evolve (§3), poisson
+offers Poisson call arrivals at rate lambda. Defaults: RCBR sources
+with mean 1, sd 0.3, T_c 1; T_m = T_h/sqrt(n) (the robust rule);
+p_ce = p_q = 1e-3.
 --engine selects the flow engine: batched (struct-of-arrays kernels,
 the default) or boxed (one heap process per flow); both produce
-bit-identical results for the same seed.
+bit-identical results for the same seed, as does any --workers count.
 --metrics-out writes the run's aggregated metrics as mbac-metrics/v1
 JSON (see results/METRICS_schema.md) to the file, or to stdout for -.
 --trace cannot be combined with the RCBR flags --mean/--sd/--t-c.";
 
+/// Renders a [`ConfigError`] as the CLI's error type.
+fn config_err(e: ConfigError) -> ArgError {
+    ArgError(format!("invalid configuration: {e}"))
+}
+
+/// Rejects non-positive values that derived quantities (`T̃_h`, `T_m`)
+/// depend on *before* the session's own validation would catch them —
+/// deriving from a bad value would produce NaNs first.
+fn require_positive(field: &'static str, value: f64) -> Result<(), ArgError> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(config_err(ConfigError::NonPositive { field, value }))
+    }
+}
+
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
+        "load",
         "capacity",
         "holding",
         "trace",
@@ -44,6 +76,11 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "seed",
         "engine",
         "metrics-out",
+        "flows",
+        "observe",
+        "reps",
+        "workers",
+        "lambda",
     ])?;
     if args.get("trace").is_some() {
         for rcbr_flag in ["mean", "sd", "t-c"] {
@@ -55,34 +92,31 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             }
         }
     }
-    let table = match args.get("engine").unwrap_or("batched") {
-        "batched" => FlowTable::new(),
-        "boxed" => FlowTable::new_unbatched(),
-        other => {
-            return Err(ArgError(format!(
-                "--engine must be batched or boxed, got {other}"
-            )))
-        }
-    };
-    let capacity = args.f64_required("capacity")?;
-    let holding = args.f64_required("holding")?;
-    if capacity <= 0.0 || holding <= 0.0 {
-        return Err(ArgError("capacity and holding must be positive".into()));
+    // ConfigError renders "engine must be batched or boxed, got X";
+    // prefix the flag dashes for the CLI surface.
+    let engine = Engine::from_name(args.get("engine").unwrap_or("batched"))
+        .map_err(|e| ArgError(format!("--{e}")))?;
+    match args.get("load").unwrap_or("continuous") {
+        "continuous" => run_continuous_load(args, engine),
+        "impulsive" => run_impulsive_load(args, engine),
+        "poisson" => run_poisson_load(args, engine),
+        other => Err(ArgError(format!(
+            "--load must be continuous, impulsive or poisson, got {other}"
+        ))),
     }
-    let p_q = args.prob_or("p-q", 1e-3)?;
-    let p_ce = args.prob_or("p-ce", p_q)?;
-    let samples = args.u64_or("samples", 5000)?;
-    let seed = args.u64_or("seed", 1)?;
+}
 
-    // Traffic: trace file or RCBR.
-    let (model, t_c_scale): (Box<dyn SourceModel>, f64) = match args.get("trace") {
+/// Builds the traffic source: trace file or RCBR, plus the correlation
+/// scale used for tick/spacing rules.
+fn build_model(args: &Args) -> Result<(Box<dyn SourceModel>, f64), ArgError> {
+    match args.get("trace") {
         Some(file) => {
             let f = std::fs::File::open(file)
                 .map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
             let trace =
                 Arc::new(Trace::read_from(f).map_err(|e| ArgError(format!("parse failed: {e}")))?);
             let slot = trace.slot();
-            (Box::new(TraceModel::new(trace)), slot)
+            Ok((Box::new(TraceModel::new(trace)), slot))
         }
         None => {
             let mean = args.f64_or("mean", 1.0)?;
@@ -91,7 +125,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             if mean <= 0.0 || sd < 0.0 || t_c <= 0.0 {
                 return Err(ArgError("mean, t-c must be positive; sd >= 0".into()));
             }
-            (
+            Ok((
                 Box::new(RcbrModel::new(RcbrConfig {
                     mean,
                     std_dev: sd,
@@ -99,9 +133,45 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
                     truncate_at_zero: true,
                 })),
                 t_c,
-            )
+            ))
         }
-    };
+    }
+}
+
+/// Writes the metrics snapshot to `--metrics-out` when requested.
+fn write_metrics(args: &Args, snapshot: &MetricsSnapshot) -> Result<(), ArgError> {
+    if let Some(dest) = args.get("metrics-out") {
+        let json = snapshot.to_json();
+        if dest == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(dest, &json)
+                .map_err(|e| ArgError(format!("cannot write {dest}: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+/// The session metrics mode implied by `--metrics-out`.
+fn metrics_mode(args: &Args) -> MetricsMode {
+    if args.get("metrics-out").is_some() {
+        MetricsMode::Enabled
+    } else {
+        MetricsMode::Disabled
+    }
+}
+
+/// The continuous-load (infinite arrival pressure) mode.
+fn run_continuous_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
+    let capacity = args.f64_required("capacity")?;
+    let holding = args.f64_required("holding")?;
+    require_positive("capacity", capacity)?;
+    require_positive("holding", holding)?;
+    let p_q = args.prob_or("p-q", 1e-3)?;
+    let p_ce = args.prob_or("p-ce", p_q)?;
+    let samples = args.u64_or("samples", 5000)?;
+    let seed = args.u64_or("seed", 1)?;
+    let (model, t_c_scale) = build_model(args)?;
 
     let n = capacity / model.mean();
     let t_h_tilde = holding / n.sqrt();
@@ -124,26 +194,19 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         max_samples: samples,
         seed,
     };
+    let scenario = ContinuousLoad::new(&cfg, model.as_ref(), &mut ctl);
+    let session = SessionBuilder::new()
+        .seed(seed)
+        .engine(engine)
+        .metrics(metrics_mode(args));
+    // Validate before printing the banner so bad configs fail cleanly.
+    let (rep, snapshot) = session.run_local_metered(&scenario).map_err(config_err)?;
     println!(
         "simulating: n = {n:.1}, T~h = {t_h_tilde:.2}, T_m = {t_m:.2}, p_ce = {p_ce:.2e}, \
          tick = {:.3}, spacing = {:.1}",
         cfg.tick, cfg.sample_spacing
     );
-    let mut sink = if args.get("metrics-out").is_some() {
-        MetricsSink::enabled()
-    } else {
-        MetricsSink::disabled()
-    };
-    let rep = run_continuous_metered(&cfg, model.as_ref(), &mut ctl, table, &mut sink);
-    if let Some(dest) = args.get("metrics-out") {
-        let json = sink.snapshot().to_json();
-        if dest == "-" {
-            print!("{json}");
-        } else {
-            std::fs::write(dest, &json)
-                .map_err(|e| ArgError(format!("cannot write {dest}: {e}")))?;
-        }
-    }
+    write_metrics(args, &snapshot)?;
     println!("result:");
     println!(
         "  overflow probability : {:.4e}  [{:.1e}, {:.1e}]  ({:?}, {:?})",
@@ -172,4 +235,140 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     );
     println!("  simulated time       : {:.0}", rep.sim_time);
     Ok(())
+}
+
+/// The impulsive-load (burst at `t = 0`) mode.
+fn run_impulsive_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
+    let capacity = args.f64_required("capacity")?;
+    let flows = args.u64_required("flows")? as usize;
+    let observe_times = parse_observe(args.require("observe")?)?;
+    // The library accepts an empty list (M0-only studies); the CLI's
+    // report is built around the per-time overflow lines, so demand one.
+    if observe_times.is_empty() {
+        return Err(config_err(ConfigError::EmptyObserveTimes));
+    }
+    let replications = args.u64_or("reps", 1000)? as usize;
+    let seed = args.u64_or("seed", 1)?;
+    let p_ce = args.prob_or("p-ce", 1e-3)?;
+    let mean_holding = match args.get("holding") {
+        Some(_) => Some(args.f64_required("holding")?),
+        None => None,
+    };
+    let (model, _) = build_model(args)?;
+    let policy = CertaintyEquivalent::from_probability(p_ce);
+    let cfg = ImpulsiveConfig {
+        capacity,
+        estimation_flows: flows,
+        mean_holding,
+        observe_times,
+        replications,
+        seed,
+    };
+    let scenario = ImpulsiveLoad::new(&cfg, model.as_ref(), &policy);
+    let mut session = SessionBuilder::new()
+        .seed(seed)
+        .engine(engine)
+        .metrics(metrics_mode(args));
+    if let Some(w) = args.get("workers") {
+        let workers: usize = w
+            .parse()
+            .map_err(|_| ArgError(format!("--workers expects an integer, got '{w}'")))?;
+        session = session.workers(workers);
+    }
+    let (rep, snapshot) = session.run_metered(&scenario).map_err(config_err)?;
+    write_metrics(args, &snapshot)?;
+    println!("impulsive load: n = {flows}, {replications} replications, p_ce = {p_ce:.2e}");
+    println!(
+        "  M0 admitted          : mean {:.1}, sd {:.2}",
+        rep.m0.mean(),
+        rep.m0.std_dev()
+    );
+    println!("result:");
+    for (i, obs) in rep.observations.iter().enumerate() {
+        println!(
+            "  t = {:>8.2}: p_f = {:.4e}  ({} overflows), mean load {:.1}, mean flows {:.1}",
+            obs.t,
+            rep.pf_at(i),
+            obs.overflows,
+            obs.load.mean(),
+            obs.mean_flows
+        );
+    }
+    Ok(())
+}
+
+/// The Poisson-arrival (finite `λ`) mode.
+fn run_poisson_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
+    let capacity = args.f64_required("capacity")?;
+    let arrival_rate = args.f64_required("lambda")?;
+    let holding = args.f64_required("holding")?;
+    require_positive("capacity", capacity)?;
+    require_positive("holding", holding)?;
+    let p_q = args.prob_or("p-q", 1e-3)?;
+    let p_ce = args.prob_or("p-ce", p_q)?;
+    let samples = args.u64_or("samples", 5000)?;
+    let seed = args.u64_or("seed", 1)?;
+    let (model, t_c_scale) = build_model(args)?;
+
+    let n = (capacity / model.mean()).max(1.0);
+    let t_h_tilde = holding / n.sqrt();
+    let t_m = args.f64_or("t-m", t_h_tilde)?;
+    if t_m < 0.0 {
+        return Err(ArgError("--t-m must be >= 0".into()));
+    }
+    let mut ctl = MbacController::new(
+        Box::new(FilteredEstimator::new(t_m)),
+        Box::new(CertaintyEquivalent::from_probability(p_ce)),
+    );
+    let cfg = PoissonConfig {
+        capacity,
+        arrival_rate,
+        mean_holding: holding,
+        tick: (t_c_scale / 4.0).min(t_h_tilde / 4.0).max(1e-3),
+        warmup: 10.0 * t_h_tilde.max(t_m).max(t_c_scale),
+        sample_spacing: ContinuousConfig::paper_spacing(t_h_tilde, t_m, t_c_scale),
+        target: p_q,
+        max_samples: samples,
+        seed,
+    };
+    let scenario = PoissonLoad::new(&cfg, model.as_ref(), &mut ctl);
+    let session = SessionBuilder::new()
+        .seed(seed)
+        .engine(engine)
+        .metrics(metrics_mode(args));
+    let (rep, snapshot) = session.run_local_metered(&scenario).map_err(config_err)?;
+    write_metrics(args, &snapshot)?;
+    println!(
+        "poisson load: lambda = {arrival_rate}, offered load {:.1} flows",
+        arrival_rate * holding
+    );
+    println!("result:");
+    println!(
+        "  overflow probability : {:.4e}  [{:.1e}, {:.1e}]  ({:?}, {:?})",
+        rep.pf.value, rep.pf.ci.lo, rep.pf.ci.hi, rep.pf.method, rep.pf.stopped
+    );
+    println!(
+        "  blocking probability : {:.4}  ({} of {} arrivals admitted)",
+        rep.blocking_probability, rep.admitted, rep.offered
+    );
+    println!(
+        "  mean utilization     : {:.2}%",
+        100.0 * rep.mean_utilization
+    );
+    println!("  mean flows in system : {:.1}", rep.mean_flows);
+    Ok(())
+}
+
+/// Parses a comma-separated observation-time list; empty entries are
+/// skipped so `--observe ""` yields an empty list (which the impulsive
+/// mode rejects with a friendly message).
+fn parse_observe(spec: &str) -> Result<Vec<f64>, ArgError> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| ArgError(format!("--observe expects numbers, got '{s}'")))
+        })
+        .collect()
 }

@@ -256,6 +256,148 @@ fn simulate_rejects_bad_engine() {
 }
 
 #[test]
+fn simulate_rejects_nonpositive_capacity_without_panicking() {
+    let out = mbacctl(&[
+        "simulate",
+        "--capacity",
+        "-5",
+        "--holding",
+        "50",
+        "--samples",
+        "10",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("capacity must be positive"),
+        "friendly message, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn simulate_impulsive_rejects_too_few_flows_without_panicking() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "impulsive",
+        "--capacity",
+        "50",
+        "--flows",
+        "1",
+        "--observe",
+        "1.0",
+        "--reps",
+        "10",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("at least 2 estimation flows"),
+        "friendly message, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn simulate_impulsive_rejects_empty_observe_times_without_panicking() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "impulsive",
+        "--capacity",
+        "50",
+        "--flows",
+        "50",
+        "--observe",
+        "",
+        "--reps",
+        "10",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("observe times must not be empty"),
+        "friendly message, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn simulate_impulsive_small_run_reports_result() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "impulsive",
+        "--capacity",
+        "50",
+        "--flows",
+        "50",
+        "--observe",
+        "1.0,5.0",
+        "--reps",
+        "50",
+        "--holding",
+        "20",
+        "--seed",
+        "9",
+        "--workers",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("M0 admitted"), "{text}");
+    assert!(text.contains("p_f ="), "{text}");
+}
+
+#[test]
+fn simulate_poisson_small_run_reports_result() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "poisson",
+        "--capacity",
+        "50",
+        "--lambda",
+        "0.5",
+        "--holding",
+        "50",
+        "--samples",
+        "20",
+        "--p-q",
+        "0.01",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("blocking probability"), "{text}");
+    assert!(text.contains("overflow probability"), "{text}");
+}
+
+#[test]
+fn simulate_rejects_unknown_load_model() {
+    let out = mbacctl(&["simulate", "--capacity", "50", "--load", "bursty"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--load must be continuous, impulsive or poisson"),
+        "{err}"
+    );
+}
+
+#[test]
 fn simulate_rejects_trace_with_rcbr_flags() {
     let out = mbacctl(&[
         "simulate",

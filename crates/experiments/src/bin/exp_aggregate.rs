@@ -19,7 +19,7 @@ use mbac_core::estimators::{AggregateOnlyEstimator, Estimator, FilteredEstimator
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
 use mbac_experiments::{budget, paper, parallel_map, write_csv, Table};
-use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn main() {
@@ -67,7 +67,10 @@ fn main() {
             max_samples,
             seed: 0xA99,
         };
-        (label, run_continuous(&cfg, &model, &mut ctl))
+        let rep = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .expect("valid aggregate config");
+        (label, rep)
     });
 
     let mut table = Table::new(vec!["case", "pf_sim", "target", "util", "mean_flows"]);

@@ -27,8 +27,8 @@ use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
 use mbac_experiments::{budget, paper, parallel_map, write_csv, Table};
 use mbac_sim::{
-    run_continuous, AdmissionEngine, ContinuousConfig, ContinuousReport, MbacController,
-    MeasuredSumController,
+    AdmissionEngine, ContinuousConfig, ContinuousLoad, ContinuousReport, MbacController,
+    MeasuredSumController, SessionBuilder,
 };
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
@@ -53,7 +53,9 @@ fn main() {
             max_samples,
             seed,
         };
-        run_continuous(&cfg, &model, engine.as_mut())
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, engine.as_mut()))
+            .expect("valid baseline config")
     };
 
     // Robust CE's adjusted target.

@@ -12,7 +12,7 @@ use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::theory::finite_holding::pf_at_time;
 use mbac_experiments::{ascii_plot, budget, write_csv, Table};
-use mbac_sim::{run_impulsive, ImpulsiveConfig};
+use mbac_sim::{ImpulsiveConfig, ImpulsiveLoad, SessionBuilder};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn main() {
@@ -40,7 +40,9 @@ fn main() {
         replications: reps,
         seed: 0xF1217E,
     };
-    let rep = run_impulsive(&cfg, &model, &ce);
+    let rep = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &model, &ce))
+        .expect("valid finite-holding config");
 
     println!("== eqn-21: overflow probability after impulsive admission ==");
     println!("n = {n}, T_c = {t_c}, T_h = {t_h} (T̃_h = {t_h_tilde:.2}), p_ce = {p}\n");

@@ -16,7 +16,7 @@
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::{Estimator, FilteredEstimator, WindowEstimator};
 use mbac_experiments::{budget, parallel_map, write_csv, Table};
-use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn main() {
@@ -57,7 +57,9 @@ fn main() {
             max_samples,
             seed: 0xAB1A + (t_m * 8.0) as u64,
         };
-        run_continuous(&cfg, &model, &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .expect("valid ablation config")
     });
 
     let mut table = Table::new(vec!["t_m", "pf_exponential", "pf_rectangular"]);

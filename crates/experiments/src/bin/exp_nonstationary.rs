@@ -20,7 +20,7 @@ use mbac_core::estimators::FilteredEstimator;
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
 use mbac_experiments::{budget, parallel_map, write_csv, Table};
-use mbac_sim::{run_continuous_phased, ContinuousConfig, MbacController};
+use mbac_sim::{ContinuousConfig, MbacController, PhasedLoad, SessionBuilder};
 use mbac_traffic::process::SourceModel;
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
@@ -101,7 +101,10 @@ fn main() {
                 (switch_at, &wild),
                 (switch_at + 10.0 * t_h_tilde, &wild),
             ];
-            for p in run_continuous_phased(&cfg, &phases, &mut ctl) {
+            let reports = SessionBuilder::new()
+                .run_local(&PhasedLoad::new(&cfg, &phases, &mut ctl))
+                .expect("valid phased config");
+            for p in reports {
                 let slot = &mut acc[p.phase];
                 slot.0 += p.pf.value;
                 slot.1 += p.mean_utilization;

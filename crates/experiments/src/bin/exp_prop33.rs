@@ -19,7 +19,7 @@ use mbac_core::admission::{CertaintyEquivalent, PerfectKnowledge};
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::theory::impulsive;
 use mbac_experiments::{budget, parallel_map, write_csv, Table};
-use mbac_sim::{run_impulsive, ImpulsiveConfig};
+use mbac_sim::{ImpulsiveConfig, ImpulsiveLoad, SessionBuilder};
 use mbac_traffic::marginal::Marginal;
 use mbac_traffic::markov::{MarkovFluidFactory, MarkovFluidModel};
 use mbac_traffic::process::SourceModel;
@@ -132,11 +132,15 @@ fn main() {
             replications: reps,
             seed: 0xA110C + case.n as u64 + case.adjusted as u64,
         };
-        let rep = run_impulsive(&cfg, case.model.as_ref(), &ce);
+        let rep = SessionBuilder::new()
+            .run(&ImpulsiveLoad::new(&cfg, case.model.as_ref(), &ce))
+            .expect("valid prop33 config");
         let pf_ce = rep.pf_at(0);
         // Perfect-knowledge baseline on the same workload.
         let pk = PerfectKnowledge::new(flow, QosTarget::new(case.p_q));
-        let rep_pk = run_impulsive(&cfg, case.model.as_ref(), &pk);
+        let rep_pk = SessionBuilder::new()
+            .run(&ImpulsiveLoad::new(&cfg, case.model.as_ref(), &pk))
+            .expect("valid prop33 config");
         let pf_pk = rep_pk.pf_at(0);
         // M0 fluctuation check (Prop 3.1): sd ≈ (σ/μ)√n.
         let m0_sd_pred = flow.cov() * (case.n as f64).sqrt();

@@ -18,7 +18,7 @@ use mbac_core::estimators::Estimate;
 use mbac_core::params::FlowStats;
 use mbac_core::utility::{admissible_flows_utility, expected_utility_loss, UtilityFunction};
 use mbac_experiments::{budget, parallel_map, write_csv, Table};
-use mbac_sim::{run_continuous, ContinuousConfig, MbacController, UtilityMeter};
+use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder, UtilityMeter};
 use mbac_traffic::process::{RateProcess, SourceModel};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 use rand::rngs::StdRng;
@@ -127,20 +127,19 @@ fn main() {
         Box::new(FixedCount(m_elastic)),
     );
     let model = RcbrModel::new(RcbrConfig::paper_default(t_c));
-    let rep = run_continuous(
-        &ContinuousConfig {
-            capacity,
-            mean_holding: 200.0,
-            tick: 0.25,
-            warmup: 100.0,
-            sample_spacing: 20.0,
-            target: eps,
-            max_samples: samples.min(2_000),
-            seed: 0x07ED,
-        },
-        &model,
-        &mut ctl,
-    );
+    let cfg = ContinuousConfig {
+        capacity,
+        mean_holding: 200.0,
+        tick: 0.25,
+        warmup: 100.0,
+        sample_spacing: 20.0,
+        target: eps,
+        max_samples: samples.min(2_000),
+        seed: 0x07ED,
+    };
+    let rep = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+        .expect("valid utility config");
     println!(
         "\ndynamic check (flows churn, MBAC holds N ≈ {m_elastic:.0}): mean flows {:.1}, \
          overflow p_f = {:.2e} (would MISS a hard ε = {eps:.0e} target — by design)",

@@ -6,7 +6,9 @@ use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_core::params::QosTarget;
 use mbac_core::theory::continuous::ContinuousModel;
-use mbac_sim::{run_continuous, ContinuousConfig, ContinuousReport, MbacController};
+use mbac_sim::{
+    ContinuousConfig, ContinuousLoad, ContinuousReport, MbacController, SessionBuilder,
+};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 use mbac_traffic::trace::{Trace, TraceModel};
 use std::sync::Arc;
@@ -87,7 +89,9 @@ impl ContinuousScenario {
             Box::new(FilteredEstimator::new(self.t_m)),
             Box::new(CertaintyEquivalent::from_probability(self.p_ce)),
         );
-        run_continuous(&self.sim_config(), &model, &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&self.sim_config(), &model, &mut ctl))
+            .expect("valid continuous scenario config")
     }
 }
 
@@ -139,7 +143,9 @@ impl TraceScenario {
             Box::new(FilteredEstimator::new(self.t_m)),
             Box::new(CertaintyEquivalent::from_probability(self.p_ce)),
         );
-        run_continuous(&cfg, &model, &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .expect("valid trace scenario config")
     }
 }
 

@@ -3,7 +3,7 @@
 //!
 //! §4 argues that "the performance of any admission control algorithm
 //! under finite arrival rate will be no worse than its performance in
-//! this [continuous-load] model". This harness lets us check that claim
+//! this [continuous-load] model". This scenario lets us check that claim
 //! empirically and lets the examples model realistic call arrivals: flows
 //! arrive as a Poisson process of rate `λ`, are admitted iff the
 //! controller's criterion passes, and blocked otherwise (blocked flows
@@ -12,11 +12,14 @@
 use crate::controller::AdmissionEngine;
 use crate::events::EventQueue;
 use crate::metrics::{OverflowMeter, PfEstimate, StopReason};
+use crate::session::{
+    require_non_negative, require_positive, ConfigError, RepContext, Scenario, SessionBuilder,
+};
+use crate::telemetry::MetricsSink;
 use mbac_num::rng::exponential;
 use mbac_num::RunningStats;
 use mbac_traffic::process::SourceModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::cell::RefCell;
 
 /// Configuration of the Poisson-arrival simulation.
 #[derive(Debug, Clone)]
@@ -58,84 +61,163 @@ pub struct PoissonReport {
     pub admitted: u64,
 }
 
-/// Events in the Poisson harness.
+/// Events in the Poisson scenario.
 enum Ev {
     Arrival,
     Tick,
     Sample,
 }
 
+/// The Poisson-arrival model as a [`Scenario`]: a single event-driven
+/// replication in which flows arrive at rate `λ`, are admitted iff the
+/// measured criterion allows one more flow, and blocked otherwise.
+///
+/// Like [`crate::runner::ContinuousLoad`], borrows the caller's
+/// controller mutably and therefore runs through
+/// [`SessionBuilder::run_local`].
+pub struct PoissonLoad<'a> {
+    cfg: PoissonConfig,
+    model: &'a dyn SourceModel,
+    ctl: RefCell<&'a mut dyn AdmissionEngine>,
+}
+
+impl<'a> PoissonLoad<'a> {
+    /// Builds the scenario around the caller's controller.
+    pub fn new(
+        cfg: &PoissonConfig,
+        model: &'a dyn SourceModel,
+        ctl: &'a mut dyn AdmissionEngine,
+    ) -> Self {
+        PoissonLoad {
+            cfg: cfg.clone(),
+            model,
+            ctl: RefCell::new(ctl),
+        }
+    }
+}
+
+impl Scenario for PoissonLoad<'_> {
+    type Rep = PoissonReport;
+    type Report = PoissonReport;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        require_positive("capacity", self.cfg.capacity)?;
+        require_positive("arrival rate", self.cfg.arrival_rate)?;
+        require_positive("mean holding time", self.cfg.mean_holding)?;
+        require_positive("tick", self.cfg.tick)?;
+        require_positive("sample spacing", self.cfg.sample_spacing)?;
+        require_non_negative("warmup", self.cfg.warmup)
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> PoissonReport {
+        let cfg = &self.cfg;
+        let mut guard = self.ctl.borrow_mut();
+        let ctl: &mut dyn AdmissionEngine = &mut **guard;
+        let mut rng = ctx.rng();
+        let mut table = ctx.table();
+        let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
+        let mut q = EventQueue::new();
+        let mut snapshot = Vec::new();
+        let mut flow_count = RunningStats::new();
+        let mut offered = 0u64;
+        let mut admitted = 0u64;
+
+        q.schedule_at(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
+        q.schedule_at(cfg.tick, Ev::Tick);
+        q.schedule_at(cfg.warmup.max(cfg.tick), Ev::Sample);
+
+        let stop_reason = loop {
+            let (t, ev) = q.pop().expect("event queue never drains");
+            table.advance_to(t, &mut rng);
+            table.depart_until(t);
+            match ev {
+                Ev::Arrival => {
+                    offered += 1;
+                    // Admit iff the measured criterion allows one more flow.
+                    let ok = match ctl.admissible_count(cfg.capacity, table.len()) {
+                        Some(m) => ((table.len() + 1) as f64) <= m,
+                        None => table.is_empty(), // cold start: seed flow
+                    };
+                    if ok {
+                        admitted += 1;
+                        let departs = t + exponential(&mut rng, cfg.mean_holding);
+                        table.admit(self.model, departs, &mut rng);
+                        if let Some(m) = sink.get_mut() {
+                            m.admitted.inc();
+                            m.rng_exp_draws.inc();
+                        }
+                    } else if let Some(m) = sink.get_mut() {
+                        m.denied.inc();
+                    }
+                    q.schedule_in(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
+                    if let Some(m) = sink.get_mut() {
+                        m.rng_exp_draws.inc();
+                    }
+                }
+                Ev::Tick => {
+                    table.snapshot_into(&mut snapshot);
+                    ctl.observe(t, &snapshot);
+                    if let Some(m) = sink.get_mut() {
+                        let load: f64 = snapshot.iter().sum();
+                        m.ticks.inc();
+                        m.load.record(load);
+                        m.load_series.record(t, load);
+                        m.occupancy.record(table.len() as f64);
+                    }
+                    q.schedule_in(cfg.tick, Ev::Tick);
+                }
+                Ev::Sample => {
+                    meter.record(table.aggregate_rate());
+                    flow_count.push(table.len() as f64);
+                    if let Some(reason) = meter.should_stop() {
+                        break reason;
+                    }
+                    if meter.samples() >= cfg.max_samples {
+                        break StopReason::BudgetExhausted;
+                    }
+                    q.schedule_in(cfg.sample_spacing, Ev::Sample);
+                }
+            }
+        };
+
+        if let Some(m) = sink.get_mut() {
+            m.departed.add(table.departed_total());
+        }
+
+        PoissonReport {
+            pf: meter.finalize(stop_reason),
+            blocking_probability: if offered == 0 {
+                0.0
+            } else {
+                1.0 - admitted as f64 / offered as f64
+            },
+            mean_utilization: meter.mean_utilization(),
+            mean_flows: flow_count.mean(),
+            offered,
+            admitted,
+        }
+    }
+
+    fn fold(&self, mut reps: Vec<PoissonReport>) -> PoissonReport {
+        reps.pop().expect("exactly one poisson replication")
+    }
+}
+
 /// Runs the Poisson-arrival model with the given source and controller.
+#[deprecated(note = "build a `PoissonLoad` and run it through `SessionBuilder::run_local`")]
 pub fn run_poisson(
     cfg: &PoissonConfig,
     model: &dyn SourceModel,
     ctl: &mut dyn AdmissionEngine,
 ) -> PoissonReport {
-    assert!(cfg.arrival_rate > 0.0 && cfg.mean_holding > 0.0);
-    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut table = crate::flows::FlowTable::new();
-    let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
-    let mut q = EventQueue::new();
-    let mut snapshot = Vec::new();
-    let mut flow_count = RunningStats::new();
-    let mut offered = 0u64;
-    let mut admitted = 0u64;
-
-    q.schedule_at(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
-    q.schedule_at(cfg.tick, Ev::Tick);
-    q.schedule_at(cfg.warmup.max(cfg.tick), Ev::Sample);
-
-    let stop_reason = loop {
-        let (t, ev) = q.pop().expect("event queue never drains");
-        table.advance_to(t, &mut rng);
-        table.depart_until(t);
-        match ev {
-            Ev::Arrival => {
-                offered += 1;
-                // Admit iff the measured criterion allows one more flow.
-                let ok = match ctl.admissible_count(cfg.capacity, table.len()) {
-                    Some(m) => ((table.len() + 1) as f64) <= m,
-                    None => table.is_empty(), // cold start: seed flow
-                };
-                if ok {
-                    admitted += 1;
-                    let departs = t + exponential(&mut rng, cfg.mean_holding);
-                    table.admit(model, departs, &mut rng);
-                }
-                q.schedule_in(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
-            }
-            Ev::Tick => {
-                table.snapshot_into(&mut snapshot);
-                ctl.observe(t, &snapshot);
-                q.schedule_in(cfg.tick, Ev::Tick);
-            }
-            Ev::Sample => {
-                meter.record(table.aggregate_rate());
-                flow_count.push(table.len() as f64);
-                if let Some(reason) = meter.should_stop() {
-                    break reason;
-                }
-                if meter.samples() >= cfg.max_samples {
-                    break StopReason::BudgetExhausted;
-                }
-                q.schedule_in(cfg.sample_spacing, Ev::Sample);
-            }
-        }
-    };
-
-    PoissonReport {
-        pf: meter.finalize(stop_reason),
-        blocking_probability: if offered == 0 {
-            0.0
-        } else {
-            1.0 - admitted as f64 / offered as f64
-        },
-        mean_utilization: meter.mean_utilization(),
-        mean_flows: flow_count.mean(),
-        offered,
-        admitted,
-    }
+    let scenario = PoissonLoad::new(cfg, model, ctl);
+    SessionBuilder::new()
+        .run_local(&scenario)
+        .unwrap_or_else(|e| panic!("invalid poisson config: {e}"))
 }
 
 #[cfg(test)]
@@ -167,12 +249,22 @@ mod tests {
         }
     }
 
+    fn poisson(
+        cfg: &PoissonConfig,
+        m: &dyn SourceModel,
+        ctl: &mut dyn AdmissionEngine,
+    ) -> PoissonReport {
+        SessionBuilder::new()
+            .run_local(&PoissonLoad::new(cfg, m, ctl))
+            .unwrap()
+    }
+
     #[test]
     fn light_load_admits_everyone() {
         // Offered load λ·T_h = 0.2·50 = 10 flows ≪ capacity 100.
         let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
         let mut ctl = controller(1e-2);
-        let rep = run_poisson(&config(0.2, 31), &m, &mut ctl);
+        let rep = poisson(&config(0.2, 31), &m, &mut ctl);
         assert!(
             rep.blocking_probability < 0.02,
             "blocking {} under light load",
@@ -190,7 +282,7 @@ mod tests {
         // Offered load 10·50 = 500 flows ≫ capacity 100: most blocked.
         let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
         let mut ctl = controller(1e-2);
-        let rep = run_poisson(&config(10.0, 32), &m, &mut ctl);
+        let rep = poisson(&config(10.0, 32), &m, &mut ctl);
         assert!(
             rep.blocking_probability > 0.6,
             "blocking {} under 5x overload",
@@ -208,25 +300,24 @@ mod tests {
     fn finite_load_no_worse_than_continuous() {
         // §4's claim: overflow under finite λ is bounded by the
         // continuous-load overflow at the same parameters.
-        use crate::runner::{run_continuous, ContinuousConfig};
+        use crate::runner::{ContinuousConfig, ContinuousLoad};
         let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
         let mut ctl_p = controller(1e-2);
-        let pois = run_poisson(&config(4.0, 33), &m, &mut ctl_p);
+        let pois = poisson(&config(4.0, 33), &m, &mut ctl_p);
         let mut ctl_c = controller(1e-2);
-        let cont = run_continuous(
-            &ContinuousConfig {
-                capacity: 100.0,
-                mean_holding: 50.0,
-                tick: 0.25,
-                warmup: 150.0,
-                sample_spacing: 15.0,
-                target: 1e-2,
-                max_samples: 400,
-                seed: 33,
-            },
-            &m,
-            &mut ctl_c,
-        );
+        let ccfg = ContinuousConfig {
+            capacity: 100.0,
+            mean_holding: 50.0,
+            tick: 0.25,
+            warmup: 150.0,
+            sample_spacing: 15.0,
+            target: 1e-2,
+            max_samples: 400,
+            seed: 33,
+        };
+        let cont = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&ccfg, &m, &mut ctl_c))
+            .unwrap();
         assert!(
             pois.pf.value <= cont.pf.value * 1.5 + 5e-3,
             "poisson pf {} should not exceed continuous pf {}",
@@ -239,8 +330,40 @@ mod tests {
     fn offered_equals_admitted_plus_blocked() {
         let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
         let mut ctl = controller(1e-2);
-        let rep = run_poisson(&config(2.0, 34), &m, &mut ctl);
+        let rep = poisson(&config(2.0, 34), &m, &mut ctl);
         let blocked = (rep.blocking_probability * rep.offered as f64).round() as u64;
         assert_eq!(rep.offered, rep.admitted + blocked);
+    }
+
+    #[test]
+    fn validation_rejects_bad_arrival_rate() {
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let mut ctl = controller(1e-2);
+        let mut cfg = config(1.0, 1);
+        cfg.arrival_rate = 0.0;
+        let err = SessionBuilder::new()
+            .run_local(&PoissonLoad::new(&cfg, &m, &mut ctl))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NonPositive {
+                field: "arrival rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_delegates_to_the_session() {
+        let m = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        let cfg = config(1.0, 55);
+        let mut ctl_a = controller(1e-2);
+        let shim = run_poisson(&cfg, &m, &mut ctl_a);
+        let mut ctl_b = controller(1e-2);
+        let builder = poisson(&cfg, &m, &mut ctl_b);
+        assert_eq!(shim.pf.value, builder.pf.value);
+        assert_eq!(shim.offered, builder.offered);
+        assert_eq!(shim.admitted, builder.admitted);
     }
 }

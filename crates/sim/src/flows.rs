@@ -101,6 +101,12 @@ impl FlowTable {
         }
     }
 
+    /// Whether this table routes flows into batched kernels (`true` for
+    /// [`FlowTable::new`], `false` for [`FlowTable::new_unbatched`]).
+    pub fn is_batched(&self) -> bool {
+        self.batching
+    }
+
     /// Number of flows currently in the system (the paper's `N_t`).
     pub fn len(&self) -> usize {
         self.count

@@ -1,24 +1,29 @@
 //! # mbac-sim — discrete-event simulator for MBAC on a bufferless link
 //!
-//! Implements the paper's three load models as runnable harnesses with
-//! the §5.2 measurement methodology built in:
+//! Implements the paper's three load models as [`session::Scenario`]
+//! impls driven by one generic [`session::Session`] pipeline, with the
+//! §5.2 measurement methodology built in:
 //!
-//! * [`runner::run_impulsive`] — impulsive load with infinite or
+//! * [`runner::ImpulsiveLoad`] — impulsive load with infinite or
 //!   exponential holding times (§3);
-//! * [`runner::run_continuous`] — continuous (infinite-arrival-rate)
+//! * [`runner::ContinuousLoad`] — continuous (infinite-arrival-rate)
 //!   load, the paper's most stringent test (§4);
-//! * [`arrivals::run_poisson`] — finite Poisson arrivals, the realistic
+//! * [`arrivals::PoissonLoad`] — finite Poisson arrivals, the realistic
 //!   relaxation;
 //!
-//! plus the substrate: a deterministic [`events::EventQueue`], the
-//! [`flows::FlowTable`] lifecycle manager, the
-//! [`controller::MbacController`] estimator/policy bundle, and
-//! [`metrics::OverflowMeter`] implementing the paper's termination
-//! criteria (±20% CI at 95%, or the Gaussian-tail fallback when the
-//! overflow probability is ≥ 2 orders below target).
+//! all run through a [`session::SessionBuilder`] that owns worker
+//! fan-out, per-replication RNG stream derivation, deterministic
+//! merging, and optional metrics collection. The substrate underneath:
+//! a deterministic [`events::EventQueue`], the [`flows::FlowTable`]
+//! lifecycle manager, the [`controller::MbacController`]
+//! estimator/policy bundle, and [`metrics::OverflowMeter`] implementing
+//! the paper's termination criteria (±20% CI at 95%, or the
+//! Gaussian-tail fallback when the overflow probability is ≥ 2 orders
+//! below target).
 //!
 //! Everything is seed-deterministic: identical configurations with
-//! identical seeds reproduce bit-identical reports.
+//! identical seeds reproduce bit-identical reports, for any worker
+//! count and either flow engine.
 
 #![warn(missing_docs)]
 
@@ -28,16 +33,27 @@ pub mod events;
 pub mod flows;
 pub mod metrics;
 pub mod runner;
+pub mod session;
 pub mod telemetry;
 
-pub use arrivals::{run_poisson, PoissonConfig, PoissonReport};
+pub use arrivals::{PoissonConfig, PoissonLoad, PoissonReport};
 pub use controller::{AdmissionEngine, MbacController, MeasuredSumController};
 pub use events::EventQueue;
 pub use flows::FlowTable;
 pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter};
 pub use runner::{
-    run_continuous, run_continuous_in, run_continuous_metered, run_continuous_phased,
-    run_impulsive, run_impulsive_metered, run_impulsive_with_workers, ContinuousConfig,
-    ContinuousReport, ImpulsiveConfig, ImpulsiveReport, PhaseReport,
+    ContinuousConfig, ContinuousLoad, ContinuousReport, ImpulsiveConfig, ImpulsiveLoad,
+    ImpulsiveReport, PhaseReport, PhasedLoad,
+};
+pub use session::{
+    rep_seed, ConfigError, Engine, MetricsMode, RepContext, Scenario, Session, SessionBuilder,
 };
 pub use telemetry::{MetricsSink, SimMetrics};
+
+#[allow(deprecated)]
+pub use arrivals::run_poisson;
+#[allow(deprecated)]
+pub use runner::{
+    run_continuous, run_continuous_in, run_continuous_metered, run_continuous_phased,
+    run_impulsive, run_impulsive_metered, run_impulsive_with_workers,
+};

@@ -1,20 +1,31 @@
-//! The three load-model harnesses of the paper.
+//! The impulsive and continuous load models of the paper, as
+//! [`Scenario`] impls for the [`crate::session`] pipeline.
 //!
-//! * [`run_impulsive`] — §3: a burst of flows at `t = 0`, admission from
+//! * [`ImpulsiveLoad`] — §3: a burst of flows at `t = 0`, admission from
 //!   the initial bandwidths, then (optionally) exponential departures;
 //!   measures the overflow probability at caller-chosen times across
 //!   replications.
-//! * [`run_continuous`] — §4: infinite arrival pressure; the system is
+//! * [`ContinuousLoad`] — §4: infinite arrival pressure; the system is
 //!   kept filled to the controller's current admissible count, flows
 //!   depart with exponential holding times, and the steady-state
 //!   overflow probability is sampled per §5.2.
+//! * [`PhasedLoad`] — the non-stationary extension: the source model
+//!   switches on a schedule.
 //!
-//! (The finite-arrival-rate Poisson harness lives in
+//! (The finite-arrival-rate Poisson scenario lives in
 //! [`crate::arrivals`].)
+//!
+//! The legacy `run_*` free functions remain as deprecated shims that
+//! delegate to a [`SessionBuilder`]; new code should build a scenario
+//! and run it through the builder directly.
 
 use crate::controller::AdmissionEngine;
 use crate::flows::FlowTable;
 use crate::metrics::{OverflowMeter, PfEstimate, StopReason};
+use crate::session::{
+    require_non_negative, require_positive, ConfigError, Engine, MetricsMode, RepContext, Scenario,
+    SessionBuilder,
+};
 use crate::telemetry::MetricsSink;
 use mbac_core::admission::AdmissionPolicy;
 use mbac_core::estimators::snapshot_stats;
@@ -22,8 +33,7 @@ use mbac_metrics::MetricsSnapshot;
 use mbac_num::rng::exponential;
 use mbac_num::RunningStats;
 use mbac_traffic::process::SourceModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::cell::RefCell;
 
 // ---------------------------------------------------------------------
 // Impulsive load (§3)
@@ -79,54 +89,230 @@ impl ImpulsiveReport {
     }
 }
 
-/// What one replication of the impulsive experiment produces; merged
-/// into the report in input (replication) order.
-struct RepOutcome {
+/// What one impulsive replication produces; opaque — the session folds
+/// these into an [`ImpulsiveReport`] in replication input order.
+#[derive(Debug, Clone)]
+pub struct ImpulsiveRep {
     m0: f64,
     /// Per observation time: `(load, flows in system)`.
     at: Vec<(f64, usize)>,
-    /// Per-replication telemetry, when collection is on.
-    metrics: Option<MetricsSnapshot>,
 }
 
-/// Runs the impulsive-load model: per replication, estimate `(μ̂, σ̂)`
-/// from the initial bandwidths of `estimation_flows` flows (eqn (7)),
-/// admit `⌊M₀⌋` flows per the policy (eqn (6)), then let the system
-/// evolve and record the overflow indicator at each observation time.
+/// The impulsive-load model (§3) as a [`Scenario`]: per replication,
+/// estimate `(μ̂, σ̂)` from the initial bandwidths of
+/// `estimation_flows` flows (eqn (7)), admit `⌊M₀⌋` flows per the
+/// policy (eqn (6)), then let the system evolve and record the overflow
+/// indicator at each observation time.
 ///
-/// Replications run in parallel over [`mbac_num::parallel::default_workers`]
-/// threads; see [`run_impulsive_with_workers`] for the determinism
-/// guarantees.
+/// The scenario is `Sync` (it borrows the model and policy immutably),
+/// so replications fan out across the session's workers.
+pub struct ImpulsiveLoad<'a> {
+    cfg: ImpulsiveConfig,
+    model: &'a dyn SourceModel,
+    policy: &'a dyn AdmissionPolicy,
+}
+
+impl<'a> ImpulsiveLoad<'a> {
+    /// Builds the scenario; observation times are kept sorted.
+    pub fn new(
+        cfg: &ImpulsiveConfig,
+        model: &'a dyn SourceModel,
+        policy: &'a dyn AdmissionPolicy,
+    ) -> Self {
+        let mut cfg = cfg.clone();
+        cfg.observe_times.sort_by(f64::total_cmp);
+        ImpulsiveLoad { cfg, model, policy }
+    }
+}
+
+impl Scenario for ImpulsiveLoad<'_> {
+    type Rep = ImpulsiveRep;
+    type Report = ImpulsiveReport;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        require_positive("capacity", self.cfg.capacity)?;
+        if self.cfg.estimation_flows < 2 {
+            return Err(ConfigError::TooFewFlows {
+                got: self.cfg.estimation_flows,
+            });
+        }
+        if let Some(th) = self.cfg.mean_holding {
+            require_positive("mean holding time", th)?;
+        }
+        // An empty observation list is valid: the report still carries
+        // the M₀ distribution (Prop 3.1 studies use exactly that).
+        for &t in &self.cfg.observe_times {
+            if t.is_nan() || t < 0.0 {
+                return Err(ConfigError::BadObserveTime { value: t });
+            }
+        }
+        if self.cfg.replications == 0 {
+            return Err(ConfigError::ZeroReplications);
+        }
+        Ok(())
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn replications(&self) -> usize {
+        self.cfg.replications
+    }
+
+    fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> ImpulsiveRep {
+        let cfg = &self.cfg;
+        let mut rng = ctx.rng();
+
+        // Measure the initial bandwidths of the candidate burst.
+        let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> = (0..cfg
+            .estimation_flows)
+            .map(|_| self.model.spawn(&mut rng))
+            .collect();
+        let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
+        let est = snapshot_stats(&rates).expect("non-empty candidate burst");
+        let m0 = self.policy.admissible_count(est, cfg.capacity);
+        let admit = m0.floor().max(0.0) as usize;
+
+        // Admit: reuse the measured candidates first (their *measured*
+        // bandwidths are the admitted flows' bandwidths — essential for
+        // the Y₀ correlation the theory predicts), spawn extras if
+        // M₀ > n.
+        let mut table = ctx.table();
+        let mut iter = candidates.into_iter();
+        for _ in 0..admit {
+            let departs_at = match cfg.mean_holding {
+                Some(th) => {
+                    if let Some(m) = sink.get_mut() {
+                        m.rng_exp_draws.inc();
+                    }
+                    exponential(&mut rng, th)
+                }
+                None => f64::INFINITY,
+            };
+            match iter.next() {
+                Some(proc_) => {
+                    table.admit_process(proc_, departs_at);
+                }
+                None => {
+                    table.admit(self.model, departs_at, &mut rng);
+                }
+            }
+        }
+        if let Some(m) = sink.get_mut() {
+            m.admitted.add(admit as u64);
+            m.admissible.set(m0);
+        }
+
+        // Evolve and observe.
+        let at = cfg
+            .observe_times
+            .iter()
+            .map(|&t| {
+                table.advance_to(t, &mut rng);
+                table.depart_until(t);
+                let (load, flows) = (table.aggregate_rate(), table.len());
+                if let Some(m) = sink.get_mut() {
+                    m.ticks.inc();
+                    m.load.record(load);
+                    m.load_series.record(t, load);
+                    m.occupancy.record(flows as f64);
+                }
+                (load, flows)
+            })
+            .collect();
+        if let Some(m) = sink.get_mut() {
+            m.departed.add(table.departed_total());
+        }
+        ImpulsiveRep { m0, at }
+    }
+
+    fn fold(&self, reps: Vec<ImpulsiveRep>) -> ImpulsiveReport {
+        let mut m0_stats = RunningStats::new();
+        let mut obs: Vec<ImpulsiveObservation> = self
+            .cfg
+            .observe_times
+            .iter()
+            .map(|&t| ImpulsiveObservation {
+                t,
+                overflows: 0,
+                load: RunningStats::new(),
+                mean_flows: 0.0,
+            })
+            .collect();
+        for outcome in reps {
+            m0_stats.push(outcome.m0);
+            for (o, &(load, flows)) in obs.iter_mut().zip(&outcome.at) {
+                o.load.push(load);
+                o.mean_flows += flows as f64 / self.cfg.replications as f64;
+                if load > self.cfg.capacity {
+                    o.overflows += 1;
+                }
+            }
+        }
+        ImpulsiveReport {
+            m0: m0_stats,
+            observations: obs,
+            replications: self.cfg.replications,
+        }
+    }
+}
+
+/// Shared implementation of the deprecated impulsive entry points.
+fn impulsive_compat(
+    cfg: &ImpulsiveConfig,
+    model: &dyn SourceModel,
+    policy: &dyn AdmissionPolicy,
+    workers: usize,
+    collect: bool,
+) -> (ImpulsiveReport, MetricsSnapshot) {
+    let scenario = ImpulsiveLoad::new(cfg, model, policy);
+    let mode = if collect {
+        MetricsMode::Enabled
+    } else {
+        MetricsMode::Disabled
+    };
+    SessionBuilder::new()
+        .workers(workers)
+        .metrics(mode)
+        .run_metered(&scenario)
+        .unwrap_or_else(|e| panic!("invalid impulsive config: {e}"))
+}
+
+/// Runs the impulsive-load model across
+/// [`mbac_num::parallel::default_workers`] threads.
+#[deprecated(note = "build an `ImpulsiveLoad` and run it through `SessionBuilder`")]
 pub fn run_impulsive(
     cfg: &ImpulsiveConfig,
     model: &dyn SourceModel,
     policy: &dyn AdmissionPolicy,
 ) -> ImpulsiveReport {
-    run_impulsive_with_workers(cfg, model, policy, mbac_num::parallel::default_workers())
+    impulsive_compat(
+        cfg,
+        model,
+        policy,
+        mbac_num::parallel::default_workers(),
+        false,
+    )
+    .0
 }
 
-/// [`run_impulsive`] with an explicit worker count.
-///
-/// Each replication `rep` draws from its own RNG stream seeded
-/// `cfg.seed ^ rep`, and outcomes are merged in replication order, so
-/// the report is **bit-identical for any worker count** (and across
-/// machines): parallelism is an implementation detail, never a change
-/// in scientific results.
+/// [`run_impulsive`] with an explicit worker count. The report is
+/// bit-identical for any count (see [`crate::session`]).
+#[deprecated(note = "build an `ImpulsiveLoad` and run it through `SessionBuilder::workers`")]
 pub fn run_impulsive_with_workers(
     cfg: &ImpulsiveConfig,
     model: &dyn SourceModel,
     policy: &dyn AdmissionPolicy,
     workers: usize,
 ) -> ImpulsiveReport {
-    run_impulsive_metered(cfg, model, policy, workers, false).0
+    impulsive_compat(cfg, model, policy, workers, false).0
 }
 
 /// [`run_impulsive_with_workers`] plus telemetry: when `collect` is
-/// true, every replication records into its own
-/// [`crate::telemetry::SimMetrics`] bundle and the per-replication snapshots are folded
-/// in replication input order, so the merged snapshot — like the report
-/// — is bit-identical for any worker count. When `collect` is false the
-/// snapshot is empty and the run costs nothing extra.
+/// true, every replication records into its own bundle and the
+/// snapshots fold in replication input order.
+#[deprecated(note = "build an `ImpulsiveLoad` and run it through `SessionBuilder::metrics`")]
 pub fn run_impulsive_metered(
     cfg: &ImpulsiveConfig,
     model: &dyn SourceModel,
@@ -134,137 +320,7 @@ pub fn run_impulsive_metered(
     workers: usize,
     collect: bool,
 ) -> (ImpulsiveReport, MetricsSnapshot) {
-    assert!(cfg.capacity > 0.0);
-    assert!(
-        cfg.estimation_flows >= 2,
-        "need ≥ 2 flows to estimate a variance"
-    );
-    assert!(cfg.replications > 0);
-    let mut times = cfg.observe_times.clone();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation time"));
-    assert!(times.first().is_none_or(|&t| t >= 0.0));
-
-    let reps: Vec<u64> = (0..cfg.replications as u64).collect();
-    let times_ref = &times;
-    let outcomes = mbac_num::parallel::parallel_map_with(
-        reps,
-        |&rep| run_one_impulsive_rep(cfg, model, policy, times_ref, cfg.seed ^ rep, collect),
-        workers,
-    );
-
-    let mut m0_stats = RunningStats::new();
-    let mut obs: Vec<ImpulsiveObservation> = times
-        .iter()
-        .map(|&t| ImpulsiveObservation {
-            t,
-            overflows: 0,
-            load: RunningStats::new(),
-            mean_flows: 0.0,
-        })
-        .collect();
-    let mut merged = MetricsSnapshot::new();
-    for outcome in outcomes {
-        m0_stats.push(outcome.m0);
-        for (o, &(load, flows)) in obs.iter_mut().zip(&outcome.at) {
-            o.load.push(load);
-            o.mean_flows += flows as f64 / cfg.replications as f64;
-            if load > cfg.capacity {
-                o.overflows += 1;
-            }
-        }
-        if let Some(snap) = &outcome.metrics {
-            merged.merge(snap);
-        }
-    }
-
-    (
-        ImpulsiveReport {
-            m0: m0_stats,
-            observations: obs,
-            replications: cfg.replications,
-        },
-        merged,
-    )
-}
-
-fn run_one_impulsive_rep(
-    cfg: &ImpulsiveConfig,
-    model: &dyn SourceModel,
-    policy: &dyn AdmissionPolicy,
-    times: &[f64],
-    seed: u64,
-    collect: bool,
-) -> RepOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sink = if collect {
-        MetricsSink::enabled()
-    } else {
-        MetricsSink::disabled()
-    };
-
-    // Measure the initial bandwidths of the candidate burst.
-    let candidates: Vec<Box<dyn mbac_traffic::process::RateProcess>> = (0..cfg.estimation_flows)
-        .map(|_| model.spawn(&mut rng))
-        .collect();
-    let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
-    let est = snapshot_stats(&rates).expect("non-empty candidate burst");
-    let m0 = policy.admissible_count(est, cfg.capacity);
-    let admit = m0.floor().max(0.0) as usize;
-
-    // Admit: reuse the measured candidates first (their *measured*
-    // bandwidths are the admitted flows' bandwidths — essential for
-    // the Y₀ correlation the theory predicts), spawn extras if
-    // M₀ > n.
-    let mut table = FlowTable::new();
-    let mut iter = candidates.into_iter();
-    for _ in 0..admit {
-        let departs_at = match cfg.mean_holding {
-            Some(th) => {
-                if let Some(m) = sink.get_mut() {
-                    m.rng_exp_draws.inc();
-                }
-                exponential(&mut rng, th)
-            }
-            None => f64::INFINITY,
-        };
-        match iter.next() {
-            Some(proc_) => {
-                table.admit_process(proc_, departs_at);
-            }
-            None => {
-                table.admit(model, departs_at, &mut rng);
-            }
-        }
-    }
-    if let Some(m) = sink.get_mut() {
-        m.admitted.add(admit as u64);
-        m.admissible.set(m0);
-    }
-
-    // Evolve and observe.
-    let at = times
-        .iter()
-        .map(|&t| {
-            table.advance_to(t, &mut rng);
-            table.depart_until(t);
-            let (load, flows) = (table.aggregate_rate(), table.len());
-            if let Some(m) = sink.get_mut() {
-                m.ticks.inc();
-                m.load.record(load);
-                m.load_series.record(t, load);
-                m.occupancy.record(flows as f64);
-            }
-            (load, flows)
-        })
-        .collect();
-    if let Some(m) = sink.get_mut() {
-        m.departed.add(table.departed_total());
-    }
-    RepOutcome {
-        m0,
-        at,
-        metrics: sink.is_enabled().then(|| sink.snapshot()),
-    }
+    impulsive_compat(cfg, model, policy, workers, collect)
 }
 
 // ---------------------------------------------------------------------
@@ -297,6 +353,16 @@ impl ContinuousConfig {
     pub fn paper_spacing(t_h_tilde: f64, t_m: f64, t_c: f64) -> f64 {
         2.0 * t_h_tilde.max(t_m).max(t_c)
     }
+
+    /// Checks the timing/capacity fields shared by the continuous-load
+    /// scenarios.
+    fn validate(&self) -> Result<(), ConfigError> {
+        require_positive("capacity", self.capacity)?;
+        require_positive("mean holding time", self.mean_holding)?;
+        require_positive("tick", self.tick)?;
+        require_positive("sample spacing", self.sample_spacing)?;
+        require_non_negative("warmup", self.warmup)
+    }
 }
 
 /// Results of a continuous-load run.
@@ -316,188 +382,269 @@ pub struct ContinuousReport {
     pub sim_time: f64,
 }
 
-/// Runs the continuous-load model: at every tick the flow processes
-/// advance, departures are applied, the controller observes a snapshot,
-/// and the system is topped up to the controller's current admissible
-/// count (infinite arrival pressure — the paper's most stringent test).
-/// Overflow is sampled at spaced epochs per §5.2 until a termination
-/// criterion fires or the sample budget is exhausted.
-pub fn run_continuous(
-    cfg: &ContinuousConfig,
-    model: &dyn SourceModel,
-    ctl: &mut dyn AdmissionEngine,
-) -> ContinuousReport {
-    run_continuous_in(cfg, model, ctl, FlowTable::new())
-}
-
-/// [`run_continuous`] against a caller-provided (empty) flow table —
-/// the hook that lets benchmarks and the CLI A/B the batched engine
-/// ([`FlowTable::new`]) against the boxed reference
-/// ([`FlowTable::new_unbatched`]). Both engines consume the RNG
-/// identically, so the two reports are bit-equal for a fixed seed.
+/// The continuous-load model (§4) as a [`Scenario`]: at every tick the
+/// flow processes advance, departures are applied, the controller
+/// observes a snapshot, and the system is topped up to the controller's
+/// current admissible count (infinite arrival pressure — the paper's
+/// most stringent test). Overflow is sampled at spaced epochs per §5.2
+/// until a termination criterion fires or the sample budget is
+/// exhausted.
 ///
 /// Each tick takes **one** per-flow snapshot after advancing and
 /// applying departures; the controller's `observe` and the overflow
 /// meter both consume that same rate vector (the meter through its
 /// sum), so measurement and metering can never disagree about the load.
+///
+/// The scenario borrows the caller's controller mutably, so it is *not*
+/// `Sync`: run it with [`SessionBuilder::run_local`] (it is a single
+/// replication — nothing is lost by staying on the calling thread).
+pub struct ContinuousLoad<'a> {
+    cfg: ContinuousConfig,
+    model: &'a dyn SourceModel,
+    ctl: RefCell<&'a mut dyn AdmissionEngine>,
+}
+
+impl<'a> ContinuousLoad<'a> {
+    /// Builds the scenario around the caller's controller.
+    pub fn new(
+        cfg: &ContinuousConfig,
+        model: &'a dyn SourceModel,
+        ctl: &'a mut dyn AdmissionEngine,
+    ) -> Self {
+        ContinuousLoad {
+            cfg: cfg.clone(),
+            model,
+            ctl: RefCell::new(ctl),
+        }
+    }
+}
+
+impl Scenario for ContinuousLoad<'_> {
+    type Rep = ContinuousReport;
+    type Report = ContinuousReport;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.cfg.validate()
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> ContinuousReport {
+        let cfg = &self.cfg;
+        let mut guard = self.ctl.borrow_mut();
+        let ctl: &mut dyn AdmissionEngine = &mut **guard;
+        let mut rng = ctx.rng();
+        let mut table = ctx.table();
+        let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
+        let mut snapshot = Vec::new();
+        let mut flow_count = RunningStats::new();
+        let mut prev_mean: Option<f64> = None;
+
+        let mut t = 0.0f64;
+        let mut next_sample = cfg.warmup.max(cfg.tick);
+        let stop_reason;
+        loop {
+            let tick_started = sink
+                .get_mut()
+                .filter(|m| m.timing_enabled())
+                .map(|_| std::time::Instant::now());
+            t += cfg.tick;
+            table.advance_to(t, &mut rng);
+            table.depart_until(t);
+
+            // Measure once; the controller and the meter share the vector.
+            table.snapshot_into(&mut snapshot);
+            ctl.observe(t, &snapshot);
+
+            if let Some(m) = sink.get_mut() {
+                let load: f64 = snapshot.iter().sum();
+                m.ticks.inc();
+                m.load.record(load);
+                m.load_series.record(t, load);
+                m.occupancy.record(table.len() as f64);
+                if let Some((mean, _)) = ctl.estimate_stats() {
+                    if let Some(prev) = prev_mean {
+                        m.innovation.record(mean - prev);
+                    }
+                    prev_mean = Some(mean);
+                }
+            }
+
+            // Spaced overflow sampling after warm-up (before admissions:
+            // a flow admitted this tick enters the measured load next tick).
+            if t >= next_sample {
+                next_sample += cfg.sample_spacing;
+                meter.record(snapshot.iter().sum());
+                flow_count.push(table.len() as f64);
+                if let Some(reason) = meter.should_stop() {
+                    stop_reason = reason;
+                    break;
+                }
+                if meter.samples() >= cfg.max_samples {
+                    stop_reason = StopReason::BudgetExhausted;
+                    break;
+                }
+            }
+
+            // Fill to the admissible limit.
+            match ctl.admissible_count(cfg.capacity, table.len()) {
+                Some(m) => {
+                    let limit = m.floor().max(0.0) as usize;
+                    // Ramp cap: at most max(1, 10% of current occupancy)
+                    // admissions per tick. Signaling is never infinitely
+                    // fast in practice, and the cap prevents a cold-start
+                    // estimate built from a handful of flows (σ̂ ≈ 0,
+                    // noisy μ̂) from instantly over-filling the link by a
+                    // factor of several — an artifact that would otherwise
+                    // take ~T_h to drain. The cap still reaches any target
+                    // occupancy exponentially within ~60 ticks, far inside
+                    // the warm-up, and steady-state M fluctuations are
+                    // O(√n), far below 10% of N.
+                    let cap = (table.len() / 10).max(1);
+                    let mut admitted_now = 0usize;
+                    while table.len() < limit && admitted_now < cap {
+                        let departs = t + exponential(&mut rng, cfg.mean_holding);
+                        table.admit(self.model, departs, &mut rng);
+                        admitted_now += 1;
+                    }
+                    if let Some(sm) = sink.get_mut() {
+                        sm.admissible.set(m);
+                        sm.admitted.add(admitted_now as u64);
+                        sm.rng_exp_draws.add(admitted_now as u64);
+                        sm.denied.add(limit.saturating_sub(table.len()) as u64);
+                    }
+                }
+                None => {
+                    // Cold start: nothing measured yet — admit a seed flow.
+                    if table.is_empty() {
+                        let departs = t + exponential(&mut rng, cfg.mean_holding);
+                        table.admit(self.model, departs, &mut rng);
+                        if let Some(sm) = sink.get_mut() {
+                            sm.admitted.inc();
+                            sm.rng_exp_draws.inc();
+                        }
+                    }
+                }
+            }
+
+            if let Some(started) = tick_started {
+                let ns = started.elapsed().as_nanos() as f64;
+                if let Some(m) = sink.get_mut() {
+                    m.tick_ns.record(ns);
+                }
+            }
+        }
+
+        if let Some(m) = sink.get_mut() {
+            m.departed.add(table.departed_total());
+        }
+        if sink.is_enabled() {
+            // Fold the meter's instrument state into the sink's bundle via
+            // the caller-visible snapshot path.
+            let mut extra = MetricsSnapshot::new();
+            meter.export_into("sim.pf", &mut extra);
+            sink.attach(extra);
+        }
+
+        ContinuousReport {
+            pf: meter.finalize(stop_reason),
+            mean_utilization: meter.mean_utilization(),
+            mean_flows: flow_count.mean(),
+            admitted: table.admitted_total(),
+            departed: table.departed_total(),
+            sim_time: t,
+        }
+    }
+
+    fn fold(&self, mut reps: Vec<ContinuousReport>) -> ContinuousReport {
+        reps.pop().expect("exactly one continuous replication")
+    }
+}
+
+/// Shared implementation of the deprecated continuous entry points.
+fn continuous_compat(
+    cfg: &ContinuousConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
+    engine: Engine,
+    mode: MetricsMode,
+) -> (ContinuousReport, MetricsSnapshot) {
+    let scenario = ContinuousLoad::new(cfg, model, ctl);
+    SessionBuilder::new()
+        .engine(engine)
+        .metrics(mode)
+        .run_local_metered(&scenario)
+        .unwrap_or_else(|e| panic!("invalid continuous config: {e}"))
+}
+
+/// Runs the continuous-load model on the default (batched) engine.
+#[deprecated(note = "build a `ContinuousLoad` and run it through `SessionBuilder::run_local`")]
+pub fn run_continuous(
+    cfg: &ContinuousConfig,
+    model: &dyn SourceModel,
+    ctl: &mut dyn AdmissionEngine,
+) -> ContinuousReport {
+    continuous_compat(cfg, model, ctl, Engine::Batched, MetricsMode::Disabled).0
+}
+
+/// [`run_continuous`] against a caller-provided (empty) flow table —
+/// the table selects the engine ([`FlowTable::new`] vs
+/// [`FlowTable::new_unbatched`]); the session builds its own fresh
+/// table on that engine. Both engines consume the RNG identically, so
+/// the two reports are bit-equal for a fixed seed.
+#[deprecated(note = "use `SessionBuilder::engine` with a `ContinuousLoad` instead")]
 pub fn run_continuous_in(
     cfg: &ContinuousConfig,
     model: &dyn SourceModel,
     ctl: &mut dyn AdmissionEngine,
     table: FlowTable,
 ) -> ContinuousReport {
-    run_continuous_metered(cfg, model, ctl, table, &mut MetricsSink::disabled())
+    assert!(table.is_empty(), "run_continuous_in needs a fresh table");
+    let engine = if table.is_batched() {
+        Engine::Batched
+    } else {
+        Engine::Boxed
+    };
+    continuous_compat(cfg, model, ctl, engine, MetricsMode::Disabled).0
 }
 
-/// [`run_continuous_in`] plus telemetry into the given sink. With a
-/// [`MetricsSink::disabled`] sink every record site reduces to one
-/// branch on an `Option` — the zero-cost mode all non-observability
-/// callers get. With an enabled sink the run records the full
-/// instrument bundle (see [`crate::telemetry::SimMetrics`]) and the
-/// overflow meter's state is exported under `sim.pf.*`.
-///
-/// Wall-clock timing (`engine.tick_ns`) is only recorded when the sink
-/// was built with timing on; default snapshots are deterministic, so
-/// the batched and boxed engines yield **identical** snapshots for the
-/// same seed.
+/// [`run_continuous_in`] plus telemetry into the given sink: the run's
+/// merged snapshot is attached to the caller's sink (a disabled sink
+/// keeps the zero-cost path).
+#[deprecated(note = "use `SessionBuilder::metrics` with a `ContinuousLoad` instead")]
 pub fn run_continuous_metered(
     cfg: &ContinuousConfig,
     model: &dyn SourceModel,
     ctl: &mut dyn AdmissionEngine,
-    mut table: FlowTable,
+    table: FlowTable,
     sink: &mut MetricsSink,
 ) -> ContinuousReport {
-    assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
-    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
-    assert!(cfg.warmup >= 0.0);
-    assert!(table.is_empty(), "run_continuous_in needs a fresh table");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
-    let mut snapshot = Vec::new();
-    let mut flow_count = RunningStats::new();
-    let mut prev_mean: Option<f64> = None;
-
-    let mut t = 0.0f64;
-    let mut next_sample = cfg.warmup.max(cfg.tick);
-    let stop_reason;
-    loop {
-        let tick_started = sink
-            .get_mut()
-            .filter(|m| m.timing_enabled())
-            .map(|_| std::time::Instant::now());
-        t += cfg.tick;
-        table.advance_to(t, &mut rng);
-        table.depart_until(t);
-
-        // Measure once; the controller and the meter share the vector.
-        table.snapshot_into(&mut snapshot);
-        ctl.observe(t, &snapshot);
-
-        if let Some(m) = sink.get_mut() {
-            let load: f64 = snapshot.iter().sum();
-            m.ticks.inc();
-            m.load.record(load);
-            m.load_series.record(t, load);
-            m.occupancy.record(table.len() as f64);
-            if let Some((mean, _)) = ctl.estimate_stats() {
-                if let Some(prev) = prev_mean {
-                    m.innovation.record(mean - prev);
-                }
-                prev_mean = Some(mean);
-            }
-        }
-
-        // Spaced overflow sampling after warm-up (before admissions:
-        // a flow admitted this tick enters the measured load next tick).
-        if t >= next_sample {
-            next_sample += cfg.sample_spacing;
-            meter.record(snapshot.iter().sum());
-            flow_count.push(table.len() as f64);
-            if let Some(reason) = meter.should_stop() {
-                stop_reason = reason;
-                break;
-            }
-            if meter.samples() >= cfg.max_samples {
-                stop_reason = StopReason::BudgetExhausted;
-                break;
-            }
-        }
-
-        // Fill to the admissible limit.
-        match ctl.admissible_count(cfg.capacity, table.len()) {
-            Some(m) => {
-                let limit = m.floor().max(0.0) as usize;
-                // Ramp cap: at most max(1, 10% of current occupancy)
-                // admissions per tick. Signaling is never infinitely
-                // fast in practice, and the cap prevents a cold-start
-                // estimate built from a handful of flows (σ̂ ≈ 0,
-                // noisy μ̂) from instantly over-filling the link by a
-                // factor of several — an artifact that would otherwise
-                // take ~T_h to drain. The cap still reaches any target
-                // occupancy exponentially within ~60 ticks, far inside
-                // the warm-up, and steady-state M fluctuations are
-                // O(√n), far below 10% of N.
-                let cap = (table.len() / 10).max(1);
-                let mut admitted_now = 0usize;
-                while table.len() < limit && admitted_now < cap {
-                    let departs = t + exponential(&mut rng, cfg.mean_holding);
-                    table.admit(model, departs, &mut rng);
-                    admitted_now += 1;
-                }
-                if let Some(sm) = sink.get_mut() {
-                    sm.admissible.set(m);
-                    sm.admitted.add(admitted_now as u64);
-                    sm.rng_exp_draws.add(admitted_now as u64);
-                    sm.denied.add(limit.saturating_sub(table.len()) as u64);
-                }
-            }
-            None => {
-                // Cold start: nothing measured yet — admit a seed flow.
-                if table.is_empty() {
-                    let departs = t + exponential(&mut rng, cfg.mean_holding);
-                    table.admit(model, departs, &mut rng);
-                    if let Some(sm) = sink.get_mut() {
-                        sm.admitted.inc();
-                        sm.rng_exp_draws.inc();
-                    }
-                }
-            }
-        }
-
-        if let Some(started) = tick_started {
-            let ns = started.elapsed().as_nanos() as f64;
-            if let Some(m) = sink.get_mut() {
-                m.tick_ns.record(ns);
-            }
-        }
-    }
-
-    if let Some(m) = sink.get_mut() {
-        m.departed.add(table.departed_total());
-    }
-    if sink.is_enabled() {
-        // Fold the meter's instrument state into the sink's bundle via
-        // the caller-visible snapshot path.
-        let mut extra = MetricsSnapshot::new();
-        meter.export_into("sim.pf", &mut extra);
-        sink.attach(extra);
-    }
-
-    ContinuousReport {
-        pf: meter.finalize(stop_reason),
-        mean_utilization: meter.mean_utilization(),
-        mean_flows: flow_count.mean(),
-        admitted: table.admitted_total(),
-        departed: table.departed_total(),
-        sim_time: t,
-    }
+    assert!(
+        table.is_empty(),
+        "run_continuous_metered needs a fresh table"
+    );
+    let engine = if table.is_batched() {
+        Engine::Batched
+    } else {
+        Engine::Boxed
+    };
+    let mode = match sink.get() {
+        None => MetricsMode::Disabled,
+        Some(m) if m.timing_enabled() => MetricsMode::EnabledWithTiming,
+        Some(_) => MetricsMode::Enabled,
+    };
+    let (report, snapshot) = continuous_compat(cfg, model, ctl, engine, mode);
+    sink.attach(snapshot);
+    report
 }
 
 // ---------------------------------------------------------------------
 // Non-stationary (phased) continuous load — extension
 // ---------------------------------------------------------------------
 
-/// Per-phase results of a [`run_continuous_phased`] simulation.
+/// Per-phase results of a [`PhasedLoad`] simulation.
 #[derive(Debug, Clone)]
 pub struct PhaseReport {
     /// Index into the phase schedule.
@@ -519,91 +666,144 @@ pub struct PhaseReport {
 /// "the results are valid if the traffic statistics are stationary
 /// within the memory time-scale."
 ///
-/// `phases` must be sorted by start time and begin at `0.0`. Sampling
-/// runs to `cfg.max_samples` total (no early termination — the phases
-/// are compared against each other), attributing each spaced sample to
-/// the phase active at its epoch.
+/// The phase schedule must be sorted by start time and begin at `0.0`.
+/// Sampling runs to `cfg.max_samples` total (no early termination — the
+/// phases are compared against each other), attributing each spaced
+/// sample to the phase active at its epoch.
+///
+/// Like [`ContinuousLoad`], borrows the controller mutably and must run
+/// through [`SessionBuilder::run_local`].
+pub struct PhasedLoad<'a> {
+    cfg: ContinuousConfig,
+    phases: Vec<(f64, &'a dyn SourceModel)>,
+    ctl: RefCell<&'a mut dyn AdmissionEngine>,
+}
+
+impl<'a> PhasedLoad<'a> {
+    /// Builds the scenario over the given phase schedule.
+    pub fn new(
+        cfg: &ContinuousConfig,
+        phases: &[(f64, &'a dyn SourceModel)],
+        ctl: &'a mut dyn AdmissionEngine,
+    ) -> Self {
+        PhasedLoad {
+            cfg: cfg.clone(),
+            phases: phases.to_vec(),
+            ctl: RefCell::new(ctl),
+        }
+    }
+}
+
+impl Scenario for PhasedLoad<'_> {
+    type Rep = Vec<PhaseReport>;
+    type Report = Vec<PhaseReport>;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.phases.is_empty() {
+            return Err(ConfigError::BadPhases {
+                reason: "need at least one phase",
+            });
+        }
+        if self.phases[0].0 != 0.0 {
+            return Err(ConfigError::BadPhases {
+                reason: "first phase must start at t = 0",
+            });
+        }
+        if !self.phases.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(ConfigError::BadPhases {
+                reason: "phases must be sorted by start time",
+            });
+        }
+        self.cfg.validate()
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn run_rep(&self, ctx: &RepContext, _sink: &mut MetricsSink) -> Vec<PhaseReport> {
+        let cfg = &self.cfg;
+        let phases = &self.phases;
+        let mut guard = self.ctl.borrow_mut();
+        let ctl: &mut dyn AdmissionEngine = &mut **guard;
+        let mut rng = ctx.rng();
+        let mut table = ctx.table();
+        let mut meters: Vec<OverflowMeter> = phases
+            .iter()
+            .map(|_| OverflowMeter::new(cfg.capacity, cfg.target).with_min_samples(u64::MAX))
+            .collect();
+        let mut snapshot = Vec::new();
+        let active_phase =
+            |t: f64| -> usize { phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0) };
+
+        let mut t = 0.0f64;
+        let mut next_sample = cfg.warmup.max(cfg.tick);
+        let mut total_samples = 0u64;
+        while total_samples < cfg.max_samples {
+            t += cfg.tick;
+            table.advance_to(t, &mut rng);
+            table.depart_until(t);
+            // One snapshot per tick, shared by controller and meter (the
+            // sampling runs before admissions, as in `ContinuousLoad`).
+            table.snapshot_into(&mut snapshot);
+            ctl.observe(t, &snapshot);
+            if t >= next_sample {
+                next_sample += cfg.sample_spacing;
+                meters[active_phase(t)].record(snapshot.iter().sum());
+                total_samples += 1;
+            }
+            let model = phases[active_phase(t)].1;
+            match ctl.admissible_count(cfg.capacity, table.len()) {
+                Some(m) => {
+                    let limit = m.floor().max(0.0) as usize;
+                    // Ramp cap, as in `ContinuousLoad`: at most
+                    // max(1, 10% of occupancy) admissions per tick.
+                    let cap = (table.len() / 10).max(1);
+                    let mut admitted_now = 0;
+                    while table.len() < limit && admitted_now < cap {
+                        let departs = t + exponential(&mut rng, cfg.mean_holding);
+                        table.admit(model, departs, &mut rng);
+                        admitted_now += 1;
+                    }
+                }
+                None => {
+                    if table.is_empty() {
+                        let departs = t + exponential(&mut rng, cfg.mean_holding);
+                        table.admit(model, departs, &mut rng);
+                    }
+                }
+            }
+        }
+
+        phases
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| meters[*i].samples() > 0)
+            .map(|(i, &(from, _))| PhaseReport {
+                phase: i,
+                from,
+                pf: meters[i].finalize(StopReason::BudgetExhausted),
+                mean_utilization: meters[i].mean_utilization(),
+            })
+            .collect()
+    }
+
+    fn fold(&self, mut reps: Vec<Vec<PhaseReport>>) -> Vec<PhaseReport> {
+        reps.pop().expect("exactly one phased replication")
+    }
+}
+
+/// Runs the non-stationary phased continuous-load model.
+#[deprecated(note = "build a `PhasedLoad` and run it through `SessionBuilder::run_local`")]
 pub fn run_continuous_phased(
     cfg: &ContinuousConfig,
     phases: &[(f64, &dyn SourceModel)],
     ctl: &mut dyn AdmissionEngine,
 ) -> Vec<PhaseReport> {
-    assert!(!phases.is_empty(), "need at least one phase");
-    assert!(phases[0].0 == 0.0, "first phase must start at t = 0");
-    assert!(
-        phases.windows(2).all(|w| w[0].0 < w[1].0),
-        "phases must be sorted by start time"
-    );
-    assert!(cfg.capacity > 0.0 && cfg.mean_holding > 0.0);
-    assert!(cfg.tick > 0.0 && cfg.sample_spacing > 0.0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut table = FlowTable::new();
-    let mut meters: Vec<OverflowMeter> = phases
-        .iter()
-        .map(|_| OverflowMeter::new(cfg.capacity, cfg.target).with_min_samples(u64::MAX))
-        .collect();
-    let mut snapshot = Vec::new();
-    let active_phase =
-        |t: f64| -> usize { phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0) };
-
-    let mut t = 0.0f64;
-    let mut next_sample = cfg.warmup.max(cfg.tick);
-    let mut total_samples = 0u64;
-    while total_samples < cfg.max_samples {
-        t += cfg.tick;
-        table.advance_to(t, &mut rng);
-        table.depart_until(t);
-        // One snapshot per tick, shared by controller and meter (the
-        // sampling runs before admissions, as in `run_continuous_in`).
-        table.snapshot_into(&mut snapshot);
-        ctl.observe(t, &snapshot);
-        if t >= next_sample {
-            next_sample += cfg.sample_spacing;
-            meters[active_phase(t)].record(snapshot.iter().sum());
-            total_samples += 1;
-        }
-        let model = phases[active_phase(t)].1;
-        match ctl.admissible_count(cfg.capacity, table.len()) {
-            Some(m) => {
-                let limit = m.floor().max(0.0) as usize;
-                // Ramp cap: at most max(1, 10% of current occupancy)
-                // admissions per tick. Signaling is never infinitely
-                // fast in practice, and the cap prevents a cold-start
-                // estimate built from a handful of flows (σ̂ ≈ 0,
-                // noisy μ̂) from instantly over-filling the link by a
-                // factor of several — an artifact that would otherwise
-                // take ~T_h to drain. The cap still reaches any target
-                // occupancy exponentially within ~60 ticks, far inside
-                // the warm-up, and steady-state M fluctuations are
-                // O(√n), far below 10% of N.
-                let cap = (table.len() / 10).max(1);
-                let mut admitted_now = 0;
-                while table.len() < limit && admitted_now < cap {
-                    let departs = t + exponential(&mut rng, cfg.mean_holding);
-                    table.admit(model, departs, &mut rng);
-                    admitted_now += 1;
-                }
-            }
-            None => {
-                if table.is_empty() {
-                    let departs = t + exponential(&mut rng, cfg.mean_holding);
-                    table.admit(model, departs, &mut rng);
-                }
-            }
-        }
-    }
-
-    phases
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| meters[*i].samples() > 0)
-        .map(|(i, &(from, _))| PhaseReport {
-            phase: i,
-            from,
-            pf: meters[i].finalize(StopReason::BudgetExhausted),
-            mean_utilization: meters[i].mean_utilization(),
-        })
-        .collect()
+    let scenario = PhasedLoad::new(cfg, phases, ctl);
+    SessionBuilder::new()
+        .run_local(&scenario)
+        .unwrap_or_else(|e| panic!("invalid phased config: {e}"))
 }
 
 #[cfg(test)]
@@ -617,6 +817,26 @@ mod tests {
 
     fn model() -> RcbrModel {
         RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    fn impulsive(
+        cfg: &ImpulsiveConfig,
+        m: &dyn SourceModel,
+        p: &dyn AdmissionPolicy,
+    ) -> ImpulsiveReport {
+        SessionBuilder::new()
+            .run(&ImpulsiveLoad::new(cfg, m, p))
+            .unwrap()
+    }
+
+    fn continuous(
+        cfg: &ContinuousConfig,
+        m: &dyn SourceModel,
+        ctl: &mut dyn AdmissionEngine,
+    ) -> ContinuousReport {
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(cfg, m, ctl))
+            .unwrap()
     }
 
     #[test]
@@ -634,7 +854,7 @@ mod tests {
             replications: 3000,
             seed: 42,
         };
-        let rep = run_impulsive(&cfg, &m, &pk);
+        let rep = impulsive(&cfg, &m, &pk);
         let pf = rep.pf_at(0);
         assert!(
             (pf - p_q).abs() < 0.015,
@@ -659,7 +879,7 @@ mod tests {
             replications: 4000,
             seed: 7,
         };
-        let rep = run_impulsive(&cfg, &m, &ce);
+        let rep = impulsive(&cfg, &m, &ce);
         let pf = rep.pf_at(0);
         let predicted = mbac_num::q(mbac_num::inv_q(p_q) / std::f64::consts::SQRT_2);
         assert!(
@@ -690,7 +910,7 @@ mod tests {
             replications: 200,
             seed: 11,
         };
-        let rep = run_impulsive(&cfg, &m, &pk);
+        let rep = impulsive(&cfg, &m, &pk);
         // Mean flows must decay ≈ e^{-t/T_h}.
         let m0 = rep.m0.mean();
         for o in &rep.observations {
@@ -723,7 +943,7 @@ mod tests {
             max_samples: 300,
             seed: 13,
         };
-        let rep = run_continuous(&cfg, &m, &mut ctl);
+        let rep = continuous(&cfg, &m, &mut ctl);
         assert!(
             rep.mean_utilization > 0.8 && rep.mean_utilization <= 1.05,
             "utilization {}",
@@ -758,7 +978,7 @@ mod tests {
                 max_samples: 1500,
                 seed,
             };
-            run_continuous(&cfg, &m, &mut ctl).pf.value
+            continuous(&cfg, &m, &mut ctl).pf.value
         };
         let memoryless = (run(0.0, 17) + run(0.0, 18) + run(0.0, 19)) / 3.0;
         let with_memory = (run(10.0, 17) + run(10.0, 18) + run(10.0, 19)) / 3.0;
@@ -785,7 +1005,7 @@ mod tests {
             max_samples: 100,
             seed: 23,
         };
-        let rep = run_continuous(&cfg, &m, &mut ctl);
+        let rep = continuous(&cfg, &m, &mut ctl);
         // admitted − departed = flows still in the system ≥ 0.
         assert!(rep.admitted >= rep.departed);
         let in_system = rep.admitted - rep.departed;
@@ -811,8 +1031,8 @@ mod tests {
             max_samples: 50,
             seed: 29,
         };
-        let a = run_continuous(&cfg, &m, &mut mk());
-        let b = run_continuous(&cfg, &m, &mut mk());
+        let a = continuous(&cfg, &m, &mut mk());
+        let b = continuous(&cfg, &m, &mut mk());
         assert_eq!(a.pf.value, b.pf.value);
         assert_eq!(a.admitted, b.admitted);
         assert_eq!(a.mean_utilization, b.mean_utilization);
@@ -830,9 +1050,13 @@ mod tests {
             replications: 64,
             seed: 99,
         };
-        let reference = run_impulsive_with_workers(&cfg, &m, &ce, 1);
+        let scenario = ImpulsiveLoad::new(&cfg, &m, &ce);
+        let reference = SessionBuilder::new().workers(1).run(&scenario).unwrap();
         for workers in [2, 3, 4, 8] {
-            let rep = run_impulsive_with_workers(&cfg, &m, &ce, workers);
+            let rep = SessionBuilder::new()
+                .workers(workers)
+                .run(&scenario)
+                .unwrap();
             assert_eq!(rep.m0.mean(), reference.m0.mean(), "{workers} workers");
             assert_eq!(rep.m0.variance(), reference.m0.variance());
             for (a, b) in rep.observations.iter().zip(&reference.observations) {
@@ -863,8 +1087,15 @@ mod tests {
             max_samples: 50,
             seed: 31,
         };
-        let batched = run_continuous_in(&cfg, &m, &mut mk(), FlowTable::new());
-        let boxed = run_continuous_in(&cfg, &m, &mut mk(), FlowTable::new_unbatched());
+        let run_on = |engine: Engine| {
+            let mut ctl = mk();
+            SessionBuilder::new()
+                .engine(engine)
+                .run_local(&ContinuousLoad::new(&cfg, &m, &mut ctl))
+                .unwrap()
+        };
+        let batched = run_on(Engine::Batched);
+        let boxed = run_on(Engine::Boxed);
         assert_eq!(batched.pf.value, boxed.pf.value);
         assert_eq!(batched.mean_utilization, boxed.mean_utilization);
         assert_eq!(batched.mean_flows, boxed.mean_flows);
@@ -877,5 +1108,154 @@ mod tests {
         assert_eq!(ContinuousConfig::paper_spacing(10.0, 3.0, 1.0), 20.0);
         assert_eq!(ContinuousConfig::paper_spacing(1.0, 30.0, 1.0), 60.0);
         assert_eq!(ContinuousConfig::paper_spacing(1.0, 3.0, 50.0), 100.0);
+    }
+
+    #[test]
+    fn impulsive_validation_rejects_bad_configs() {
+        let m = model();
+        let ce = CertaintyEquivalent::from_probability(0.05);
+        let base = ImpulsiveConfig {
+            capacity: 10.0,
+            estimation_flows: 10,
+            mean_holding: None,
+            observe_times: vec![1.0],
+            replications: 2,
+            seed: 0,
+        };
+        let check = |cfg: &ImpulsiveConfig| {
+            SessionBuilder::new()
+                .run(&ImpulsiveLoad::new(cfg, &m, &ce))
+                .err()
+        };
+        let mut cfg = base.clone();
+        cfg.capacity = 0.0;
+        assert!(matches!(
+            check(&cfg),
+            Some(ConfigError::NonPositive {
+                field: "capacity",
+                ..
+            })
+        ));
+        let mut cfg = base.clone();
+        cfg.estimation_flows = 1;
+        assert_eq!(check(&cfg), Some(ConfigError::TooFewFlows { got: 1 }));
+        let mut cfg = base.clone();
+        cfg.observe_times.clear();
+        assert!(check(&cfg).is_none(), "M0-only runs are valid");
+        let mut cfg = base.clone();
+        cfg.observe_times = vec![f64::NAN];
+        assert!(matches!(
+            check(&cfg),
+            Some(ConfigError::BadObserveTime { .. })
+        ));
+        let mut cfg = base.clone();
+        cfg.replications = 0;
+        assert_eq!(check(&cfg), Some(ConfigError::ZeroReplications));
+        assert!(check(&base).is_none());
+    }
+
+    #[test]
+    fn continuous_validation_rejects_bad_configs() {
+        let m = model();
+        let cfg = ContinuousConfig {
+            capacity: -1.0,
+            mean_holding: 10.0,
+            tick: 0.5,
+            warmup: 1.0,
+            sample_spacing: 5.0,
+            target: 1e-2,
+            max_samples: 10,
+            seed: 0,
+        };
+        let mut ctl = MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let err = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &m, &mut ctl))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NonPositive {
+                field: "capacity",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn phased_validation_rejects_bad_schedules() {
+        let m = model();
+        let cfg = ContinuousConfig {
+            capacity: 50.0,
+            mean_holding: 20.0,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 10,
+            seed: 0,
+        };
+        let mut ctl = MbacController::new(
+            Box::new(MemorylessEstimator::new()),
+            Box::new(CertaintyEquivalent::from_probability(1e-2)),
+        );
+        let phases: [(f64, &dyn SourceModel); 2] = [(1.0, &m), (2.0, &m)];
+        let err = SessionBuilder::new()
+            .run_local(&PhasedLoad::new(&cfg, &phases, &mut ctl))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadPhases { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_delegate_to_the_session() {
+        // The deprecated free functions must produce byte-identical
+        // results to the builder path they wrap.
+        let m = model();
+        let ce = CertaintyEquivalent::from_probability(0.05);
+        let cfg = ImpulsiveConfig {
+            capacity: 40.0,
+            estimation_flows: 40,
+            mean_holding: Some(15.0),
+            observe_times: vec![2.0, 8.0],
+            replications: 32,
+            seed: 123,
+        };
+        let via_shim = run_impulsive(&cfg, &m, &ce);
+        let via_builder = SessionBuilder::new()
+            .run(&ImpulsiveLoad::new(&cfg, &m, &ce))
+            .unwrap();
+        assert_eq!(via_shim.m0.mean(), via_builder.m0.mean());
+        assert_eq!(via_shim.m0.variance(), via_builder.m0.variance());
+        for (a, b) in via_shim.observations.iter().zip(&via_builder.observations) {
+            assert_eq!(a.overflows, b.overflows);
+            assert_eq!(a.load.mean(), b.load.mean());
+            assert_eq!(a.mean_flows, b.mean_flows);
+        }
+
+        let ccfg = ContinuousConfig {
+            capacity: 50.0,
+            mean_holding: 20.0,
+            tick: 0.5,
+            warmup: 10.0,
+            sample_spacing: 10.0,
+            target: 1e-2,
+            max_samples: 40,
+            seed: 321,
+        };
+        let mk = || {
+            MbacController::new(
+                Box::new(MemorylessEstimator::new()),
+                Box::new(CertaintyEquivalent::from_probability(1e-2)),
+            )
+        };
+        let shim = run_continuous(&ccfg, &m, &mut mk());
+        let builder = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&ccfg, &m, &mut mk()))
+            .unwrap();
+        assert_eq!(shim.pf.value, builder.pf.value);
+        assert_eq!(shim.admitted, builder.admitted);
+        assert_eq!(shim.sim_time, builder.sim_time);
     }
 }

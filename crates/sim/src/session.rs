@@ -1,0 +1,710 @@
+//! The composable Scenario/Session pipeline: one orchestration layer
+//! for every load model.
+//!
+//! A [`Scenario`] describes **one replication** of a simulation
+//! (setup → evolve → observe) plus how per-replication outcomes fold
+//! into a report. A [`Session`] — configured through [`SessionBuilder`]
+//! — owns everything that used to be re-implemented per harness:
+//!
+//! * worker fan-out over replications ([`mbac_num::parallel`]),
+//! * per-replication RNG stream derivation ([`rep_seed`], a SplitMix64
+//!   mix of `(seed, rep)`),
+//! * deterministic input-order merging of outcomes and metric
+//!   snapshots,
+//! * optional [`MetricsSink`] collection with the zero-cost disabled
+//!   default,
+//! * typed configuration validation ([`ConfigError`] instead of
+//!   panicking `assert!`s).
+//!
+//! The three load models of the paper are `Scenario` impls —
+//! [`crate::runner::ImpulsiveLoad`], [`crate::runner::ContinuousLoad`],
+//! [`crate::arrivals::PoissonLoad`] — and new scenario types (trace
+//! replay, multi-link, …) plug in without new `run_*` entry points.
+//!
+//! # Determinism contract
+//!
+//! For a fixed builder seed the session derives replication `rep`'s RNG
+//! stream as `rep_seed(seed, rep)` and merges outcomes in replication
+//! input order, so reports and merged metric snapshots are
+//! **bit-identical for any worker count and either flow engine** —
+//! parallelism and engine choice are implementation details, never a
+//! change in scientific results. [`Session::run`] (parallel) and
+//! [`Session::run_local`] (sequential, for scenarios that borrow
+//! external mutable state) follow the same derivation and merge order
+//! and therefore agree bit-for-bit.
+//!
+//! # Writing a new scenario
+//!
+//! ```
+//! use mbac_sim::{ConfigError, MetricsSink, RepContext, Scenario, SessionBuilder};
+//! use rand::Rng;
+//!
+//! /// Estimate the mean of `Uniform(0, width)` by Monte Carlo.
+//! struct UniformMean {
+//!     width: f64,
+//!     draws_per_rep: usize,
+//!     replications: usize,
+//! }
+//!
+//! impl Scenario for UniformMean {
+//!     type Rep = f64;
+//!     type Report = f64;
+//!
+//!     fn validate(&self) -> Result<(), ConfigError> {
+//!         if !(self.width > 0.0) {
+//!             return Err(ConfigError::NonPositive { field: "width", value: self.width });
+//!         }
+//!         Ok(())
+//!     }
+//!
+//!     fn replications(&self) -> usize {
+//!         self.replications
+//!     }
+//!
+//!     fn run_rep(&self, ctx: &RepContext, _sink: &mut MetricsSink) -> f64 {
+//!         let mut rng = ctx.rng(); // stream derived from (seed, rep)
+//!         (0..self.draws_per_rep)
+//!             .map(|_| rng.gen::<f64>() * self.width)
+//!             .sum::<f64>()
+//!             / self.draws_per_rep as f64
+//!     }
+//!
+//!     fn fold(&self, reps: Vec<f64>) -> f64 {
+//!         reps.iter().sum::<f64>() / reps.len() as f64
+//!     }
+//! }
+//!
+//! let scenario = UniformMean { width: 2.0, draws_per_rep: 500, replications: 64 };
+//! let mean = SessionBuilder::new().seed(7).run(&scenario).unwrap();
+//! assert!((mean - 1.0).abs() < 0.05);
+//! ```
+
+use crate::flows::FlowTable;
+use crate::telemetry::MetricsSink;
+use mbac_metrics::MetricsSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Typed configuration errors
+// ---------------------------------------------------------------------
+
+/// A rejected simulation configuration.
+///
+/// Every harness used to `assert!` on user-supplied parameters; the
+/// session layer validates instead and returns one of these, which the
+/// CLI renders as a friendly message (exit code 1, no panic).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A field that must be strictly positive was zero, negative or NaN.
+    NonPositive {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field that must be non-negative was negative or NaN.
+    Negative {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Fewer than two estimation flows: a variance needs two samples.
+    TooFewFlows {
+        /// The rejected flow count.
+        got: usize,
+    },
+    /// An impulsive scenario with no observation times records nothing.
+    EmptyObserveTimes,
+    /// An observation time was negative or NaN.
+    BadObserveTime {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Zero replications requested.
+    ZeroReplications,
+    /// Zero workers requested.
+    ZeroWorkers,
+    /// An engine name that is neither `batched` nor `boxed`.
+    UnknownEngine {
+        /// The rejected name.
+        name: String,
+    },
+    /// A phase schedule that is empty, unsorted, or does not start at 0.
+    BadPhases {
+        /// What is wrong with the schedule.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative, got {value}")
+            }
+            ConfigError::TooFewFlows { got } => write!(
+                f,
+                "at least 2 estimation flows are needed to estimate a variance, got {got}"
+            ),
+            ConfigError::EmptyObserveTimes => {
+                write!(
+                    f,
+                    "observe times must not be empty: nothing would be recorded"
+                )
+            }
+            ConfigError::BadObserveTime { value } => {
+                write!(f, "observe times must be non-negative numbers, got {value}")
+            }
+            ConfigError::ZeroReplications => write!(f, "replications must be at least 1"),
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::UnknownEngine { name } => {
+                write!(f, "engine must be batched or boxed, got {name}")
+            }
+            ConfigError::BadPhases { reason } => write!(f, "invalid phase schedule: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks that `value` is strictly positive (rejects NaN).
+pub(crate) fn require_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositive { field, value })
+    }
+}
+
+/// Checks that `value` is non-negative (rejects NaN).
+pub(crate) fn require_non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { field, value })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-engine selection
+// ---------------------------------------------------------------------
+
+/// Which flow-table engine a session's replications run on.
+///
+/// Both engines consume the RNG identically and produce bit-identical
+/// simulations for the same seed (the equivalence tests in
+/// [`crate::flows`] and `tests/statistical.rs` assert this); `Batched`
+/// is the fast struct-of-arrays default, `Boxed` the one-heap-process-
+/// per-flow reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Struct-of-arrays kernels grouped by batch key (the default).
+    #[default]
+    Batched,
+    /// One boxed rate process per flow — the reference implementation.
+    Boxed,
+}
+
+impl Engine {
+    /// An empty flow table using this engine.
+    pub fn table(self) -> FlowTable {
+        match self {
+            Engine::Batched => FlowTable::new(),
+            Engine::Boxed => FlowTable::new_unbatched(),
+        }
+    }
+
+    /// Parses an engine name (`batched` / `boxed`), as the CLI accepts.
+    pub fn from_name(name: &str) -> Result<Engine, ConfigError> {
+        match name {
+            "batched" => Ok(Engine::Batched),
+            "boxed" => Ok(Engine::Boxed),
+            other => Err(ConfigError::UnknownEngine {
+                name: other.to_string(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Batched => "batched",
+            Engine::Boxed => "boxed",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-replication RNG stream derivation
+// ---------------------------------------------------------------------
+
+/// The SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives replication `rep`'s RNG seed from the session seed.
+///
+/// The naive `seed ^ rep` collides across nearby seeds — `(seed=2,
+/// rep=1)` and `(seed=3, rep=0)` share a stream, so two experiments run
+/// at adjacent seeds silently reuse replications. Passing both inputs
+/// through SplitMix64 finalizers decorrelates the streams: `rep` is
+/// avalanched before it touches `seed`, and the combined word is
+/// avalanched again, so low-bit structure in either input cannot
+/// produce related streams.
+#[inline]
+pub fn rep_seed(seed: u64, rep: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(rep))
+}
+
+/// Everything one replication needs from the session: its index, its
+/// derived RNG seed, and the engine choice.
+#[derive(Debug, Clone, Copy)]
+pub struct RepContext {
+    /// Replication index within the session, `0..replications`.
+    pub rep: u64,
+    /// The derived RNG seed for this replication ([`rep_seed`]).
+    pub seed: u64,
+    /// The flow engine the session was built with.
+    pub engine: Engine,
+}
+
+impl RepContext {
+    /// A fresh RNG on this replication's stream.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// An empty flow table on the session's engine.
+    pub fn table(&self) -> FlowTable {
+        self.engine.table()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Scenario trait
+// ---------------------------------------------------------------------
+
+/// One replication of a simulation experiment, plus how replications
+/// fold into a report.
+///
+/// Implementations hold the experiment's configuration and borrowed
+/// collaborators (source model, admission policy/engine). The session
+/// calls [`validate`](Scenario::validate) exactly once before any work,
+/// then [`run_rep`](Scenario::run_rep) once per replication (possibly
+/// concurrently — see [`Session::run`] vs [`Session::run_local`]), then
+/// [`fold`](Scenario::fold) with the outcomes in replication input
+/// order.
+pub trait Scenario {
+    /// What one replication produces.
+    type Rep: Send;
+    /// The merged result across replications.
+    type Report;
+
+    /// Checks the configuration, returning the first problem found.
+    fn validate(&self) -> Result<(), ConfigError> {
+        Ok(())
+    }
+
+    /// The scenario's intrinsic base seed, used when the builder does
+    /// not override it.
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    /// Number of independent replications (default: a single run).
+    fn replications(&self) -> usize {
+        1
+    }
+
+    /// Runs one replication on its derived RNG stream, recording
+    /// telemetry into `sink` (disabled unless the session enables
+    /// collection).
+    fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> Self::Rep;
+
+    /// Folds per-replication outcomes — always in replication input
+    /// order — into the report.
+    fn fold(&self, reps: Vec<Self::Rep>) -> Self::Report;
+}
+
+// ---------------------------------------------------------------------
+// Session driver
+// ---------------------------------------------------------------------
+
+/// Metrics collection mode of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// No collection; every record site costs one `Option` branch.
+    #[default]
+    Disabled,
+    /// Collect the full instrument bundle (deterministic snapshots).
+    Enabled,
+    /// Collect including wall-clock timings (machine-dependent
+    /// snapshots; see [`crate::telemetry::SimMetrics::with_timing`]).
+    EnabledWithTiming,
+}
+
+/// A configured simulation driver: workers, seed policy, engine and
+/// metrics mode. Built by [`SessionBuilder`]; immutable once built.
+#[derive(Debug, Clone)]
+pub struct Session {
+    seed: Option<u64>,
+    workers: usize,
+    engine: Engine,
+    metrics: MetricsMode,
+}
+
+impl Session {
+    /// Runs the scenario's replications across the session's workers
+    /// and folds the outcomes in input order. Requires `S: Sync`
+    /// because replications may run concurrently; scenarios that borrow
+    /// external mutable state use [`Session::run_local`] instead.
+    pub fn run<S: Scenario + Sync>(&self, scenario: &S) -> Result<S::Report, ConfigError> {
+        self.run_metered(scenario).map(|(report, _)| report)
+    }
+
+    /// [`Session::run`] plus the merged metrics snapshot (empty unless
+    /// the session enables collection).
+    pub fn run_metered<S: Scenario + Sync>(
+        &self,
+        scenario: &S,
+    ) -> Result<(S::Report, MetricsSnapshot), ConfigError> {
+        let (seed, reps) = self.prepare(scenario)?;
+        let outcomes = mbac_num::parallel::parallel_map_with(
+            reps,
+            |&rep| self.one_rep(scenario, seed, rep),
+            self.workers,
+        );
+        Ok(self.finish(scenario, outcomes))
+    }
+
+    /// Runs every replication sequentially on the calling thread — for
+    /// scenarios that borrow external mutable state (e.g. a caller's
+    /// `&mut dyn AdmissionEngine`) and therefore cannot be `Sync`.
+    /// Seed derivation and merge order match [`Session::run`] exactly,
+    /// so the two paths produce bit-identical results.
+    pub fn run_local<S: Scenario>(&self, scenario: &S) -> Result<S::Report, ConfigError> {
+        self.run_local_metered(scenario).map(|(report, _)| report)
+    }
+
+    /// [`Session::run_local`] plus the merged metrics snapshot.
+    pub fn run_local_metered<S: Scenario>(
+        &self,
+        scenario: &S,
+    ) -> Result<(S::Report, MetricsSnapshot), ConfigError> {
+        let (seed, reps) = self.prepare(scenario)?;
+        let outcomes: Vec<_> = reps
+            .iter()
+            .map(|&rep| self.one_rep(scenario, seed, rep))
+            .collect();
+        Ok(self.finish(scenario, outcomes))
+    }
+
+    /// Validates the session and scenario; resolves the base seed and
+    /// the replication index list.
+    fn prepare<S: Scenario>(&self, scenario: &S) -> Result<(u64, Vec<u64>), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        scenario.validate()?;
+        if scenario.replications() == 0 {
+            return Err(ConfigError::ZeroReplications);
+        }
+        let seed = self.seed.unwrap_or_else(|| scenario.seed());
+        Ok((seed, (0..scenario.replications() as u64).collect()))
+    }
+
+    /// Runs one replication on its derived stream with a fresh sink.
+    fn one_rep<S: Scenario>(
+        &self,
+        scenario: &S,
+        seed: u64,
+        rep: u64,
+    ) -> (S::Rep, Option<MetricsSnapshot>) {
+        let ctx = RepContext {
+            rep,
+            seed: rep_seed(seed, rep),
+            engine: self.engine,
+        };
+        let mut sink = match self.metrics {
+            MetricsMode::Disabled => MetricsSink::disabled(),
+            MetricsMode::Enabled => MetricsSink::enabled(),
+            MetricsMode::EnabledWithTiming => MetricsSink::enabled_with_timing(),
+        };
+        let outcome = scenario.run_rep(&ctx, &mut sink);
+        let snapshot = sink.is_enabled().then(|| sink.snapshot());
+        (outcome, snapshot)
+    }
+
+    /// Merges outcomes and snapshots in replication input order.
+    fn finish<S: Scenario>(
+        &self,
+        scenario: &S,
+        outcomes: Vec<(S::Rep, Option<MetricsSnapshot>)>,
+    ) -> (S::Report, MetricsSnapshot) {
+        let mut merged = MetricsSnapshot::new();
+        let mut reps = Vec::with_capacity(outcomes.len());
+        for (outcome, snapshot) in outcomes {
+            if let Some(snapshot) = snapshot {
+                merged.merge(&snapshot);
+            }
+            reps.push(outcome);
+        }
+        (scenario.fold(reps), merged)
+    }
+}
+
+/// Fluent configuration for a [`Session`]: seed, workers, engine and
+/// metrics mode. `capacity` and the other scientific parameters stay in
+/// the scenario's own config — the builder only carries the
+/// orchestration knobs.
+///
+/// ```
+/// use mbac_sim::{Engine, SessionBuilder};
+/// let session = SessionBuilder::new()
+///     .seed(42)
+///     .workers(4)
+///     .engine(Engine::Batched)
+///     .build();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    seed: Option<u64>,
+    workers: Option<usize>,
+    engine: Engine,
+    metrics: MetricsMode,
+}
+
+impl SessionBuilder {
+    /// A builder with the defaults: the scenario's intrinsic seed, all
+    /// available workers, the batched engine, metrics off.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Overrides the scenario's intrinsic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Worker-thread count for parallel replication fan-out (default:
+    /// [`mbac_num::parallel::default_workers`]). The report is
+    /// bit-identical for any count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Flow-engine choice (default: [`Engine::Batched`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Metrics collection mode (default: [`MetricsMode::Disabled`]).
+    pub fn metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics = mode;
+        self
+    }
+
+    /// Freezes the configuration into a [`Session`].
+    pub fn build(&self) -> Session {
+        Session {
+            seed: self.seed,
+            workers: self
+                .workers
+                .unwrap_or_else(mbac_num::parallel::default_workers),
+            engine: self.engine,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Builds and [`Session::run`]s in one call.
+    pub fn run<S: Scenario + Sync>(&self, scenario: &S) -> Result<S::Report, ConfigError> {
+        self.build().run(scenario)
+    }
+
+    /// Builds and [`Session::run_metered`]s in one call.
+    pub fn run_metered<S: Scenario + Sync>(
+        &self,
+        scenario: &S,
+    ) -> Result<(S::Report, MetricsSnapshot), ConfigError> {
+        self.build().run_metered(scenario)
+    }
+
+    /// Builds and [`Session::run_local`]s in one call.
+    pub fn run_local<S: Scenario>(&self, scenario: &S) -> Result<S::Report, ConfigError> {
+        self.build().run_local(scenario)
+    }
+
+    /// Builds and [`Session::run_local_metered`]s in one call.
+    pub fn run_local_metered<S: Scenario>(
+        &self,
+        scenario: &S,
+    ) -> Result<(S::Report, MetricsSnapshot), ConfigError> {
+        self.build().run_local_metered(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Sums `draws` uniform variates per replication; folds to the mean.
+    struct Toy {
+        draws: usize,
+        replications: usize,
+        base_seed: u64,
+    }
+
+    impl Scenario for Toy {
+        type Rep = f64;
+        type Report = Vec<f64>;
+
+        fn seed(&self) -> u64 {
+            self.base_seed
+        }
+
+        fn replications(&self) -> usize {
+            self.replications
+        }
+
+        fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> f64 {
+            let mut rng = ctx.rng();
+            if let Some(m) = sink.get_mut() {
+                m.ticks.inc();
+            }
+            (0..self.draws).map(|_| rng.gen::<f64>()).sum()
+        }
+
+        fn fold(&self, reps: Vec<f64>) -> Vec<f64> {
+            reps
+        }
+    }
+
+    #[test]
+    fn rep_seed_avoids_xor_collisions() {
+        // The seed^rep scheme collides for (2,1)/(3,0); the mix must not.
+        assert_ne!(rep_seed(2, 1), rep_seed(3, 0));
+        // Distinct reps under one seed get distinct streams.
+        let streams: Vec<u64> = (0..1000).map(|rep| rep_seed(42, rep)).collect();
+        let mut sorted = streams.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), streams.len());
+    }
+
+    #[test]
+    fn parallel_and_local_paths_agree_exactly() {
+        let toy = Toy {
+            draws: 100,
+            replications: 37,
+            base_seed: 9,
+        };
+        let local = SessionBuilder::new().run_local(&toy).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let par = SessionBuilder::new().workers(workers).run(&toy).unwrap();
+            assert_eq!(par, local, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn builder_seed_overrides_scenario_seed() {
+        let toy = Toy {
+            draws: 10,
+            replications: 4,
+            base_seed: 1,
+        };
+        let intrinsic = SessionBuilder::new().run(&toy).unwrap();
+        let same = SessionBuilder::new().seed(1).run(&toy).unwrap();
+        let different = SessionBuilder::new().seed(2).run(&toy).unwrap();
+        assert_eq!(intrinsic, same);
+        assert_ne!(intrinsic, different);
+    }
+
+    #[test]
+    fn metrics_merge_in_replication_order() {
+        let toy = Toy {
+            draws: 1,
+            replications: 8,
+            base_seed: 3,
+        };
+        let (_, snap) = SessionBuilder::new()
+            .metrics(MetricsMode::Enabled)
+            .run_metered(&toy)
+            .unwrap();
+        match snap.get("sim.ticks") {
+            Some(mbac_metrics::MetricValue::Counter(c)) => assert_eq!(c.count, 8),
+            other => panic!("{other:?}"),
+        }
+        // Disabled mode yields an empty snapshot.
+        let (_, empty) = SessionBuilder::new().run_metered(&toy).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_and_zero_replications_are_config_errors() {
+        let toy = Toy {
+            draws: 1,
+            replications: 0,
+            base_seed: 0,
+        };
+        assert_eq!(
+            SessionBuilder::new().run(&toy).unwrap_err(),
+            ConfigError::ZeroReplications
+        );
+        let toy = Toy {
+            draws: 1,
+            replications: 1,
+            base_seed: 0,
+        };
+        assert_eq!(
+            SessionBuilder::new().workers(0).run(&toy).unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn engine_parsing_and_display() {
+        assert_eq!(Engine::from_name("batched").unwrap(), Engine::Batched);
+        assert_eq!(Engine::from_name("boxed").unwrap(), Engine::Boxed);
+        assert_eq!(
+            Engine::from_name("quantum").unwrap_err(),
+            ConfigError::UnknownEngine {
+                name: "quantum".into()
+            }
+        );
+        assert_eq!(Engine::Batched.to_string(), "batched");
+        assert_eq!(Engine::Boxed.to_string(), "boxed");
+    }
+
+    #[test]
+    fn config_error_messages_are_friendly() {
+        let msg = ConfigError::NonPositive {
+            field: "capacity",
+            value: -4.0,
+        }
+        .to_string();
+        assert!(
+            msg.contains("capacity") && msg.contains("positive"),
+            "{msg}"
+        );
+        let msg = ConfigError::TooFewFlows { got: 1 }.to_string();
+        assert!(msg.contains("2") && msg.contains("flows"), "{msg}");
+        let msg = ConfigError::EmptyObserveTimes.to_string();
+        assert!(msg.contains("observe"), "{msg}");
+    }
+}

@@ -16,7 +16,7 @@ use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::robust::{DesignInputs, RobustDesign};
-use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn main() {
@@ -69,7 +69,9 @@ fn main() {
         max_samples: 3000,
         seed: 7,
     };
-    let report = run_continuous(&cfg, &model, &mut controller);
+    let report = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg, &model, &mut controller))
+        .expect("valid config");
 
     // 4. The verdict.
     println!(
@@ -94,7 +96,9 @@ fn main() {
         Box::new(FilteredEstimator::new(0.0)),
         Box::new(CertaintyEquivalent::new(qos)),
     );
-    let naive_report = run_continuous(&cfg, &model, &mut naive);
+    let naive_report = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg, &model, &mut naive))
+        .expect("valid config");
     println!(
         "for contrast, naive memoryless certainty-equivalence: p_f = {:.2e} \
          ({}x the target)",

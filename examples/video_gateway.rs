@@ -21,7 +21,9 @@ use mbac_core::admission::{CertaintyEquivalent, PeakRate};
 use mbac_core::estimators::FilteredEstimator;
 use mbac_core::theory::continuous::ContinuousModel;
 use mbac_core::theory::invert::{invert_pce, InvertMethod};
-use mbac_sim::{run_continuous, ContinuousConfig, ContinuousReport, MbacController};
+use mbac_sim::{
+    ContinuousConfig, ContinuousLoad, ContinuousReport, MbacController, SessionBuilder,
+};
 use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
 use mbac_traffic::trace::TraceModel;
 use rand::rngs::StdRng;
@@ -71,7 +73,9 @@ fn main() {
             max_samples: 2500,
             seed,
         };
-        run_continuous(&cfg, &model, &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .expect("valid config")
     };
 
     // A. Peak-rate allocation: a static bound, computed analytically.

@@ -17,7 +17,7 @@
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::heterogeneous::naive_variance_bias;
 use mbac_core::estimators::FilteredEstimator;
-use mbac_sim::{run_poisson, MbacController, PoissonConfig};
+use mbac_sim::{MbacController, PoissonConfig, PoissonLoad, SessionBuilder};
 use mbac_traffic::markov::{MarkovFluidFactory, MarkovFluidModel};
 use mbac_traffic::process::SourceModel;
 
@@ -73,7 +73,9 @@ fn main() {
             max_samples: 1500,
             seed: 0xB01CE,
         };
-        let rep = run_poisson(&cfg, &voice, &mut ctl);
+        let rep = SessionBuilder::new()
+            .run_local(&PoissonLoad::new(&cfg, &voice, &mut ctl))
+            .expect("valid config");
         println!(
             "{label}: admitted {}/{} calls (blocking {:.1}%), utilization {:.0}%, \
              p_f = {:.2e} ({:?})",

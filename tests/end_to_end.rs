@@ -9,7 +9,10 @@ use mbac_core::admission::{AdmissionPolicy, CertaintyEquivalent, PerfectKnowledg
 use mbac_core::estimators::{Estimate, FilteredEstimator, MemorylessEstimator};
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_core::theory::impulsive;
-use mbac_sim::{run_continuous, run_impulsive, ContinuousConfig, ImpulsiveConfig, MbacController};
+use mbac_sim::{
+    ContinuousConfig, ContinuousLoad, ImpulsiveConfig, ImpulsiveLoad, MbacController,
+    SessionBuilder,
+};
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
 
 fn rcbr(t_c: f64) -> RcbrModel {
@@ -30,7 +33,9 @@ fn prop33_sqrt2_penalty_end_to_end() {
         replications: 2500,
         seed: 101,
     };
-    let rep = run_impulsive(&cfg, &rcbr(1.0), &ce);
+    let rep = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &rcbr(1.0), &ce))
+        .unwrap();
     let pf = rep.pf_at(0);
     let predicted = impulsive::pf_certainty_equivalent(p_q);
     assert!(
@@ -52,7 +57,9 @@ fn eqn15_adjustment_restores_target_end_to_end() {
         replications: 2500,
         seed: 103,
     };
-    let rep = run_impulsive(&cfg, &rcbr(1.0), &adjusted);
+    let rep = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &rcbr(1.0), &adjusted))
+        .unwrap();
     let pf = rep.pf_at(0);
     assert!(
         (pf - p_q).abs() < 0.012,
@@ -74,8 +81,14 @@ fn perfect_knowledge_is_the_gold_standard() {
         replications: 2000,
         seed: 107,
     };
-    let pf_pk = run_impulsive(&cfg, &rcbr(1.0), &pk).pf_at(0);
-    let pf_ce = run_impulsive(&cfg, &rcbr(1.0), &ce).pf_at(0);
+    let pf_pk = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &rcbr(1.0), &pk))
+        .unwrap()
+        .pf_at(0);
+    let pf_ce = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &rcbr(1.0), &ce))
+        .unwrap()
+        .pf_at(0);
     assert!(
         (pf_pk - p_q).abs() < 0.02,
         "perfect knowledge holds the target: {pf_pk}"
@@ -97,7 +110,9 @@ fn m0_fluctuation_law_prop31() {
         replications: 3000,
         seed: 109,
     };
-    let rep = run_impulsive(&cfg, &rcbr(1.0), &ce);
+    let rep = SessionBuilder::new()
+        .run(&ImpulsiveLoad::new(&cfg, &rcbr(1.0), &ce))
+        .unwrap();
     let (want_mean, want_sd) =
         impulsive::m0_distribution(n, FlowStats::from_mean_sd(1.0, 0.3), QosTarget::new(p_q));
     assert!(
@@ -130,7 +145,9 @@ fn continuous_load_memory_beats_memoryless() {
             max_samples: 600,
             seed: 113,
         };
-        run_continuous(&cfg, &rcbr(1.0), &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &rcbr(1.0), &mut ctl))
+            .unwrap()
     };
     let memoryless = run(0.0);
     let robust = run(10.0); // T̃_h = 100/√100 = 10
@@ -170,7 +187,9 @@ fn theory_formula_tracks_simulation_shape() {
             max_samples: 800,
             seed: 127 + t_m as u64,
         };
-        let rep = run_continuous(&cfg, &rcbr(t_c), &mut ctl);
+        let rep = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &rcbr(t_c), &mut ctl))
+            .unwrap();
         let th = theory.pf_with_memory(alpha, t_m);
         assert!(
             rep.pf.value <= th * 2.0,

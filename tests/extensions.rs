@@ -7,7 +7,8 @@ use mbac_core::estimators::{AggregateOnlyEstimator, FilteredEstimator, PriorSmoo
 use mbac_core::params::FlowStats;
 use mbac_core::utility::{admissible_flows_utility, UtilityFunction};
 use mbac_sim::{
-    run_continuous, ContinuousConfig, MbacController, MeasuredSumController, UtilityMeter,
+    ContinuousConfig, ContinuousLoad, MbacController, MeasuredSumController, SessionBuilder,
+    UtilityMeter,
 };
 use mbac_traffic::marginal::Marginal;
 use mbac_traffic::process::SourceModel;
@@ -30,7 +31,9 @@ fn cfg(seed: u64) -> ContinuousConfig {
 fn measured_sum_engine_runs_and_respects_target_utilization() {
     let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
     let mut ctl = MeasuredSumController::new(MeasuredSum::new(0.85, 10.0, 1.0, 1.0));
-    let rep = run_continuous(&cfg(41), &model, &mut ctl);
+    let rep = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(41), &model, &mut ctl))
+        .unwrap();
     // The max-based envelope keeps utilization below (and near) u.
     assert!(
         rep.mean_utilization < 0.92,
@@ -50,8 +53,12 @@ fn measured_sum_lower_target_is_safer() {
     let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
     let mut aggressive = MeasuredSumController::new(MeasuredSum::new(0.99, 10.0, 1.0, 1.0));
     let mut cautious = MeasuredSumController::new(MeasuredSum::new(0.80, 10.0, 1.0, 1.0));
-    let rep_a = run_continuous(&cfg(43), &model, &mut aggressive);
-    let rep_c = run_continuous(&cfg(43), &model, &mut cautious);
+    let rep_a = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(43), &model, &mut aggressive))
+        .unwrap();
+    let rep_c = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(43), &model, &mut cautious))
+        .unwrap();
     assert!(
         rep_c.pf.value <= rep_a.pf.value,
         "cautious u: pf {} vs aggressive {}",
@@ -72,8 +79,12 @@ fn prior_smoothing_tames_memoryless_fluctuations() {
         Box::new(PriorSmoothedEstimator::new(truth, 300.0)),
         Box::new(CertaintyEquivalent::from_probability(1e-2)),
     );
-    let rep_raw = run_continuous(&cfg(47), &model, &mut raw);
-    let rep_smooth = run_continuous(&cfg(47), &model, &mut smoothed);
+    let rep_raw = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(47), &model, &mut raw))
+        .unwrap();
+    let rep_smooth = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(47), &model, &mut smoothed))
+        .unwrap();
     assert!(
         rep_smooth.pf.value < rep_raw.pf.value,
         "correct prior should help: {} vs {}",
@@ -93,8 +104,12 @@ fn aggregate_only_engine_tracks_per_flow_engine() {
         Box::new(AggregateOnlyEstimator::new(10.0)),
         Box::new(CertaintyEquivalent::from_probability(1e-2)),
     );
-    let rep_pf = run_continuous(&cfg(53), &model, &mut per_flow);
-    let rep_ag = run_continuous(&cfg(53), &model, &mut agg_only);
+    let rep_pf = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(53), &model, &mut per_flow))
+        .unwrap();
+    let rep_ag = SessionBuilder::new()
+        .run_local(&ContinuousLoad::new(&cfg(53), &model, &mut agg_only))
+        .unwrap();
     // Mean estimation is identical in expectation, so the carried load
     // must be close; §7 only predicts degraded *variance* accuracy.
     assert!(
@@ -124,7 +139,9 @@ fn general_marginals_preserve_the_gaussian_framework() {
             Box::new(FilteredEstimator::new(5.0)),
             Box::new(CertaintyEquivalent::from_probability(2e-2)),
         );
-        let rep = run_continuous(&cfg(59 + i as u64), &model, &mut ctl);
+        let rep = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg(59 + i as u64), &model, &mut ctl))
+            .unwrap();
         pfs.push(rep.pf.value.max(1e-4));
     }
     let (lo, hi) = (

@@ -175,7 +175,7 @@ proptest! {
         capacity in 20.0f64..60.0,
         holding in 10.0f64..50.0,
     ) {
-        use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+        use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder};
         use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
         let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
         let mut ctl = MbacController::new(
@@ -192,7 +192,9 @@ proptest! {
             max_samples: 30,
             seed,
         };
-        let rep = run_continuous(&cfg, &model, &mut ctl);
+        let rep = SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .unwrap();
         prop_assert!(rep.admitted >= rep.departed);
         prop_assert!(rep.mean_utilization > 0.0 && rep.mean_utilization < 1.3);
         prop_assert!(rep.pf.samples <= 30);

@@ -3,7 +3,7 @@
 
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
-use mbac_sim::{run_continuous, ContinuousConfig, MbacController};
+use mbac_sim::{ContinuousConfig, ContinuousLoad, MbacController, SessionBuilder};
 use mbac_traffic::starwars::{generate_starwars_like, StarwarsConfig};
 use mbac_traffic::trace::{Trace, TraceModel};
 use mbac_traffic::{hurst_variance_time, SourceModel};
@@ -86,7 +86,9 @@ fn robust_rule_beats_memoryless_on_lrd_traffic() {
             max_samples: 400,
             seed: 206,
         };
-        run_continuous(&cfg, &model, &mut ctl)
+        SessionBuilder::new()
+            .run_local(&ContinuousLoad::new(&cfg, &model, &mut ctl))
+            .unwrap()
     };
     let memoryless = run(0.0);
     let robust = run(t_h_tilde);

@@ -110,7 +110,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Lengths acceptable to [`vec`]: an exact size or a range.
+    /// Lengths acceptable to [`vec()`]: an exact size or a range.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut StdRng) -> usize;
