@@ -1,11 +1,12 @@
 //! Emits machine-readable performance numbers for the batched flow
-//! engine and the parallel replication harness to
-//! `results/BENCH_simulator.json`.
+//! engine, the fused tick kernels, the admission hot path, and the
+//! persistent replication pool to `results/BENCH_simulator.json`, and
+//! appends a one-line summary to `results/BENCH_trajectory.jsonl`.
 //!
-//! Three measurements:
+//! Five measurements:
 //!
 //! 1. **Tick loop** (the hot path): advance + departures + snapshot for
-//!    `N = 400` flows, comparing
+//!    `N` flows, comparing
 //!    * `seed_boxed` — the pre-batching engine, reproduced literally
 //!      (including its Marsaglia-polar Gaussian and inverse-CDF
 //!      exponential samplers): one box per flow, a virtual `advance`
@@ -14,16 +15,35 @@
 //!    * `unbatched` — `FlowTable::new_unbatched()` (boxed fallback
 //!      group: single fused advance+rate walk, cached min-departure);
 //!    * `batched` — `FlowTable::new()` (struct-of-arrays kernels).
-//! 2. **End-to-end continuous run** (controller + meter included),
+//! 2. **Fused tick** (AR(1)): the pre-fusion tick path — scalar
+//!    while-loop SoA kernel, snapshot copy, then a separate two-pass
+//!    mean/variance fold — frozen here literally, against the fused
+//!    `advance_depart_measure` path (one SoA pass that evolves traffic
+//!    and accumulates the controller's sufficient statistics).
+//! 3. **Admission decision**: ns per decision through the controller's
+//!    decision memo (hit vs miss) and through the aggregate Gaussian
+//!    test's guard-banded threshold compare vs the exact tail.
+//! 4. **End-to-end continuous run** (controller + meter included),
 //!    boxed fallback vs batched.
-//! 3. **Replication scaling** of the impulsive harness at 1/2/4
-//!    workers (deterministic by construction; scaling is bounded by
-//!    the machine's `available_parallelism`, which is recorded).
+//! 5. **Replication scaling** of the impulsive harness across worker
+//!    counts (deterministic by construction; scaling is bounded by the
+//!    machine's `available_parallelism`, which is recorded).
+//!
+//! Environment knobs (all optional; defaults in parentheses):
+//! * `MBAC_BENCH_FLOWS` (400) — flows per tick-loop benchmark;
+//! * `MBAC_BENCH_TICKS` (5000) — ticks per tick-loop benchmark;
+//! * `MBAC_BENCH_REPS` (400) — replications in the scaling benchmark;
+//! * `MBAC_BENCH_WORKERS` (`1,2,4`) — comma-separated worker counts.
+//!
+//! Every metric is validated finite before the JSON is written; a NaN
+//! or infinity anywhere aborts the run with a non-zero exit.
 //!
 //! Usage: `cargo run --release -p mbac-bench --bin bench_json`
 
-use mbac_core::admission::CertaintyEquivalent;
-use mbac_core::estimators::FilteredEstimator;
+use mbac_core::admission::{AggregateGaussian, CertaintyEquivalent};
+use mbac_core::estimators::heterogeneous::AggregateEstimate;
+use mbac_core::estimators::snapshot_stats;
+use mbac_core::params::{FlowStats, QosTarget};
 use mbac_sim::{
     ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
     MbacController, SessionBuilder,
@@ -33,20 +53,77 @@ use mbac_traffic::process::SourceModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::Instant;
 
-const N_FLOWS: usize = 400;
-const TICKS: usize = 5_000;
 const TICK: f64 = 0.25;
 
-fn ar1_model() -> Ar1Model {
-    Ar1Model::new(Ar1Config {
+/// Benchmark sizes, overridable from the environment so the CI smoke
+/// job can run the full binary in seconds.
+struct Params {
+    n_flows: usize,
+    ticks: usize,
+    replications: usize,
+    workers: Vec<usize>,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}={s:?} is not a usize: {e}")),
+        Err(_) => default,
+    }
+}
+
+fn env_workers() -> Vec<usize> {
+    match std::env::var("MBAC_BENCH_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| {
+                let w = w.trim();
+                w.parse()
+                    .unwrap_or_else(|e| panic!("MBAC_BENCH_WORKERS entry {w:?}: {e}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+impl Params {
+    fn from_env() -> Self {
+        let p = Params {
+            n_flows: env_usize("MBAC_BENCH_FLOWS", 400),
+            ticks: env_usize("MBAC_BENCH_TICKS", 5_000),
+            replications: env_usize("MBAC_BENCH_REPS", 400),
+            workers: env_workers(),
+        };
+        assert!(p.n_flows > 0 && p.ticks > 0 && p.replications > 0);
+        assert!(!p.workers.is_empty() && p.workers.iter().all(|&w| w > 0));
+        p
+    }
+}
+
+/// Asserts a metric is finite before it reaches the JSON (a NaN would
+/// otherwise serialize silently and poison downstream comparisons).
+fn finite(label: &str, x: f64) -> f64 {
+    assert!(x.is_finite(), "bench metric {label} is not finite: {x}");
+    x
+}
+
+fn ar1_cfg() -> Ar1Config {
+    Ar1Config {
         mean: 1.0,
         std_dev: 0.3,
         t_c: 1.0,
         tick: 0.05,
         clamp_at_zero: true,
-    })
+    }
+}
+
+fn ar1_model() -> Ar1Model {
+    Ar1Model::new(ar1_cfg())
 }
 
 /// The engine exactly as it stood at the seed commit, frozen here so
@@ -177,6 +254,77 @@ mod seed_engine {
     }
 }
 
+/// The batched AR(1) kernel exactly as it stood before the fused
+/// measurement pass, frozen so the fusion baseline cannot drift: a
+/// scalar per-flow while-loop over tick boundaries with the tick
+/// coefficients hoisted, relying on the library's ziggurat sampler —
+/// the same draws, in the same order, as the fused kernel.
+mod prefusion {
+    use mbac_num::rng::{normal, standard_normal};
+    use mbac_traffic::ar1::Ar1Config;
+    use rand::rngs::StdRng;
+
+    pub struct PrefusionAr1 {
+        cfg: Ar1Config,
+        a: f64,
+        innovation_sd: f64,
+        values: Vec<f64>,
+        elapsed: Vec<f64>,
+        rates: Vec<f64>,
+    }
+
+    impl PrefusionAr1 {
+        pub fn new(cfg: Ar1Config) -> Self {
+            let a = (-cfg.tick / cfg.t_c).exp();
+            let innovation_sd = cfg.std_dev * (1.0 - a * a).sqrt();
+            PrefusionAr1 {
+                cfg,
+                a,
+                innovation_sd,
+                values: Vec::new(),
+                elapsed: Vec::new(),
+                rates: Vec::new(),
+            }
+        }
+
+        pub fn spawn_one(&mut self, rng: &mut StdRng) {
+            let value = normal(rng, self.cfg.mean, self.cfg.std_dev);
+            self.values.push(value);
+            self.elapsed.push(0.0);
+            self.rates.push(if self.cfg.clamp_at_zero {
+                value.max(0.0)
+            } else {
+                value
+            });
+        }
+
+        pub fn advance_all(&mut self, dt: f64, rng: &mut StdRng) {
+            let (mean, tick, clamp) = (self.cfg.mean, self.cfg.tick, self.cfg.clamp_at_zero);
+            let (a, sd) = (self.a, self.innovation_sd);
+            for ((value, elapsed), rate) in self
+                .values
+                .iter_mut()
+                .zip(self.elapsed.iter_mut())
+                .zip(self.rates.iter_mut())
+            {
+                let mut v = *value;
+                let mut e = *elapsed + dt;
+                while e >= tick {
+                    e -= tick;
+                    v = mean + a * (v - mean) + sd * standard_normal(rng);
+                }
+                *value = v;
+                *elapsed = e;
+                *rate = if clamp { v.max(0.0) } else { v };
+            }
+        }
+
+        pub fn rates(&self) -> &[f64] {
+            &self.rates
+        }
+    }
+}
+
 /// The seed's tick loop, reproduced literally for an honest baseline.
 struct SeedBoxedLoop {
     flows: Vec<(Box<dyn seed_engine::SeedProcess>, f64)>,
@@ -209,9 +357,12 @@ fn best_of_interleaved<const K: usize>(mut runs: [&mut dyn FnMut() -> f64; K]) -
 }
 
 /// ns/tick for the seed-style boxed loop.
-fn time_seed_loop(spawn: &dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProcess>) -> f64 {
+fn time_seed_loop(
+    p: &Params,
+    spawn: &dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProcess>,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(5);
-    let flows = (0..N_FLOWS)
+    let flows = (0..p.n_flows)
         .map(|_| (spawn(&mut rng), f64::INFINITY))
         .collect();
     let mut engine = SeedBoxedLoop { flows };
@@ -219,41 +370,94 @@ fn time_seed_loop(spawn: &dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProces
     let mut acc = 0.0;
     let start = Instant::now();
     let mut t = 0.0;
-    for _ in 0..TICKS {
+    for _ in 0..p.ticks {
         t += TICK;
         acc += engine.tick(TICK, t, &mut rng, &mut snap);
     }
-    let elapsed = start.elapsed().as_nanos() as f64 / TICKS as f64;
+    let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
     assert!(acc.is_finite());
     elapsed
 }
 
 /// ns/tick for a FlowTable engine (batched or unbatched fallback).
-fn time_table_loop(model: &dyn SourceModel, table: &mut FlowTable) -> f64 {
+fn time_table_loop(p: &Params, model: &dyn SourceModel, table: &mut FlowTable) -> f64 {
     let mut rng = StdRng::seed_from_u64(5);
-    for _ in 0..N_FLOWS {
+    for _ in 0..p.n_flows {
         table.admit(model, f64::INFINITY, &mut rng);
     }
     let mut snap = Vec::new();
     let mut acc = 0.0;
     let start = Instant::now();
     let mut t = 0.0;
-    for _ in 0..TICKS {
+    for _ in 0..p.ticks {
         t += TICK;
         table.advance_to(t, &mut rng);
         table.depart_until(t);
         table.snapshot_into(&mut snap);
         acc += snap.iter().sum::<f64>();
     }
-    let elapsed = start.elapsed().as_nanos() as f64 / TICKS as f64;
+    let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
     assert!(acc.is_finite());
     elapsed
 }
 
-fn continuous_cfg() -> ContinuousConfig {
+/// ns/tick for the pre-fusion AR(1) tick path, reproduced literally:
+/// scalar kernel advance, snapshot copy, a two-pass mean/variance fold
+/// for the estimator, and a separate load sum for the sink.
+fn time_prefusion_tick(p: &Params) -> f64 {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut batch = prefusion::PrefusionAr1::new(ar1_cfg());
+    for _ in 0..p.n_flows {
+        batch.spawn_one(&mut rng);
+    }
+    let mut snap: Vec<f64> = Vec::new();
+    let mut acc = 0.0;
+    let start = Instant::now();
+    for _ in 0..p.ticks {
+        batch.advance_all(TICK, &mut rng);
+        snap.clear();
+        snap.extend_from_slice(batch.rates());
+        let est = snapshot_stats(&snap).expect("non-empty snapshot");
+        acc += black_box(est.mean) + black_box(est.variance);
+        acc += snap.iter().sum::<f64>();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
+    assert!(acc.is_finite());
+    elapsed
+}
+
+/// ns/tick for the fused AR(1) tick path: one SoA pass that evolves the
+/// flows and accumulates the controller's sufficient statistics, from
+/// which mean, variance and the sink's load are all O(1).
+fn time_fused_tick(p: &Params) -> f64 {
+    let model = ar1_model();
+    let mut table = FlowTable::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..p.n_flows {
+        table.admit(&model, f64::INFINITY, &mut rng);
+    }
+    let mut acc = 0.0;
+    let start = Instant::now();
+    let mut t = 0.0;
+    let mut pivot = 1.0;
+    for _ in 0..p.ticks {
+        t += TICK;
+        let mom = table.advance_depart_measure(t, &mut rng, pivot);
+        let n = mom.count().max(1) as f64;
+        let mean = mom.sum() / n;
+        acc += black_box(mean) + black_box(mom.sum_sq_dev(mean));
+        acc += mom.sum();
+        pivot = mean;
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
+    assert!(acc.is_finite());
+    elapsed
+}
+
+fn continuous_cfg(p: &Params) -> ContinuousConfig {
     ContinuousConfig {
-        capacity: N_FLOWS as f64,
-        mean_holding: 10.0 * (N_FLOWS as f64).sqrt(),
+        capacity: p.n_flows as f64,
+        mean_holding: 10.0 * (p.n_flows as f64).sqrt(),
         tick: TICK,
         warmup: 50.0,
         sample_spacing: 20.0,
@@ -265,25 +469,101 @@ fn continuous_cfg() -> ContinuousConfig {
 
 fn controller() -> MbacController {
     MbacController::new(
-        Box::new(FilteredEstimator::new(5.0)),
+        Box::new(mbac_core::estimators::FilteredEstimator::new(5.0)),
         Box::new(CertaintyEquivalent::from_probability(1e-2)),
     )
 }
 
 /// Seconds for one end-to-end continuous run on the given engine.
-fn time_continuous(model: &dyn SourceModel, engine: Engine) -> f64 {
+fn time_continuous(p: &Params, model: &dyn SourceModel, engine: Engine) -> f64 {
     let mut ctl = controller();
     let start = Instant::now();
     let rep = SessionBuilder::new()
         .engine(engine)
-        .run_local(&ContinuousLoad::new(&continuous_cfg(), model, &mut ctl))
+        .run_local(&ContinuousLoad::new(&continuous_cfg(p), model, &mut ctl))
         .expect("valid bench config");
     let secs = start.elapsed().as_secs_f64();
     assert!(rep.pf.samples > 0);
     secs
 }
 
+/// ns per admission decision through the controller's decision memo:
+/// `hit` repeats one (estimate, capacity) key, `miss` alternates two
+/// capacities so every call recomputes the Gaussian inversion.
+fn time_controller_decisions() -> (f64, f64) {
+    const ITERS: usize = 200_000;
+    let mut ctl = controller();
+    let mut rng = StdRng::seed_from_u64(7);
+    let rates: Vec<f64> = (0..400)
+        .map(|_| mbac_num::rng::normal(&mut rng, 1.0, 0.3))
+        .collect();
+    for k in 0..64 {
+        ctl.observe(k as f64 * TICK, &rates);
+    }
+    let time = |caps: &[f64]| {
+        let mut acc = 0.0;
+        let start = Instant::now();
+        for i in 0..ITERS {
+            let c = caps[i % caps.len()];
+            acc += ctl
+                .admissible_count(black_box(c))
+                .expect("estimator warmed up");
+        }
+        assert!(acc.is_finite());
+        start.elapsed().as_nanos() as f64 / ITERS as f64
+    };
+    let [hit_ns, miss_ns] =
+        best_of_interleaved([&mut || time(&[400.0]), &mut || time(&[400.0, 401.0])]);
+    (hit_ns, miss_ns)
+}
+
+/// ns per aggregate Gaussian admission decision: the guard-banded
+/// threshold compare (`admit`) vs the exact tail evaluation it
+/// replaces (`post_admission_overflow ≤ p`). Decision-identical.
+fn time_aggregate_decisions() -> (f64, f64) {
+    const ITERS: usize = 200_000;
+    let gauss = AggregateGaussian::new(QosTarget::new(1e-2));
+    let cand = FlowStats::new(1.0, 0.09);
+    let run = |exact: bool| {
+        let mut admitted = 0usize;
+        let start = Instant::now();
+        for i in 0..ITERS {
+            let agg = AggregateEstimate {
+                mean: 360.0 + (i % 32) as f64,
+                variance: 36.0,
+                flows: 400,
+            };
+            let ok = if exact {
+                gauss.post_admission_overflow(black_box(agg), cand, 400.0) <= 1e-2
+            } else {
+                gauss.admit(black_box(agg), cand, 400.0)
+            };
+            admitted += ok as usize;
+        }
+        assert!(admitted > 0 && admitted < ITERS);
+        start.elapsed().as_nanos() as f64 / ITERS as f64
+    };
+    let [threshold_ns, exact_ns] = best_of_interleaved([&mut || run(false), &mut || run(true)]);
+    (threshold_ns, exact_ns)
+}
+
+/// The ar1 `batched_ns_per_tick` recorded by the previous bench run —
+/// i.e. the kernel as of the last commit that refreshed the results
+/// file — so the new JSON can state the tick-loop speedup against it.
+fn previous_ar1_batched_ns(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let ar1 = text.split("\"model\": \"ar1\"").nth(1)?;
+    let field = ar1.split("\"batched_ns_per_tick\": ").nth(1)?;
+    let num: String = field
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
 fn main() {
+    let p = Params::from_env();
+    let prev_ar1_batched = previous_ar1_batched_ns("results/BENCH_simulator.json");
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -298,13 +578,7 @@ fn main() {
     let _ = writeln!(json, "  \"tick_loop\": [");
     type SeedSpawner = Box<dyn Fn(&mut StdRng) -> Box<dyn seed_engine::SeedProcess>>;
     let rcbr_cfg = mbac_bench::bench_rcbr().config();
-    let ar1_cfg = Ar1Config {
-        mean: 1.0,
-        std_dev: 0.3,
-        t_c: 1.0,
-        tick: 0.05,
-        clamp_at_zero: true,
-    };
+    let seed_ar1_cfg = ar1_cfg();
     let models: [(&str, Box<dyn SourceModel>, SeedSpawner); 2] = [
         (
             "rcbr",
@@ -314,36 +588,71 @@ fn main() {
         (
             "ar1",
             Box::new(ar1_model()),
-            Box::new(move |rng| seed_engine::spawn_ar1(ar1_cfg, rng)),
+            Box::new(move |rng| seed_engine::spawn_ar1(seed_ar1_cfg, rng)),
         ),
     ];
+    let mut ar1_batched_ns = f64::NAN;
     for (i, (name, model, seed_spawn)) in models.iter().enumerate() {
         let [seed_ns, unbatched_ns, batched_ns] = best_of_interleaved([
-            &mut || time_seed_loop(seed_spawn.as_ref()),
-            &mut || time_table_loop(model.as_ref(), &mut FlowTable::new_unbatched()),
-            &mut || time_table_loop(model.as_ref(), &mut FlowTable::new()),
+            &mut || time_seed_loop(&p, seed_spawn.as_ref()),
+            &mut || time_table_loop(&p, model.as_ref(), &mut FlowTable::new_unbatched()),
+            &mut || time_table_loop(&p, model.as_ref(), &mut FlowTable::new()),
         ]);
+        if *name == "ar1" {
+            ar1_batched_ns = batched_ns;
+        }
         eprintln!(
             "tick_loop/{name}: seed {seed_ns:.0} ns, unbatched {unbatched_ns:.0} ns, \
              batched {batched_ns:.0} ns ({:.2}x vs seed)",
             seed_ns / batched_ns
         );
+        if *name == "ar1" {
+            if let Some(prev) = prev_ar1_batched {
+                eprintln!(
+                    "tick_loop/ar1: {:.2}x vs previously recorded batched kernel ({prev:.0} ns)",
+                    prev / batched_ns
+                );
+            }
+        }
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"model\": \"{name}\",");
-        let _ = writeln!(json, "      \"n_flows\": {N_FLOWS},");
-        let _ = writeln!(json, "      \"ticks\": {TICKS},");
-        let _ = writeln!(json, "      \"seed_boxed_ns_per_tick\": {seed_ns:.1},");
-        let _ = writeln!(json, "      \"unbatched_ns_per_tick\": {unbatched_ns:.1},");
-        let _ = writeln!(json, "      \"batched_ns_per_tick\": {batched_ns:.1},");
+        let _ = writeln!(json, "      \"n_flows\": {},", p.n_flows);
+        let _ = writeln!(json, "      \"ticks\": {},", p.ticks);
+        let _ = writeln!(json, "      \"available_parallelism\": {parallelism},");
+        let _ = writeln!(
+            json,
+            "      \"seed_boxed_ns_per_tick\": {:.1},",
+            finite("seed_boxed_ns_per_tick", seed_ns)
+        );
+        let _ = writeln!(
+            json,
+            "      \"unbatched_ns_per_tick\": {:.1},",
+            finite("unbatched_ns_per_tick", unbatched_ns)
+        );
+        let _ = writeln!(
+            json,
+            "      \"batched_ns_per_tick\": {:.1},",
+            finite("batched_ns_per_tick", batched_ns)
+        );
+        if *name == "ar1" {
+            if let Some(prev) = prev_ar1_batched {
+                let _ = writeln!(json, "      \"previous_batched_ns_per_tick\": {prev:.1},");
+                let _ = writeln!(
+                    json,
+                    "      \"speedup_batched_vs_previous\": {:.2},",
+                    finite("speedup_batched_vs_previous", prev / batched_ns)
+                );
+            }
+        }
         let _ = writeln!(
             json,
             "      \"speedup_batched_vs_seed\": {:.2},",
-            seed_ns / batched_ns
+            finite("speedup_batched_vs_seed", seed_ns / batched_ns)
         );
         let _ = writeln!(
             json,
             "      \"speedup_batched_vs_unbatched\": {:.2}",
-            unbatched_ns / batched_ns
+            finite("speedup_batched_vs_unbatched", unbatched_ns / batched_ns)
         );
         let _ = writeln!(
             json,
@@ -353,12 +662,73 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
-    // 2. End-to-end continuous run.
+    // 2. Fused tick kernel (AR(1)).
+    let [prefusion_ns, fused_ns] =
+        best_of_interleaved([&mut || time_prefusion_tick(&p), &mut || time_fused_tick(&p)]);
+    let fused_speedup = prefusion_ns / fused_ns;
+    eprintln!(
+        "fused_tick/ar1: prefusion {prefusion_ns:.0} ns, fused {fused_ns:.0} ns \
+         ({fused_speedup:.2}x)"
+    );
+    let _ = writeln!(json, "  \"fused_tick\": {{");
+    let _ = writeln!(json, "    \"model\": \"ar1\",");
+    let _ = writeln!(json, "    \"n_flows\": {},", p.n_flows);
+    let _ = writeln!(json, "    \"ticks\": {},", p.ticks);
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        json,
+        "    \"prefusion_ns_per_tick\": {:.1},",
+        finite("prefusion_ns_per_tick", prefusion_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"fused_ns_per_tick\": {:.1},",
+        finite("fused_ns_per_tick", fused_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_fused_vs_prefusion\": {:.2}",
+        finite("speedup_fused_vs_prefusion", fused_speedup)
+    );
+    let _ = writeln!(json, "  }},");
+
+    // 3. Admission decision hot path.
+    let (hit_ns, miss_ns) = time_controller_decisions();
+    let (threshold_ns, exact_ns) = time_aggregate_decisions();
+    eprintln!(
+        "admission_decision: memo hit {hit_ns:.1} ns, miss {miss_ns:.1} ns; \
+         aggregate threshold {threshold_ns:.1} ns, exact tail {exact_ns:.1} ns"
+    );
+    let _ = writeln!(json, "  \"admission_decision\": {{");
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        json,
+        "    \"controller_memo_hit_ns\": {:.1},",
+        finite("controller_memo_hit_ns", hit_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"controller_memo_miss_ns\": {:.1},",
+        finite("controller_memo_miss_ns", miss_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"aggregate_threshold_ns\": {:.1},",
+        finite("aggregate_threshold_ns", threshold_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"aggregate_exact_tail_ns\": {:.1}",
+        finite("aggregate_exact_tail_ns", exact_ns)
+    );
+    let _ = writeln!(json, "  }},");
+
+    // 4. End-to-end continuous run.
     let _ = writeln!(json, "  \"continuous_run\": [");
     for (i, (name, model, _)) in models.iter().enumerate() {
         let [boxed_s, batched_s] = best_of_interleaved([
-            &mut || time_continuous(model.as_ref(), Engine::Boxed),
-            &mut || time_continuous(model.as_ref(), Engine::Batched),
+            &mut || time_continuous(&p, model.as_ref(), Engine::Boxed),
+            &mut || time_continuous(&p, model.as_ref(), Engine::Batched),
         ]);
         eprintln!(
             "continuous_run/{name}: boxed {boxed_s:.3} s, batched {batched_s:.3} s \
@@ -367,10 +737,23 @@ fn main() {
         );
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"model\": \"{name}\",");
-        let _ = writeln!(json, "      \"capacity\": {N_FLOWS},");
-        let _ = writeln!(json, "      \"boxed_seconds\": {boxed_s:.4},");
-        let _ = writeln!(json, "      \"batched_seconds\": {batched_s:.4},");
-        let _ = writeln!(json, "      \"speedup\": {:.2}", boxed_s / batched_s);
+        let _ = writeln!(json, "      \"capacity\": {},", p.n_flows);
+        let _ = writeln!(json, "      \"available_parallelism\": {parallelism},");
+        let _ = writeln!(
+            json,
+            "      \"boxed_seconds\": {:.4},",
+            finite("boxed_seconds", boxed_s)
+        );
+        let _ = writeln!(
+            json,
+            "      \"batched_seconds\": {:.4},",
+            finite("batched_seconds", batched_s)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup\": {:.2}",
+            finite("speedup", boxed_s / batched_s)
+        );
         let _ = writeln!(
             json,
             "    }}{}",
@@ -379,13 +762,13 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
-    // 3. Replication scaling.
+    // 5. Replication scaling on the persistent pool.
     let cfg = ImpulsiveConfig {
         capacity: 100.0,
         estimation_flows: 100,
         mean_holding: Some(10.0),
         observe_times: vec![1.0, 5.0, 20.0],
-        replications: 400,
+        replications: p.replications,
         seed: 3,
     };
     let policy = CertaintyEquivalent::from_probability(1e-2);
@@ -393,9 +776,9 @@ fn main() {
     let mut seconds = Vec::new();
     let _ = writeln!(json, "  \"replication_scaling\": {{");
     let _ = writeln!(json, "    \"replications\": {},", cfg.replications);
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "    \"workers\": [");
-    let worker_counts = [1usize, 2, 4];
-    for (i, &w) in worker_counts.iter().enumerate() {
+    for (i, &w) in p.workers.iter().enumerate() {
         let start = Instant::now();
         let rep = SessionBuilder::new()
             .workers(w)
@@ -405,22 +788,65 @@ fn main() {
         assert_eq!(rep.replications, cfg.replications);
         seconds.push(secs);
         eprintln!(
-            "impulsive/{w} workers: {secs:.3} s ({:.2}x vs 1 worker)",
-            seconds[0] / secs
+            "impulsive/{w} workers: {secs:.3} s ({:.2}x vs {} worker{})",
+            seconds[0] / secs,
+            p.workers[0],
+            if p.workers[0] == 1 { "" } else { "s" }
         );
         let _ = writeln!(
             json,
-            "      {{ \"workers\": {w}, \"seconds\": {secs:.4}, \"speedup_vs_1\": {:.2} }}{}",
-            seconds[0] / secs,
-            if i + 1 < worker_counts.len() { "," } else { "" }
+            "      {{ \"workers\": {w}, \"seconds\": {:.4}, \"speedup_vs_first\": {:.2} }}{}",
+            finite("seconds", secs),
+            finite("speedup_vs_first", seconds[0] / secs),
+            if i + 1 < p.workers.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
+    assert!(
+        !json.contains("NaN") && !json.contains("inf"),
+        "non-finite metric leaked into the JSON"
+    );
+
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_simulator.json", &json)
         .expect("write results/BENCH_simulator.json");
     println!("wrote results/BENCH_simulator.json");
+
+    // One-line trajectory record, appended (never overwritten) so the
+    // performance history across PRs survives regeneration.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let scaling: Vec<String> = p
+        .workers
+        .iter()
+        .zip(&seconds)
+        .map(|(w, s)| format!("[{w}, {s:.4}]"))
+        .collect();
+    let line = format!(
+        "{{\"unix_time\": {unix_time}, \"available_parallelism\": {parallelism}, \
+         \"n_flows\": {}, \"ticks\": {}, \"ar1_batched_ns_per_tick\": {:.1}, \
+         \"ar1_fused_ns_per_tick\": {:.1}, \"fused_speedup\": {:.2}, \
+         \"memo_hit_ns\": {:.1}, \"workers_seconds\": [{}]}}\n",
+        p.n_flows,
+        p.ticks,
+        finite("ar1_batched_ns_per_tick", ar1_batched_ns),
+        fused_ns,
+        fused_speedup,
+        hit_ns,
+        scaling.join(", ")
+    );
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/BENCH_trajectory.jsonl")
+        .expect("open results/BENCH_trajectory.jsonl");
+    f.write_all(line.as_bytes())
+        .expect("append results/BENCH_trajectory.jsonl");
+    println!("appended results/BENCH_trajectory.jsonl");
 }

@@ -17,6 +17,7 @@
 //! *filtered* mean `μ̂_m(t)`, not around the snapshot mean.
 
 use super::{Estimate, Estimator};
+use mbac_num::RateMoments;
 
 /// First-order exponentially-weighted estimator with memory `T_m`.
 #[derive(Debug, Clone)]
@@ -121,6 +122,46 @@ impl Estimator for FilteredEstimator {
 
     fn memory_timescale(&self) -> f64 {
         self.t_m
+    }
+
+    fn supports_moments(&self) -> bool {
+        true
+    }
+
+    fn observe_moments(&mut self, t: f64, moments: &RateMoments) {
+        let n_obs = moments.count();
+        if n_obs == 0 {
+            return;
+        }
+        // Mirrors `observe` with the per-flow scans replaced by the
+        // pivoted reconstruction: the snapshot mean is bit-identical
+        // (same flat sum), both variance snapshots are centered exactly
+        // where the slice path centers them (the snapshot mean on the
+        // first observation, the *filtered* mean afterwards).
+        let snap_mean = moments.mean();
+        let t_m = self.t_m;
+        match &mut self.state {
+            None => {
+                self.state = Some(FilterState {
+                    mean: snap_mean,
+                    variance: moments.variance_around(snap_mean),
+                    last_t: t,
+                });
+            }
+            Some(s) => {
+                debug_assert!(t >= s.last_t, "snapshot times must be non-decreasing");
+                let dt = (t - s.last_t).max(0.0);
+                let a = if t_m == 0.0 {
+                    1.0
+                } else {
+                    1.0 - (-dt / t_m).exp()
+                };
+                s.mean += a * (snap_mean - s.mean);
+                let v_snap = moments.variance_around(s.mean);
+                s.variance += a * (v_snap - s.variance);
+                s.last_t = t;
+            }
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 //! quantifies.
 
 use super::{snapshot_stats, Estimate, Estimator};
+use mbac_num::RateMoments;
 
 /// Memoryless cross-flow estimator: `estimate()` returns the sample mean
 /// and variance of the most recent snapshot only.
@@ -47,6 +48,28 @@ impl Estimator for MemorylessEstimator {
 
     fn memory_timescale(&self) -> f64 {
         0.0
+    }
+
+    fn supports_moments(&self) -> bool {
+        true
+    }
+
+    fn observe_moments(&mut self, t: f64, moments: &RateMoments) {
+        debug_assert!(
+            t >= self.last_t || self.last.is_none(),
+            "snapshot times must be non-decreasing"
+        );
+        self.last_t = t;
+        if moments.count() > 0 {
+            // Same arithmetic as `snapshot_stats` on the snapshot the
+            // moments were reduced from: the mean divides the identical
+            // flow-order sum, the variance is the pivoted reconstruction.
+            let mean = moments.mean();
+            self.last = Some(Estimate {
+                mean,
+                variance: moments.variance_around(mean),
+            });
+        }
     }
 }
 

@@ -91,10 +91,20 @@ pub fn erfcx(x: f64) -> f64 {
     }
 }
 
-/// Natural log of `erfc(x)` for `x >= 0`, valid far beyond the point where
-/// `erfc` itself underflows (`x ≳ 26.6`).
+/// Natural log of `erfc(x)`, valid for any finite `x` and far beyond the
+/// point where `erfc` itself underflows (`x ≳ 26.6`).
+///
+/// For `x < 0` this uses the reflection `erfc(x) = 2 − erfc(−x)`, where
+/// `erfc(−x) ∈ (1, 2)` so the subtraction is benign: callers computing
+/// log-tail probabilities at negative Q-arguments no longer need to
+/// branch around a panicking precondition.
 pub fn ln_erfc(x: f64) -> f64 {
-    assert!(x >= 0.0, "ln_erfc requires non-negative x, got {x}");
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return (2.0 - erfc(-x)).ln();
+    }
     if x < 1.0 {
         erfc(x).ln()
     } else {
@@ -264,6 +274,24 @@ mod tests {
             "ln_erfc(30) = {got}, want {want}"
         );
         assert!(erfc(x) == 0.0, "erfc(30) should underflow to zero");
+    }
+
+    #[test]
+    fn ln_erfc_negative_arguments() {
+        // ln erfc(x) for x < 0 via the reflection ln(2 − erfc(−x)).
+        for &x in &[-0.2, -1.0, -3.0, -10.0, -40.0] {
+            let got = ln_erfc(x);
+            let want = (2.0 - erfc(-x)).ln();
+            assert!(
+                (got - want).abs() < 1e-14,
+                "ln_erfc({x}) = {got}, want {want}"
+            );
+        }
+        // Deep negative: erfc -> 2, so ln erfc -> ln 2 from below.
+        assert!((ln_erfc(-50.0) - std::f64::consts::LN_2).abs() < 1e-15);
+        // Continuity at zero: erfc(0) = 1.
+        assert_eq!(ln_erfc(0.0), 0.0);
+        assert!(ln_erfc(f64::NAN).is_nan());
     }
 
     #[test]

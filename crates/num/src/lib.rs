@@ -32,6 +32,7 @@ pub mod complex;
 pub mod erf;
 pub mod fft;
 pub mod linalg;
+pub mod moments;
 pub mod normal;
 pub mod parallel;
 pub mod quad;
@@ -44,6 +45,7 @@ pub use ci::{mean_ci, wald_ci, wilson_ci, z_critical, ConfidenceInterval};
 pub use complex::Complex64;
 pub use erf::{erf, erfc, erfcx, ln_erfc};
 pub use linalg::{ctmc_stationary, solve as solve_linear, LinalgError, Matrix};
+pub use moments::RateMoments;
 pub use normal::{inv_norm_cdf, inv_q, ln_q, mills_ratio, norm_cdf, phi, q};
 pub use parallel::{default_workers, parallel_map, parallel_map_with};
 pub use quad::{integrate, integrate_to_inf, Quadrature};

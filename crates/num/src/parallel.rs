@@ -1,16 +1,34 @@
-//! Deterministic fork-join parallelism over OS threads.
+//! Deterministic parallelism over a **persistent** worker pool.
 //!
 //! Simulation points and Monte Carlo replications are independent and
-//! CPU-bound, so we shard them across `std::thread::scope` workers (no
-//! async runtime — see DESIGN.md §2). Results come back in **input
-//! order** regardless of completion order or worker count, which is
-//! what lets the parallel replication harnesses stay bit-deterministic.
+//! CPU-bound. The original implementation forked a fresh
+//! `std::thread::scope` per call, which made replication fan-out
+//! flat-to-negative on short sessions: thread spawn/join cost rivals the
+//! work itself when a replication takes tens of microseconds. This
+//! version keeps a lazily-spawned pool of workers alive for the life of
+//! the process and hands each call's index space to the participants as
+//! chunked deques with work stealing:
+//!
+//! * the index range `0..n` is split into one contiguous deque per
+//!   participant; owners pop chunks from the front, idle participants
+//!   steal half of the largest remaining deque from the back, so uneven
+//!   per-item costs still balance;
+//! * the **caller participates** as worker 0. A call therefore
+//!   completes even if every pool thread is busy with another session,
+//!   and nested `parallel_map` calls cannot deadlock;
+//! * results are merged **in input order** by index, so reports are
+//!   byte-identical for any worker count — the contract the replication
+//!   harnesses property-test.
 //!
 //! This lives in `mbac-num` (the dependency-free substrate crate) so
 //! that both the simulator's replication sharding and the experiment
 //! sweeps can reach it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Applies `f` to every item, running up to `available_parallelism`
 /// workers, and returns the outputs in input order.
@@ -34,7 +52,7 @@ pub fn default_workers() -> usize {
 }
 
 /// As [`parallel_map`] with an explicit worker count. `workers == 1`
-/// runs on a single spawned thread; output is identical for any count.
+/// runs inline on the caller; output is identical for any count.
 pub fn parallel_map_with<I, O, F>(items: Vec<I>, f: F, workers: usize) -> Vec<O>
 where
     I: Send + Sync,
@@ -46,38 +64,305 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let next = AtomicUsize::new(0);
-    let items = &items;
-    let f = &f;
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n))
-            .map(|_| {
-                scope.spawn(|| {
-                    // Work-steal by index: each worker claims the next
-                    // unclaimed item, so uneven costs balance out.
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        produced.push((i, f(&items[i])));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, out) in handle.join().expect("parallel_map worker panicked") {
-                slots[i] = Some(out);
-            }
+    let participants = workers.min(n);
+    if participants == 1 {
+        // Single participant: no shared state, no synchronization.
+        return items.iter().map(f).collect();
+    }
+
+    let shared = Shared {
+        items: &items,
+        f: &f,
+        deques: split_deques(n, participants),
+        chunk: (n / (participants * 8)).max(1),
+        results: Mutex::new(Vec::with_capacity(n)),
+        panic: Mutex::new(None),
+        poisoned: AtomicBool::new(false),
+        finished: Mutex::new(0),
+        finished_cv: Condvar::new(),
+    };
+
+    // Offer the remaining participant slots to the pool, then do our own
+    // share (and steal the slots nobody picked up).
+    let job = JobMsg {
+        ctx: (&shared as *const Shared<'_, I, O, F>).cast(),
+        enter: enter_erased::<I, O, F>,
+        next_slot: 1,
+        slots_end: participants,
+    };
+    let handle = pool().submit(job, participants - 1);
+    shared.run_participant(0);
+    let entered = pool().retire(handle);
+
+    // Wait for every pool participant that entered to leave `shared`
+    // before it goes out of scope (they hold references into our stack).
+    {
+        let mut done = shared.finished.lock().unwrap();
+        while *done < entered {
+            done = shared.finished_cv.wait(done).unwrap();
         }
-    });
+    }
+
+    if let Some(payload) = shared.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+
+    // Deterministic input-order merge: slot the (index, output) pairs.
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (i, out) in shared.results.into_inner().unwrap() {
+        slots[i] = Some(out);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
+}
+
+/// Initial contiguous split of `0..n` into one deque per participant.
+fn split_deques(n: usize, participants: usize) -> Vec<Mutex<Range<usize>>> {
+    (0..participants)
+        .map(|p| {
+            let lo = p * n / participants;
+            let hi = (p + 1) * n / participants;
+            Mutex::new(lo..hi)
+        })
+        .collect()
+}
+
+/// Per-call shared state, living on the caller's stack. Pool workers
+/// reach it through a type-erased pointer; the caller's completion latch
+/// guarantees it outlives every participant.
+struct Shared<'a, I, O, F> {
+    items: &'a [I],
+    f: &'a F,
+    /// One chunked index deque per participant (owner pops the front,
+    /// thieves split the back).
+    deques: Vec<Mutex<Range<usize>>>,
+    /// Owner-side chunk size.
+    chunk: usize,
+    /// Completed `(index, output)` pairs from all participants.
+    results: Mutex<Vec<(usize, O)>>,
+    /// First panic payload observed in any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Set when a participant panicked: others drain quickly.
+    poisoned: AtomicBool,
+    /// Count of *pool* participants that have fully left `Shared`.
+    finished: Mutex<usize>,
+    finished_cv: Condvar,
+}
+
+impl<I, O, F> Shared<'_, I, O, F>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    /// Claims the next chunk of work for `slot`: the front of its own
+    /// deque, else half of the fullest other deque (stolen off the back).
+    fn claim(&self, slot: usize) -> Option<Range<usize>> {
+        {
+            let mut own = self.deques[slot].lock().unwrap();
+            if !own.is_empty() {
+                let take = self.chunk.min(own.len());
+                let r = own.start..own.start + take;
+                own.start += take;
+                return Some(r);
+            }
+        }
+        // Steal: pick the victim with the most remaining work so the
+        // split keeps both sides busy longest.
+        loop {
+            let victim = (0..self.deques.len())
+                .filter(|&v| v != slot)
+                .max_by_key(|&v| self.deques[v].lock().unwrap().len())?;
+            let mut d = self.deques[victim].lock().unwrap();
+            if d.is_empty() {
+                // Lost the race; rescan unless everything is empty.
+                drop(d);
+                if self.deques.iter().all(|d| d.lock().unwrap().is_empty()) {
+                    return None;
+                }
+                continue;
+            }
+            let take = d.len().div_ceil(2);
+            let r = d.end - take..d.end;
+            d.end -= take;
+            return Some(r);
+        }
+    }
+
+    fn run_participant(&self, slot: usize) {
+        let mut produced: Vec<(usize, O)> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            while let Some(range) = self.claim(slot) {
+                for i in range {
+                    produced.push((i, (self.f)(&self.items[i])));
+                }
+                if self.poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }));
+        if let Err(payload) = outcome {
+            self.poisoned.store(true, Ordering::Relaxed);
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        self.results.lock().unwrap().extend(produced);
+    }
+
+    /// Pool-worker epilogue: record completion and wake the caller.
+    fn finish_pool_participant(&self) {
+        let mut done = self.finished.lock().unwrap();
+        *done += 1;
+        self.finished_cv.notify_all();
+    }
+}
+
+/// Monomorphized entry point a pool worker calls through the erased
+/// function pointer.
+///
+/// # Safety
+/// `ctx` must point at a live `Shared<I, O, F>`; the caller's latch in
+/// `parallel_map_with` keeps it alive until this returns.
+unsafe fn enter_erased<I, O, F>(ctx: *const (), slot: usize)
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let shared = &*ctx.cast::<Shared<'_, I, O, F>>();
+    shared.run_participant(slot);
+    shared.finish_pool_participant();
+}
+
+/// A type-erased offer of participant slots in one `parallel_map` call.
+struct JobMsg {
+    ctx: *const (),
+    enter: unsafe fn(*const (), usize),
+    /// Next participant slot a pool worker would take.
+    next_slot: usize,
+    /// One past the last slot (`participants`).
+    slots_end: usize,
+}
+
+// Safety: `ctx` is only dereferenced through `enter`, and the submitting
+// caller blocks until every worker that claimed a slot has finished.
+unsafe impl Send for JobMsg {}
+
+/// Handle identifying a submitted job in the pool queue.
+struct JobHandle {
+    id: u64,
+}
+
+struct QueuedJob {
+    id: u64,
+    msg: JobMsg,
+    /// Pool participants that claimed a slot (never un-claims).
+    claimed: usize,
+}
+
+struct PoolState {
+    queue: Vec<QueuedJob>,
+    next_id: u64,
+    spawned: usize,
+    idle: usize,
+}
+
+/// The process-wide persistent pool: a job queue plus lazily spawned
+/// workers that live for the life of the process.
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    cap: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: Vec::new(),
+            next_id: 0,
+            spawned: 0,
+            idle: 0,
+        }),
+        work_cv: Condvar::new(),
+        // Enough threads to saturate the machine with headroom for a few
+        // concurrent sessions; oversubscription beyond this is pointless.
+        cap: default_workers().max(16),
+    })
+}
+
+impl Pool {
+    /// Enqueues `extra_slots` participant slots for pool workers,
+    /// growing the pool (up to its cap) if too few workers are idle.
+    fn submit(&self, msg: JobMsg, extra_slots: usize) -> JobHandle {
+        let mut st = self.state.lock().unwrap();
+        let id = st.next_id;
+        st.next_id += 1;
+        if extra_slots > 0 {
+            st.queue.push(QueuedJob {
+                id,
+                msg,
+                claimed: 0,
+            });
+            let wanted = extra_slots.saturating_sub(st.idle);
+            let grow = wanted.min(self.cap.saturating_sub(st.spawned));
+            for _ in 0..grow {
+                st.spawned += 1;
+                std::thread::Builder::new()
+                    .name("mbac-pool".into())
+                    .spawn(|| pool().worker_loop())
+                    .expect("spawn pool worker");
+            }
+            drop(st);
+            self.work_cv.notify_all();
+        }
+        JobHandle { id }
+    }
+
+    /// Removes the job from the queue (no further workers can claim a
+    /// slot) and returns how many pool participants entered it.
+    fn retire(&self, handle: JobHandle) -> usize {
+        let mut st = self.state.lock().unwrap();
+        match st.queue.iter().position(|j| j.id == handle.id) {
+            Some(pos) => {
+                let job = st.queue.swap_remove(pos);
+                job.claimed
+            }
+            // Never enqueued (no extra slots were offered): nothing to
+            // wait for. Enqueued jobs stay queued until this retire.
+            None => 0,
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (enter, ctx, slot) = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(pos) = st
+                        .queue
+                        .iter()
+                        .position(|j| j.msg.next_slot < j.msg.slots_end)
+                    {
+                        let job = &mut st.queue[pos];
+                        let slot = job.msg.next_slot;
+                        job.msg.next_slot += 1;
+                        job.claimed += 1;
+                        let enter = job.msg.enter;
+                        let ctx = job.msg.ctx;
+                        break (enter, ctx, slot);
+                    }
+                    st.idle += 1;
+                    st = self.work_cv.wait(st).unwrap();
+                    st.idle -= 1;
+                }
+            };
+            // Safety: the submitting caller keeps `ctx` alive until its
+            // completion latch sees this participant finish.
+            unsafe { enter(ctx, slot) };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +422,73 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_sessions() {
+        // Hundreds of short sessions must not spawn hundreds of threads
+        // (the old fork-join did); with the persistent pool the spawn
+        // count is bounded by the pool cap.
+        for round in 0..200 {
+            let items: Vec<u64> = (0..8).collect();
+            let out = parallel_map_with(items, |&x| x + round, 4);
+            assert_eq!(out[3], 3 + round);
+        }
+        let spawned = pool().state.lock().unwrap().spawned;
+        assert!(spawned <= pool().cap, "pool grew past its cap: {spawned}");
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let outer: Vec<u64> = (0..8).collect();
+        let out = parallel_map_with(
+            outer,
+            |&x| {
+                let inner: Vec<u64> = (0..8).collect();
+                parallel_map_with(inner, |&y| x * 10 + y, 4)
+                    .iter()
+                    .sum::<u64>()
+            },
+            4,
+        );
+        for (i, &v) in out.iter().enumerate() {
+            let want: u64 = (0..8).map(|y| (i as u64) * 10 + y).sum();
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with(
+                (0..64).collect::<Vec<u64>>(),
+                |&x| {
+                    assert!(x != 13, "boom");
+                    x
+                },
+                4,
+            )
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_pool() {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    s.spawn(move || {
+                        let items: Vec<u64> = (0..40).collect();
+                        parallel_map_with(items, move |&x| x + k, 3)
+                    })
+                })
+                .collect();
+            for (k, h) in handles.into_iter().enumerate() {
+                let out = h.join().unwrap();
+                for (i, &v) in out.iter().enumerate() {
+                    assert_eq!(v, i as u64 + k as u64);
+                }
+            }
+        });
     }
 }

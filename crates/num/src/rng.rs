@@ -100,6 +100,172 @@ fn exp_zig() -> &'static ZigTable {
     TABLE.get_or_init(|| build_zig_table(|x| (-x).exp(), |y| -y.ln(), |r| (-r).exp(), 6.0, 9.0))
 }
 
+/// A hoisted handle to the standard-normal ziggurat.
+///
+/// [`standard_normal`] resolves its `OnceLock` table on every call; that
+/// atomic load is invisible in scalar code but measurable inside the
+/// batched tick kernels, which draw one Gaussian per flow per step.
+/// Kernels grab the handle once outside the loop and call
+/// [`NormalSampler::sample`], which performs **exactly** the same
+/// arithmetic and consumes the RNG identically, so trajectories are
+/// bit-identical either way.
+#[derive(Clone, Copy)]
+pub struct NormalSampler {
+    t: &'static ZigTable,
+}
+
+impl NormalSampler {
+    /// Resolves the shared ziggurat table (built on first use).
+    pub fn get() -> Self {
+        NormalSampler { t: normal_zig() }
+    }
+
+    /// Samples `N(0, 1)`; same draw sequence as [`standard_normal`].
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let t = self.t;
+        loop {
+            let bits = rng.next_u64();
+            let i = (bits & 0xFF) as usize;
+            let u = 2.0 * ((bits >> 11) as f64 * U53) - 1.0; // [-1, 1)
+            let x = u * t.x[i];
+            if x.abs() < t.x[i + 1] {
+                return x; // strictly inside the layer: accept (common case)
+            }
+            if i == 0 {
+                return normal_tail(rng, t.r, u < 0.0);
+            }
+            // Wedge: accept with probability proportional to the density
+            // overhang between the layer edges.
+            let h = t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen::<f64>();
+            if h < (-0.5 * x * x).exp() {
+                return x;
+            }
+        }
+    }
+
+    /// Speculatively samples up to `LANES` consecutive standard normals
+    /// in one batch, committing the accepted prefix.
+    ///
+    /// Each ziggurat draw lands strictly inside its layer ~99% of the
+    /// time, in which case it consumes exactly one `u64` and accepts
+    /// unconditionally — so a run of `LANES` draws usually consumes
+    /// exactly `LANES` words with no data-dependent control flow. This
+    /// method snapshots the generator, performs the run branchlessly,
+    /// and returns how many leading draws accepted (usually `LANES`).
+    /// When a draw needs the wedge or tail path, the generator is
+    /// repositioned to just after the accepted prefix and the caller
+    /// continues with [`NormalSampler::sample`] — so the RNG stream and
+    /// the values produced are bit-identical to `LANES` sequential
+    /// `sample` calls no matter where the batch stops.
+    #[inline]
+    pub fn sample_batch<const LANES: usize, R: Rng + Clone>(
+        &self,
+        rng: &mut R,
+        out: &mut [f64; LANES],
+    ) -> usize {
+        let t = self.t;
+        let snapshot = rng.clone();
+        // Drain the serial generator chain first so the conversion work
+        // below runs as LANES independent dependency chains.
+        let mut words = [0u64; LANES];
+        for w in &mut words {
+            *w = rng.next_u64();
+        }
+        let mut rejected = 0u64;
+        for (idx, slot) in out.iter_mut().enumerate() {
+            let bits = words[idx];
+            let i = (bits & 0xFF) as usize;
+            // One-multiply form of `2 * ((bits >> 11) * 2⁻⁵³) - 1`; both
+            // products are exact (53-bit mantissa, power-of-two scale),
+            // so the value — and the accept decision — is bit-identical
+            // to the scalar path.
+            let u = (bits >> 11) as f64 * (2.0 * U53) - 1.0;
+            let x = u * t.x[i];
+            rejected |= ((x.abs() >= t.x[i + 1]) as u64) << idx;
+            *slot = x;
+        }
+        let p = (rejected.trailing_zeros() as usize).min(LANES);
+        if p < LANES {
+            // Rewind, then burn the prefix's words so the stream sits
+            // exactly where sequential sampling would after `p` draws.
+            *rng = snapshot;
+            for _ in 0..p {
+                rng.next_u64();
+            }
+        }
+        p
+    }
+
+    /// Fills `out` with consecutive standard normals, bit-identical to
+    /// `out.len()` sequential [`NormalSampler::sample`] calls.
+    ///
+    /// Draws run through [`NormalSampler::sample_batch`] in 8-wide
+    /// windows written in place (a speculative window that stops early
+    /// is simply overwritten by the resumed stream), with a scalar tail
+    /// — so a bulk fill pays the snapshot/commit overhead once per
+    /// window instead of once per draw. Eight lanes is deliberate:
+    /// wider windows spill the live word/value set out of registers and
+    /// measure slower.
+    pub fn fill<R: Rng + Clone>(&self, rng: &mut R, out: &mut [f64]) {
+        let n = out.len();
+        let mut drawn = 0usize;
+        while drawn + 8 <= n {
+            let w: &mut [f64; 8] = (&mut out[drawn..drawn + 8]).try_into().unwrap();
+            let p = self.sample_batch::<8, _>(rng, w);
+            drawn += p;
+            if p < 8 {
+                // The draw that stopped the window needs the wedge or
+                // tail path; take it scalar and resume batching after it.
+                out[drawn] = self.sample(rng);
+                drawn += 1;
+            }
+        }
+        while drawn < n {
+            out[drawn] = self.sample(rng);
+            drawn += 1;
+        }
+    }
+}
+
+/// A hoisted handle to the exponential ziggurat; see [`NormalSampler`].
+#[derive(Clone, Copy)]
+pub struct ExpSampler {
+    t: &'static ZigTable,
+}
+
+impl ExpSampler {
+    /// Resolves the shared ziggurat table (built on first use).
+    pub fn get() -> Self {
+        ExpSampler { t: exp_zig() }
+    }
+
+    /// Samples a unit-mean exponential; same draw sequence as
+    /// [`standard_exponential`].
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let t = self.t;
+        loop {
+            let bits = rng.next_u64();
+            let i = (bits & 0xFF) as usize;
+            let u = (bits >> 11) as f64 * U53; // [0, 1)
+            let x = u * t.x[i];
+            if x < t.x[i + 1] {
+                return x;
+            }
+            if i == 0 {
+                // Memorylessness: the tail beyond r is r plus a fresh
+                // exponential, sampled by inverse CDF.
+                return t.r - (1.0 - rng.gen::<f64>()).ln();
+            }
+            let h = t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen::<f64>();
+            if h < (-x).exp() {
+                return x;
+            }
+        }
+    }
+}
+
 /// Samples a standard normal `N(0, 1)` variate via the ziggurat method
 /// (Marsaglia & Tsang 2000, 256 layers).
 ///
@@ -110,25 +276,7 @@ fn exp_zig() -> &'static ZigTable {
 /// It is an exact-distribution rejection method, not an approximation.
 #[inline]
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let t = normal_zig();
-    loop {
-        let bits = rng.next_u64();
-        let i = (bits & 0xFF) as usize;
-        let u = 2.0 * ((bits >> 11) as f64 * U53) - 1.0; // [-1, 1)
-        let x = u * t.x[i];
-        if x.abs() < t.x[i + 1] {
-            return x; // strictly inside the layer: accept (common case)
-        }
-        if i == 0 {
-            return normal_tail(rng, t.r, u < 0.0);
-        }
-        // Wedge: accept with probability proportional to the density
-        // overhang between the layer edges.
-        let h = t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen::<f64>();
-        if h < (-0.5 * x * x).exp() {
-            return x;
-        }
-    }
+    NormalSampler::get().sample(rng)
 }
 
 /// Marsaglia's exact tail sampler for `|X| > r`.
@@ -156,25 +304,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 /// (same construction as [`standard_normal`], one-sided).
 #[inline]
 pub fn standard_exponential<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let t = exp_zig();
-    loop {
-        let bits = rng.next_u64();
-        let i = (bits & 0xFF) as usize;
-        let u = (bits >> 11) as f64 * U53; // [0, 1)
-        let x = u * t.x[i];
-        if x < t.x[i + 1] {
-            return x;
-        }
-        if i == 0 {
-            // Memorylessness: the tail beyond r is r plus a fresh
-            // exponential, sampled by inverse CDF.
-            return t.r - (1.0 - rng.gen::<f64>()).ln();
-        }
-        let h = t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen::<f64>();
-        if h < (-x).exp() {
-            return x;
-        }
-    }
+    ExpSampler::get().sample(rng)
 }
 
 /// Samples an exponential variate with the given mean. The flow holding
@@ -401,6 +531,52 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
             assert_eq!(exponential(&mut a, 2.0), exponential(&mut b, 2.0));
+        }
+    }
+
+    #[test]
+    fn batch_sampler_matches_sequential_stream() {
+        // Interleaving batch draws (whether they commit or restore and
+        // fall back) with scalar draws must reproduce the scalar stream
+        // bit for bit — values and RNG state both.
+        let sampler = NormalSampler::get();
+        let mut batched = StdRng::seed_from_u64(9);
+        let mut scalar = StdRng::seed_from_u64(9);
+        let mut fallbacks = 0usize;
+        for round in 0..20_000 {
+            let mut got = [0.0f64; 8];
+            let p = sampler.sample_batch(&mut batched, &mut got);
+            if p < 8 {
+                fallbacks += 1;
+                for slot in got.iter_mut().skip(p) {
+                    *slot = sampler.sample(&mut batched);
+                }
+            }
+            let want: [f64; 8] = std::array::from_fn(|_| sampler.sample(&mut scalar));
+            assert_eq!(got, want, "stream diverged in round {round}");
+            assert_eq!(batched, scalar, "RNG state diverged in round {round}");
+        }
+        // The wedge/tail path is rare but must have been exercised.
+        assert!(fallbacks > 0, "no batch ever fell back");
+    }
+
+    #[test]
+    fn fill_matches_sequential_stream() {
+        // Bulk fills of every window-boundary length must reproduce the
+        // scalar stream bit for bit — values and RNG state both.
+        let sampler = NormalSampler::get();
+        let mut bulk = StdRng::seed_from_u64(11);
+        let mut scalar = StdRng::seed_from_u64(11);
+        for &len in &[0usize, 1, 7, 8, 9, 15, 16, 17, 24, 40, 333, 2000] {
+            // Several rounds per length so rare wedge/tail draws land in
+            // both the 16-wide and 8-wide windows eventually.
+            for round in 0..200 {
+                let mut got = vec![0.0f64; len];
+                sampler.fill(&mut bulk, &mut got);
+                let want: Vec<f64> = (0..len).map(|_| sampler.sample(&mut scalar)).collect();
+                assert_eq!(got, want, "fill({len}) diverged in round {round}");
+                assert_eq!(bulk, scalar, "RNG state diverged for len {len}");
+            }
         }
     }
 }

@@ -121,7 +121,7 @@ impl Scenario for PoissonLoad<'_> {
         let mut table = ctx.table();
         let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
         let mut q = EventQueue::new();
-        let mut snapshot = Vec::new();
+        let mut snapshot = ctx.scratch_rates();
         let mut flow_count = RunningStats::new();
         let mut offered = 0u64;
         let mut admitted = 0u64;
@@ -130,8 +130,28 @@ impl Scenario for PoissonLoad<'_> {
         q.schedule_at(cfg.tick, Ev::Tick);
         q.schedule_at(cfg.warmup.max(cfg.tick), Ev::Sample);
 
+        // Fused tick path, chosen once — see `ContinuousLoad::run_rep`.
+        let fused = ctl.supports_moments();
+
         let stop_reason = loop {
             let (t, ev) = q.pop().expect("event queue never drains");
+            if fused && matches!(ev, Ev::Tick) {
+                // Measurement tick: evolve, depart, and reduce in one
+                // sweep (same advance→depart order as below, identical
+                // RNG stream, the moment sum is the same flat fold the
+                // slice path reports).
+                let mom = table.advance_depart_measure(t, &mut rng, ctl.moment_pivot());
+                ctl.observe_moments(t, &mom);
+                if let Some(m) = sink.get_mut() {
+                    let load = mom.sum();
+                    m.ticks.inc();
+                    m.load.record(load);
+                    m.load_series.record(t, load);
+                    m.occupancy.record(table.len() as f64);
+                }
+                q.schedule_in(cfg.tick, Ev::Tick);
+                continue;
+            }
             table.advance_to(t, &mut rng);
             table.depart_until(t);
             match ev {

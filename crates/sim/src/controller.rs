@@ -9,6 +9,8 @@
 
 use mbac_core::admission::{AdmissionPolicy, MeasuredSum};
 use mbac_core::estimators::{Estimate, Estimator};
+use mbac_num::RateMoments;
+use std::cell::Cell;
 
 /// The measure-then-decide interface the simulator drives.
 pub trait AdmissionEngine {
@@ -29,6 +31,25 @@ pub trait AdmissionEngine {
     fn estimate_stats(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// Whether [`AdmissionEngine::observe_moments`] may be used in place
+    /// of [`AdmissionEngine::observe`]. The tick loops gate once per run.
+    fn supports_moments(&self) -> bool {
+        false
+    }
+
+    /// Feeds one measurement as pre-reduced sufficient statistics —
+    /// O(1) in the number of flows. Only valid when
+    /// [`AdmissionEngine::supports_moments`] is `true`.
+    fn observe_moments(&mut self, t: f64, moments: &RateMoments) {
+        let _ = (t, moments);
+        panic!("engine does not support moment observations");
+    }
+
+    /// The pivot the fused tick kernel should center second moments on.
+    fn moment_pivot(&self) -> f64 {
+        0.0
+    }
 }
 
 /// An estimator plus an admission policy — the complete
@@ -36,7 +57,19 @@ pub trait AdmissionEngine {
 pub struct MbacController {
     estimator: Box<dyn Estimator + Send>,
     policy: Box<dyn AdmissionPolicy + Send>,
+    /// Memo for the eqn (42) inversion: the last
+    /// `(μ̂, σ̂², capacity) → admissible count` evaluation, keyed by bit
+    /// pattern so a hit returns the *identical* f64. The continuous-load
+    /// fill loop re-asks after every admission while the estimate only
+    /// changes at measurement ticks, so this makes the steady-state
+    /// admission decision O(1) lookups instead of repeated quadratics.
+    decision_memo: Cell<Option<(DecisionKey, f64)>>,
 }
+
+/// Bit patterns of `(μ̂, σ̂², capacity)` keying one memoized admissible-
+/// count evaluation: bit equality guarantees the memoized f64 is the
+/// identical value the quadratic would return.
+type DecisionKey = (u64, u64, u64);
 
 impl MbacController {
     /// Bundles an estimator with a policy.
@@ -44,7 +77,11 @@ impl MbacController {
         estimator: Box<dyn Estimator + Send>,
         policy: Box<dyn AdmissionPolicy + Send>,
     ) -> Self {
-        MbacController { estimator, policy }
+        MbacController {
+            estimator,
+            policy,
+            decision_memo: Cell::new(None),
+        }
     }
 
     /// Feeds a measurement snapshot (per-flow instantaneous rates).
@@ -60,9 +97,17 @@ impl MbacController {
     /// The estimated admissible number of flows for the given capacity,
     /// or `None` before any measurement exists.
     pub fn admissible_count(&self, capacity: f64) -> Option<f64> {
-        self.estimator
-            .estimate()
-            .map(|e| self.policy.admissible_count(e, capacity))
+        self.estimator.estimate().map(|e| {
+            let key = (e.mean.to_bits(), e.variance.to_bits(), capacity.to_bits());
+            if let Some((k, m)) = self.decision_memo.get() {
+                if k == key {
+                    return m;
+                }
+            }
+            let m = self.policy.admissible_count(e, capacity);
+            self.decision_memo.set(Some((key, m)));
+            m
+        })
     }
 
     /// The estimator's memory time-scale `T_m`.
@@ -91,6 +136,18 @@ impl AdmissionEngine for MbacController {
 
     fn estimate_stats(&self) -> Option<(f64, f64)> {
         self.estimate().map(|e| (e.mean, e.variance.sqrt()))
+    }
+
+    fn supports_moments(&self) -> bool {
+        self.estimator.supports_moments()
+    }
+
+    fn observe_moments(&mut self, t: f64, moments: &RateMoments) {
+        self.estimator.observe_moments(t, moments);
+    }
+
+    fn moment_pivot(&self) -> f64 {
+        self.estimator.moment_pivot()
     }
 }
 
@@ -127,6 +184,16 @@ impl AdmissionEngine for MeasuredSumController {
 
     fn reset(&mut self) {
         self.policy.reset();
+    }
+
+    fn supports_moments(&self) -> bool {
+        true
+    }
+
+    fn observe_moments(&mut self, t: f64, moments: &RateMoments) {
+        // Measured-sum only needs the aggregate; the moment sum is the
+        // identical flow-order fold of the rate slice.
+        self.policy.observe_aggregate(t, moments.sum());
     }
 }
 

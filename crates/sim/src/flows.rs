@@ -21,6 +21,7 @@
 //! [`FlowTable::new_unbatched`] produce bit-identical simulations for a
 //! fixed seed; the equivalence tests below assert this.
 
+use mbac_num::RateMoments;
 use mbac_traffic::batch::{BatchKey, DynBatch, FlowBatch};
 use mbac_traffic::process::{RateProcess, SourceModel};
 use rand::rngs::StdRng;
@@ -252,6 +253,43 @@ impl FlowTable {
         gone
     }
 
+    /// Fused measurement tick: advances every flow to absolute time `t`,
+    /// applies departures, and reduces the surviving flows' rates into a
+    /// [`RateMoments`] centered on `pivot` — equivalent to
+    /// [`FlowTable::advance_to`] + [`FlowTable::depart_until`] +
+    /// folding the [`FlowTable::snapshot_into`] slice, but in a single
+    /// sweep over the flow state in the common case (no departure
+    /// pending, checked against the cached minimum in O(1)).
+    ///
+    /// The moments fold the rates in the exact snapshot order (group
+    /// order, slot order), so the derived mean is bit-identical to the
+    /// slice path's and the RNG stream is untouched by the fusion.
+    pub fn advance_depart_measure(&mut self, t: f64, rng: &mut StdRng, pivot: f64) -> RateMoments {
+        let mut mom = RateMoments::new(pivot);
+        let dt = t - self.advanced_to;
+        assert!(
+            dt >= -1e-9,
+            "cannot advance flows backwards ({t} < {})",
+            self.advanced_to
+        );
+        if self.min_departure > t && dt > 0.0 {
+            for g in &mut self.groups {
+                g.batch.advance_and_measure(dt, rng, &mut mom);
+            }
+            self.advanced_to = t;
+        } else {
+            // A departure interleaves (or time stands still): run the
+            // unfused sequence, then reduce the cached rates in the
+            // same order a snapshot would list them.
+            self.advance_to(t, rng);
+            self.depart_until(t);
+            for g in &self.groups {
+                mom.add_slice(g.batch.rates());
+            }
+        }
+        mom
+    }
+
     /// The earliest pending departure time, if any.
     pub fn next_departure(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min_departure)
@@ -421,6 +459,47 @@ mod tests {
         let ids = table.ids();
         for w in ids.windows(2) {
             assert!(w[1] > w[0]);
+        }
+    }
+
+    /// The fused measurement tick must be bit-identical to the unfused
+    /// advance → depart → snapshot sequence — same snapshots, same
+    /// moments, same RNG stream — through admissions and departures
+    /// (which force its fallback branch) on both engines.
+    #[test]
+    fn fused_tick_matches_unfused_sequence() {
+        for make in [FlowTable::new, FlowTable::new_unbatched] {
+            let m = Ar1Model::new(Ar1Config {
+                mean: 1.0,
+                std_dev: 0.3,
+                t_c: 1.0,
+                tick: 0.05,
+                clamp_at_zero: true,
+            });
+            let mut rng_a = StdRng::seed_from_u64(91);
+            let mut rng_b = StdRng::seed_from_u64(91);
+            let mut fused = make();
+            let mut plain = make();
+            let mut snap = Vec::new();
+            let mut now = 0.0;
+            for step in 0..200 {
+                now += 0.1;
+                let pivot = 1.0 + 0.001 * (step % 9) as f64;
+                let mom = fused.advance_depart_measure(now, &mut rng_a, pivot);
+                plain.advance_to(now, &mut rng_b);
+                plain.depart_until(now);
+                plain.snapshot_into(&mut snap);
+                let mut want = RateMoments::new(pivot);
+                want.add_slice(&snap);
+                assert_eq!(mom, want, "moments diverged at step {step}");
+                assert_eq!(fused.len(), plain.len());
+                if step % 4 == 0 {
+                    let holding = 0.7 + (step % 13) as f64;
+                    fused.admit(&m, now + holding, &mut rng_a);
+                    plain.admit(&m, now + holding, &mut rng_b);
+                }
+            }
+            assert!(fused.departed_total() > 0, "fallback branch unexercised");
         }
     }
 

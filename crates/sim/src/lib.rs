@@ -46,7 +46,8 @@ pub use runner::{
     ImpulsiveReport, PhaseReport, PhasedLoad,
 };
 pub use session::{
-    rep_seed, ConfigError, Engine, MetricsMode, RepContext, Scenario, Session, SessionBuilder,
+    rep_seed, ConfigError, Engine, MetricsMode, RepContext, Scenario, ScratchVec, Session,
+    SessionBuilder,
 };
 pub use telemetry::{MetricsSink, SimMetrics};
 

@@ -169,7 +169,8 @@ impl Scenario for ImpulsiveLoad<'_> {
             .estimation_flows)
             .map(|_| self.model.spawn(&mut rng))
             .collect();
-        let rates: Vec<f64> = candidates.iter().map(|c| c.rate()).collect();
+        let mut rates = ctx.scratch_rates();
+        rates.extend(candidates.iter().map(|c| c.rate()));
         let est = snapshot_stats(&rates).expect("non-empty candidate burst");
         let m0 = self.policy.admissible_count(est, cfg.capacity);
         let admit = m0.floor().max(0.0) as usize;
@@ -438,9 +439,18 @@ impl Scenario for ContinuousLoad<'_> {
         let mut rng = ctx.rng();
         let mut table = ctx.table();
         let mut meter = OverflowMeter::new(cfg.capacity, cfg.target);
-        let mut snapshot = Vec::new();
+        // Arena-backed snapshot buffer: steady-state ticks allocate
+        // nothing (the capacity survives across replications/sessions).
+        let mut snapshot = ctx.scratch_rates();
         let mut flow_count = RunningStats::new();
         let mut prev_mean: Option<f64> = None;
+
+        // Fused tick path: when the engine consumes sufficient
+        // statistics, a measurement tick is one sweep over the flow
+        // state (evolve + reduce) instead of an advance sweep plus a
+        // snapshot sweep plus a per-flow rescan inside the estimator.
+        // Chosen once — the engine's support cannot change mid-run.
+        let fused = ctl.supports_moments();
 
         let mut t = 0.0f64;
         let mut next_sample = cfg.warmup.max(cfg.tick);
@@ -451,15 +461,23 @@ impl Scenario for ContinuousLoad<'_> {
                 .filter(|m| m.timing_enabled())
                 .map(|_| std::time::Instant::now());
             t += cfg.tick;
-            table.advance_to(t, &mut rng);
-            table.depart_until(t);
 
-            // Measure once; the controller and the meter share the vector.
-            table.snapshot_into(&mut snapshot);
-            ctl.observe(t, &snapshot);
+            // Measure once; the controller and the meter share the
+            // measurement (the moment sum is the identical flat fold of
+            // the snapshot, so both paths report bit-equal loads).
+            let load = if fused {
+                let mom = table.advance_depart_measure(t, &mut rng, ctl.moment_pivot());
+                ctl.observe_moments(t, &mom);
+                mom.sum()
+            } else {
+                table.advance_to(t, &mut rng);
+                table.depart_until(t);
+                table.snapshot_into(&mut snapshot);
+                ctl.observe(t, &snapshot);
+                snapshot.iter().sum()
+            };
 
             if let Some(m) = sink.get_mut() {
-                let load: f64 = snapshot.iter().sum();
                 m.ticks.inc();
                 m.load.record(load);
                 m.load_series.record(t, load);
@@ -476,7 +494,7 @@ impl Scenario for ContinuousLoad<'_> {
             // a flow admitted this tick enters the measured load next tick).
             if t >= next_sample {
                 next_sample += cfg.sample_spacing;
-                meter.record(snapshot.iter().sum());
+                meter.record(load);
                 flow_count.push(table.len() as f64);
                 if let Some(reason) = meter.should_stop() {
                     stop_reason = reason;
@@ -732,24 +750,35 @@ impl Scenario for PhasedLoad<'_> {
             .iter()
             .map(|_| OverflowMeter::new(cfg.capacity, cfg.target).with_min_samples(u64::MAX))
             .collect();
-        let mut snapshot = Vec::new();
+        let mut snapshot = ctx.scratch_rates();
         let active_phase =
             |t: f64| -> usize { phases.iter().rposition(|&(from, _)| t >= from).unwrap_or(0) };
+
+        // Fused tick path, chosen once — see `ContinuousLoad::run_rep`.
+        let fused = ctl.supports_moments();
 
         let mut t = 0.0f64;
         let mut next_sample = cfg.warmup.max(cfg.tick);
         let mut total_samples = 0u64;
         while total_samples < cfg.max_samples {
             t += cfg.tick;
-            table.advance_to(t, &mut rng);
-            table.depart_until(t);
-            // One snapshot per tick, shared by controller and meter (the
-            // sampling runs before admissions, as in `ContinuousLoad`).
-            table.snapshot_into(&mut snapshot);
-            ctl.observe(t, &snapshot);
+            // One measurement per tick, shared by controller and meter
+            // (the sampling runs before admissions, as in
+            // `ContinuousLoad`).
+            let load = if fused {
+                let mom = table.advance_depart_measure(t, &mut rng, ctl.moment_pivot());
+                ctl.observe_moments(t, &mom);
+                mom.sum()
+            } else {
+                table.advance_to(t, &mut rng);
+                table.depart_until(t);
+                table.snapshot_into(&mut snapshot);
+                ctl.observe(t, &snapshot);
+                snapshot.iter().sum()
+            };
             if t >= next_sample {
                 next_sample += cfg.sample_spacing;
-                meters[active_phase(t)].record(snapshot.iter().sum());
+                meters[active_phase(t)].record(load);
                 total_samples += 1;
             }
             let model = phases[active_phase(t)].1;

@@ -33,6 +33,7 @@
 use crate::process::RateProcess;
 #[cfg(doc)]
 use crate::process::SourceModel;
+use mbac_num::RateMoments;
 use rand::rngs::StdRng;
 
 /// Identifies which [`FlowBatch`] a model's flows can join. Two models
@@ -97,6 +98,23 @@ pub trait FlowBatch: Send {
     /// the samplers monomorphize and inline into the kernel loop while
     /// still consuming the exact same stream as the boxed path.
     fn advance_all(&mut self, dt: f64, rng: &mut StdRng);
+
+    /// Advances every flow by `dt` exactly as [`FlowBatch::advance_all`]
+    /// and folds each refreshed rate into `mom`, in slot order, in the
+    /// same pass. The fused tick loop uses this so a measurement tick
+    /// costs one sweep over the flow state instead of an advance sweep
+    /// followed by a snapshot sweep.
+    ///
+    /// Contract: after this call the batch state, the RNG stream, *and*
+    /// the values folded into `mom` (count, order, bit patterns) must be
+    /// identical to `advance_all(dt, rng)` followed by
+    /// `mom.add_slice(self.rates())` — which is exactly what the default
+    /// implementation does. Specialized kernels may only override this
+    /// with a fusion that preserves that equivalence.
+    fn advance_and_measure(&mut self, dt: f64, rng: &mut StdRng, mom: &mut RateMoments) {
+        self.advance_all(dt, rng);
+        mom.add_slice(self.rates());
+    }
 
     /// The per-flow instantaneous rates, contiguous and in slot order.
     /// Valid until the next mutating call.
@@ -196,7 +214,9 @@ mod tests {
     /// `SourceModel::spawn` and advanced one by one — including after a
     /// mid-run swap-remove mirrored on both sides.
     fn assert_bit_exact(model: &dyn SourceModel, seed: u64) {
-        let n = 6;
+        // More than one 8-lane chunk plus a remainder, so chunked
+        // kernels are checked on both their fused and scalar paths.
+        let n = 13;
         let mut boxed_rng = StdRng::seed_from_u64(seed);
         let mut batch_rng = StdRng::seed_from_u64(seed);
 
@@ -247,6 +267,71 @@ mod tests {
             batch.advance_all(0.4, &mut batch_rng);
             assert_eq!(boxed_rates(&boxed), batch.rates());
         }
+    }
+
+    /// Verifies the `advance_and_measure` contract: against a twin batch
+    /// driven by `advance_all` + `add_slice`, the fused call must leave
+    /// identical rates, consume the identical RNG stream, and produce a
+    /// bit-identical [`RateMoments`] — including through a mid-run
+    /// departure and admission that desynchronize the flows' tick
+    /// phases (exercising chunked kernels' mixed-step fallback).
+    fn assert_fused_measure_bit_exact(model: &dyn SourceModel, seed: u64) {
+        let n = 13;
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut a = model.new_batch().expect("batched kernel");
+        let mut b = model.new_batch().expect("batched kernel");
+        for _ in 0..n {
+            a.spawn_one(&mut rng_a);
+            b.spawn_one(&mut rng_b);
+        }
+        fn step_once(
+            step: usize,
+            a: &mut dyn FlowBatch,
+            b: &mut dyn FlowBatch,
+            rng_a: &mut StdRng,
+            rng_b: &mut StdRng,
+        ) {
+            let dt = 0.05 + 0.11 * (step % 7) as f64;
+            let pivot = 0.9 + 0.01 * (step % 5) as f64;
+            a.advance_all(dt, rng_a);
+            let mut ma = RateMoments::new(pivot);
+            ma.add_slice(a.rates());
+            let mut mb = RateMoments::new(pivot);
+            b.advance_and_measure(dt, rng_b, &mut mb);
+            assert_eq!(a.rates(), b.rates(), "rates diverged at step {step}");
+            assert_eq!(ma, mb, "moments diverged at step {step}");
+        }
+        for step in 0..150 {
+            step_once(step, &mut *a, &mut *b, &mut rng_a, &mut rng_b);
+        }
+        // Desynchronize tick phases: drop a flow, admit a fresh one
+        // (elapsed 0 while the survivors sit mid-tick).
+        a.swap_remove(2);
+        b.swap_remove(2);
+        a.spawn_one(&mut rng_a);
+        b.spawn_one(&mut rng_b);
+        for step in 150..300 {
+            step_once(step, &mut *a, &mut *b, &mut rng_a, &mut rng_b);
+        }
+    }
+
+    #[test]
+    fn ar1_fused_measure_is_bit_exact() {
+        let model = Ar1Model::new(Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.07,
+            clamp_at_zero: true,
+        });
+        assert_fused_measure_bit_exact(&model, 51);
+    }
+
+    #[test]
+    fn rcbr_fused_measure_is_bit_exact() {
+        let model = RcbrModel::new(RcbrConfig::paper_default(1.0));
+        assert_fused_measure_bit_exact(&model, 52);
     }
 
     #[test]
