@@ -20,14 +20,25 @@
 //!    mean/variance fold — frozen here literally, against the fused
 //!    `advance_depart_measure` path (one SoA pass that evolves traffic
 //!    and accumulates the controller's sufficient statistics).
-//! 3. **Admission decision**: ns per decision through the controller's
+//! 3. **Kernel dispatch ablation**: the same lane-tiled kernels timed
+//!    under `KernelDispatch::Scalar` vs `KernelDispatch::Wide` — the
+//!    innovation fill in isolation, the AR(1) table tick loop, and the
+//!    fused measure tick — so the wide-lane speedup is attributable
+//!    per kernel. The two modes are bit-exact twins (enforced by the
+//!    dispatch-twin proptests), so this is a pure performance ablation.
+//! 4. **Admission decision**: ns per decision through the controller's
 //!    decision memo (hit vs miss) and through the aggregate Gaussian
 //!    test's guard-banded threshold compare vs the exact tail.
-//! 4. **End-to-end continuous run** (controller + meter included),
+//! 5. **End-to-end continuous run** (controller + meter included),
 //!    boxed fallback vs batched.
-//! 5. **Replication scaling** of the impulsive harness across worker
+//! 6. **Replication scaling** of the impulsive harness across worker
 //!    counts (deterministic by construction; scaling is bounded by the
-//!    machine's `available_parallelism`, which is recorded).
+//!    machine's `available_parallelism`, which is recorded). On a
+//!    single-core machine the multi-worker rows would only measure
+//!    scheduler thrash, so they are skipped and the block carries a
+//!    `"skipped_single_core": true` marker instead; cross-commit
+//!    comparisons must treat such a block as incomparable rather than
+//!    as a regression.
 //!
 //! Environment knobs (all optional; defaults in parentheses):
 //! * `MBAC_BENCH_FLOWS` (400) — flows per tick-loop benchmark;
@@ -44,6 +55,8 @@ use mbac_core::admission::{AggregateGaussian, CertaintyEquivalent};
 use mbac_core::estimators::heterogeneous::AggregateEstimate;
 use mbac_core::estimators::snapshot_stats;
 use mbac_core::params::{FlowStats, QosTarget};
+use mbac_num::rng::NormalSampler;
+use mbac_num::KernelDispatch;
 use mbac_sim::{
     ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
     MbacController, SessionBuilder,
@@ -454,6 +467,34 @@ fn time_fused_tick(p: &Params) -> f64 {
     elapsed
 }
 
+/// ns per ziggurat innovation fill of `n_flows` values under the given
+/// dispatch mode — the flow-major fill kernel in isolation, without the
+/// recurrence or measurement passes on top.
+fn time_fill(p: &Params, dispatch: KernelDispatch) -> f64 {
+    let sampler = NormalSampler::get();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut buf = vec![0.0f64; p.n_flows];
+    let mut acc = 0.0;
+    let start = Instant::now();
+    for _ in 0..p.ticks {
+        sampler.fill_with(dispatch, &mut rng, &mut buf);
+        acc += buf[0];
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
+    assert!(acc.is_finite());
+    elapsed
+}
+
+/// Runs `f` with the global kernel dispatch pinned to `dispatch`,
+/// restoring the previous mode afterwards so the surrounding
+/// measurements keep the default.
+fn with_dispatch<T>(dispatch: KernelDispatch, f: impl FnOnce() -> T) -> T {
+    let prev = dispatch.set_global();
+    let out = f();
+    prev.set_global();
+    out
+}
+
 fn continuous_cfg(p: &Params) -> ContinuousConfig {
     ContinuousConfig {
         capacity: p.n_flows as f64,
@@ -692,7 +733,63 @@ fn main() {
     );
     let _ = writeln!(json, "  }},");
 
-    // 3. Admission decision hot path.
+    // 3. Kernel dispatch ablation: scalar vs wide, per kernel. The
+    // modes are bit-exact twins, so any delta is pure implementation.
+    let ar1 = ar1_model();
+    type AblationRunner<'a> = &'a mut dyn FnMut(KernelDispatch) -> f64;
+    let ablations: [(&str, &str, AblationRunner); 3] = [
+        ("innovation_fill", "ns_per_fill", &mut |d| time_fill(&p, d)),
+        ("ar1_tick_loop", "ns_per_tick", &mut |d| {
+            with_dispatch(d, || time_table_loop(&p, &ar1, &mut FlowTable::new()))
+        }),
+        ("fused_measure_tick", "ns_per_tick", &mut |d| {
+            with_dispatch(d, || time_fused_tick(&p))
+        }),
+    ];
+    let _ = writeln!(json, "  \"kernel_dispatch\": [");
+    let n_ablations = ablations.len();
+    for (i, (kernel, unit, run)) in ablations.into_iter().enumerate() {
+        // Interleaved best-of-5, same estimator as best_of_interleaved
+        // (which can't be used here: both closures would need the same
+        // mutable runner).
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..5 {
+            for (b, d) in best
+                .iter_mut()
+                .zip([KernelDispatch::Scalar, KernelDispatch::Wide])
+            {
+                *b = b.min(run(d));
+            }
+        }
+        let [scalar_ns, wide_ns] = best;
+        let speedup = scalar_ns / wide_ns;
+        eprintln!(
+            "kernel_dispatch/{kernel}: scalar {scalar_ns:.0} ns, wide {wide_ns:.0} ns \
+             ({speedup:.2}x)"
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"kernel\": \"{kernel}\",");
+        let _ = writeln!(json, "      \"n_flows\": {},", p.n_flows);
+        let _ = writeln!(
+            json,
+            "      \"scalar_{unit}\": {:.1},",
+            finite("scalar ablation", scalar_ns)
+        );
+        let _ = writeln!(
+            json,
+            "      \"wide_{unit}\": {:.1},",
+            finite("wide ablation", wide_ns)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_wide_vs_scalar\": {:.2}",
+            finite("speedup_wide_vs_scalar", speedup)
+        );
+        let _ = writeln!(json, "    }}{}", if i + 1 < n_ablations { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+
+    // 4. Admission decision hot path.
     let (hit_ns, miss_ns) = time_controller_decisions();
     let (threshold_ns, exact_ns) = time_aggregate_decisions();
     eprintln!(
@@ -723,7 +820,7 @@ fn main() {
     );
     let _ = writeln!(json, "  }},");
 
-    // 4. End-to-end continuous run.
+    // 5. End-to-end continuous run.
     let _ = writeln!(json, "  \"continuous_run\": [");
     for (i, (name, model, _)) in models.iter().enumerate() {
         let [boxed_s, batched_s] = best_of_interleaved([
@@ -762,7 +859,12 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
-    // 5. Replication scaling on the persistent pool.
+    // 6. Replication scaling on the persistent pool. On a single-core
+    // machine multi-worker rows would only measure scheduler thrash
+    // (every "speedup" is noise around or below 1.0), so the sweep is
+    // gated: only the first worker count runs, and the block carries a
+    // machine-readable marker that downstream cross-commit comparisons
+    // must treat as "incomparable", not "regressed".
     let cfg = ImpulsiveConfig {
         capacity: 100.0,
         estimation_flows: 100,
@@ -773,12 +875,25 @@ fn main() {
     };
     let policy = CertaintyEquivalent::from_probability(1e-2);
     let model = mbac_bench::bench_rcbr();
+    let single_core = parallelism == 1;
+    let scaling_workers: Vec<usize> = if single_core {
+        p.workers[..1].to_vec()
+    } else {
+        p.workers.clone()
+    };
+    if single_core && p.workers.len() > 1 {
+        eprintln!(
+            "impulsive: single-core machine, skipping worker counts {:?}",
+            &p.workers[1..]
+        );
+    }
     let mut seconds = Vec::new();
     let _ = writeln!(json, "  \"replication_scaling\": {{");
     let _ = writeln!(json, "    \"replications\": {},", cfg.replications);
     let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "    \"skipped_single_core\": {single_core},");
     let _ = writeln!(json, "    \"workers\": [");
-    for (i, &w) in p.workers.iter().enumerate() {
+    for (i, &w) in scaling_workers.iter().enumerate() {
         let start = Instant::now();
         let rep = SessionBuilder::new()
             .workers(w)
@@ -798,7 +913,11 @@ fn main() {
             "      {{ \"workers\": {w}, \"seconds\": {:.4}, \"speedup_vs_first\": {:.2} }}{}",
             finite("seconds", secs),
             finite("speedup_vs_first", seconds[0] / secs),
-            if i + 1 < p.workers.len() { "," } else { "" }
+            if i + 1 < scaling_workers.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(json, "    ]");
@@ -821,8 +940,7 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let scaling: Vec<String> = p
-        .workers
+    let scaling: Vec<String> = scaling_workers
         .iter()
         .zip(&seconds)
         .map(|(w, s)| format!("[{w}, {s:.4}]"))

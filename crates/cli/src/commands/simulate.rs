@@ -9,6 +9,7 @@ use crate::args::{ArgError, Args};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_metrics::MetricsSnapshot;
+use mbac_num::KernelDispatch;
 use mbac_sim::{
     ConfigError, ContinuousConfig, ContinuousLoad, Engine, ImpulsiveConfig, ImpulsiveLoad,
     MbacController, MetricsMode, PoissonConfig, PoissonLoad, SessionBuilder,
@@ -22,7 +23,8 @@ use std::sync::Arc;
 pub const USAGE: &str = "\
 mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson]
                  [--trace <file> | --mean <mu> --sd <sigma> --t-c <T_c>]
-                 [--seed <s>] [--engine batched|boxed] [--metrics-out <file|->]
+                 [--seed <s>] [--engine batched|boxed]
+                 [--kernel-dispatch scalar|wide] [--metrics-out <file|->]
   continuous (default): --holding <T_h> [--t-m <T_m>] [--p-ce <p>]
                  [--p-q <p>] [--samples <n>]
   impulsive:     --flows <n> --observe <t1,t2,...> [--reps <n>]
@@ -39,6 +41,10 @@ p_ce = p_q = 1e-3.
 --engine selects the flow engine: batched (struct-of-arrays kernels,
 the default) or boxed (one heap process per flow); both produce
 bit-identical results for the same seed, as does any --workers count.
+--kernel-dispatch pins the hot-kernel implementation: wide (lane-tiled
+SIMD-friendly, the default) or scalar (the reference twins); the two
+are bit-exact, so this only affects speed. Also settable through the
+MBAC_KERNEL_DISPATCH environment variable; the flag wins.
 --metrics-out writes the run's aggregated metrics as mbac-metrics/v1
 JSON (see results/METRICS_schema.md) to the file, or to stdout for -.
 --trace cannot be combined with the RCBR flags --mean/--sd/--t-c.";
@@ -75,6 +81,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "samples",
         "seed",
         "engine",
+        "kernel-dispatch",
         "metrics-out",
         "flows",
         "observe",
@@ -96,6 +103,15 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     // prefix the flag dashes for the CLI surface.
     let engine = Engine::from_name(args.get("engine").unwrap_or("batched"))
         .map_err(|e| ArgError(format!("--{e}")))?;
+    if let Some(mode) = args.get("kernel-dispatch") {
+        KernelDispatch::parse(mode)
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "--kernel-dispatch must be scalar or wide, got {mode}"
+                ))
+            })?
+            .set_global();
+    }
     match args.get("load").unwrap_or("continuous") {
         "continuous" => run_continuous_load(args, engine),
         "impulsive" => run_impulsive_load(args, engine),

@@ -256,6 +256,39 @@ fn simulate_rejects_bad_engine() {
 }
 
 #[test]
+fn simulate_rejects_bad_kernel_dispatch() {
+    let out = mbacctl(&small_sim_args(&["--kernel-dispatch", "turbo"]));
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--kernel-dispatch must be scalar or wide")
+    );
+}
+
+#[test]
+fn simulate_kernel_dispatch_modes_are_bit_exact_twins() {
+    // The scalar and wide kernels are contractually bit-exact, so the
+    // full simulation report (including every printed float) must be
+    // byte-identical across dispatch modes.
+    let scalar = mbacctl(&small_sim_args(&["--kernel-dispatch", "scalar"]));
+    let wide = mbacctl(&small_sim_args(&["--kernel-dispatch", "wide"]));
+    assert!(
+        scalar.status.success(),
+        "{}",
+        String::from_utf8_lossy(&scalar.stderr)
+    );
+    assert!(
+        wide.status.success(),
+        "{}",
+        String::from_utf8_lossy(&wide.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&scalar.stdout),
+        String::from_utf8_lossy(&wide.stdout),
+        "scalar and wide dispatch reports diverged"
+    );
+}
+
+#[test]
 fn simulate_rejects_nonpositive_capacity_without_panicking() {
     let out = mbacctl(&[
         "simulate",

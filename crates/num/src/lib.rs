@@ -29,6 +29,7 @@
 
 pub mod ci;
 pub mod complex;
+pub mod dispatch;
 pub mod erf;
 pub mod fft;
 pub mod linalg;
@@ -43,11 +44,15 @@ pub mod stats;
 
 pub use ci::{mean_ci, wald_ci, wilson_ci, z_critical, ConfidenceInterval};
 pub use complex::Complex64;
+pub use dispatch::KernelDispatch;
 pub use erf::{erf, erfc, erfcx, ln_erfc};
 pub use linalg::{ctmc_stationary, solve as solve_linear, LinalgError, Matrix};
 pub use moments::RateMoments;
 pub use normal::{inv_norm_cdf, inv_q, ln_q, mills_ratio, norm_cdf, phi, q};
-pub use parallel::{default_workers, parallel_map, parallel_map_with};
+pub use parallel::{
+    default_workers, parallel_map, parallel_map_with, parallel_map_with_stats, PoolCallStats,
+    WorkerStats,
+};
 pub use quad::{integrate, integrate_to_inf, Quadrature};
 pub use regress::{linear_fit, LinearFit};
 pub use roots::{bisect, brent, brent_auto_bracket, Root, RootError};

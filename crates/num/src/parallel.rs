@@ -29,6 +29,80 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Work-accounting for one participant slot of one [`parallel_map_with`]
+/// call: how many items it processed, how it obtained them, and how long
+/// it was busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Items this participant evaluated.
+    pub items: u64,
+    /// Chunks popped from the participant's own deque.
+    pub own_chunks: u64,
+    /// Chunks stolen from another participant's deque.
+    pub steals: u64,
+    /// Wall time this participant spent inside the call (claim + work).
+    pub busy_ns: u64,
+}
+
+impl WorkerStats {
+    /// Elementwise accumulate (commutative and associative, so merged
+    /// snapshots are independent of merge order).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.items += other.items;
+        self.own_chunks += other.own_chunks;
+        self.steals += other.steals;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+/// Aggregated work-accounting for one or more [`parallel_map_with_stats`]
+/// calls, per participant slot. Slot 0 is always the caller.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolCallStats {
+    /// Per-slot stats, indexed by participant slot.
+    pub workers: Vec<WorkerStats>,
+    /// Wall time of the whole call (sum over calls when merged).
+    pub elapsed_ns: u64,
+}
+
+impl PoolCallStats {
+    /// Total items processed across all slots.
+    pub fn total_items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Total steal events across all slots.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Fraction of the call's wall time slot `slot` was busy, in
+    /// `[0, 1]`-ish (clock jitter can nudge it past 1).
+    pub fn utilization(&self, slot: usize) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.workers
+            .get(slot)
+            .map_or(0.0, |w| w.busy_ns as f64 / self.elapsed_ns as f64)
+    }
+
+    /// Accumulates another call's stats slot-by-slot. All fields are
+    /// sums of non-negative integers, so any merge order produces the
+    /// same result — the invariance the metrics snapshot test pins.
+    pub fn merge(&mut self, other: &PoolCallStats) {
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (slot, w) in other.workers.iter().enumerate() {
+            self.workers[slot].merge(w);
+        }
+        self.elapsed_ns += other.elapsed_ns;
+    }
+}
 
 /// Applies `f` to every item, running up to `available_parallelism`
 /// workers, and returns the outputs in input order.
@@ -59,15 +133,43 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    parallel_map_with_stats(items, f, workers).0
+}
+
+/// As [`parallel_map_with`], also returning per-worker accounting for
+/// the call: items, own-deque chunks, steals, and busy time per slot.
+/// The outputs are identical to the stat-less entry points.
+pub fn parallel_map_with_stats<I, O, F>(
+    items: Vec<I>,
+    f: F,
+    workers: usize,
+) -> (Vec<O>, PoolCallStats)
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     assert!(workers > 0);
+    let started = Instant::now();
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolCallStats::default());
     }
     let participants = workers.min(n);
     if participants == 1 {
         // Single participant: no shared state, no synchronization.
-        return items.iter().map(f).collect();
+        let out: Vec<O> = items.iter().map(f).collect();
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let stats = PoolCallStats {
+            workers: vec![WorkerStats {
+                items: n as u64,
+                own_chunks: 1,
+                steals: 0,
+                busy_ns: elapsed_ns,
+            }],
+            elapsed_ns,
+        };
+        return (out, stats);
     }
 
     let shared = Shared {
@@ -76,6 +178,7 @@ where
         deques: split_deques(n, participants),
         chunk: (n / (participants * 8)).max(1),
         results: Mutex::new(Vec::with_capacity(n)),
+        stats: Mutex::new(vec![WorkerStats::default(); participants]),
         panic: Mutex::new(None),
         poisoned: AtomicBool::new(false),
         finished: Mutex::new(0),
@@ -112,10 +215,15 @@ where
     for (i, out) in shared.results.into_inner().unwrap() {
         slots[i] = Some(out);
     }
-    slots
+    let out = slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
-        .collect()
+        .collect();
+    let stats = PoolCallStats {
+        workers: shared.stats.into_inner().unwrap(),
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    };
+    (out, stats)
 }
 
 /// Initial contiguous split of `0..n` into one deque per participant.
@@ -142,6 +250,8 @@ struct Shared<'a, I, O, F> {
     chunk: usize,
     /// Completed `(index, output)` pairs from all participants.
     results: Mutex<Vec<(usize, O)>>,
+    /// Per-slot work accounting, written once per participant on exit.
+    stats: Mutex<Vec<WorkerStats>>,
     /// First panic payload observed in any participant.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Set when a participant panicked: others drain quickly.
@@ -159,13 +269,15 @@ where
 {
     /// Claims the next chunk of work for `slot`: the front of its own
     /// deque, else half of the fullest other deque (stolen off the back).
-    fn claim(&self, slot: usize) -> Option<Range<usize>> {
+    /// Records the claim (own pop vs steal) into `acct`.
+    fn claim(&self, slot: usize, acct: &mut WorkerStats) -> Option<Range<usize>> {
         {
             let mut own = self.deques[slot].lock().unwrap();
             if !own.is_empty() {
                 let take = self.chunk.min(own.len());
                 let r = own.start..own.start + take;
                 own.start += take;
+                acct.own_chunks += 1;
                 return Some(r);
             }
         }
@@ -187,14 +299,18 @@ where
             let take = d.len().div_ceil(2);
             let r = d.end - take..d.end;
             d.end -= take;
+            acct.steals += 1;
             return Some(r);
         }
     }
 
     fn run_participant(&self, slot: usize) {
+        let entered = Instant::now();
+        let mut acct = WorkerStats::default();
         let mut produced: Vec<(usize, O)> = Vec::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            while let Some(range) = self.claim(slot) {
+            while let Some(range) = self.claim(slot, &mut acct) {
+                acct.items += range.len() as u64;
                 for i in range {
                     produced.push((i, (self.f)(&self.items[i])));
                 }
@@ -208,6 +324,8 @@ where
             self.panic.lock().unwrap().get_or_insert(payload);
         }
         self.results.lock().unwrap().extend(produced);
+        acct.busy_ns = entered.elapsed().as_nanos() as u64;
+        self.stats.lock().unwrap()[slot] = acct;
     }
 
     /// Pool-worker epilogue: record completion and wake the caller.
@@ -470,6 +588,44 @@ mod tests {
             )
         });
         assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        for workers in [1, 2, 4] {
+            let items: Vec<u64> = (0..97).collect();
+            let (out, stats) = parallel_map_with_stats(items, |&x| x * 2, workers);
+            assert_eq!(out.len(), 97);
+            assert_eq!(stats.total_items(), 97, "workers {workers}");
+            assert_eq!(stats.workers.len(), workers.min(97));
+            assert!(stats.elapsed_ns > 0);
+            // Every item arrives via exactly one claimed chunk.
+            let chunks: u64 = stats.workers.iter().map(|w| w.own_chunks + w.steals).sum();
+            assert!(chunks >= 1);
+        }
+    }
+
+    #[test]
+    fn stats_merge_is_order_invariant() {
+        let calls: Vec<PoolCallStats> = (0..6)
+            .map(|k| {
+                let items: Vec<u64> = (0..40 + k).collect();
+                parallel_map_with_stats(items, |&x| x + k, 3).1
+            })
+            .collect();
+        let mut forward = PoolCallStats::default();
+        for c in &calls {
+            forward.merge(c);
+        }
+        let mut backward = PoolCallStats::default();
+        for c in calls.iter().rev() {
+            backward.merge(c);
+        }
+        assert_eq!(forward, backward, "merge must be order-invariant");
+        assert_eq!(
+            forward.total_items(),
+            calls.iter().map(|c| c.total_items()).sum::<u64>()
+        );
     }
 
     #[test]

@@ -450,17 +450,28 @@ impl Session {
 
     /// [`Session::run`] plus the merged metrics snapshot (empty unless
     /// the session enables collection).
+    ///
+    /// In the timing-enabled mode the snapshot also carries the
+    /// replication pool's per-worker accounting (items, own-deque
+    /// chunks, steals, busy time, utilization — see
+    /// [`crate::telemetry::pool_stats_snapshot`]). Like per-tick
+    /// timings, pool accounting is machine- and worker-count-dependent,
+    /// so the default deterministic snapshot excludes it.
     pub fn run_metered<S: Scenario + Sync>(
         &self,
         scenario: &S,
     ) -> Result<(S::Report, MetricsSnapshot), ConfigError> {
         let (seed, reps) = self.prepare(scenario)?;
-        let outcomes = mbac_num::parallel::parallel_map_with(
+        let (outcomes, pool) = mbac_num::parallel::parallel_map_with_stats(
             reps,
             |&rep| self.one_rep(scenario, seed, rep),
             self.workers,
         );
-        Ok(self.finish(scenario, outcomes))
+        let (report, mut merged) = self.finish(scenario, outcomes);
+        if self.metrics == MetricsMode::EnabledWithTiming {
+            merged.merge(&crate::telemetry::pool_stats_snapshot(&pool));
+        }
+        Ok((report, merged))
     }
 
     /// Runs every replication sequentially on the calling thread — for
@@ -727,6 +738,39 @@ mod tests {
         // Disabled mode yields an empty snapshot.
         let (_, empty) = SessionBuilder::new().run_metered(&toy).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pool_accounting_is_timing_gated() {
+        let toy = Toy {
+            draws: 1,
+            replications: 6,
+            base_seed: 5,
+        };
+        // Deterministic mode: no machine-dependent pool entries.
+        let (_, plain) = SessionBuilder::new()
+            .metrics(MetricsMode::Enabled)
+            .workers(2)
+            .run_metered(&toy)
+            .unwrap();
+        assert!(plain.get("pool.calls").is_none());
+        // Timing mode: pool accounting rides along and covers all reps.
+        let (_, timed) = SessionBuilder::new()
+            .metrics(MetricsMode::EnabledWithTiming)
+            .workers(2)
+            .run_metered(&toy)
+            .unwrap();
+        match timed.get("pool.calls") {
+            Some(mbac_metrics::MetricValue::Counter(c)) => assert_eq!(c.count, 1),
+            other => panic!("{other:?}"),
+        }
+        let items: u64 = (0..2)
+            .map(|s| match timed.get(&format!("pool.worker{s}.items")) {
+                Some(mbac_metrics::MetricValue::Counter(c)) => c.count,
+                other => panic!("{other:?}"),
+            })
+            .sum();
+        assert_eq!(items, 6, "every replication accounted to a worker");
     }
 
     #[test]

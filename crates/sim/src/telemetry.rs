@@ -20,15 +20,32 @@
 //! | `ctl.admissible` | gauge | controller's admissible count |
 //! | `ctl.innovation` | histogram | per-observation change in μ̂ |
 //!
+//! The replication pool additionally exports per-worker accounting (see
+//! [`pool_stats_snapshot`]) in the timing-enabled mode:
+//!
+//! | name | instrument | meaning |
+//! |---|---|---|
+//! | `pool.calls` | counter | fan-out calls folded in |
+//! | `pool.elapsed_ns` | counter | wall time of the fan-out calls |
+//! | `pool.worker<i>.items` | counter | replications run by slot *i* |
+//! | `pool.worker<i>.own_chunks` | counter | chunks popped from slot *i*'s own deque |
+//! | `pool.worker<i>.steals` | counter | chunks slot *i* stole |
+//! | `pool.worker<i>.busy_ns` | counter | wall time slot *i* was busy |
+//! | `pool.worker<i>.utilization` | gauge | busy / elapsed per call |
+//!
 //! Wall-clock timing is **off by default** and excluded from snapshots
 //! unless explicitly enabled with [`SimMetrics::with_timing`]: timings
 //! are machine-dependent, and default snapshots must stay deterministic
 //! so that the batched and boxed engines (and any worker count) produce
-//! *identical* merged snapshots for the same seed.
+//! *identical* merged snapshots for the same seed. Pool accounting is
+//! timing-gated for the same reason — worker counts and steal patterns
+//! are machine facts, not simulation results.
 
 use mbac_metrics::{
-    Aggregated, Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, TimeSeries,
+    Aggregated, Counter, CounterSnapshot, Gauge, Histogram, MetricValue, MetricsSnapshot,
+    TimeSeries,
 };
+use mbac_num::PoolCallStats;
 
 /// Default point budget for the load trajectory sketch.
 const SERIES_CAPACITY: usize = 512;
@@ -145,6 +162,39 @@ impl SimMetrics {
     }
 }
 
+/// Exports one replication fan-out's per-worker pool accounting as
+/// snapshot entries (see the module table for the names).
+///
+/// Everything except the utilization gauges is a counter, so merging
+/// snapshots from successive calls **sums** the accounting — integer
+/// sums are commutative and associative, making the merged result
+/// independent of merge order (the invariance test below pins this).
+/// The per-slot utilization gauge absorbs one `busy/elapsed` ratio per
+/// call; its merged distribution (count/min/max/sum) is likewise
+/// order-independent.
+pub fn pool_stats_snapshot(stats: &PoolCallStats) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::new();
+    let counter = |count: u64| MetricValue::Counter(CounterSnapshot { count });
+    out.insert("pool.calls", counter(1));
+    out.insert("pool.elapsed_ns", counter(stats.elapsed_ns));
+    for (slot, w) in stats.workers.iter().enumerate() {
+        out.insert(format!("pool.worker{slot}.items"), counter(w.items));
+        out.insert(
+            format!("pool.worker{slot}.own_chunks"),
+            counter(w.own_chunks),
+        );
+        out.insert(format!("pool.worker{slot}.steals"), counter(w.steals));
+        out.insert(format!("pool.worker{slot}.busy_ns"), counter(w.busy_ns));
+        let mut util = Gauge::new();
+        util.set(stats.utilization(slot));
+        out.insert(
+            format!("pool.worker{slot}.utilization"),
+            MetricValue::Gauge(util.snapshot()),
+        );
+    }
+    out
+}
+
 /// An optional [`SimMetrics`]: `disabled()` is the zero-cost default
 /// (one `Option` branch per record site), `enabled()` collects.
 #[derive(Debug, Default)]
@@ -247,6 +297,50 @@ mod tests {
         }
         // Timing is off by default: deterministic snapshot only.
         assert!(snap.get("engine.tick_ns").is_none());
+    }
+
+    #[test]
+    fn pool_stats_snapshot_is_merge_order_invariant() {
+        use mbac_num::WorkerStats;
+        // Synthetic accounting with exactly-representable ratios so the
+        // full snapshots (gauges included) compare bitwise equal.
+        let call = |scale: u64| PoolCallStats {
+            workers: (0..3)
+                .map(|s| WorkerStats {
+                    items: 10 * scale + s,
+                    own_chunks: 2 * scale,
+                    steals: s,
+                    busy_ns: 256 * scale,
+                })
+                .collect(),
+            elapsed_ns: 1024 * scale,
+        };
+        let snaps: Vec<MetricsSnapshot> = (1..=4).map(|k| pool_stats_snapshot(&call(k))).collect();
+        let mut forward = MetricsSnapshot::new();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut backward = MetricsSnapshot::new();
+        for s in snaps.iter().rev() {
+            backward.merge(s);
+        }
+        assert_eq!(forward, backward, "pool metrics must merge order-free");
+        match forward.get("pool.calls") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 4),
+            other => panic!("{other:?}"),
+        }
+        match forward.get("pool.worker2.steals") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 8),
+            other => panic!("{other:?}"),
+        }
+        match forward.get("pool.worker0.utilization") {
+            Some(MetricValue::Gauge(g)) => {
+                assert_eq!(g.count, 4);
+                assert_eq!(g.min, 0.25);
+                assert_eq!(g.max, 0.25);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Property-based tests for the traffic sources.
 
+use mbac_num::{KernelDispatch, RateMoments};
+use mbac_traffic::ar1::{Ar1Batch, Ar1Config};
+use mbac_traffic::batch::FlowBatch;
 use mbac_traffic::fgn::fgn_autocovariance;
 use mbac_traffic::marginal::Marginal;
 use mbac_traffic::markov::MarkovFluidModel;
@@ -116,5 +119,51 @@ proptest! {
         let m = RcbrModel::new(RcbrConfig { mean, std_dev: sd, t_c, truncate_at_zero: false });
         prop_assert_eq!(m.mean(), mean);
         prop_assert!((m.variance() - sd * sd).abs() < 1e-12);
+    }
+
+    /// The scalar and wide AR(1) batch kernels are bit-exact twins:
+    /// identical rate arrays, identical fused moments, and identical RNG
+    /// end state, for arbitrary flow counts (including non-multiples of
+    /// the lane width), mid-run spawns that break phase lock, and both
+    /// clamp settings. Exercises the whole-array fast path, the
+    /// mixed-phase chunk path, and the scalar remainder.
+    #[test]
+    fn ar1_dispatch_twins_bit_exact(
+        seed in 0u64..400,
+        n0 in 1usize..30,
+        extra in 0usize..12,
+        clamp in 0usize..2,
+    ) {
+        let cfg = Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: clamp == 1,
+        };
+        let run = |dispatch: KernelDispatch| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut batch = Ar1Batch::with_dispatch(cfg, dispatch);
+            for _ in 0..n0 {
+                batch.spawn_one(&mut rng);
+            }
+            let mut mom = RateMoments::new(cfg.mean);
+            batch.advance_and_measure(0.25, &mut rng, &mut mom);
+            // Move phase off zero, then spawn newcomers at phase zero so
+            // the batch leaves the uniform-phase fast path.
+            batch.advance_all(0.07, &mut rng);
+            for _ in 0..extra {
+                batch.spawn_one(&mut rng);
+            }
+            batch.advance_and_measure(0.25, &mut rng, &mut mom);
+            let rate_bits: Vec<u64> = batch.rates().iter().map(|r| r.to_bits()).collect();
+            (
+                rate_bits,
+                mom.sum().to_bits(),
+                mom.sum_sq_dev(cfg.mean).to_bits(),
+                rng,
+            )
+        };
+        prop_assert_eq!(run(KernelDispatch::Wide), run(KernelDispatch::Scalar));
     }
 }
