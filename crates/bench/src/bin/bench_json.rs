@@ -39,12 +39,21 @@
 //!    `"skipped_single_core": true` marker instead; cross-commit
 //!    comparisons must treat such a block as incomparable rather than
 //!    as a regression.
+//! 7. **Serve plane**: the closed-loop decision-plane bench — a
+//!    multi-link request workload replayed through the sharded
+//!    `mbac-serve` plane, reporting p50/p99/mean decision latency and
+//!    sustained decisions/sec. The serial reference row always runs;
+//!    the sharded sweep is gated behind multi-core hosts with the same
+//!    `skipped_single_core` marker as the replication scaling block.
 //!
 //! Environment knobs (all optional; defaults in parentheses):
 //! * `MBAC_BENCH_FLOWS` (400) — flows per tick-loop benchmark;
 //! * `MBAC_BENCH_TICKS` (5000) — ticks per tick-loop benchmark;
 //! * `MBAC_BENCH_REPS` (400) — replications in the scaling benchmark;
-//! * `MBAC_BENCH_WORKERS` (`1,2,4`) — comma-separated worker counts.
+//! * `MBAC_BENCH_WORKERS` (`1,2,4`) — comma-separated worker counts;
+//! * `MBAC_SERVE_LINKS` (32) — links in the serve-plane workload;
+//! * `MBAC_SERVE_TICKS` (200) — measurement ticks per serve link;
+//! * `MBAC_SERVE_SHARDS` (`2,4`) — sharded sweep shard counts.
 //!
 //! Every metric is validated finite before the JSON is written; a NaN
 //! or infinity anywhere aborts the run with a non-zero exit.
@@ -57,6 +66,7 @@ use mbac_core::estimators::snapshot_stats;
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_num::rng::NormalSampler;
 use mbac_num::KernelDispatch;
+use mbac_serve::{closed_loop_with_parallelism, BenchConfig as ServeBenchConfig};
 use mbac_sim::{
     ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
     MbacController, SessionBuilder,
@@ -921,6 +931,115 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+
+    // 7. Serve plane: closed-loop decision latency and throughput. The
+    // serial reference row always runs. The sharded sweep is gated the
+    // same way as replication scaling: on a single-core host threaded
+    // rows would measure scheduler churn, so they are skipped and the
+    // block carries the `skipped_single_core` marker (`closed_loop`
+    // itself re-checks, so a gated host can never fake a threaded row).
+    let serve_shard_counts: Vec<usize> = match std::env::var("MBAC_SERVE_SHARDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| {
+                let w = w.trim();
+                w.parse()
+                    .unwrap_or_else(|e| panic!("MBAC_SERVE_SHARDS entry {w:?}: {e}"))
+            })
+            .collect(),
+        Err(_) => vec![2, 4],
+    };
+    assert!(serve_shard_counts.iter().all(|&s| s > 0));
+    let serve_base = ServeBenchConfig {
+        links: env_usize("MBAC_SERVE_LINKS", 32),
+        ticks: env_usize("MBAC_SERVE_TICKS", 200),
+        ..ServeBenchConfig::default()
+    };
+    let serve_model = mbac_bench::bench_rcbr();
+    let serve_skipped = single_core && !serve_shard_counts.is_empty();
+    if serve_skipped {
+        eprintln!("serve: single-core machine, skipping shard counts {serve_shard_counts:?}");
+    }
+    let mut serve_rows = vec![
+        closed_loop_with_parallelism(&serve_base, &serve_model, parallelism)
+            .expect("valid serve config"),
+    ];
+    if !single_core {
+        for &shards in &serve_shard_counts {
+            let cfg = ServeBenchConfig {
+                shards,
+                producers: 2,
+                ..serve_base.clone()
+            };
+            serve_rows.push(
+                closed_loop_with_parallelism(&cfg, &serve_model, parallelism)
+                    .expect("valid serve config"),
+            );
+        }
+    }
+    let _ = writeln!(json, "  \"serve\": {{");
+    let _ = writeln!(json, "    \"links\": {},", serve_base.links);
+    let _ = writeln!(
+        json,
+        "    \"flows_per_link\": {},",
+        serve_base.flows_per_link
+    );
+    let _ = writeln!(json, "    \"ticks\": {},", serve_base.ticks);
+    let _ = writeln!(
+        json,
+        "    \"requests_per_tick\": {},",
+        serve_base.requests_per_tick
+    );
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "    \"skipped_single_core\": {serve_skipped},");
+    let _ = writeln!(json, "    \"rows\": [");
+    let n_serve_rows = serve_rows.len();
+    for (i, r) in serve_rows.iter().enumerate() {
+        eprintln!(
+            "serve/{} ({} shards, {} producers): {:.0} decisions/s, \
+             p50 {:.0} ns, p99 {:.0} ns",
+            r.mode, r.shards, r.producers, r.decisions_per_sec, r.p50_ns, r.p99_ns
+        );
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"mode\": \"{}\",", r.mode);
+        let _ = writeln!(json, "        \"shards\": {},", r.shards);
+        let _ = writeln!(json, "        \"producers\": {},", r.producers);
+        let _ = writeln!(json, "        \"decisions\": {},", r.decisions);
+        let _ = writeln!(json, "        \"admitted\": {},", r.admitted);
+        let _ = writeln!(json, "        \"rejected\": {},", r.rejected);
+        let _ = writeln!(
+            json,
+            "        \"decisions_per_sec\": {:.0},",
+            finite("serve decisions_per_sec", r.decisions_per_sec)
+        );
+        let _ = writeln!(
+            json,
+            "        \"p50_ns\": {:.1},",
+            finite("serve p50_ns", r.p50_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"p99_ns\": {:.1},",
+            finite("serve p99_ns", r.p99_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"mean_ns\": {:.1},",
+            finite("serve mean_ns", r.mean_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"elapsed_seconds\": {:.4}",
+            finite("serve elapsed_seconds", r.elapsed_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < n_serve_rows { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
@@ -945,18 +1064,26 @@ fn main() {
         .zip(&seconds)
         .map(|(w, s)| format!("[{w}, {s:.4}]"))
         .collect();
+    // The serial reference row is always present and always comparable
+    // across commits (threaded rows are host-shape-dependent).
+    let serve_serial = &serve_rows[0];
     let line = format!(
         "{{\"unix_time\": {unix_time}, \"available_parallelism\": {parallelism}, \
          \"n_flows\": {}, \"ticks\": {}, \"ar1_batched_ns_per_tick\": {:.1}, \
          \"ar1_fused_ns_per_tick\": {:.1}, \"fused_speedup\": {:.2}, \
-         \"memo_hit_ns\": {:.1}, \"workers_seconds\": [{}]}}\n",
+         \"memo_hit_ns\": {:.1}, \"workers_seconds\": [{}], \
+         \"serve_decisions_per_sec\": {:.0}, \"serve_p50_ns\": {:.1}, \
+         \"serve_p99_ns\": {:.1}, \"serve_skipped_single_core\": {serve_skipped}}}\n",
         p.n_flows,
         p.ticks,
         finite("ar1_batched_ns_per_tick", ar1_batched_ns),
         fused_ns,
         fused_speedup,
         hit_ns,
-        scaling.join(", ")
+        scaling.join(", "),
+        finite("serve_decisions_per_sec", serve_serial.decisions_per_sec),
+        finite("serve_p50_ns", serve_serial.p50_ns),
+        finite("serve_p99_ns", serve_serial.p99_ns),
     );
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod design;
+pub mod serve_bench;
 pub mod simulate;
 pub mod theory;
 pub mod trace;

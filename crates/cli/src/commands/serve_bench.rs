@@ -1,0 +1,179 @@
+//! `mbacctl serve-bench` — the closed-loop decision-plane benchmark.
+//!
+//! Generates a multi-link request workload through the Session
+//! pipeline, replays it through the sharded [`mbac_serve`] decision
+//! plane, and reports decision latency percentiles plus sustained
+//! throughput. Invalid configurations surface as friendly messages
+//! (exit code 1), never as panics.
+//!
+//! The printed report keeps the *deterministic* decision totals in a
+//! separate block from the *timing* figures, so byte-comparing the
+//! first block across runs (e.g. scalar vs wide kernel dispatch)
+//! checks the invariance contract without tripping on wall-clock
+//! noise.
+
+use crate::args::{ArgError, Args};
+use mbac_num::KernelDispatch;
+use mbac_serve::{closed_loop, BenchConfig};
+use mbac_sim::Engine;
+use mbac_traffic::ar1::{Ar1Config, Ar1Model};
+use mbac_traffic::process::SourceModel;
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+use mbac_traffic::trace::{Trace, TraceModel};
+use std::sync::Arc;
+
+/// Usage text.
+pub const USAGE: &str = "\
+mbacctl serve-bench [--links <n>] [--flows-per-link <n>] [--ticks <n>]
+                    [--tick <dt>] [--requests-per-tick <n>]
+                    [--holding <T_h>] [--capacity <c>] [--seed <s>]
+                    [--shards <n>] [--producers <n>] [--ring-capacity <n>]
+                    [--p-ce <p>] [--t-m <T_m>]
+                    [--source rcbr|ar1 | --trace <file>]
+                    [--mean <mu> --sd <sigma> --t-c <T_c>]
+                    [--engine batched|boxed] [--kernel-dispatch scalar|wide]
+
+Runs the closed-loop decision-plane benchmark: per-link measurement +
+request streams generated through the Session pipeline are replayed
+into the sharded serve plane, and the report summarizes the admission
+decisions (deterministic for a fixed seed and shape, whatever the
+shard/producer/engine/dispatch choice) plus p50/p99/mean decision
+latency and sustained decisions/sec.
+--shards/--producers pick the plane shape; on a single-core host a
+threaded shape falls back to the serial reference and says so.
+--ring-capacity bounds each shard's ingest ring (the closed loop's
+outstanding-event window). --source picks the flow model (rcbr
+default, or ar1); --trace replays an LRD trace file instead and
+cannot be combined with --mean/--sd/--t-c.";
+
+/// Renders a bench/config error as the CLI's error type.
+fn config_err(e: impl std::fmt::Display) -> ArgError {
+    ArgError(format!("invalid configuration: {e}"))
+}
+
+/// Builds the per-flow traffic source for the generated workload.
+fn build_model(args: &Args) -> Result<Box<dyn SourceModel>, ArgError> {
+    let mean = args.f64_or("mean", 1.0)?;
+    let sd = args.f64_or("sd", 0.3)?;
+    let t_c = args.f64_or("t-c", 1.0)?;
+    if mean <= 0.0 || sd < 0.0 || t_c <= 0.0 {
+        return Err(ArgError("mean, t-c must be positive; sd >= 0".into()));
+    }
+    if let Some(file) = args.get("trace") {
+        let f =
+            std::fs::File::open(file).map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
+        let trace =
+            Arc::new(Trace::read_from(f).map_err(|e| ArgError(format!("parse failed: {e}")))?);
+        return Ok(Box::new(TraceModel::new(trace)));
+    }
+    match args.get("source").unwrap_or("rcbr") {
+        "rcbr" => Ok(Box::new(RcbrModel::new(RcbrConfig {
+            mean,
+            std_dev: sd,
+            t_c,
+            truncate_at_zero: true,
+        }))),
+        "ar1" => Ok(Box::new(Ar1Model::new(Ar1Config {
+            mean,
+            std_dev: sd,
+            t_c,
+            tick: (t_c / 20.0).max(1e-3),
+            clamp_at_zero: true,
+        }))),
+        other => Err(ArgError(format!(
+            "--source must be rcbr or ar1, got {other}"
+        ))),
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "links",
+        "flows-per-link",
+        "ticks",
+        "tick",
+        "requests-per-tick",
+        "holding",
+        "capacity",
+        "seed",
+        "shards",
+        "producers",
+        "ring-capacity",
+        "p-ce",
+        "t-m",
+        "source",
+        "trace",
+        "mean",
+        "sd",
+        "t-c",
+        "engine",
+        "kernel-dispatch",
+    ])?;
+    if args.get("trace").is_some() {
+        for model_flag in ["mean", "sd", "t-c", "source"] {
+            if args.get(model_flag).is_some() {
+                return Err(ArgError(format!(
+                    "--trace and --{model_flag} are mutually exclusive: a trace \
+                     file fixes the source statistics"
+                )));
+            }
+        }
+    }
+    let engine = Engine::from_name(args.get("engine").unwrap_or("batched"))
+        .map_err(|e| ArgError(format!("--{e}")))?;
+    if let Some(mode) = args.get("kernel-dispatch") {
+        KernelDispatch::parse(mode)
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "--kernel-dispatch must be scalar or wide, got {mode}"
+                ))
+            })?
+            .set_global();
+    }
+    let d = BenchConfig::default();
+    let cfg = BenchConfig {
+        links: args.u64_or("links", d.links as u64)? as usize,
+        flows_per_link: args.u64_or("flows-per-link", d.flows_per_link as u64)? as usize,
+        ticks: args.u64_or("ticks", d.ticks as u64)? as usize,
+        tick: args.f64_or("tick", d.tick)?,
+        requests_per_tick: args.u64_or("requests-per-tick", d.requests_per_tick as u64)? as usize,
+        mean_holding: args.f64_or("holding", d.mean_holding)?,
+        seed: args.u64_or("seed", d.seed)?,
+        engine,
+        shards: args.u64_or("shards", 1)? as usize,
+        producers: args.u64_or("producers", 1)? as usize,
+        ring_capacity: args.u64_or("ring-capacity", d.ring_capacity as u64)? as usize,
+        capacity: args.f64_or("capacity", d.capacity)?,
+        p_ce: args.prob_or("p-ce", d.p_ce)?,
+        t_m: args.f64_or("t-m", d.t_m)?,
+    };
+    let model = build_model(args)?;
+    let report = closed_loop(&cfg, model.as_ref()).map_err(config_err)?;
+
+    println!(
+        "serve bench: links = {}, shards = {}, producers = {}, engine = {engine}, mode = {}",
+        cfg.links, report.shards, report.producers, report.mode
+    );
+    if report.skipped_single_core {
+        println!(
+            "  note: threaded shape requested on a single-core host \
+             (available_parallelism = 1); ran the serial reference instead"
+        );
+    }
+    println!("decisions:");
+    println!("  total                : {}", report.decisions);
+    println!(
+        "  admitted / rejected  : {} / {}",
+        report.admitted, report.rejected
+    );
+    println!("  events replayed      : {}", report.events);
+    println!("timing:");
+    println!(
+        "  p50 / p99 / mean     : {:.0} / {:.0} / {:.0} ns",
+        report.p50_ns, report.p99_ns, report.mean_ns
+    );
+    println!("  decisions per second : {:.3e}", report.decisions_per_sec);
+    println!("  elapsed              : {:.4} s", report.elapsed_secs);
+    Ok(())
+}

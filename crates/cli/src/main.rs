@@ -5,6 +5,7 @@
 //! * `design`   — the §5.3 robust design procedure (window + target);
 //! * `theory`   — evaluate the overflow formulas at one parameter point;
 //! * `simulate` — continuous-load simulation (RCBR or trace-driven);
+//! * `serve-bench` — closed-loop decision-plane benchmark;
 //! * `trace`    — generate / inspect LRD rate traces.
 
 mod args;
@@ -19,6 +20,7 @@ commands:
   design     compute the robust MBAC configuration for a link
   theory     evaluate the Grossglauser-Tse overflow formulas
   simulate   run the continuous-load simulator
+  serve-bench  benchmark the sharded admission decision plane
   trace      generate or inspect rate traces
   help       show usage for a command (e.g. `mbacctl help design`)";
 
@@ -35,6 +37,7 @@ fn main() {
                 Some("design") => println!("{}", commands::design::USAGE),
                 Some("theory") => println!("{}", commands::theory::USAGE),
                 Some("simulate") => println!("{}", commands::simulate::USAGE),
+                Some("serve-bench") => println!("{}", commands::serve_bench::USAGE),
                 Some("trace") => println!("{}", commands::trace::USAGE),
                 _ => println!("{TOP_USAGE}"),
             }
@@ -43,6 +46,7 @@ fn main() {
         "design" => Args::parse(rest).and_then(|a| commands::design::run(&a)),
         "theory" => Args::parse(rest).and_then(|a| commands::theory::run(&a)),
         "simulate" => Args::parse(rest).and_then(|a| commands::simulate::run(&a)),
+        "serve-bench" => Args::parse(rest).and_then(|a| commands::serve_bench::run(&a)),
         "trace" => Args::parse(rest).and_then(|a| commands::trace::run(&a)),
         other => {
             eprintln!("unknown command '{other}'\n\n{TOP_USAGE}");

@@ -18,7 +18,7 @@ fn no_args_prints_usage_and_fails() {
 
 #[test]
 fn help_subcommands() {
-    for cmd in ["design", "theory", "simulate", "trace"] {
+    for cmd in ["design", "theory", "simulate", "serve-bench", "trace"] {
         let out = mbacctl(&["help", cmd]);
         assert!(out.status.success(), "help {cmd}");
         assert!(
@@ -446,6 +446,161 @@ fn simulate_rejects_trace_with_rcbr_flags() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+/// The small deterministic serve-bench invocation shared by the tests
+/// below.
+fn small_serve_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "serve-bench",
+        "--links",
+        "3",
+        "--flows-per-link",
+        "6",
+        "--ticks",
+        "8",
+        "--requests-per-tick",
+        "2",
+        "--capacity",
+        "7",
+        "--seed",
+        "11",
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// The deterministic half of a serve-bench report: everything printed
+/// before the `timing:` block (the decision totals).
+fn decision_block(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    text.split("timing:").next().unwrap().to_string()
+}
+
+#[test]
+fn serve_bench_small_run_reports_decisions_and_timing() {
+    let out = mbacctl(&small_serve_args(&[]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve bench:"), "{text}");
+    // 3 links x 8 ticks x 2 requests = 48 decisions.
+    assert!(text.contains("total                : 48"), "{text}");
+    assert!(text.contains("admitted / rejected"), "{text}");
+    assert!(text.contains("p50 / p99 / mean"), "{text}");
+    assert!(text.contains("decisions per second"), "{text}");
+}
+
+#[test]
+fn serve_bench_unknown_flag_is_reported() {
+    let out = mbacctl(&small_serve_args(&["--oops", "1"]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --oops"));
+}
+
+#[test]
+fn serve_bench_rejects_zero_shards_without_panicking() {
+    let out = mbacctl(&small_serve_args(&["--shards", "0"]));
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid configuration"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn serve_bench_rejects_zero_links_without_panicking() {
+    let out = mbacctl(&["serve-bench", "--links", "0"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid configuration"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn serve_bench_rejects_bad_kernel_dispatch() {
+    let out = mbacctl(&small_serve_args(&["--kernel-dispatch", "turbo"]));
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--kernel-dispatch must be scalar or wide")
+    );
+}
+
+#[test]
+fn serve_bench_rejects_bad_source() {
+    let out = mbacctl(&small_serve_args(&["--source", "fractal"]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--source must be rcbr or ar1"));
+}
+
+#[test]
+fn serve_bench_rejects_trace_with_model_flags() {
+    let out = mbacctl(&small_serve_args(&[
+        "--trace",
+        "whatever.txt",
+        "--mean",
+        "1.0",
+    ]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn serve_bench_kernel_dispatch_decisions_are_bit_exact_twins() {
+    // Decision totals are deterministic; only the timing block may vary
+    // between runs, so compare everything above it.
+    let scalar = mbacctl(&small_serve_args(&["--kernel-dispatch", "scalar"]));
+    let wide = mbacctl(&small_serve_args(&["--kernel-dispatch", "wide"]));
+    assert!(
+        scalar.status.success(),
+        "{}",
+        String::from_utf8_lossy(&scalar.stderr)
+    );
+    assert!(
+        wide.status.success(),
+        "{}",
+        String::from_utf8_lossy(&wide.stderr)
+    );
+    assert_eq!(
+        decision_block(&scalar.stdout),
+        decision_block(&wide.stdout),
+        "scalar and wide dispatch decision totals diverged"
+    );
+}
+
+#[test]
+fn serve_bench_sharded_decisions_match_default_shape() {
+    // Shards/producers are performance knobs: the decision block must
+    // not change with the plane shape (on a single-core host the run
+    // falls back to serial and says so — the totals still match).
+    let base = mbacctl(&small_serve_args(&[]));
+    let sharded = mbacctl(&small_serve_args(&["--shards", "4", "--producers", "2"]));
+    assert!(base.status.success());
+    assert!(
+        sharded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let base_block = decision_block(&base.stdout);
+    let sharded_block = decision_block(&sharded.stdout);
+    // Strip the header/note lines (they name the shape) and compare the
+    // decision totals proper.
+    let totals = |block: &str| {
+        block
+            .lines()
+            .skip_while(|l| !l.starts_with("decisions:"))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        totals(&base_block),
+        totals(&sharded_block),
+        "plane shape leaked into the decision totals"
+    );
 }
 
 #[test]

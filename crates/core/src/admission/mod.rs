@@ -50,6 +50,21 @@ pub trait AdmissionPolicy: Send + Sync {
     }
 }
 
+/// Sharing a policy: an `Arc<P>` is itself a policy, delegating to the
+/// shared instance. The decision plane (`mbac-serve`) keeps thousands of
+/// per-link controllers alive at once; policies are stateless after
+/// construction, so all of them can point at one allocation instead of
+/// each boxing its own copy.
+impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for std::sync::Arc<P> {
+    fn admissible_count(&self, est: Estimate, capacity: f64) -> f64 {
+        (**self).admissible_count(est, capacity)
+    }
+
+    fn admit(&self, est: Estimate, capacity: f64, current: usize) -> bool {
+        (**self).admit(est, capacity, current)
+    }
+}
+
 /// Solves `Q[(c − Mμ)/(σ√M)] = p` for `M` — the paper's eqn (42):
 ///
 /// `M = ( √(σ²α² + 4cμ) − σα )² / (4μ²)`,  `α = Q⁻¹(p)`.
@@ -131,6 +146,26 @@ mod tests {
         assert!(gaussian_admissible_count(1.0, 0.3, 4.0, 100.0) < base);
         // Bigger flows -> fewer of them.
         assert!(gaussian_admissible_count(1.5, 0.3, 3.0, 100.0) < base);
+    }
+
+    #[test]
+    fn arc_policy_delegates_bit_exactly() {
+        use std::sync::Arc;
+        let p = CertaintyEquivalent::from_probability(1e-3);
+        let shared: Arc<dyn AdmissionPolicy> =
+            Arc::new(CertaintyEquivalent::from_probability(1e-3));
+        let est = Estimate {
+            mean: 1.0,
+            variance: 0.09,
+        };
+        assert_eq!(
+            p.admissible_count(est, 100.0).to_bits(),
+            shared.admissible_count(est, 100.0).to_bits()
+        );
+        assert_eq!(
+            p.admit(est, 100.0, 50),
+            Arc::clone(&shared).admit(est, 100.0, 50)
+        );
     }
 
     #[test]

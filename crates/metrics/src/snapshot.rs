@@ -102,6 +102,28 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Merges `other` into `self` with every incoming name rewritten to
+    /// `<prefix>.<name>` — the namespacing primitive for components that
+    /// publish one instrument bundle per unit (the decision plane's
+    /// per-shard `serve.shard<i>.*` entries, for example) without
+    /// hand-formatting every key at each record site.
+    ///
+    /// # Panics
+    /// Panics if a rewritten name collides with an existing entry of a
+    /// different instrument kind (same contract as
+    /// [`MetricsSnapshot::merge`]).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (name, value) in &other.entries {
+            let key = format!("{prefix}.{name}");
+            match self.entries.get_mut(&key) {
+                Some(mine) => mine.merge(value),
+                None => {
+                    self.entries.insert(key, value.clone());
+                }
+            }
+        }
+    }
+
     /// Serializes per the `mbac-metrics/v1` contract
     /// (`results/METRICS_schema.md`): a stable, name-sorted JSON object.
     /// Non-finite floats (e.g. the min of an empty histogram) become
@@ -263,6 +285,26 @@ mod tests {
         );
         a.merge(&lone);
         assert!(a.get("only.here").is_some());
+    }
+
+    #[test]
+    fn merge_prefixed_rewrites_names_and_sums_on_collision() {
+        let mut plane = MetricsSnapshot::new();
+        let shard = sample();
+        plane.merge_prefixed("serve.shard0", &shard);
+        plane.merge_prefixed("serve.shard1", &shard);
+        // Second bundle under an existing prefix merges, not replaces.
+        plane.merge_prefixed("serve.shard0", &shard);
+        assert!(plane.get("a.count").is_none(), "unprefixed name leaked");
+        match plane.get("serve.shard0.a.count") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 14),
+            other => panic!("{other:?}"),
+        }
+        match plane.get("serve.shard1.a.count") {
+            Some(MetricValue::Counter(c)) => assert_eq!(c.count, 7),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(plane.len(), 2 * sample().len());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! The closed-loop load generator: replays Scenario-generated traffic
+//! as admission requests and measures decision latency and throughput.
+//!
+//! "Closed loop" here is the backpressure sense: the bounded ingest
+//! rings cap the outstanding-event window, so producers block (yield)
+//! when a shard falls behind instead of queueing unboundedly — measured
+//! latency is ingest-to-decision under a stable offered load, not a
+//! growing queue artifact.
+//!
+//! Single-core hosts cannot produce meaningful *threaded* throughput:
+//! producers, consumers, and the generator all time-share one CPU, so a
+//! multi-shard run measures scheduler churn, not the plane. Mirroring
+//! the `replication_scaling` gate in `bench_json`, [`closed_loop`]
+//! falls back to the serial reference and sets
+//! [`BenchReport::skipped_single_core`] when
+//! `available_parallelism() == 1` and a threaded shape was requested —
+//! the recorded numbers are then honest serial-path figures, marked as
+//! such.
+
+use crate::plane::{certainty_equivalent_factory, PlaneConfig, ServeError};
+use crate::replay::{replay_serial, replay_threaded, ReplayConfig};
+use mbac_num::quantile;
+use mbac_sim::{ConfigError, Engine, MetricsMode, RequestLoad, RequestLoadConfig, SessionBuilder};
+use mbac_traffic::process::SourceModel;
+
+/// Closed-loop bench configuration: workload shape plus plane shape.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Links (one request stream per link).
+    pub links: usize,
+    /// Steady-state flows per link in the generated workload.
+    pub flows_per_link: usize,
+    /// Measurement ticks per link.
+    pub ticks: usize,
+    /// Measurement period.
+    pub tick: f64,
+    /// Admission requests after each measurement.
+    pub requests_per_tick: usize,
+    /// Mean holding time of the churned workload flows.
+    pub mean_holding: f64,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Flow engine generating the workload.
+    pub engine: Engine,
+    /// Decision-plane shards.
+    pub shards: usize,
+    /// Producer threads feeding the rings.
+    pub producers: usize,
+    /// Per-shard ingest-ring capacity (the outstanding-event window).
+    pub ring_capacity: usize,
+    /// Per-link capacity the controllers decide against.
+    pub capacity: f64,
+    /// Certainty-equivalent target probability.
+    pub p_ce: f64,
+    /// Estimator memory time-scale.
+    pub t_m: f64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            links: 32,
+            flows_per_link: 50,
+            ticks: 200,
+            tick: 0.1,
+            requests_per_tick: 4,
+            mean_holding: 10.0,
+            seed: 7,
+            engine: Engine::Batched,
+            shards: 1,
+            producers: 1,
+            ring_capacity: 1024,
+            capacity: 60.0,
+            p_ce: 1e-2,
+            t_m: 5.0,
+        }
+    }
+}
+
+/// What went wrong setting up or running a bench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The workload configuration was rejected.
+    Config(ConfigError),
+    /// The plane/replay configuration was rejected.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Config(e) => e.fmt(f),
+            BenchError::Serve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<ConfigError> for BenchError {
+    fn from(e: ConfigError) -> Self {
+        BenchError::Config(e)
+    }
+}
+
+impl From<ServeError> for BenchError {
+    fn from(e: ServeError) -> Self {
+        BenchError::Serve(e)
+    }
+}
+
+/// One closed-loop run's results.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"serial"` (single-threaded reference path) or `"threaded"`
+    /// (producers + per-shard consumers).
+    pub mode: &'static str,
+    /// Shards actually used.
+    pub shards: usize,
+    /// Producer threads actually used.
+    pub producers: usize,
+    /// Total admission decisions made.
+    pub decisions: u64,
+    /// Admits.
+    pub admitted: u64,
+    /// Rejects.
+    pub rejected: u64,
+    /// Total workload events replayed (measurements + requests).
+    pub events: u64,
+    /// End-to-end replay wall time.
+    pub elapsed_secs: f64,
+    /// Sustained decision throughput.
+    pub decisions_per_sec: f64,
+    /// Median decision latency (ingest→decision when threaded, bare
+    /// decide when serial), nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile decision latency, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean decision latency, nanoseconds.
+    pub mean_ns: f64,
+    /// `available_parallelism()` observed on this host.
+    pub available_parallelism: usize,
+    /// `true` when a threaded shape was requested but the host has one
+    /// core, so the run fell back to the serial reference (the recorded
+    /// throughput is serial-path, not a scaling claim).
+    pub skipped_single_core: bool,
+}
+
+/// The host's available parallelism (1 when undeterminable).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs the closed-loop bench: generates the workload through the
+/// Session pipeline, replays it through the plane, and summarizes
+/// latency/throughput. Detects host parallelism itself — see
+/// [`closed_loop_with_parallelism`] for the testable core.
+pub fn closed_loop(cfg: &BenchConfig, model: &dyn SourceModel) -> Result<BenchReport, BenchError> {
+    closed_loop_with_parallelism(cfg, model, host_parallelism())
+}
+
+/// [`closed_loop`] with the host parallelism injected (tests force both
+/// the gated and ungated paths regardless of the actual host).
+pub fn closed_loop_with_parallelism(
+    cfg: &BenchConfig,
+    model: &dyn SourceModel,
+    parallelism: usize,
+) -> Result<BenchReport, BenchError> {
+    if cfg.shards == 0 {
+        return Err(ServeError::ZeroShards.into());
+    }
+    if cfg.producers == 0 {
+        return Err(ServeError::ZeroProducers.into());
+    }
+    let load = RequestLoad {
+        model,
+        cfg: RequestLoadConfig {
+            links: cfg.links,
+            flows_per_link: cfg.flows_per_link,
+            ticks: cfg.ticks,
+            tick: cfg.tick,
+            requests_per_tick: cfg.requests_per_tick,
+            mean_holding: cfg.mean_holding,
+            seed: cfg.seed,
+        },
+    };
+    let workload = SessionBuilder::new().engine(cfg.engine).run(&load)?;
+
+    let threaded_requested = cfg.shards > 1 || cfg.producers > 1;
+    let single_core = parallelism == 1;
+    let skipped_single_core = threaded_requested && single_core;
+    let run_threaded = threaded_requested && !single_core;
+
+    let replay_cfg = ReplayConfig {
+        plane: PlaneConfig {
+            shards: if run_threaded { cfg.shards } else { 1 },
+            capacity: cfg.capacity,
+            ring_capacity: cfg.ring_capacity,
+            metrics: MetricsMode::Disabled,
+        },
+        producers: if run_threaded { cfg.producers } else { 1 },
+        stamp_latency: true,
+    };
+    let make = certainty_equivalent_factory(cfg.p_ce, cfg.t_m);
+    let outcome = if run_threaded {
+        replay_threaded(&replay_cfg, make, &workload)?
+    } else {
+        replay_serial(&replay_cfg, make, &workload)?
+    };
+
+    let latencies: Vec<f64> = outcome.latencies_ns().iter().map(|&ns| ns as f64).collect();
+    let (p50_ns, p99_ns, mean_ns) = if latencies.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            quantile(&latencies, 0.5),
+            quantile(&latencies, 0.99),
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+        )
+    };
+    let elapsed_secs = outcome.elapsed.as_secs_f64();
+    Ok(BenchReport {
+        mode: if run_threaded { "threaded" } else { "serial" },
+        shards: replay_cfg.plane.shards,
+        producers: replay_cfg.producers,
+        decisions: outcome.decisions,
+        admitted: outcome.admitted,
+        rejected: outcome.rejected(),
+        events: workload.total_events() as u64,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            outcome.decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_ns,
+        p99_ns,
+        mean_ns,
+        available_parallelism: parallelism,
+        skipped_single_core,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+    fn small() -> BenchConfig {
+        BenchConfig {
+            links: 3,
+            flows_per_link: 5,
+            ticks: 10,
+            requests_per_tick: 2,
+            capacity: 6.0,
+            ..BenchConfig::default()
+        }
+    }
+
+    fn model() -> RcbrModel {
+        RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    #[test]
+    fn serial_bench_reports_consistent_totals() {
+        let report = closed_loop_with_parallelism(&small(), &model(), 1).unwrap();
+        assert_eq!(report.mode, "serial");
+        assert!(!report.skipped_single_core, "serial shape skips nothing");
+        assert_eq!(report.decisions, 3 * 10 * 2);
+        assert_eq!(report.admitted + report.rejected, report.decisions);
+        assert_eq!(report.events, 3 * 10 * 3);
+        assert!(report.decisions_per_sec > 0.0);
+        assert!(report.p50_ns <= report.p99_ns);
+        assert!(report.p99_ns > 0.0);
+    }
+
+    #[test]
+    fn single_core_gate_falls_back_to_serial_with_marker() {
+        let cfg = BenchConfig {
+            shards: 4,
+            producers: 2,
+            ..small()
+        };
+        let report = closed_loop_with_parallelism(&cfg, &model(), 1).unwrap();
+        assert!(report.skipped_single_core);
+        assert_eq!(report.mode, "serial");
+        assert_eq!(report.shards, 1, "fallback must not fake a sharded run");
+        assert_eq!(report.producers, 1);
+        assert_eq!(report.available_parallelism, 1);
+    }
+
+    #[test]
+    fn multi_core_runs_threaded_without_marker() {
+        let cfg = BenchConfig {
+            shards: 2,
+            producers: 2,
+            ..small()
+        };
+        let report = closed_loop_with_parallelism(&cfg, &model(), 4).unwrap();
+        assert!(!report.skipped_single_core);
+        assert_eq!(report.mode, "threaded");
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.decisions, 3 * 10 * 2);
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected() {
+        let cfg = BenchConfig {
+            shards: 0,
+            ..small()
+        };
+        assert_eq!(
+            closed_loop_with_parallelism(&cfg, &model(), 1).unwrap_err(),
+            BenchError::Serve(ServeError::ZeroShards)
+        );
+        let cfg = BenchConfig {
+            links: 0,
+            ..small()
+        };
+        assert!(matches!(
+            closed_loop_with_parallelism(&cfg, &model(), 1),
+            Err(BenchError::Config(ConfigError::ZeroReplications))
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mbac-serve — the sharded admission decision plane
+//!
+//! Turns the paper's O(1) admission controller into a service shape:
+//!
+//! * [`ring::IngestRing`] — a bounded lock-free multi-producer
+//!   measurement-ingest ring (per-producer FIFO, loss-free, visible
+//!   backpressure);
+//! * [`plane::DecisionPlane`] — per-link [`mbac_sim::MbacController`]
+//!   state hashed across shards, drained and decided in batch
+//!   ([`plane::Shard::decide_batch`] applies every pending measurement
+//!   before any decision);
+//! * [`replay`] — the single-threaded serial reference and the
+//!   multi-producer sharded replay of a Scenario-generated
+//!   [`mbac_sim::ServeWorkload`];
+//! * [`bench::closed_loop`] — the closed-loop load generator reporting
+//!   p50/p99 decision latency and sustained decisions/sec, with the
+//!   single-core gate (`skipped_single_core`) for hosts where threaded
+//!   throughput would be meaningless.
+//!
+//! # Correctness bar
+//!
+//! Admission decisions under concurrency must match the serial
+//! reference *exactly*: for any shard count, producer count, and flow
+//! engine, each link's admit/reject sequence (with its admissible
+//! counts, bit for bit) equals the single-threaded replay's. The
+//! argument is per-link order preservation — see [`plane`]'s module
+//! docs — and `tests/invariance.rs` proves it property-based.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod plane;
+pub mod replay;
+pub mod ring;
+
+pub use bench::{
+    closed_loop, closed_loop_with_parallelism, host_parallelism, BenchConfig, BenchError,
+    BenchReport,
+};
+pub use plane::{
+    certainty_equivalent_factory, plane_snapshot, shard_of, ControllerFactory, Decision,
+    DecisionPlane, IngestHandle, PlaneConfig, ServeError, Shard, ShardEvent,
+};
+pub use replay::{replay_serial, replay_threaded, ReplayConfig, ReplayOutcome};
+pub use ring::IngestRing;

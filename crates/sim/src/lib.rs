@@ -32,6 +32,7 @@ pub mod controller;
 pub mod events;
 pub mod flows;
 pub mod metrics;
+pub mod requests;
 pub mod runner;
 pub mod session;
 pub mod telemetry;
@@ -41,6 +42,7 @@ pub use controller::{AdmissionEngine, MbacController, MeasuredSumController};
 pub use events::EventQueue;
 pub use flows::FlowTable;
 pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter};
+pub use requests::{LinkEvent, RequestLoad, RequestLoadConfig, ServeWorkload};
 pub use runner::{
     ContinuousConfig, ContinuousLoad, ContinuousReport, ImpulsiveConfig, ImpulsiveLoad,
     ImpulsiveReport, PhaseReport, PhasedLoad,

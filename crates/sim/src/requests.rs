@@ -1,0 +1,324 @@
+//! Scenario-as-request-stream adapter: replays the simulator's traffic
+//! models as a *decision-plane workload*.
+//!
+//! The serve crate needs realistic admission traffic — links whose
+//! measured load evolves like the paper's RCBR/AR(1)/trace sources,
+//! interleaved with admission requests. [`RequestLoad`] produces exactly
+//! that by running one [`FlowTable`](crate::flows::FlowTable) per link
+//! through the [`Scenario`] pipeline: each replication *is* one link,
+//! evolving `flows_per_link` flows with exponential holding-time churn
+//! and emitting, per measurement tick, one [`LinkEvent::Measure`]
+//! snapshot followed by `requests_per_tick` [`LinkEvent::Request`]s.
+//!
+//! Because generation rides the Session pipeline, a workload is
+//! **bit-identical for any worker count and either flow engine** (the
+//! `rep_seed` determinism contract), so the serve invariance tests can
+//! generate their streams in parallel without weakening the comparison.
+//!
+//! # Ordering contract
+//!
+//! The scientific content of a workload is **per-link order**: each
+//! link's interleaving of measurements and requests is what the
+//! controller's decision sequence depends on. Cross-link order is
+//! deliberately unspecified — the decision plane is free to interleave
+//! links arbitrarily (that is the whole point of sharding), and
+//! [`ServeWorkload::canonical_events`] provides one fixed round-robin
+//! merge as the serial-reference order.
+
+use crate::session::{require_positive, ConfigError, RepContext, Scenario};
+use crate::telemetry::MetricsSink;
+use mbac_num::rng::exponential;
+use mbac_traffic::process::SourceModel;
+
+/// One event in a link's serve workload, in per-link order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkEvent {
+    /// A measurement snapshot: the per-flow instantaneous rates on the
+    /// link at time `t` (the estimator input of eqn (23)).
+    Measure {
+        /// Absolute measurement time.
+        t: f64,
+        /// Per-flow rates; the length is the link's occupancy.
+        rates: Box<[f64]>,
+    },
+    /// An admission request arriving at time `t`.
+    Request {
+        /// Absolute arrival time.
+        t: f64,
+    },
+}
+
+/// Configuration of the request-stream workload.
+#[derive(Debug, Clone)]
+pub struct RequestLoadConfig {
+    /// Number of links (one replication — one RNG stream — per link).
+    pub links: usize,
+    /// Steady-state flow population per link (churned, then topped up,
+    /// every tick).
+    pub flows_per_link: usize,
+    /// Measurement ticks per link.
+    pub ticks: usize,
+    /// Measurement period `τ` (absolute times are `step · τ`).
+    pub tick: f64,
+    /// Admission requests emitted after each measurement.
+    pub requests_per_tick: usize,
+    /// Mean exponential holding time of the churned flows.
+    pub mean_holding: f64,
+    /// Base seed (the builder may override it).
+    pub seed: u64,
+}
+
+/// The generated workload: per-link event streams, link `l` at index
+/// `l` (link ids are replication indices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeWorkload {
+    per_link: Vec<Vec<LinkEvent>>,
+}
+
+impl ServeWorkload {
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.per_link.len()
+    }
+
+    /// Link `link`'s event stream, in per-link order.
+    pub fn events(&self, link: usize) -> &[LinkEvent] {
+        &self.per_link[link]
+    }
+
+    /// Total admission requests across all links.
+    pub fn total_requests(&self) -> usize {
+        self.per_link
+            .iter()
+            .map(|evs| {
+                evs.iter()
+                    .filter(|e| matches!(e, LinkEvent::Request { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Total events across all links.
+    pub fn total_events(&self) -> usize {
+        self.per_link.iter().map(Vec::len).sum()
+    }
+
+    /// The canonical serial-reference order: a round-robin merge by
+    /// event index (`link 0 event 0, link 1 event 0, …, link 0 event 1,
+    /// …`). Any order that preserves each link's own sequence yields the
+    /// same per-link decisions (the serve invariance suite proves this);
+    /// this one is the fixed reference the sharded plane is compared
+    /// against.
+    pub fn canonical_events(&self) -> impl Iterator<Item = (u64, &LinkEvent)> {
+        let longest = self.per_link.iter().map(Vec::len).max().unwrap_or(0);
+        (0..longest).flat_map(move |i| {
+            self.per_link
+                .iter()
+                .enumerate()
+                .filter_map(move |(link, evs)| evs.get(i).map(|e| (link as u64, e)))
+        })
+    }
+}
+
+/// The request-stream scenario: replication `r` generates link `r`'s
+/// event stream from the source model's traffic.
+pub struct RequestLoad<'a> {
+    /// The per-flow traffic model (RCBR, AR(1), trace, …).
+    pub model: &'a dyn SourceModel,
+    /// Workload shape.
+    pub cfg: RequestLoadConfig,
+}
+
+impl Scenario for RequestLoad<'_> {
+    type Rep = Vec<LinkEvent>;
+    type Report = ServeWorkload;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.cfg.links == 0 {
+            // One replication per link: zero links is zero replications.
+            return Err(ConfigError::ZeroReplications);
+        }
+        if self.cfg.flows_per_link < 2 {
+            return Err(ConfigError::TooFewFlows {
+                got: self.cfg.flows_per_link,
+            });
+        }
+        require_positive("ticks", self.cfg.ticks as f64)?;
+        require_positive("tick", self.cfg.tick)?;
+        require_positive("mean holding time", self.cfg.mean_holding)?;
+        Ok(())
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn replications(&self) -> usize {
+        self.cfg.links
+    }
+
+    fn run_rep(&self, ctx: &RepContext, _sink: &mut MetricsSink) -> Vec<LinkEvent> {
+        let cfg = &self.cfg;
+        let mut rng = ctx.rng();
+        let mut table = ctx.table();
+        let mut snap = ctx.scratch_rates();
+        // Seed population with exponential residual holding times.
+        for _ in 0..cfg.flows_per_link {
+            let hold = exponential(&mut rng, cfg.mean_holding);
+            table.admit(self.model, hold, &mut rng);
+        }
+        let mut events = Vec::with_capacity(cfg.ticks * (1 + cfg.requests_per_tick));
+        for step in 1..=cfg.ticks {
+            let now = step as f64 * cfg.tick;
+            table.advance_to(now, &mut rng);
+            table.depart_until(now);
+            // Churn: top the population back up, so the measured link
+            // carries fresh flows but a stable occupancy.
+            while table.len() < cfg.flows_per_link {
+                let hold = exponential(&mut rng, cfg.mean_holding);
+                table.admit(self.model, now + hold, &mut rng);
+            }
+            table.snapshot_into(&mut snap);
+            events.push(LinkEvent::Measure {
+                t: now,
+                rates: snap.as_slice().into(),
+            });
+            for _ in 0..cfg.requests_per_tick {
+                events.push(LinkEvent::Request { t: now });
+            }
+        }
+        events
+    }
+
+    fn fold(&self, reps: Vec<Vec<LinkEvent>>) -> ServeWorkload {
+        ServeWorkload { per_link: reps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+    fn config() -> RequestLoadConfig {
+        RequestLoadConfig {
+            links: 3,
+            flows_per_link: 8,
+            ticks: 20,
+            tick: 0.5,
+            requests_per_tick: 2,
+            mean_holding: 5.0,
+            seed: 11,
+        }
+    }
+
+    fn model() -> RcbrModel {
+        RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    #[test]
+    fn workload_has_expected_shape() {
+        let m = model();
+        let load = RequestLoad {
+            model: &m,
+            cfg: config(),
+        };
+        let w = SessionBuilder::new().run(&load).unwrap();
+        assert_eq!(w.links(), 3);
+        assert_eq!(w.total_requests(), 3 * 20 * 2);
+        assert_eq!(w.total_events(), 3 * 20 * 3);
+        for link in 0..w.links() {
+            let evs = w.events(link);
+            // Per-link pattern: Measure, then requests_per_tick Requests.
+            for (i, e) in evs.iter().enumerate() {
+                match i % 3 {
+                    0 => assert!(matches!(e, LinkEvent::Measure { .. })),
+                    _ => assert!(matches!(e, LinkEvent::Request { .. })),
+                }
+            }
+            // Occupancy is topped up to the target every tick.
+            for e in evs {
+                if let LinkEvent::Measure { rates, .. } = e {
+                    assert_eq!(rates.len(), 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_worker_and_engine_invariant() {
+        let m = model();
+        let load = RequestLoad {
+            model: &m,
+            cfg: config(),
+        };
+        let reference = SessionBuilder::new().workers(1).run(&load).unwrap();
+        for workers in [2, 4] {
+            let w = SessionBuilder::new().workers(workers).run(&load).unwrap();
+            assert_eq!(w, reference, "diverged at {workers} workers");
+        }
+        let boxed = SessionBuilder::new()
+            .engine(crate::session::Engine::Boxed)
+            .run(&load)
+            .unwrap();
+        assert_eq!(boxed, reference, "boxed engine diverged");
+    }
+
+    #[test]
+    fn canonical_order_is_round_robin_and_complete() {
+        let m = model();
+        let load = RequestLoad {
+            model: &m,
+            cfg: config(),
+        };
+        let w = SessionBuilder::new().run(&load).unwrap();
+        let merged: Vec<(u64, &LinkEvent)> = w.canonical_events().collect();
+        assert_eq!(merged.len(), w.total_events());
+        // Per-link subsequence of the merge equals the link's own stream.
+        for link in 0..w.links() {
+            let sub: Vec<&LinkEvent> = merged
+                .iter()
+                .filter(|&&(l, _)| l == link as u64)
+                .map(|&(_, e)| e)
+                .collect();
+            let own: Vec<&LinkEvent> = w.events(link).iter().collect();
+            assert_eq!(sub, own);
+        }
+        assert_eq!(merged[0].0, 0);
+        assert_eq!(merged[1].0, 1);
+        assert_eq!(merged[2].0, 2);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let m = model();
+        let mut cfg = config();
+        cfg.links = 0;
+        let err = RequestLoad {
+            model: &m,
+            cfg: cfg.clone(),
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroReplications);
+
+        let mut cfg = config();
+        cfg.flows_per_link = 1;
+        assert!(matches!(
+            RequestLoad {
+                model: &m,
+                cfg: cfg.clone()
+            }
+            .validate(),
+            Err(ConfigError::TooFewFlows { got: 1 })
+        ));
+
+        let mut cfg = config();
+        cfg.tick = 0.0;
+        assert!(matches!(
+            RequestLoad { model: &m, cfg }.validate(),
+            Err(ConfigError::NonPositive { field: "tick", .. })
+        ));
+    }
+}
