@@ -45,6 +45,12 @@
 //!    sustained decisions/sec. The serial reference row always runs;
 //!    the sharded sweep is gated behind multi-core hosts with the same
 //!    `skipped_single_core` marker as the replication scaling block.
+//! 8. **Routed topology plane**: the same closed-loop bench over a
+//!    parking-lot(3) topology — every decision joins three per-hop
+//!    votes through the two-phase reserve/commit — so the cost of
+//!    multi-hop composition relative to the per-link plane is on
+//!    record. Serial row always; shard sweep behind the same
+//!    single-core gate (reusing `MBAC_SERVE_SHARDS`/`MBAC_SERVE_TICKS`).
 //!
 //! Environment knobs (all optional; defaults in parentheses):
 //! * `MBAC_BENCH_FLOWS` (400) — flows per tick-loop benchmark;
@@ -66,7 +72,10 @@ use mbac_core::estimators::snapshot_stats;
 use mbac_core::params::{FlowStats, QosTarget};
 use mbac_num::rng::NormalSampler;
 use mbac_num::KernelDispatch;
-use mbac_serve::{closed_loop_with_parallelism, BenchConfig as ServeBenchConfig};
+use mbac_serve::{
+    closed_loop_with_parallelism, routed_closed_loop_with_parallelism,
+    BenchConfig as ServeBenchConfig, BenchReport, RoutedBenchConfig,
+};
 use mbac_sim::{
     ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
     MbacController, SessionBuilder,
@@ -133,6 +142,52 @@ impl Params {
 fn finite(label: &str, x: f64) -> f64 {
     assert!(x.is_finite(), "bench metric {label} is not finite: {x}");
     x
+}
+
+/// Emits one JSON row per [`BenchReport`] (shared by the serve and
+/// topology blocks, which record identical per-row fields).
+fn write_bench_rows(json: &mut String, label: &str, rows: &[BenchReport]) {
+    let n = rows.len();
+    for (i, r) in rows.iter().enumerate() {
+        eprintln!(
+            "{label}/{} ({} shards, {} producers): {:.0} decisions/s, \
+             p50 {:.0} ns, p99 {:.0} ns",
+            r.mode, r.shards, r.producers, r.decisions_per_sec, r.p50_ns, r.p99_ns
+        );
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"mode\": \"{}\",", r.mode);
+        let _ = writeln!(json, "        \"shards\": {},", r.shards);
+        let _ = writeln!(json, "        \"producers\": {},", r.producers);
+        let _ = writeln!(json, "        \"decisions\": {},", r.decisions);
+        let _ = writeln!(json, "        \"admitted\": {},", r.admitted);
+        let _ = writeln!(json, "        \"rejected\": {},", r.rejected);
+        let _ = writeln!(
+            json,
+            "        \"decisions_per_sec\": {:.0},",
+            finite("decisions_per_sec", r.decisions_per_sec)
+        );
+        let _ = writeln!(
+            json,
+            "        \"p50_ns\": {:.1},",
+            finite("p50_ns", r.p50_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"p99_ns\": {:.1},",
+            finite("p99_ns", r.p99_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"mean_ns\": {:.1},",
+            finite("mean_ns", r.mean_ns)
+        );
+        let _ = writeln!(
+            json,
+            "        \"elapsed_seconds\": {:.4}",
+            finite("elapsed_seconds", r.elapsed_secs)
+        );
+        let _ = writeln!(json, "      }}{}", if i + 1 < n { "," } else { "" });
+    }
 }
 
 fn ar1_cfg() -> Ar1Config {
@@ -994,51 +1049,55 @@ fn main() {
     let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "    \"skipped_single_core\": {serve_skipped},");
     let _ = writeln!(json, "    \"rows\": [");
-    let n_serve_rows = serve_rows.len();
-    for (i, r) in serve_rows.iter().enumerate() {
-        eprintln!(
-            "serve/{} ({} shards, {} producers): {:.0} decisions/s, \
-             p50 {:.0} ns, p99 {:.0} ns",
-            r.mode, r.shards, r.producers, r.decisions_per_sec, r.p50_ns, r.p99_ns
-        );
-        let _ = writeln!(json, "      {{");
-        let _ = writeln!(json, "        \"mode\": \"{}\",", r.mode);
-        let _ = writeln!(json, "        \"shards\": {},", r.shards);
-        let _ = writeln!(json, "        \"producers\": {},", r.producers);
-        let _ = writeln!(json, "        \"decisions\": {},", r.decisions);
-        let _ = writeln!(json, "        \"admitted\": {},", r.admitted);
-        let _ = writeln!(json, "        \"rejected\": {},", r.rejected);
-        let _ = writeln!(
-            json,
-            "        \"decisions_per_sec\": {:.0},",
-            finite("serve decisions_per_sec", r.decisions_per_sec)
-        );
-        let _ = writeln!(
-            json,
-            "        \"p50_ns\": {:.1},",
-            finite("serve p50_ns", r.p50_ns)
-        );
-        let _ = writeln!(
-            json,
-            "        \"p99_ns\": {:.1},",
-            finite("serve p99_ns", r.p99_ns)
-        );
-        let _ = writeln!(
-            json,
-            "        \"mean_ns\": {:.1},",
-            finite("serve mean_ns", r.mean_ns)
-        );
-        let _ = writeln!(
-            json,
-            "        \"elapsed_seconds\": {:.4}",
-            finite("serve elapsed_seconds", r.elapsed_secs)
-        );
-        let _ = writeln!(
-            json,
-            "      }}{}",
-            if i + 1 < n_serve_rows { "," } else { "" }
-        );
+    write_bench_rows(&mut json, "serve", &serve_rows);
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+
+    // 8. Routed topology plane: the closed loop again, but every
+    // decision joins three per-hop votes on a parking-lot(3) route
+    // through the two-phase reserve/commit. Same gating as the serve
+    // block; the serial row is the cross-commit-comparable one.
+    let routed_base = RoutedBenchConfig {
+        ticks: serve_base.ticks,
+        ..RoutedBenchConfig::default()
+    };
+    let mut routed_rows =
+        vec![
+            routed_closed_loop_with_parallelism(&routed_base, &serve_model, parallelism)
+                .expect("valid routed config"),
+        ];
+    if !single_core {
+        for &shards in &serve_shard_counts {
+            let cfg = RoutedBenchConfig {
+                shards,
+                producers: 2,
+                ..routed_base.clone()
+            };
+            routed_rows.push(
+                routed_closed_loop_with_parallelism(&cfg, &serve_model, parallelism)
+                    .expect("valid routed config"),
+            );
+        }
     }
+    let _ = writeln!(json, "  \"topology\": {{");
+    let _ = writeln!(json, "    \"shape\": \"parking-lot:3\",");
+    let _ = writeln!(json, "    \"links\": {},", routed_base.topology.links());
+    let _ = writeln!(json, "    \"routes\": {},", routed_base.topology.routes());
+    let _ = writeln!(
+        json,
+        "    \"flows_per_route\": {},",
+        routed_base.flows_per_route
+    );
+    let _ = writeln!(json, "    \"ticks\": {},", routed_base.ticks);
+    let _ = writeln!(
+        json,
+        "    \"requests_per_tick\": {},",
+        routed_base.requests_per_tick
+    );
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "    \"skipped_single_core\": {serve_skipped},");
+    let _ = writeln!(json, "    \"rows\": [");
+    write_bench_rows(&mut json, "topology", &routed_rows);
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
@@ -1067,13 +1126,16 @@ fn main() {
     // The serial reference row is always present and always comparable
     // across commits (threaded rows are host-shape-dependent).
     let serve_serial = &serve_rows[0];
+    let routed_serial = &routed_rows[0];
     let line = format!(
         "{{\"unix_time\": {unix_time}, \"available_parallelism\": {parallelism}, \
          \"n_flows\": {}, \"ticks\": {}, \"ar1_batched_ns_per_tick\": {:.1}, \
          \"ar1_fused_ns_per_tick\": {:.1}, \"fused_speedup\": {:.2}, \
          \"memo_hit_ns\": {:.1}, \"workers_seconds\": [{}], \
          \"serve_decisions_per_sec\": {:.0}, \"serve_p50_ns\": {:.1}, \
-         \"serve_p99_ns\": {:.1}, \"serve_skipped_single_core\": {serve_skipped}}}\n",
+         \"serve_p99_ns\": {:.1}, \"serve_skipped_single_core\": {serve_skipped}, \
+         \"routed_decisions_per_sec\": {:.0}, \"routed_p50_ns\": {:.1}, \
+         \"routed_p99_ns\": {:.1}, \"routed_skipped_single_core\": {serve_skipped}}}\n",
         p.n_flows,
         p.ticks,
         finite("ar1_batched_ns_per_tick", ar1_batched_ns),
@@ -1084,6 +1146,9 @@ fn main() {
         finite("serve_decisions_per_sec", serve_serial.decisions_per_sec),
         finite("serve_p50_ns", serve_serial.p50_ns),
         finite("serve_p99_ns", serve_serial.p99_ns),
+        finite("routed_decisions_per_sec", routed_serial.decisions_per_sec),
+        finite("routed_p50_ns", routed_serial.p50_ns),
+        finite("routed_p99_ns", routed_serial.p99_ns),
     );
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()

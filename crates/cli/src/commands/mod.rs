@@ -5,3 +5,63 @@ pub mod serve_bench;
 pub mod simulate;
 pub mod theory;
 pub mod trace;
+
+use crate::args::ArgError;
+use mbac_core::topology::Topology;
+
+/// Parses a `--topology` spec into a [`Topology`] with every link at
+/// `capacity`. Accepted forms: `single`, `parking-lot:<hops>`,
+/// `star:<legs>` (parking-lot needs >= 2 hops, star >= 2 legs).
+pub(crate) fn parse_topology(spec: &str, capacity: f64) -> Result<Topology, ArgError> {
+    let bad = |why: &str| ArgError(format!("--topology '{spec}': {why}"));
+    let size = |raw: &str, what: &str| -> Result<usize, ArgError> {
+        let n: usize = raw
+            .parse()
+            .map_err(|_| bad(&format!("{what} must be an integer, got '{raw}'")))?;
+        if n < 2 {
+            return Err(bad(&format!("{what} must be >= 2")));
+        }
+        Ok(n)
+    };
+    match spec.split_once(':') {
+        None => match spec {
+            "single" => Ok(Topology::single_link(capacity)),
+            _ => Err(bad("expected single, parking-lot:<hops>, or star:<legs>")),
+        },
+        Some(("parking-lot", raw)) => Ok(Topology::parking_lot(size(raw, "hops")?, capacity)),
+        Some(("star", raw)) => Ok(Topology::star(size(raw, "legs")?, capacity)),
+        Some(_) => Err(bad("expected single, parking-lot:<hops>, or star:<legs>")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_shapes() {
+        let t = parse_topology("single", 8.0).unwrap();
+        assert_eq!(t.links(), 1);
+        assert_eq!(t.routes(), 1);
+        let t = parse_topology("parking-lot:3", 10.0).unwrap();
+        assert_eq!(t.links(), 3);
+        assert_eq!(t.routes(), 4);
+        let t = parse_topology("star:4", 10.0).unwrap();
+        assert_eq!(t.links(), 5);
+        assert_eq!(t.routes(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for spec in [
+            "ring",
+            "parking-lot",
+            "parking-lot:x",
+            "parking-lot:1",
+            "star:0",
+            "mesh:3",
+        ] {
+            assert!(parse_topology(spec, 8.0).is_err(), "{spec}");
+        }
+    }
+}

@@ -14,7 +14,10 @@
 
 use crate::args::{ArgError, Args};
 use mbac_num::KernelDispatch;
-use mbac_serve::{closed_loop, BenchConfig};
+use mbac_serve::{
+    closed_loop_with_parallelism, host_parallelism, routed_closed_loop_with_parallelism,
+    BenchConfig, BenchReport, RoutedBenchConfig,
+};
 use mbac_sim::Engine;
 use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use mbac_traffic::process::SourceModel;
@@ -29,6 +32,8 @@ mbacctl serve-bench [--links <n>] [--flows-per-link <n>] [--ticks <n>]
                     [--holding <T_h>] [--capacity <c>] [--seed <s>]
                     [--shards <n>] [--producers <n>] [--ring-capacity <n>]
                     [--p-ce <p>] [--t-m <T_m>]
+                    [--topology single|parking-lot:<h>|star:<l>]
+                    [--flows-per-route <n>] [--noise-sd <sigma>]
                     [--source rcbr|ar1 | --trace <file>]
                     [--mean <mu> --sd <sigma> --t-c <T_c>]
                     [--engine batched|boxed] [--kernel-dispatch scalar|wide]
@@ -44,7 +49,13 @@ threaded shape falls back to the serial reference and says so.
 --ring-capacity bounds each shard's ingest ring (the closed loop's
 outstanding-event window). --source picks the flow model (rcbr
 default, or ar1); --trace replays an LRD trace file instead and
-cannot be combined with --mean/--sd/--t-c.";
+cannot be combined with --mean/--sd/--t-c.
+--topology switches to the routed multi-hop bench: requests carry a
+route and are admitted only if *every* hop accepts (two-phase
+reserve/commit across shards). Every link gets --capacity;
+--flows-per-route sizes the steady workload per route and --noise-sd
+adds per-node measurement noise. --topology replaces --links and
+--flows-per-link.";
 
 /// Renders a bench/config error as the CLI's error type.
 fn config_err(e: impl std::fmt::Display) -> ArgError {
@@ -109,6 +120,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "t-c",
         "engine",
         "kernel-dispatch",
+        "topology",
+        "flows-per-route",
+        "noise-sd",
     ])?;
     if args.get("trace").is_some() {
         for model_flag in ["mean", "sd", "t-c", "source"] {
@@ -131,7 +145,59 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             })?
             .set_global();
     }
+    let model = build_model(args)?;
+
+    if let Some(spec) = args.get("topology") {
+        for link_flag in ["links", "flows-per-link"] {
+            if args.get(link_flag).is_some() {
+                return Err(ArgError(format!(
+                    "--topology and --{link_flag} are mutually exclusive: the \
+                     topology fixes the link set (use --flows-per-route)"
+                )));
+            }
+        }
+        let d = RoutedBenchConfig::default();
+        let capacity = args.f64_or("capacity", 60.0)?;
+        let noise_sd = args.f64_or("noise-sd", d.noise_sd)?;
+        if noise_sd < 0.0 {
+            return Err(ArgError("--noise-sd must be >= 0".into()));
+        }
+        let topology = Arc::new(super::parse_topology(spec, capacity)?);
+        let banner = format!(
+            "serve bench (routed): topology = {spec}, links = {}, routes = {}",
+            topology.links(),
+            topology.routes()
+        );
+        let cfg = RoutedBenchConfig {
+            topology,
+            flows_per_route: args.u64_or("flows-per-route", d.flows_per_route as u64)? as usize,
+            ticks: args.u64_or("ticks", d.ticks as u64)? as usize,
+            tick: args.f64_or("tick", d.tick)?,
+            requests_per_tick: args.u64_or("requests-per-tick", d.requests_per_tick as u64)?
+                as usize,
+            mean_holding: args.f64_or("holding", d.mean_holding)?,
+            noise_sd,
+            seed: args.u64_or("seed", d.seed)?,
+            engine,
+            shards: args.u64_or("shards", 1)? as usize,
+            producers: args.u64_or("producers", 1)? as usize,
+            ring_capacity: args.u64_or("ring-capacity", d.ring_capacity as u64)? as usize,
+            p_ce: args.prob_or("p-ce", d.p_ce)?,
+            t_m: args.f64_or("t-m", d.t_m)?,
+        };
+        let report = routed_closed_loop_with_parallelism(&cfg, model.as_ref(), host_parallelism())
+            .map_err(config_err)?;
+        println!("{banner}");
+        print_report(&report, engine);
+        return Ok(());
+    }
+
     let d = BenchConfig::default();
+    if args.get("flows-per-route").is_some() || args.get("noise-sd").is_some() {
+        return Err(ArgError(
+            "--flows-per-route/--noise-sd require --topology".into(),
+        ));
+    }
     let cfg = BenchConfig {
         links: args.u64_or("links", d.links as u64)? as usize,
         flows_per_link: args.u64_or("flows-per-link", d.flows_per_link as u64)? as usize,
@@ -148,12 +214,20 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         p_ce: args.prob_or("p-ce", d.p_ce)?,
         t_m: args.f64_or("t-m", d.t_m)?,
     };
-    let model = build_model(args)?;
-    let report = closed_loop(&cfg, model.as_ref()).map_err(config_err)?;
+    let report = closed_loop_with_parallelism(&cfg, model.as_ref(), host_parallelism())
+        .map_err(config_err)?;
+    println!("serve bench: links = {}", cfg.links);
+    print_report(&report, engine);
+    Ok(())
+}
 
+/// Prints the shape/decisions/timing blocks shared by the per-link and
+/// routed benches, keeping the deterministic block separate from the
+/// wall-clock one.
+fn print_report(report: &BenchReport, engine: Engine) {
     println!(
-        "serve bench: links = {}, shards = {}, producers = {}, engine = {engine}, mode = {}",
-        cfg.links, report.shards, report.producers, report.mode
+        "  shards = {}, producers = {}, engine = {engine}, mode = {}",
+        report.shards, report.producers, report.mode
     );
     if report.skipped_single_core {
         println!(
@@ -175,5 +249,4 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     );
     println!("  decisions per second : {:.3e}", report.decisions_per_sec);
     println!("  elapsed              : {:.4} s", report.elapsed_secs);
-    Ok(())
 }

@@ -12,7 +12,8 @@ use mbac_metrics::MetricsSnapshot;
 use mbac_num::KernelDispatch;
 use mbac_sim::{
     ConfigError, ContinuousConfig, ContinuousLoad, Engine, ImpulsiveConfig, ImpulsiveLoad,
-    MbacController, MetricsMode, PoissonConfig, PoissonLoad, SessionBuilder,
+    MbacController, MetricsMode, PoissonConfig, PoissonLoad, RoutedNetworkConfig,
+    RoutedNetworkLoad, SessionBuilder,
 };
 use mbac_traffic::process::SourceModel;
 use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
@@ -21,7 +22,7 @@ use std::sync::Arc;
 
 /// Usage text.
 pub const USAGE: &str = "\
-mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson]
+mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson|routed]
                  [--trace <file> | --mean <mu> --sd <sigma> --t-c <T_c>]
                  [--seed <s>] [--engine batched|boxed]
                  [--kernel-dispatch scalar|wide] [--metrics-out <file|->]
@@ -31,13 +32,22 @@ mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson]
                  [--holding <T_h>] [--p-ce <p>] [--workers <n>]
   poisson:       --lambda <rate> --holding <T_h> [--t-m <T_m>]
                  [--p-ce <p>] [--p-q <p>] [--samples <n>]
+  routed:        --holding <T_h>
+                 [--topology single|parking-lot:<h>|star:<l>]
+                 [--ticks <n>] [--warmup <n>] [--flows-per-route <n>]
+                 [--attempts <n>] [--noise-sd <sigma>] [--t-m <T_m>]
+                 [--p-ce <p>] [--reps <n>] [--workers <n>]
 
 Simulates a certainty-equivalent MBAC under one of the paper's three
-load models. continuous applies infinite arrival pressure (§4),
-impulsive offers a burst at t = 0 and watches it evolve (§3), poisson
-offers Poisson call arrivals at rate lambda. Defaults: RCBR sources
-with mean 1, sd 0.3, T_c 1; T_m = T_h/sqrt(n) (the robust rule);
-p_ce = p_q = 1e-3.
+load models, or a routed multi-hop network. continuous applies
+infinite arrival pressure (§4), impulsive offers a burst at t = 0 and
+watches it evolve (§3), poisson offers Poisson call arrivals at rate
+lambda. routed runs per-link controllers on a multi-hop topology — a
+flow is admitted only when every hop on its route accepts — and
+reports per-link overflow/utilization and per-route admit/block
+counts (shared links see correlated load; --noise-sd adds independent
+per-node measurement noise). Defaults: RCBR sources with mean 1, sd
+0.3, T_c 1; T_m = T_h/sqrt(n) (the robust rule); p_ce = p_q = 1e-3.
 --engine selects the flow engine: batched (struct-of-arrays kernels,
 the default) or boxed (one heap process per flow); both produce
 bit-identical results for the same seed, as does any --workers count.
@@ -88,6 +98,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "reps",
         "workers",
         "lambda",
+        "topology",
+        "ticks",
+        "tick",
+        "warmup",
+        "flows-per-route",
+        "attempts",
+        "noise-sd",
     ])?;
     if args.get("trace").is_some() {
         for rcbr_flag in ["mean", "sd", "t-c"] {
@@ -116,8 +133,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "continuous" => run_continuous_load(args, engine),
         "impulsive" => run_impulsive_load(args, engine),
         "poisson" => run_poisson_load(args, engine),
+        "routed" => run_routed_load(args, engine),
         other => Err(ArgError(format!(
-            "--load must be continuous, impulsive or poisson, got {other}"
+            "--load must be continuous, impulsive, poisson or routed, got {other}"
         ))),
     }
 }
@@ -372,6 +390,97 @@ fn run_poisson_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         100.0 * rep.mean_utilization
     );
     println!("  mean flows in system : {:.1}", rep.mean_flows);
+    Ok(())
+}
+
+/// The routed multi-hop network mode: per-link controllers composed
+/// along routes, admission only when every hop accepts.
+fn run_routed_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
+    let capacity = args.f64_required("capacity")?;
+    let holding = args.f64_required("holding")?;
+    require_positive("capacity", capacity)?;
+    require_positive("holding", holding)?;
+    let spec = args.get("topology").unwrap_or("parking-lot:3");
+    let topology = Arc::new(super::parse_topology(spec, capacity)?);
+    let p_ce = args.prob_or("p-ce", 1e-3)?;
+    let seed = args.u64_or("seed", 1)?;
+    let (model, t_c_scale) = build_model(args)?;
+
+    // The robust rule per link: every link shares the same capacity, so
+    // the single-link sizing applies hop by hop.
+    let n = (capacity / model.mean()).max(1.0);
+    let t_h_tilde = holding / n.sqrt();
+    let t_m = args.f64_or("t-m", t_h_tilde)?;
+    if t_m < 0.0 {
+        return Err(ArgError("--t-m must be >= 0".into()));
+    }
+    let noise_sd = args.f64_or("noise-sd", 0.0)?;
+    if noise_sd < 0.0 {
+        return Err(ArgError("--noise-sd must be >= 0".into()));
+    }
+    let ticks = args.u64_or("ticks", 2000)? as usize;
+    let cfg = RoutedNetworkConfig {
+        topology: Arc::clone(&topology),
+        ticks,
+        tick: args.f64_or("tick", (t_c_scale / 4.0).max(1e-3))?,
+        warmup_ticks: args.u64_or("warmup", (ticks / 4) as u64)? as usize,
+        initial_flows_per_route: args.u64_or("flows-per-route", 2)? as usize,
+        mean_holding: holding,
+        attempts_per_tick: args.u64_or("attempts", 2)? as usize,
+        noise_sd,
+        t_m,
+        p_ce,
+        replications: args.u64_or("reps", 8)? as usize,
+        seed,
+    };
+    let scenario = RoutedNetworkLoad {
+        model: model.as_ref(),
+        cfg: cfg.clone(),
+    };
+    let mut session = SessionBuilder::new()
+        .seed(seed)
+        .engine(engine)
+        .metrics(metrics_mode(args));
+    if let Some(w) = args.get("workers") {
+        let workers: usize = w
+            .parse()
+            .map_err(|_| ArgError(format!("--workers expects an integer, got '{w}'")))?;
+        session = session.workers(workers);
+    }
+    let report = session.run(&scenario).map_err(config_err)?;
+    write_metrics(args, &report.metrics_snapshot())?;
+    println!(
+        "routed load: topology = {spec} ({} links, {} routes), n = {n:.1} per link, \
+         T_m = {t_m:.2}, p_ce = {p_ce:.2e}, {} replications",
+        topology.links(),
+        topology.routes(),
+        cfg.replications
+    );
+    println!("result:");
+    println!("  worst-link p_f       : {:.4e}", report.max_pf());
+    for (i, link) in report.per_link.iter().enumerate() {
+        println!(
+            "  link {i}: p_f = {:.4e}, utilization {:.2}%, mean occupancy {:.1}",
+            link.pf,
+            100.0 * link.utilization,
+            link.occupancy
+        );
+    }
+    for (r, route) in report.per_route.iter().enumerate() {
+        let total = route.admitted + route.blocked;
+        let hops = topology.route(mbac_sim::RouteId(r as u32)).len();
+        println!(
+            "  route {r} ({hops} hop{}): admitted / blocked = {} / {}  ({:.1}% blocked)",
+            if hops == 1 { "" } else { "s" },
+            route.admitted,
+            route.blocked,
+            if total > 0 {
+                100.0 * route.blocked as f64 / total as f64
+            } else {
+                0.0
+            }
+        );
+    }
     Ok(())
 }
 

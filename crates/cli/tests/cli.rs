@@ -425,7 +425,7 @@ fn simulate_rejects_unknown_load_model() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(
-        err.contains("--load must be continuous, impulsive or poisson"),
+        err.contains("--load must be continuous, impulsive, poisson or routed"),
         "{err}"
     );
 }
@@ -611,4 +611,135 @@ fn simulate_rejects_unwritable_metrics_out() {
     ]));
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
+}
+
+// ---------------------------------------------------------------------
+// Routed (multi-hop topology) surfaces
+// ---------------------------------------------------------------------
+
+#[test]
+fn simulate_routed_reports_per_link_and_per_route() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "routed",
+        "--capacity",
+        "10",
+        "--holding",
+        "8",
+        "--topology",
+        "parking-lot:2",
+        "--ticks",
+        "80",
+        "--warmup",
+        "20",
+        "--reps",
+        "2",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("routed load: topology = parking-lot:2"),
+        "{text}"
+    );
+    assert!(text.contains("worst-link p_f"), "{text}");
+    // parking-lot(2): 2 links, 3 routes (one 2-hop, two 1-hop).
+    assert!(text.contains("link 1:"), "{text}");
+    assert!(text.contains("route 0 (2 hops)"), "{text}");
+    assert!(text.contains("route 2 (1 hop)"), "{text}");
+}
+
+#[test]
+fn simulate_routed_is_worker_invariant() {
+    let run = |workers: &str| {
+        let out = mbacctl(&[
+            "simulate",
+            "--load",
+            "routed",
+            "--capacity",
+            "10",
+            "--holding",
+            "8",
+            "--topology",
+            "star:2",
+            "--ticks",
+            "60",
+            "--warmup",
+            "15",
+            "--reps",
+            "3",
+            "--seed",
+            "7",
+            "--workers",
+            workers,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run("1"), run("4"), "worker count leaked into the report");
+}
+
+#[test]
+fn simulate_routed_rejects_bad_topology() {
+    let out = mbacctl(&[
+        "simulate",
+        "--load",
+        "routed",
+        "--capacity",
+        "10",
+        "--holding",
+        "8",
+        "--topology",
+        "mesh:3",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--topology"));
+}
+
+#[test]
+fn serve_bench_topology_reports_routed_decisions() {
+    let out = mbacctl(&[
+        "serve-bench",
+        "--topology",
+        "parking-lot:2",
+        "--capacity",
+        "14",
+        "--flows-per-route",
+        "4",
+        "--ticks",
+        "8",
+        "--requests-per-tick",
+        "2",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("serve bench (routed): topology = parking-lot:2"),
+        "{text}"
+    );
+    // 3 routes x 8 ticks x 2 requests = 48 decisions.
+    assert!(text.contains("total                : 48"), "{text}");
+}
+
+#[test]
+fn serve_bench_topology_rejects_link_flags() {
+    let out = mbacctl(&["serve-bench", "--topology", "star:2", "--links", "3"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
 }

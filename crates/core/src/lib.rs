@@ -18,7 +18,11 @@
 //!   accounting (eqn (40));
 //! * [`robust`] — the §5.3 design procedure: `T_m = T̃_h` plus an
 //!   adjusted certainty-equivalent target, robust over unknown traffic
-//!   correlation time-scales.
+//!   correlation time-scales;
+//! * [`topology`] — links, capacities and routes, plus the
+//!   [`topology::PathAdmission`] composition layer that lifts the
+//!   single-link criteria to multi-hop paths with all-or-nothing
+//!   occupancy commit/rollback.
 //!
 //! ## Quick example
 //!
@@ -47,6 +51,7 @@ pub mod estimators;
 pub mod params;
 pub mod robust;
 pub mod theory;
+pub mod topology;
 pub mod utility;
 
 pub use admission::{AdmissionPolicy, CertaintyEquivalent, PeakRate, PerfectKnowledge};
@@ -54,4 +59,8 @@ pub use estimators::{Estimate, Estimator, FilteredEstimator, MemorylessEstimator
 pub use params::{FlowStats, QosTarget, SystemParams};
 pub use robust::{DesignInputs, RobustDesign};
 pub use theory::ContinuousModel;
+pub use topology::{
+    hop_admits, HopOracle, HopReport, LinkId, PathAdmission, PathDecision, RouteId, Topology,
+    TopologyError,
+};
 pub use utility::UtilityFunction;

@@ -1,0 +1,71 @@
+//! Experiment `topology` — multi-hop composition of the robust memory
+//! rule: worst-link overflow probability vs `T_m/T̃_h` on the
+//! parking-lot(3) and star(4) topologies.
+//!
+//! Setting: every link at `n = 16` mean-rate units, RCBR sources
+//! (σ/μ = 0.3, `T_c = 1`), `T_h = 10` (`T̃_h = 2.5`), per-hop
+//! certainty-equivalent targets at `p_ce = 1e-2`, closed-loop admission
+//! pressure on every route. Routes admit only when every hop accepts —
+//! the two-phase path admission of `mbac_core::topology`.
+//!
+//! Expected shape: the fig-5 knee reappears at the network level —
+//! `max_pf` drops steeply as memory grows toward the critical
+//! time-scale and flattens past `T_m ≈ T̃_h`, on *both* shapes. The
+//! long parking-lot route blocks more than the single-hop cross
+//! traffic at every memory (it must win all three hops), and the star
+//! hub is each shape's binding link.
+
+use mbac_experiments::topology::{
+    topology_rows, topology_table, TOPOLOGY_N, TOPOLOGY_P_CE, TOPOLOGY_T_H,
+};
+use mbac_experiments::{ascii_plot, budget, write_csv};
+
+fn main() {
+    let t_h_tilde = TOPOLOGY_T_H / TOPOLOGY_N.sqrt();
+    let ticks = budget(8000, 400);
+
+    println!("== topology: worst-link p_f vs T_m/T~h under multi-hop composition ==");
+    println!(
+        "n = {TOPOLOGY_N} per link, T_h = {TOPOLOGY_T_H} (T~h = {t_h_tilde:.2}), \
+         p_ce = {TOPOLOGY_P_CE}, {ticks} ticks x 4 replications\n"
+    );
+
+    let rows = topology_rows(ticks);
+
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    println!(
+        "{:>14} {:>8} {:>7} {:>12} {:>9} {:>11} {:>11}",
+        "topology", "Tm/T~h", "T_m", "max_pf", "util", "long_block", "cross_block"
+    );
+    for r in &rows {
+        println!(
+            "{:>14} {:>8.2} {:>7.2} {:>12.3e} {:>9.3} {:>11.3} {:>11.3}",
+            r.topo_name,
+            r.t_m_ratio,
+            r.t_m,
+            r.report.max_pf(),
+            r.mean_utilization(),
+            r.long_route_block(),
+            r.other_routes_block()
+        );
+        match series.iter_mut().find(|(name, _)| *name == r.topo_name) {
+            Some((_, s)) => s.push((r.t_m_ratio, r.report.max_pf())),
+            None => series.push((r.topo_name, vec![(r.t_m_ratio, r.report.max_pf())])),
+        }
+    }
+
+    let path = write_csv("topology", &topology_table(&rows)).expect("write CSV");
+    let plot: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(name, s)| (*name, s.as_slice()))
+        .collect();
+    println!("\n{}", ascii_plot(&plot, true, 60, 16));
+    println!("wrote {}", path.display());
+    println!(
+        "\nExpected shape: both curves fall steeply to a knee near \
+         T_m/T~h = 1 and flatten beyond — the single-link robust rule,\n\
+         applied per hop, still controls the worst link. The long \
+         parking-lot route blocks hardest (it needs all three hops);\n\
+         the star's binding link is the shared hub."
+    );
+}

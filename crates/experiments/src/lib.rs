@@ -13,6 +13,7 @@ pub mod figures;
 pub mod output;
 pub mod scenarios;
 pub mod sweep;
+pub mod topology;
 
 pub use output::{ascii_plot, write_csv, Table};
 pub use sweep::parallel_map;

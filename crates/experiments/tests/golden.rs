@@ -18,6 +18,7 @@ use mbac_experiments::figures::{
     fig10_rows, fig10_table, fig11_rows, fig11_table, fig12_rows, fig12_table, fig5_rows,
     fig5_table, fig6_rows, fig6_table, fig7_rows, fig7_table, fig9_rows, fig9_table, lrd_trace,
 };
+use mbac_experiments::topology::{topology_rows, topology_table};
 use mbac_experiments::Table;
 use std::path::PathBuf;
 
@@ -28,6 +29,10 @@ const SIM_BUDGET: u64 = 120;
 
 /// Trace length for the LRD figures (the binaries use 1 << 16).
 const TRACE_SLOTS: usize = 1 << 13;
+
+/// Tick budget for the routed-topology sweep (the binary's full budget
+/// is 8000).
+const TOPOLOGY_TICKS: u64 = 300;
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -137,4 +142,9 @@ fn fig12_matches_fixture() {
         "fig12",
         &fig12_table(&fig12_rows(&lrd_trace(TRACE_SLOTS), SIM_BUDGET)),
     );
+}
+
+#[test]
+fn topology_matches_fixture() {
+    check_golden("topology", &topology_table(&topology_rows(TOPOLOGY_TICKS)));
 }

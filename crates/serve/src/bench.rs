@@ -19,9 +19,17 @@
 
 use crate::plane::{certainty_equivalent_factory, PlaneConfig, ServeError};
 use crate::replay::{replay_serial, replay_threaded, ReplayConfig};
+use crate::routed::{
+    routed_replay_serial, routed_replay_threaded, RoutedPlaneConfig, RoutedReplayConfig,
+};
+use mbac_core::topology::Topology;
 use mbac_num::quantile;
-use mbac_sim::{ConfigError, Engine, MetricsMode, RequestLoad, RequestLoadConfig, SessionBuilder};
+use mbac_sim::{
+    ConfigError, Engine, MetricsMode, RequestLoad, RequestLoadConfig, RoutedLoad, RoutedLoadConfig,
+    SessionBuilder,
+};
 use mbac_traffic::process::SourceModel;
+use std::sync::Arc;
 
 /// Closed-loop bench configuration: workload shape plus plane shape.
 #[derive(Debug, Clone)]
@@ -157,6 +165,11 @@ pub fn host_parallelism() -> usize {
 /// Session pipeline, replays it through the plane, and summarizes
 /// latency/throughput. Detects host parallelism itself — see
 /// [`closed_loop_with_parallelism`] for the testable core.
+#[deprecated(
+    since = "0.2.0",
+    note = "use closed_loop_with_parallelism(cfg, model, host_parallelism()), or \
+            routed_closed_loop for a Topology-shaped workload"
+)]
 pub fn closed_loop(cfg: &BenchConfig, model: &dyn SourceModel) -> Result<BenchReport, BenchError> {
     closed_loop_with_parallelism(cfg, model, host_parallelism())
 }
@@ -208,6 +221,158 @@ pub fn closed_loop_with_parallelism(
         replay_threaded(&replay_cfg, make, &workload)?
     } else {
         replay_serial(&replay_cfg, make, &workload)?
+    };
+
+    let latencies: Vec<f64> = outcome.latencies_ns().iter().map(|&ns| ns as f64).collect();
+    let (p50_ns, p99_ns, mean_ns) = if latencies.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            quantile(&latencies, 0.5),
+            quantile(&latencies, 0.99),
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+        )
+    };
+    let elapsed_secs = outcome.elapsed.as_secs_f64();
+    Ok(BenchReport {
+        mode: if run_threaded { "threaded" } else { "serial" },
+        shards: replay_cfg.plane.shards,
+        producers: replay_cfg.producers,
+        decisions: outcome.decisions,
+        admitted: outcome.admitted,
+        rejected: outcome.rejected(),
+        events: workload.total_events() as u64,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            outcome.decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_ns,
+        p99_ns,
+        mean_ns,
+        available_parallelism: parallelism,
+        skipped_single_core,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Routed (topology-shaped) bench
+// ---------------------------------------------------------------------
+
+/// Closed-loop bench over a routed [`Topology`] workload: multi-hop
+/// requests joined by the two-phase reserve/commit of [`crate::routed`].
+#[derive(Debug, Clone)]
+pub struct RoutedBenchConfig {
+    /// The network shape (links, capacities, routes).
+    pub topology: Arc<Topology>,
+    /// Steady-state flows per route in the generated workload.
+    pub flows_per_route: usize,
+    /// Measurement ticks.
+    pub ticks: usize,
+    /// Measurement period.
+    pub tick: f64,
+    /// Admission requests per route after each measurement.
+    pub requests_per_tick: usize,
+    /// Mean holding time of the churned workload flows.
+    pub mean_holding: f64,
+    /// Per-node measurement noise standard deviation (0 disables).
+    pub noise_sd: f64,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Flow engine generating the workload.
+    pub engine: Engine,
+    /// Decision-plane shards.
+    pub shards: usize,
+    /// Producer threads feeding the rings.
+    pub producers: usize,
+    /// Per-shard ingest-ring capacity.
+    pub ring_capacity: usize,
+    /// Certainty-equivalent target probability.
+    pub p_ce: f64,
+    /// Estimator memory time-scale.
+    pub t_m: f64,
+}
+
+impl Default for RoutedBenchConfig {
+    fn default() -> Self {
+        RoutedBenchConfig {
+            topology: Arc::new(Topology::parking_lot(3, 60.0)),
+            flows_per_route: 25,
+            ticks: 200,
+            tick: 0.1,
+            requests_per_tick: 4,
+            mean_holding: 10.0,
+            noise_sd: 0.0,
+            seed: 7,
+            engine: Engine::Batched,
+            shards: 1,
+            producers: 1,
+            ring_capacity: 1024,
+            p_ce: 1e-2,
+            t_m: 5.0,
+        }
+    }
+}
+
+/// Runs the routed closed-loop bench; detects host parallelism itself —
+/// see [`routed_closed_loop_with_parallelism`] for the testable core.
+pub fn routed_closed_loop(
+    cfg: &RoutedBenchConfig,
+    model: &dyn SourceModel,
+) -> Result<BenchReport, BenchError> {
+    routed_closed_loop_with_parallelism(cfg, model, host_parallelism())
+}
+
+/// [`routed_closed_loop`] with the host parallelism injected. Mirrors
+/// [`closed_loop_with_parallelism`]: a threaded shape on a single-core
+/// host falls back to the serial reference and sets
+/// [`BenchReport::skipped_single_core`].
+pub fn routed_closed_loop_with_parallelism(
+    cfg: &RoutedBenchConfig,
+    model: &dyn SourceModel,
+    parallelism: usize,
+) -> Result<BenchReport, BenchError> {
+    if cfg.shards == 0 {
+        return Err(ServeError::ZeroShards.into());
+    }
+    if cfg.producers == 0 {
+        return Err(ServeError::ZeroProducers.into());
+    }
+    let load = RoutedLoad {
+        model,
+        cfg: RoutedLoadConfig {
+            topology: Arc::clone(&cfg.topology),
+            flows_per_route: cfg.flows_per_route,
+            ticks: cfg.ticks,
+            tick: cfg.tick,
+            requests_per_tick: cfg.requests_per_tick,
+            mean_holding: cfg.mean_holding,
+            noise_sd: cfg.noise_sd,
+            seed: cfg.seed,
+        },
+    };
+    let workload = SessionBuilder::new().engine(cfg.engine).run(&load)?;
+
+    let threaded_requested = cfg.shards > 1 || cfg.producers > 1;
+    let single_core = parallelism == 1;
+    let skipped_single_core = threaded_requested && single_core;
+    let run_threaded = threaded_requested && !single_core;
+
+    let replay_cfg = RoutedReplayConfig {
+        plane: RoutedPlaneConfig {
+            shards: if run_threaded { cfg.shards } else { 1 },
+            ring_capacity: cfg.ring_capacity,
+            metrics: MetricsMode::Disabled,
+        },
+        producers: if run_threaded { cfg.producers } else { 1 },
+        stamp_latency: true,
+    };
+    let make = certainty_equivalent_factory(cfg.p_ce, cfg.t_m);
+    let outcome = if run_threaded {
+        routed_replay_threaded(&replay_cfg, make, &workload)?
+    } else {
+        routed_replay_serial(&replay_cfg, make, &workload)?
     };
 
     let latencies: Vec<f64> = outcome.latencies_ns().iter().map(|&ns| ns as f64).collect();
@@ -303,6 +468,65 @@ mod tests {
         assert_eq!(report.mode, "threaded");
         assert_eq!(report.shards, 2);
         assert_eq!(report.decisions, 3 * 10 * 2);
+    }
+
+    /// The deprecated single-link entry point must stay a pure
+    /// delegation: identical decision totals and shape to calling
+    /// [`closed_loop_with_parallelism`] with the host parallelism
+    /// (timings excluded — they are machine facts).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_closed_loop_delegates() {
+        let cfg = small();
+        let m = model();
+        let legacy = closed_loop(&cfg, &m).unwrap();
+        let direct = closed_loop_with_parallelism(&cfg, &m, host_parallelism()).unwrap();
+        assert_eq!(legacy.mode, direct.mode);
+        assert_eq!(legacy.shards, direct.shards);
+        assert_eq!(legacy.producers, direct.producers);
+        assert_eq!(legacy.decisions, direct.decisions);
+        assert_eq!(legacy.admitted, direct.admitted);
+        assert_eq!(legacy.rejected, direct.rejected);
+        assert_eq!(legacy.events, direct.events);
+        assert_eq!(legacy.skipped_single_core, direct.skipped_single_core);
+    }
+
+    fn small_routed() -> RoutedBenchConfig {
+        RoutedBenchConfig {
+            topology: Arc::new(Topology::parking_lot(3, 14.0)),
+            flows_per_route: 5,
+            ticks: 10,
+            requests_per_tick: 2,
+            ..RoutedBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn routed_serial_bench_reports_consistent_totals() {
+        let report = routed_closed_loop_with_parallelism(&small_routed(), &model(), 1).unwrap();
+        assert_eq!(report.mode, "serial");
+        // 4 routes (the long path + 3 cross routes) × 10 ticks × 2.
+        assert_eq!(report.decisions, 4 * 10 * 2);
+        assert_eq!(report.admitted + report.rejected, report.decisions);
+        assert!(report.p50_ns <= report.p99_ns);
+    }
+
+    #[test]
+    fn routed_single_core_gate_falls_back_to_serial() {
+        let cfg = RoutedBenchConfig {
+            shards: 4,
+            producers: 2,
+            ..small_routed()
+        };
+        let report = routed_closed_loop_with_parallelism(&cfg, &model(), 1).unwrap();
+        assert!(report.skipped_single_core);
+        assert_eq!(report.mode, "serial");
+        assert_eq!(report.shards, 1);
+        let threaded = routed_closed_loop_with_parallelism(&cfg, &model(), 4).unwrap();
+        assert!(!threaded.skipped_single_core);
+        assert_eq!(threaded.mode, "threaded");
+        assert_eq!(threaded.decisions, report.decisions);
+        assert_eq!(threaded.admitted, report.admitted);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! * [`replay`] — the single-threaded serial reference and the
 //!   multi-producer sharded replay of a Scenario-generated
 //!   [`mbac_sim::ServeWorkload`];
+//! * [`routed`] — multi-hop decisions over the same sharded plane: a
+//!   deterministic two-phase reserve/commit joins the per-hop votes of
+//!   a routed request even when its hops land on different shards, with
+//!   all-or-nothing occupancy so a rejection never leaks provisional
+//!   load into earlier hops;
 //! * [`bench::closed_loop`] — the closed-loop load generator reporting
 //!   p50/p99 decision latency and sustained decisions/sec, with the
 //!   single-core gate (`skipped_single_core`) for hosts where threaded
@@ -32,14 +37,23 @@ pub mod bench;
 pub mod plane;
 pub mod replay;
 pub mod ring;
+pub mod routed;
 
 pub use bench::{
-    closed_loop, closed_loop_with_parallelism, host_parallelism, BenchConfig, BenchError,
-    BenchReport,
+    closed_loop_with_parallelism, host_parallelism, routed_closed_loop,
+    routed_closed_loop_with_parallelism, BenchConfig, BenchError, BenchReport, RoutedBenchConfig,
 };
+
+#[allow(deprecated)]
+pub use bench::closed_loop;
 pub use plane::{
     certainty_equivalent_factory, plane_snapshot, shard_of, ControllerFactory, Decision,
     DecisionPlane, IngestHandle, PlaneConfig, ServeError, Shard, ShardEvent,
 };
 pub use replay::{replay_serial, replay_threaded, ReplayConfig, ReplayOutcome};
 pub use ring::IngestRing;
+pub use routed::{
+    routed_plane_snapshot, routed_replay_serial, routed_replay_threaded, HopDecision,
+    RouteDecision, RouteTable, RoutedIngestHandle, RoutedPlane, RoutedPlaneConfig,
+    RoutedReplayConfig, RoutedReplayOutcome, RoutedShard, RoutedShardEvent,
+};

@@ -33,6 +33,7 @@
 use crate::ring::IngestRing;
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
+use mbac_core::topology::LinkId;
 use mbac_metrics::{Aggregated, Counter, Histogram, MetricValue, MetricsSnapshot};
 use mbac_sim::{MbacController, MetricsMode};
 use std::collections::HashMap;
@@ -95,8 +96,8 @@ fn splitmix64(mut z: u64) -> u64 {
 
 /// The shard owning `link` in a plane of `shards` shards.
 #[inline]
-pub fn shard_of(link: u64, shards: usize) -> usize {
-    (splitmix64(link) % shards as u64) as usize
+pub fn shard_of(link: LinkId, shards: usize) -> usize {
+    (splitmix64(link.as_u64()) % shards as u64) as usize
 }
 
 // ---------------------------------------------------------------------
@@ -111,7 +112,7 @@ pub enum ShardEvent {
     /// occupancy, which resynchronizes the plane's occupancy view.
     Measure {
         /// The link the measurement belongs to.
-        link: u64,
+        link: LinkId,
         /// Measurement time.
         t: f64,
         /// Per-flow rates.
@@ -120,7 +121,7 @@ pub enum ShardEvent {
     /// An admission request for `link`.
     Request {
         /// The link asking to admit one more flow.
-        link: u64,
+        link: LinkId,
         /// Enqueue timestamp; when present, the decision records the
         /// queue+decide latency (machine-dependent — bench mode only).
         enqueued: Option<Instant>,
@@ -129,7 +130,7 @@ pub enum ShardEvent {
 
 impl ShardEvent {
     /// The link this event belongs to.
-    pub fn link(&self) -> u64 {
+    pub fn link(&self) -> LinkId {
         match self {
             ShardEvent::Measure { link, .. } | ShardEvent::Request { link, .. } => *link,
         }
@@ -140,7 +141,7 @@ impl ShardEvent {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
     /// The link the request addressed.
-    pub link: u64,
+    pub link: LinkId,
     /// Admit (`true`) or reject (`false`).
     pub admit: bool,
     /// The controller's admissible count at decision time (`None` on a
@@ -202,18 +203,18 @@ pub fn certainty_equivalent_factory(p_ce: f64, t_m: f64) -> ControllerFactory {
 /// is machine-dependent and therefore **timing-gated**, mirroring the
 /// `pool.*` convention.
 #[derive(Debug, Clone)]
-struct ShardMetrics {
-    measures: Counter,
-    requests: Counter,
-    admitted: Counter,
-    rejected: Counter,
-    batches: Counter,
-    decision_ns: Histogram,
-    timing: bool,
+pub(crate) struct ShardMetrics {
+    pub(crate) measures: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) admitted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) decision_ns: Histogram,
+    pub(crate) timing: bool,
 }
 
 impl ShardMetrics {
-    fn new(timing: bool) -> Self {
+    pub(crate) fn new(timing: bool) -> Self {
         ShardMetrics {
             measures: Counter::new(),
             requests: Counter::new(),
@@ -225,7 +226,7 @@ impl ShardMetrics {
         }
     }
 
-    fn snapshot(&self) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::new();
         out.insert("measures", MetricValue::Counter(self.measures.snapshot()));
         out.insert("requests", MetricValue::Counter(self.requests.snapshot()));
@@ -260,7 +261,7 @@ pub struct Shard {
     index: usize,
     capacity: f64,
     ring: Arc<IngestRing<ShardEvent>>,
-    links: HashMap<u64, LinkState>,
+    links: HashMap<LinkId, LinkState>,
     make: ControllerFactory,
     metrics: Option<Box<ShardMetrics>>,
 }
@@ -282,7 +283,7 @@ impl Shard {
         self.ring.is_empty()
     }
 
-    fn link_mut(&mut self, link: u64) -> &mut LinkState {
+    fn link_mut(&mut self, link: LinkId) -> &mut LinkState {
         self.links.entry(link).or_insert_with(|| LinkState {
             ctl: (self.make)(),
             flows: 0,
@@ -357,7 +358,7 @@ impl Shard {
     /// updates (and in-ring requests) first, then decides each direct
     /// request in order. This is the freshness contract — a decision
     /// never ignores a measurement that was already ingested.
-    pub fn decide_batch(&mut self, requests: &[u64], out: &mut Vec<Decision>) {
+    pub fn decide_batch(&mut self, requests: &[LinkId], out: &mut Vec<Decision>) {
         self.drain_into(out);
         for &link in requests {
             self.apply(
@@ -458,7 +459,7 @@ impl DecisionPlane {
     }
 
     /// The shard owning `link`.
-    pub fn shard_of(&self, link: u64) -> usize {
+    pub fn shard_of(&self, link: LinkId) -> usize {
         shard_of(link, self.shards.len())
     }
 
@@ -509,7 +510,7 @@ pub struct IngestHandle {
 
 impl IngestHandle {
     /// The shard owning `link`.
-    pub fn shard_of(&self, link: u64) -> usize {
+    pub fn shard_of(&self, link: LinkId) -> usize {
         shard_of(link, self.rings.len())
     }
 
@@ -578,7 +579,7 @@ mod tests {
     #[test]
     fn link_placement_is_total_and_stable() {
         let plane = plane(4);
-        for link in 0..1000u64 {
+        for link in (0..1000u32).map(LinkId) {
             let s = plane.shard_of(link);
             assert!(s < 4);
             assert_eq!(s, plane.shard_of(link), "placement must be stable");
@@ -591,7 +592,7 @@ mod tests {
         let mut plane = plane(1);
         let mut out = Vec::new();
         let shard = &mut plane.shards_mut()[0];
-        shard.decide_batch(&[7], &mut out);
+        shard.decide_batch(&[LinkId(7)], &mut out);
         assert_eq!(out.len(), 1);
         assert!(!out[0].admit, "cold start must fail safe");
         assert_eq!(out[0].admissible, None);
@@ -599,14 +600,14 @@ mod tests {
         // Constant rates 1.0: σ̂ = 0 ⇒ fluid limit c/μ̂ = 10 flows.
         shard.apply(
             ShardEvent::Measure {
-                link: 7,
+                link: LinkId(7),
                 t: 0.0,
                 rates: vec![1.0; 4].into_boxed_slice(),
             },
             &mut out,
         );
         out.clear();
-        shard.decide_batch(&[7, 7, 7, 7, 7, 7, 7], &mut out);
+        shard.decide_batch(&[LinkId(7); 7], &mut out);
         let admitted = out.iter().filter(|d| d.admit).count();
         // Occupancy resynced to 4; fluid limit 10 ⇒ 6 more fit.
         assert_eq!(admitted, 6);
@@ -620,14 +621,14 @@ mod tests {
         let handle = plane.handle();
         handle
             .try_send(ShardEvent::Measure {
-                link: 1,
+                link: LinkId(1),
                 t: 0.0,
                 rates: vec![1.0; 2].into_boxed_slice(),
             })
             .unwrap();
         handle
             .try_send(ShardEvent::Request {
-                link: 1,
+                link: LinkId(1),
                 enqueued: None,
             })
             .unwrap();
@@ -643,8 +644,8 @@ mod tests {
         let mut plane = plane(2);
         let mut out = Vec::new();
         // Each link decided on its owning shard.
-        let link_a = (0..).find(|&l| plane.shard_of(l) == 0).unwrap();
-        let link_b = (0..).find(|&l| plane.shard_of(l) == 1).unwrap();
+        let link_a = (0..).map(LinkId).find(|&l| plane.shard_of(l) == 0).unwrap();
+        let link_b = (0..).map(LinkId).find(|&l| plane.shard_of(l) == 1).unwrap();
         let (a, b) = (plane.shard_of(link_a), plane.shard_of(link_b));
         plane.shards_mut()[a].decide_batch(&[link_a], &mut out);
         plane.shards_mut()[b].decide_batch(&[link_b, link_b], &mut out);
@@ -664,7 +665,7 @@ mod tests {
     #[test]
     fn decision_encoding_is_injective_on_the_fields() {
         let base = Decision {
-            link: 3,
+            link: LinkId(3),
             admit: true,
             admissible: Some(7.5),
             occupancy: 4,

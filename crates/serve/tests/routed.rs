@@ -1,0 +1,324 @@
+//! Shard invariance, extended to routed workloads: for any shard count
+//! 1..=8, any producer count, either flow engine, and any of the
+//! reference topologies (single-link, parking-lot, star), the sharded
+//! routed plane's per-route decision sequence — votes, admissible
+//! counts, occupancies, bit for bit through the canonical encoding —
+//! equals the single-threaded serial reference. And on a single-link
+//! topology the routed protocol must reproduce the *legacy* plane's
+//! decision bytes exactly: the multi-hop machinery is a strict
+//! generalization, not a re-bless.
+
+use mbac_metrics::MetricValue;
+use mbac_num::KernelDispatch;
+use mbac_serve::{
+    certainty_equivalent_factory, replay_serial, routed_replay_serial, routed_replay_threaded,
+    PlaneConfig, ReplayConfig, RoutedPlaneConfig, RoutedReplayConfig,
+};
+use mbac_sim::{
+    Engine, MetricsMode, RequestLoad, RequestLoadConfig, RoutedLoad, RoutedLoadConfig,
+    RoutedWorkload, SessionBuilder, Topology,
+};
+use mbac_traffic::ar1::{Ar1Config, Ar1Model};
+use mbac_traffic::process::SourceModel;
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn model(ar1: bool) -> Box<dyn SourceModel> {
+    if ar1 {
+        Box::new(Ar1Model::new(Ar1Config {
+            mean: 1.0,
+            std_dev: 0.3,
+            t_c: 1.0,
+            tick: 0.05,
+            clamp_at_zero: true,
+        }))
+    } else {
+        Box::new(RcbrModel::new(RcbrConfig::paper_default(1.0)))
+    }
+}
+
+/// The acceptance topologies: single-link (the degenerate case that
+/// must match the legacy plane), the 3-hop parking lot, the 4-leg star.
+fn topology(kind: usize) -> Topology {
+    match kind {
+        0 => Topology::single_link(8.0),
+        1 => Topology::parking_lot(3, 14.0),
+        // The hub aggregates all four legs' routes (20 steady flows),
+        // so its capacity sits just past the acceptance boundary.
+        _ => Topology::star(4, 26.0),
+    }
+}
+
+fn workload(
+    seed: u64,
+    topo: Topology,
+    ticks: usize,
+    requests_per_tick: usize,
+    noise_sd: f64,
+    engine: Engine,
+    ar1: bool,
+) -> RoutedWorkload {
+    let m = model(ar1);
+    let load = RoutedLoad {
+        model: m.as_ref(),
+        cfg: RoutedLoadConfig {
+            topology: Arc::new(topo),
+            flows_per_route: 5,
+            ticks,
+            tick: 0.3,
+            requests_per_tick,
+            mean_holding: 4.0,
+            noise_sd,
+            seed,
+        },
+    };
+    SessionBuilder::new().engine(engine).run(&load).unwrap()
+}
+
+fn replay_cfg(shards: usize, producers: usize, ring_capacity: usize) -> RoutedReplayConfig {
+    RoutedReplayConfig {
+        plane: RoutedPlaneConfig {
+            shards,
+            ring_capacity,
+            metrics: MetricsMode::Enabled,
+        },
+        producers,
+        stamp_latency: false,
+    }
+}
+
+fn assert_routes_match(
+    sharded: &mbac_serve::RoutedReplayOutcome,
+    reference: &mbac_serve::RoutedReplayOutcome,
+    routes: usize,
+    label: &str,
+) {
+    assert_eq!(sharded.decisions, reference.decisions, "{label}");
+    for route in 0..routes {
+        assert_eq!(
+            sharded.encode_route(route),
+            reference.encode_route(route),
+            "route {route} diverged: {label}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any `(topology, shards, producers, engine, model, noise)`: the
+    /// per-route decision bytes equal the serial reference's. The tiny
+    /// ring capacity keeps backpressure — and therefore parking — on
+    /// the hot side of the property.
+    #[test]
+    fn sharded_routed_decisions_match_serial_reference(
+        seed in 0u64..1_000_000,
+        topo_kind in 0usize..3,
+        shards in 1usize..=8,
+        producers in 1usize..4,
+        ring_pow in 3u32..7,
+        ticks in 4usize..14,
+        requests_per_tick in 0usize..4,
+        noisy in 0u8..2,
+        ar1 in 0u8..2,
+        boxed in 0u8..2,
+        memoryless in 0u8..2,
+    ) {
+        let engine = if boxed == 1 { Engine::Boxed } else { Engine::Batched };
+        let noise_sd = if noisy == 1 { 0.05 } else { 0.0 };
+        let w = workload(seed, topology(topo_kind), ticks, requests_per_tick, noise_sd, engine, ar1 == 1);
+        let t_m = if memoryless == 1 { 0.0 } else { 2.0 };
+        let make = certainty_equivalent_factory(1e-2, t_m);
+
+        // The reference is always the batched-engine workload: engine
+        // choice must not leak into the workload either.
+        let w_ref = workload(seed, topology(topo_kind), ticks, requests_per_tick, noise_sd, Engine::Batched, ar1 == 1);
+        let reference = routed_replay_serial(&replay_cfg(1, 1, 64), Arc::clone(&make), &w_ref).unwrap();
+        let sharded = routed_replay_threaded(&replay_cfg(shards, producers, 1 << ring_pow), make, &w).unwrap();
+
+        prop_assert_eq!(sharded.decisions, reference.decisions);
+        for route in 0..w.topology().routes() {
+            prop_assert_eq!(
+                sharded.encode_route(route),
+                reference.encode_route(route),
+                "route {} diverged at topo={}, shards={}, producers={}",
+                route, topo_kind, shards, producers
+            );
+        }
+    }
+}
+
+/// The acceptance sweep, deterministically: every shard count 1..=8
+/// (threaded, 2 producers) reproduces the serial reference byte for
+/// byte, on every reference topology.
+#[test]
+fn every_shard_count_matches_serial_reference_on_every_topology() {
+    for topo_kind in 0..3 {
+        let w = workload(42, topology(topo_kind), 20, 3, 0.05, Engine::Batched, false);
+        let make = certainty_equivalent_factory(1e-2, 2.0);
+        let reference = routed_replay_serial(&replay_cfg(1, 1, 64), Arc::clone(&make), &w).unwrap();
+        assert!(
+            reference.admitted > 0 && reference.rejected() > 0,
+            "topology {topo_kind} must exercise both outcomes"
+        );
+        for shards in 1..=8 {
+            let sharded =
+                routed_replay_threaded(&replay_cfg(shards, 2, 32), Arc::clone(&make), &w).unwrap();
+            assert_routes_match(
+                &sharded,
+                &reference,
+                w.topology().routes(),
+                &format!("topology {topo_kind}, {shards} shards"),
+            );
+        }
+    }
+}
+
+/// The degenerate case is not allowed to drift: on a single-link
+/// topology, the routed protocol must reproduce the **legacy** plane's
+/// decision bytes exactly — same workload bits, same decision bits —
+/// without re-blessing anything. Hop 0's encoding *is* the legacy
+/// encoding.
+#[test]
+fn single_link_routed_decisions_reproduce_legacy_bytes() {
+    let m = model(false);
+    let legacy_cfg = RequestLoadConfig {
+        links: 1,
+        flows_per_link: 6,
+        ticks: 20,
+        tick: 0.3,
+        requests_per_tick: 3,
+        mean_holding: 4.0,
+        seed: 42,
+    };
+    let legacy_load = RequestLoad {
+        model: m.as_ref(),
+        cfg: legacy_cfg.clone(),
+    };
+    let legacy_w = SessionBuilder::new().run(&legacy_load).unwrap();
+    let legacy = replay_serial(
+        &ReplayConfig {
+            plane: PlaneConfig {
+                shards: 1,
+                capacity: 8.0,
+                ring_capacity: 64,
+                metrics: MetricsMode::Disabled,
+            },
+            producers: 1,
+            stamp_latency: false,
+        },
+        certainty_equivalent_factory(1e-2, 2.0),
+        &legacy_w,
+    )
+    .unwrap();
+
+    let routed_load = RoutedLoad {
+        model: m.as_ref(),
+        cfg: RoutedLoadConfig::single_link(8.0, &legacy_cfg),
+    };
+    let routed_w = SessionBuilder::new().run(&routed_load).unwrap();
+    let make = certainty_equivalent_factory(1e-2, 2.0);
+    let serial = routed_replay_serial(&replay_cfg(1, 1, 64), Arc::clone(&make), &routed_w).unwrap();
+    assert!(legacy.admitted > 0 && legacy.rejected() > 0);
+    assert_eq!(serial.encode_route(0), legacy.encode_link(0));
+    // And through the sharded path (per-link hashing may place the one
+    // link on any shard).
+    for shards in [2, 5, 8] {
+        let sharded =
+            routed_replay_threaded(&replay_cfg(shards, 2, 32), Arc::clone(&make), &routed_w)
+                .unwrap();
+        assert_eq!(
+            sharded.encode_route(0),
+            legacy.encode_link(0),
+            "{shards} shards"
+        );
+    }
+}
+
+/// Kernel dispatch is a performance knob, never a semantic one: the
+/// routed decision bytes are identical under the scalar and wide
+/// kernels, on a multi-hop topology, serial and sharded.
+#[test]
+fn routed_decisions_are_bit_identical_across_dispatch() {
+    let run = || {
+        let w = workload(7, topology(1), 15, 2, 0.05, Engine::Batched, true);
+        let make = certainty_equivalent_factory(1e-2, 2.0);
+        let serial = routed_replay_serial(&replay_cfg(1, 1, 64), Arc::clone(&make), &w).unwrap();
+        let sharded = routed_replay_threaded(&replay_cfg(4, 2, 32), make, &w).unwrap();
+        let routes = w.topology().routes();
+        (0..routes)
+            .map(|r| (serial.encode_route(r), sharded.encode_route(r)))
+            .collect::<Vec<_>>()
+    };
+    let prev = KernelDispatch::set_global(KernelDispatch::Scalar);
+    let scalar = run();
+    KernelDispatch::set_global(KernelDispatch::Wide);
+    let wide = run();
+    KernelDispatch::set_global(prev);
+    assert_eq!(scalar.len(), wide.len());
+    for (route, (s, w)) in scalar.into_iter().zip(wide).enumerate() {
+        assert_eq!(
+            s.0, w.0,
+            "serial bytes diverged across dispatch, route {route}"
+        );
+        assert_eq!(
+            s.1, w.1,
+            "sharded bytes diverged across dispatch, route {route}"
+        );
+        assert_eq!(s.0, s.1, "serial/sharded diverged, route {route}");
+    }
+}
+
+/// The routed counters account for everything exactly once, for any
+/// shard count: decisions partition across shards, and every per-link
+/// reserve either committed or aborted.
+#[test]
+fn routed_counters_partition_the_decisions() {
+    let topo = topology(1); // parking-lot(3): 3 links, 4 routes
+    let w = workload(7, topo, 15, 2, 0.0, Engine::Batched, false);
+    let make = certainty_equivalent_factory(1e-2, 2.0);
+    for shards in [1, 3, 8] {
+        let out =
+            routed_replay_threaded(&replay_cfg(shards, 2, 32), Arc::clone(&make), &w).unwrap();
+        let counter = |name: &str| -> u64 {
+            (0..shards)
+                .map(
+                    |s| match out.snapshot.get(&format!("serve.shard{s}.{name}")) {
+                        Some(MetricValue::Counter(c)) => c.count,
+                        None => 0,
+                        other => panic!("{other:?}"),
+                    },
+                )
+                .sum()
+        };
+        assert_eq!(counter("requests"), out.decisions, "{shards} shards");
+        assert_eq!(counter("admitted"), out.admitted);
+        assert_eq!(counter("rejected"), out.rejected());
+        // Per-link: every reserve resolves to a commit or an abort, and
+        // the reserve total counts each request once per hop.
+        let link_counter = |link: usize, name: &str| -> u64 {
+            match out.snapshot.get(&format!("net.link{link}.{name}")) {
+                Some(MetricValue::Counter(c)) => c.count,
+                other => panic!("net.link{link}.{name}: {other:?}"),
+            }
+        };
+        let mut reserves = 0;
+        for link in 0..3 {
+            assert_eq!(
+                link_counter(link, "commits") + link_counter(link, "aborts"),
+                link_counter(link, "reserves"),
+                "link {link} at {shards} shards"
+            );
+            reserves += link_counter(link, "reserves");
+        }
+        // parking-lot(3): route 0 reserves 3 hops, each cross route 1.
+        let per_request_hops: u64 = out
+            .per_route
+            .iter()
+            .enumerate()
+            .map(|(r, ds)| ds.len() as u64 * if r == 0 { 3 } else { 1 })
+            .sum();
+        assert_eq!(reserves, per_request_hops, "{shards} shards");
+    }
+}

@@ -10,6 +10,10 @@
 //!   load, the paper's most stringent test (§4);
 //! * [`arrivals::PoissonLoad`] — finite Poisson arrivals, the realistic
 //!   relaxation;
+//! * [`requests::RoutedLoad`] / [`network::RoutedNetworkLoad`] — routed
+//!   multi-hop topologies: open-loop per-link event streams for the
+//!   decision plane, and the closed-loop network simulation where
+//!   admission composes across every hop of a [`Topology`] route;
 //!
 //! all run through a [`session::SessionBuilder`] that owns worker
 //! fan-out, per-replication RNG stream derivation, deterministic
@@ -32,6 +36,7 @@ pub mod controller;
 pub mod events;
 pub mod flows;
 pub mod metrics;
+pub mod network;
 pub mod requests;
 pub mod runner;
 pub mod session;
@@ -42,7 +47,13 @@ pub use controller::{AdmissionEngine, MbacController, MeasuredSumController};
 pub use events::EventQueue;
 pub use flows::FlowTable;
 pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter};
-pub use requests::{LinkEvent, RequestLoad, RequestLoadConfig, ServeWorkload};
+pub use network::{
+    LinkStats, RouteStats, RoutedNetworkConfig, RoutedNetworkLoad, RoutedNetworkReport,
+};
+pub use requests::{
+    LinkEvent, RequestLoad, RequestLoadConfig, RoutedEvent, RoutedLoad, RoutedLoadConfig,
+    RoutedWorkload, ServeWorkload,
+};
 pub use runner::{
     ContinuousConfig, ContinuousLoad, ContinuousReport, ImpulsiveConfig, ImpulsiveLoad,
     ImpulsiveReport, PhaseReport, PhasedLoad,
@@ -52,6 +63,8 @@ pub use session::{
     SessionBuilder,
 };
 pub use telemetry::{MetricsSink, SimMetrics};
+
+pub use mbac_core::topology::{LinkId, PathAdmission, RouteId, Topology};
 
 #[allow(deprecated)]
 pub use arrivals::run_poisson;

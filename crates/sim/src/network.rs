@@ -1,0 +1,442 @@
+//! The closed-loop routed network simulator: MBAC over a
+//! [`Topology`], with admission feedback.
+//!
+//! Where [`crate::requests::RoutedLoad`] generates an *open-loop*
+//! workload (occupancy scripted, decisions not fed back),
+//! [`RoutedNetworkLoad`] closes the loop: each link runs its own
+//! [`MbacController`] (a [`FilteredEstimator`] with memory `T_m`
+//! feeding a certainty-equivalent criterion), each route holds a flow
+//! population with exponential holding times, and a new flow enters
+//! only when [`PathAdmission`] accepts it at *every* hop. Admitted
+//! flows load every link on their route — the multi-hop composition
+//! the paper's single-link design rule `T_m = T̃_h` is tested against
+//! in the topology experiment.
+//!
+//! One replication is one realization of the whole network (the links
+//! are correlated through shared flows, so they cannot be independent
+//! replications); the Session pipeline runs replications in parallel
+//! with the usual bit-determinism for any worker count and either
+//! engine.
+
+use crate::controller::MbacController;
+use crate::flows::FlowTable;
+use crate::session::{require_non_negative, require_positive, ConfigError, RepContext, Scenario};
+use crate::telemetry::MetricsSink;
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_core::estimators::FilteredEstimator;
+use mbac_core::topology::{LinkId, PathAdmission, RouteId, Topology};
+use mbac_metrics::{Aggregated, Gauge, MetricValue, MetricsSnapshot};
+use mbac_num::rng::{exponential, normal};
+use mbac_traffic::process::SourceModel;
+use std::sync::Arc;
+
+/// Configuration of the closed-loop routed network simulation.
+#[derive(Debug, Clone)]
+pub struct RoutedNetworkConfig {
+    /// The network: links with capacities, routes as hop lists.
+    pub topology: Arc<Topology>,
+    /// Measurement ticks per replication.
+    pub ticks: usize,
+    /// Measurement period `τ`.
+    pub tick: f64,
+    /// Ticks excluded from the overflow/utilization statistics while
+    /// estimators and populations warm up.
+    pub warmup_ticks: usize,
+    /// Initial flows seeded on each route (warm estimator start; at
+    /// least 2 so a variance exists).
+    pub initial_flows_per_route: usize,
+    /// Mean exponential holding time of admitted flows.
+    pub mean_holding: f64,
+    /// Admission attempts per route per tick; attempts stop at the
+    /// first rejection (continuous pressure up to the acceptance
+    /// boundary).
+    pub attempts_per_tick: usize,
+    /// Per-node measurement noise standard deviation (0 disables).
+    pub noise_sd: f64,
+    /// Estimator memory time-scale `T_m` (0 = memoryless).
+    pub t_m: f64,
+    /// Certainty-equivalent target overflow probability.
+    pub p_ce: f64,
+    /// Independent network replications.
+    pub replications: usize,
+    /// Base seed (the builder may override it).
+    pub seed: u64,
+}
+
+/// Per-link outcome statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStats {
+    /// Fraction of post-warmup ticks where the offered load exceeded
+    /// capacity (the bufferless overflow probability `P_f`).
+    pub pf: f64,
+    /// Mean carried utilization `min(load, c) / c` over post-warmup
+    /// ticks.
+    pub utilization: f64,
+    /// Mean measured occupancy over post-warmup ticks.
+    pub occupancy: f64,
+}
+
+/// Per-route admission counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteStats {
+    /// Requests admitted (at every hop).
+    pub admitted: u64,
+    /// Requests rejected (at some hop).
+    pub blocked: u64,
+}
+
+/// The folded report of a routed network run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedNetworkReport {
+    /// Per-link statistics, averaged over replications.
+    pub per_link: Vec<LinkStats>,
+    /// Per-route admission counts, summed over replications.
+    pub per_route: Vec<RouteStats>,
+    /// Replications folded in.
+    pub replications: usize,
+}
+
+impl RoutedNetworkReport {
+    /// The worst per-link overflow probability — the network-level
+    /// QoS violation measure.
+    pub fn max_pf(&self) -> f64 {
+        self.per_link.iter().map(|l| l.pf).fold(0.0, f64::max)
+    }
+
+    /// The report as a `net.link<i>.*` / `net.route<i>.*` metrics
+    /// bundle (gauges for the per-link statistics, counters for the
+    /// admission totals), built with `merge_prefixed` so it composes
+    /// with the other instrument namespaces.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (i, l) in self.per_link.iter().enumerate() {
+            let mut bundle = MetricsSnapshot::new();
+            for (name, v) in [
+                ("pf", l.pf),
+                ("utilization", l.utilization),
+                ("occupancy", l.occupancy),
+            ] {
+                let mut g = Gauge::new();
+                g.set(v);
+                bundle.insert(name, MetricValue::Gauge(g.snapshot()));
+            }
+            out.merge_prefixed(&format!("net.link{i}"), &bundle);
+        }
+        for (i, r) in self.per_route.iter().enumerate() {
+            let mut bundle = MetricsSnapshot::new();
+            let mut admitted = mbac_metrics::Counter::new();
+            admitted.add(r.admitted);
+            let mut blocked = mbac_metrics::Counter::new();
+            blocked.add(r.blocked);
+            bundle.insert("admitted", MetricValue::Counter(admitted.snapshot()));
+            bundle.insert("blocked", MetricValue::Counter(blocked.snapshot()));
+            out.merge_prefixed(&format!("net.route{i}"), &bundle);
+        }
+        out
+    }
+}
+
+/// One replication's raw tallies (summed exactly in the fold, so the
+/// report is bit-deterministic for any worker count).
+#[derive(Debug, Clone)]
+pub struct NetworkRep {
+    overflow_ticks: Vec<u64>,
+    util_sum: Vec<f64>,
+    occupancy_sum: Vec<u64>,
+    measured_ticks: u64,
+    admitted: Vec<u64>,
+    blocked: Vec<u64>,
+}
+
+/// The closed-loop routed network scenario.
+pub struct RoutedNetworkLoad<'a> {
+    /// The per-flow traffic model (RCBR, AR(1), trace, …).
+    pub model: &'a dyn SourceModel,
+    /// Simulation shape.
+    pub cfg: RoutedNetworkConfig,
+}
+
+impl Scenario for RoutedNetworkLoad<'_> {
+    type Rep = NetworkRep;
+    type Report = RoutedNetworkReport;
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        let cfg = &self.cfg;
+        cfg.topology.validate()?;
+        if cfg.replications == 0 {
+            return Err(ConfigError::ZeroReplications);
+        }
+        if cfg.initial_flows_per_route < 2 {
+            return Err(ConfigError::TooFewFlows {
+                got: cfg.initial_flows_per_route,
+            });
+        }
+        require_positive("ticks", cfg.ticks as f64)?;
+        require_positive("tick", cfg.tick)?;
+        require_positive("mean holding time", cfg.mean_holding)?;
+        require_positive("target overflow probability", cfg.p_ce)?;
+        require_non_negative("memory time-scale", cfg.t_m)?;
+        require_non_negative("noise standard deviation", cfg.noise_sd)?;
+        if cfg.warmup_ticks >= cfg.ticks {
+            return Err(ConfigError::NonPositive {
+                field: "post-warmup ticks",
+                value: cfg.ticks as f64 - cfg.warmup_ticks as f64,
+            });
+        }
+        Ok(())
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    fn replications(&self) -> usize {
+        self.cfg.replications
+    }
+
+    fn run_rep(&self, ctx: &RepContext, _sink: &mut MetricsSink) -> NetworkRep {
+        let cfg = &self.cfg;
+        let topo = &cfg.topology;
+        let (links, routes) = (topo.links(), topo.routes());
+        let mut rng = ctx.rng();
+        let mut tables: Vec<FlowTable> = (0..routes).map(|_| ctx.table()).collect();
+        let mut ctls: Vec<MbacController> = (0..links)
+            .map(|_| {
+                MbacController::new(
+                    Box::new(FilteredEstimator::new(cfg.t_m)),
+                    Box::new(CertaintyEquivalent::from_probability(cfg.p_ce)),
+                )
+            })
+            .collect();
+        let mut path = PathAdmission::for_topology(topo);
+        let mut rep = NetworkRep {
+            overflow_ticks: vec![0; links],
+            util_sum: vec![0.0; links],
+            occupancy_sum: vec![0; links],
+            measured_ticks: 0,
+            admitted: vec![0; routes],
+            blocked: vec![0; routes],
+        };
+        // Seed each route's population (route order keeps the RNG
+        // stream deterministic).
+        for table in &mut tables {
+            for _ in 0..cfg.initial_flows_per_route {
+                let hold = exponential(&mut rng, cfg.mean_holding);
+                table.admit(self.model, hold, &mut rng);
+            }
+        }
+        let mut route_snaps: Vec<Vec<f64>> = vec![Vec::new(); routes];
+        let mut link_rates: Vec<f64> = Vec::new();
+        let record = |step: usize| step > cfg.warmup_ticks;
+        for step in 1..=cfg.ticks {
+            let now = step as f64 * cfg.tick;
+            // Advance populations; departures free the whole path.
+            for (r, table) in tables.iter_mut().enumerate() {
+                table.advance_to(now, &mut rng);
+                let departed = table.depart_until(now);
+                if departed > 0 {
+                    path.release(topo, RouteId(r as u32), departed as u32);
+                }
+                table.snapshot_into(&mut route_snaps[r]);
+            }
+            // Measure each link: union of crossing routes' flows, seen
+            // through this node's noise; feed estimator, resync
+            // occupancy, tally overflow/utilization.
+            for link in topo.link_ids() {
+                link_rates.clear();
+                for route in topo.routes_crossing(link) {
+                    link_rates.extend_from_slice(&route_snaps[route.index()]);
+                }
+                if cfg.noise_sd > 0.0 {
+                    for v in &mut link_rates {
+                        *v = (*v + normal(&mut rng, 0.0, cfg.noise_sd)).max(0.0);
+                    }
+                }
+                let l = link.index();
+                ctls[l].observe(now, &link_rates);
+                path.sync(link, link_rates.len() as u32);
+                if record(step) {
+                    let load: f64 = link_rates.iter().sum();
+                    let c = topo.capacity(link);
+                    if load > c {
+                        rep.overflow_ticks[l] += 1;
+                    }
+                    rep.util_sum[l] += load.min(c) / c;
+                    rep.occupancy_sum[l] += link_rates.len() as u64;
+                }
+            }
+            if record(step) {
+                rep.measured_ticks += 1;
+            }
+            // Admission: continuous pressure per route up to the
+            // acceptance boundary.
+            for route in topo.route_ids() {
+                for _ in 0..cfg.attempts_per_tick {
+                    let ctls_ref = &ctls;
+                    let mut oracle =
+                        |link: LinkId, c: f64| ctls_ref[link.index()].admissible_count(c);
+                    let d = path.decide(topo, route, &mut oracle);
+                    if d.admit {
+                        rep.admitted[route.index()] += 1;
+                        let hold = exponential(&mut rng, cfg.mean_holding);
+                        tables[route.index()].admit(self.model, now + hold, &mut rng);
+                    } else {
+                        rep.blocked[route.index()] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        rep
+    }
+
+    fn fold(&self, reps: Vec<NetworkRep>) -> RoutedNetworkReport {
+        let topo = &self.cfg.topology;
+        let (links, routes) = (topo.links(), topo.routes());
+        let mut overflow = vec![0u64; links];
+        let mut util = vec![0.0f64; links];
+        let mut occupancy = vec![0u64; links];
+        let mut measured = 0u64;
+        let mut admitted = vec![0u64; routes];
+        let mut blocked = vec![0u64; routes];
+        for rep in &reps {
+            for l in 0..links {
+                overflow[l] += rep.overflow_ticks[l];
+                util[l] += rep.util_sum[l];
+                occupancy[l] += rep.occupancy_sum[l];
+            }
+            measured += rep.measured_ticks;
+            for r in 0..routes {
+                admitted[r] += rep.admitted[r];
+                blocked[r] += rep.blocked[r];
+            }
+        }
+        let denom = measured.max(1) as f64;
+        RoutedNetworkReport {
+            per_link: (0..links)
+                .map(|l| LinkStats {
+                    pf: overflow[l] as f64 / denom,
+                    utilization: util[l] / denom,
+                    occupancy: occupancy[l] as f64 / denom,
+                })
+                .collect(),
+            per_route: (0..routes)
+                .map(|r| RouteStats {
+                    admitted: admitted[r],
+                    blocked: blocked[r],
+                })
+                .collect(),
+            replications: reps.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Engine, SessionBuilder};
+    use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+
+    fn model() -> RcbrModel {
+        RcbrModel::new(RcbrConfig::paper_default(1.0))
+    }
+
+    fn config(topology: Topology) -> RoutedNetworkConfig {
+        RoutedNetworkConfig {
+            topology: Arc::new(topology),
+            ticks: 60,
+            tick: 0.5,
+            warmup_ticks: 10,
+            initial_flows_per_route: 4,
+            mean_holding: 20.0,
+            attempts_per_tick: 2,
+            noise_sd: 0.0,
+            t_m: 2.0,
+            p_ce: 1e-2,
+            replications: 4,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn closed_loop_fills_links_toward_capacity() {
+        let m = model();
+        let load = RoutedNetworkLoad {
+            model: &m,
+            cfg: config(Topology::parking_lot(3, 12.0)),
+        };
+        let report = SessionBuilder::new().run(&load).unwrap();
+        assert_eq!(report.per_link.len(), 3);
+        assert_eq!(report.per_route.len(), 4);
+        let admitted: u64 = report.per_route.iter().map(|r| r.admitted).sum();
+        let blocked: u64 = report.per_route.iter().map(|r| r.blocked).sum();
+        assert!(admitted > 0, "admission must let some flows in");
+        assert!(blocked > 0, "MBAC must eventually push back");
+        for l in &report.per_link {
+            assert!(l.utilization > 0.2, "links must carry load: {l:?}");
+            assert!(l.utilization <= 1.0);
+            assert!(l.pf < 0.5, "MBAC must keep overflow bounded: {l:?}");
+        }
+    }
+
+    #[test]
+    fn report_is_worker_and_engine_invariant() {
+        let m = model();
+        let load = RoutedNetworkLoad {
+            model: &m,
+            cfg: config(Topology::star(3, 10.0)),
+        };
+        let reference = SessionBuilder::new().workers(1).run(&load).unwrap();
+        for workers in [2, 4] {
+            let r = SessionBuilder::new().workers(workers).run(&load).unwrap();
+            assert_eq!(r, reference, "diverged at {workers} workers");
+        }
+        let boxed = SessionBuilder::new()
+            .engine(Engine::Boxed)
+            .run(&load)
+            .unwrap();
+        assert_eq!(boxed, reference, "boxed engine diverged");
+    }
+
+    #[test]
+    fn metrics_snapshot_namespaces_per_link_and_route() {
+        let m = model();
+        let load = RoutedNetworkLoad {
+            model: &m,
+            cfg: config(Topology::parking_lot(2, 10.0)),
+        };
+        let report = SessionBuilder::new().run(&load).unwrap();
+        let snap = report.metrics_snapshot();
+        for l in 0..2 {
+            for name in ["pf", "utilization", "occupancy"] {
+                assert!(
+                    matches!(
+                        snap.get(&format!("net.link{l}.{name}")),
+                        Some(MetricValue::Gauge(_))
+                    ),
+                    "missing net.link{l}.{name}"
+                );
+            }
+        }
+        match snap.get("net.route0.admitted") {
+            Some(MetricValue::Counter(c)) => {
+                assert_eq!(c.count, report.per_route[0].admitted);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let m = model();
+        let mut cfg = config(Topology::single_link(10.0));
+        cfg.warmup_ticks = cfg.ticks;
+        assert!(RoutedNetworkLoad { model: &m, cfg }.validate().is_err());
+        let mut cfg = config(Topology::single_link(10.0));
+        cfg.replications = 0;
+        assert_eq!(
+            RoutedNetworkLoad { model: &m, cfg }.validate().unwrap_err(),
+            ConfigError::ZeroReplications
+        );
+    }
+}

@@ -137,6 +137,9 @@ pub enum ConfigError {
         /// What is wrong with the schedule.
         reason: &'static str,
     },
+    /// A malformed topology (routed scenarios re-validate the
+    /// [`mbac_core::topology::Topology`] they were handed).
+    Topology(mbac_core::topology::TopologyError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -167,11 +170,18 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "engine must be batched or boxed, got {name}")
             }
             ConfigError::BadPhases { reason } => write!(f, "invalid phase schedule: {reason}"),
+            ConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<mbac_core::topology::TopologyError> for ConfigError {
+    fn from(e: mbac_core::topology::TopologyError) -> Self {
+        ConfigError::Topology(e)
+    }
+}
 
 /// Checks that `value` is strictly positive (rejects NaN).
 pub(crate) fn require_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
