@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
+use mbac_metrics::{StreamConfig, StreamSink};
 use mbac_sim::{
     rep_seed, ContinuousConfig, ContinuousLoad, Engine, EventQueue, FlowTable, ImpulsiveConfig,
     ImpulsiveLoad, MbacController, MetricsMode, RepContext, Scenario, SessionBuilder,
@@ -201,6 +202,25 @@ fn bench_metrics_overhead(c: &mut Criterion) {
                 ))
                 .unwrap();
             snap.len()
+        })
+    });
+    // Streaming adds a sampler draw per fold plus ring pushes for kept
+    // records; with sampling off it should ride within noise of
+    // `enabled` (the near-zero-cost emission claim).
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let sink = StreamSink::to_writer(StreamConfig::default(), Box::new(std::io::sink()));
+            let mut ctl = mk();
+            let (_, snap) = SessionBuilder::new()
+                .stream(sink.handle())
+                .run_local_metered(&ContinuousLoad::new(
+                    &cfg,
+                    &mbac_bench::bench_rcbr(),
+                    &mut ctl,
+                ))
+                .unwrap();
+            let stats = sink.finish().unwrap();
+            (snap.len(), stats.intervals)
         })
     });
     g.finish();

@@ -6,8 +6,55 @@ pub mod simulate;
 pub mod theory;
 pub mod trace;
 
-use crate::args::ArgError;
+use crate::args::{ArgError, Args};
 use mbac_core::topology::Topology;
+use mbac_metrics::{StreamConfig, StreamSink};
+
+/// Opens the streaming JSONL sink implied by `--metrics-stream` (with
+/// `--stream-sample` and `--stream-flush` shaping it), or `None` when
+/// the flag is absent.
+pub(crate) fn open_stream(args: &Args) -> Result<Option<StreamSink>, ArgError> {
+    let Some(path) = args.get("metrics-stream") else {
+        return Ok(None);
+    };
+    let sample_fraction = args.f64_or("stream-sample", 0.0)?;
+    if !(0.0..=1.0).contains(&sample_fraction) {
+        return Err(ArgError(format!(
+            "--stream-sample must be in [0, 1], got {sample_fraction}"
+        )));
+    }
+    let ring_capacity = args.u64_or("stream-ring", StreamConfig::default().ring_capacity as u64)?;
+    if ring_capacity == 0 {
+        return Err(ArgError("--stream-ring must be >= 1".into()));
+    }
+    let cfg = StreamConfig {
+        sample_fraction,
+        flush_interval: args.u64_or("stream-flush", 0)?,
+        ring_capacity: ring_capacity as usize,
+        ..StreamConfig::default()
+    };
+    StreamSink::to_path(cfg, std::path::Path::new(path))
+        .map(Some)
+        .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+/// Joins the stream writer and reports its visible backpressure
+/// accounting (dropped records are the bounded-memory trade-off; they
+/// must be loud, never silent).
+pub(crate) fn finish_stream(args: &Args, sink: Option<StreamSink>) -> Result<(), ArgError> {
+    let Some(sink) = sink else {
+        return Ok(());
+    };
+    let path = args.get("metrics-stream").unwrap_or("-");
+    let stats = sink
+        .finish()
+        .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    println!(
+        "metrics stream: {} samples, {} intervals, {} dropped (ring capacity {})",
+        stats.samples, stats.intervals, stats.dropped, stats.ring_capacity
+    );
+    Ok(())
+}
 
 /// Parses a `--topology` spec into a [`Topology`] with every link at
 /// `capacity`. Accepted forms: `single`, `parking-lot:<hops>`,

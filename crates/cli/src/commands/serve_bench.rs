@@ -12,6 +12,7 @@
 //! checks the invariance contract without tripping on wall-clock
 //! noise.
 
+use super::{finish_stream, open_stream};
 use crate::args::{ArgError, Args};
 use mbac_num::KernelDispatch;
 use mbac_serve::{
@@ -37,6 +38,8 @@ mbacctl serve-bench [--links <n>] [--flows-per-link <n>] [--ticks <n>]
                     [--source rcbr|ar1 | --trace <file>]
                     [--mean <mu> --sd <sigma> --t-c <T_c>]
                     [--engine batched|boxed] [--kernel-dispatch scalar|wide]
+                    [--metrics-stream <file>] [--stream-sample <fraction>]
+                    [--stream-flush <n>] [--stream-ring <n>]
 
 Runs the closed-loop decision-plane benchmark: per-link measurement +
 request streams generated through the Session pipeline are replayed
@@ -55,7 +58,13 @@ route and are admitted only if *every* hop accepts (two-phase
 reserve/commit across shards). Every link gets --capacity;
 --flows-per-route sizes the steady workload per route and --noise-sd
 adds per-node measurement noise. --topology replaces --links and
---flows-per-link.";
+--flows-per-link.
+--metrics-stream emits bounded-memory streaming metrics as
+mbac-metrics/v2-stream JSONL: per-decision samples (--stream-sample,
+default 0) plus cumulative per-shard interval snapshots every
+--stream-flush decisions (default 0 = end-of-run only); records that
+do not fit the stream's ring (--stream-ring, default 1024) are
+dropped and counted, never buffered unboundedly.";
 
 /// Renders a bench/config error as the CLI's error type.
 fn config_err(e: impl std::fmt::Display) -> ArgError {
@@ -123,6 +132,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "topology",
         "flows-per-route",
         "noise-sd",
+        "metrics-stream",
+        "stream-sample",
+        "stream-flush",
+        "stream-ring",
     ])?;
     if args.get("trace").is_some() {
         for model_flag in ["mean", "sd", "t-c", "source"] {
@@ -168,6 +181,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             topology.links(),
             topology.routes()
         );
+        let stream = open_stream(args)?;
         let cfg = RoutedBenchConfig {
             topology,
             flows_per_route: args.u64_or("flows-per-route", d.flows_per_route as u64)? as usize,
@@ -184,11 +198,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             ring_capacity: args.u64_or("ring-capacity", d.ring_capacity as u64)? as usize,
             p_ce: args.prob_or("p-ce", d.p_ce)?,
             t_m: args.f64_or("t-m", d.t_m)?,
+            stream: stream.as_ref().map(|s| s.handle()),
         };
         let report = routed_closed_loop_with_parallelism(&cfg, model.as_ref(), host_parallelism())
             .map_err(config_err)?;
         println!("{banner}");
         print_report(&report, engine);
+        finish_stream(args, stream)?;
         return Ok(());
     }
 
@@ -198,6 +214,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             "--flows-per-route/--noise-sd require --topology".into(),
         ));
     }
+    let stream = open_stream(args)?;
     let cfg = BenchConfig {
         links: args.u64_or("links", d.links as u64)? as usize,
         flows_per_link: args.u64_or("flows-per-link", d.flows_per_link as u64)? as usize,
@@ -213,11 +230,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         capacity: args.f64_or("capacity", d.capacity)?,
         p_ce: args.prob_or("p-ce", d.p_ce)?,
         t_m: args.f64_or("t-m", d.t_m)?,
+        stream: stream.as_ref().map(|s| s.handle()),
     };
     let report = closed_loop_with_parallelism(&cfg, model.as_ref(), host_parallelism())
         .map_err(config_err)?;
     println!("serve bench: links = {}", cfg.links);
     print_report(&report, engine);
+    finish_stream(args, stream)?;
     Ok(())
 }
 

@@ -5,6 +5,7 @@
 //! invalid configurations surface as friendly [`ConfigError`] messages
 //! (exit code 1), never as panics.
 
+use super::{finish_stream, open_stream};
 use crate::args::{ArgError, Args};
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
@@ -26,6 +27,8 @@ mbacctl simulate --capacity <c> [--load continuous|impulsive|poisson|routed]
                  [--trace <file> | --mean <mu> --sd <sigma> --t-c <T_c>]
                  [--seed <s>] [--engine batched|boxed]
                  [--kernel-dispatch scalar|wide] [--metrics-out <file|->]
+                 [--metrics-stream <file>] [--stream-sample <fraction>]
+                 [--stream-flush <n>] [--stream-ring <n>]
   continuous (default): --holding <T_h> [--t-m <T_m>] [--p-ce <p>]
                  [--p-q <p>] [--samples <n>]
   impulsive:     --flows <n> --observe <t1,t2,...> [--reps <n>]
@@ -57,6 +60,13 @@ are bit-exact, so this only affects speed. Also settable through the
 MBAC_KERNEL_DISPATCH environment variable; the flag wins.
 --metrics-out writes the run's aggregated metrics as mbac-metrics/v1
 JSON (see results/METRICS_schema.md) to the file, or to stdout for -.
+--metrics-stream additionally emits bounded-memory streaming metrics
+as mbac-metrics/v2-stream JSONL to the file: sampled raw records
+(--stream-sample, default 0) plus cumulative interval snapshots every
+--stream-flush folds (default 0 = end-of-replication only). The
+stream is fed through a fixed-capacity ring (--stream-ring, default
+1024); records that do not fit are dropped and counted, never
+buffered unboundedly.
 --trace cannot be combined with the RCBR flags --mean/--sd/--t-c.";
 
 /// Renders a [`ConfigError`] as the CLI's error type.
@@ -93,6 +103,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "engine",
         "kernel-dispatch",
         "metrics-out",
+        "metrics-stream",
+        "stream-sample",
+        "stream-flush",
+        "stream-ring",
         "flows",
         "observe",
         "reps",
@@ -186,9 +200,13 @@ fn write_metrics(args: &Args, snapshot: &MetricsSnapshot) -> Result<(), ArgError
     Ok(())
 }
 
-/// The session metrics mode implied by `--metrics-out`.
+/// The session metrics mode implied by `--metrics-out` and
+/// `--metrics-stream`. Streaming collects everything snapshot mode
+/// does, so the two flags compose.
 fn metrics_mode(args: &Args) -> MetricsMode {
-    if args.get("metrics-out").is_some() {
+    if args.get("metrics-stream").is_some() {
+        MetricsMode::Streaming
+    } else if args.get("metrics-out").is_some() {
         MetricsMode::Enabled
     } else {
         MetricsMode::Disabled
@@ -229,10 +247,14 @@ fn run_continuous_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         seed,
     };
     let scenario = ContinuousLoad::new(&cfg, model.as_ref(), &mut ctl);
-    let session = SessionBuilder::new()
+    let stream = open_stream(args)?;
+    let mut session = SessionBuilder::new()
         .seed(seed)
         .engine(engine)
         .metrics(metrics_mode(args));
+    if let Some(s) = &stream {
+        session = session.stream(s.handle());
+    }
     // Validate before printing the banner so bad configs fail cleanly.
     let (rep, snapshot) = session.run_local_metered(&scenario).map_err(config_err)?;
     println!(
@@ -268,6 +290,7 @@ fn run_continuous_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         rep.admitted, rep.departed
     );
     println!("  simulated time       : {:.0}", rep.sim_time);
+    finish_stream(args, stream)?;
     Ok(())
 }
 
@@ -299,10 +322,14 @@ fn run_impulsive_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         seed,
     };
     let scenario = ImpulsiveLoad::new(&cfg, model.as_ref(), &policy);
+    let stream = open_stream(args)?;
     let mut session = SessionBuilder::new()
         .seed(seed)
         .engine(engine)
         .metrics(metrics_mode(args));
+    if let Some(s) = &stream {
+        session = session.stream(s.handle());
+    }
     if let Some(w) = args.get("workers") {
         let workers: usize = w
             .parse()
@@ -328,6 +355,7 @@ fn run_impulsive_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
             obs.mean_flows
         );
     }
+    finish_stream(args, stream)?;
     Ok(())
 }
 
@@ -366,10 +394,14 @@ fn run_poisson_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         seed,
     };
     let scenario = PoissonLoad::new(&cfg, model.as_ref(), &mut ctl);
-    let session = SessionBuilder::new()
+    let stream = open_stream(args)?;
+    let mut session = SessionBuilder::new()
         .seed(seed)
         .engine(engine)
         .metrics(metrics_mode(args));
+    if let Some(s) = &stream {
+        session = session.stream(s.handle());
+    }
     let (rep, snapshot) = session.run_local_metered(&scenario).map_err(config_err)?;
     write_metrics(args, &snapshot)?;
     println!(
@@ -390,6 +422,7 @@ fn run_poisson_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         100.0 * rep.mean_utilization
     );
     println!("  mean flows in system : {:.1}", rep.mean_flows);
+    finish_stream(args, stream)?;
     Ok(())
 }
 
@@ -437,10 +470,14 @@ fn run_routed_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
         model: model.as_ref(),
         cfg: cfg.clone(),
     };
+    let stream = open_stream(args)?;
     let mut session = SessionBuilder::new()
         .seed(seed)
         .engine(engine)
         .metrics(metrics_mode(args));
+    if let Some(s) = &stream {
+        session = session.stream(s.handle());
+    }
     if let Some(w) = args.get("workers") {
         let workers: usize = w
             .parse()
@@ -481,6 +518,7 @@ fn run_routed_load(args: &Args, engine: Engine) -> Result<(), ArgError> {
             }
         );
     }
+    finish_stream(args, stream)?;
     Ok(())
 }
 

@@ -743,3 +743,105 @@ fn serve_bench_topology_rejects_link_flags() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
 }
+
+#[test]
+fn simulate_metrics_stream_writes_v2_jsonl() {
+    let dir = std::env::temp_dir().join("mbacctl_stream_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sim_stream.jsonl");
+    let out = mbacctl(&small_sim_args(&[
+        "--metrics-stream",
+        path.to_str().unwrap(),
+        "--stream-sample",
+        "1.0",
+        "--stream-flush",
+        "16",
+        // Oversized ring: the run outpaces the writer's idle sleep, and
+        // this test is about the record shapes, not backpressure.
+        "--stream-ring",
+        "65536",
+    ]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics stream:"), "{text}");
+    assert!(text.contains("0 dropped"), "no drops expected:\n{text}");
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() >= 3, "header + records + summary:\n{body}");
+    assert!(
+        lines[0].contains("\"schema\": \"mbac-metrics/v2-stream\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"k\": \"header\""));
+    assert!(
+        body.contains("\"k\": \"sample\""),
+        "sampled at 1.0:\n{body}"
+    );
+    assert!(body.contains("\"k\": \"interval\""), "{body}");
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"k\": \"summary\""), "{last}");
+    assert!(last.contains("\"dropped\": 0"), "{last}");
+}
+
+#[test]
+fn simulate_rejects_bad_stream_sample() {
+    let out = mbacctl(&small_sim_args(&[
+        "--metrics-stream",
+        "/tmp/never_written.jsonl",
+        "--stream-sample",
+        "1.5",
+    ]));
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stream-sample"));
+}
+
+#[test]
+fn serve_bench_metrics_stream_writes_v2_jsonl() {
+    let dir = std::env::temp_dir().join("mbacctl_stream_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve_stream.jsonl");
+    let out = mbacctl(&[
+        "serve-bench",
+        "--links",
+        "2",
+        "--flows-per-link",
+        "4",
+        "--ticks",
+        "8",
+        "--requests-per-tick",
+        "2",
+        "--capacity",
+        "8",
+        "--seed",
+        "3",
+        "--metrics-stream",
+        path.to_str().unwrap(),
+        "--stream-sample",
+        "1.0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics stream:"), "{text}");
+    assert!(text.contains("0 dropped"), "{text}");
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(
+        lines[0].contains("\"schema\": \"mbac-metrics/v2-stream\""),
+        "{}",
+        lines[0]
+    );
+    // 2 links x 8 ticks x 2 requests = 32 decisions, all sampled.
+    assert_eq!(body.matches("\"k\": \"sample\"").count(), 32, "{body}");
+    // The interval snapshots carry plane-namespaced instrument names.
+    assert!(body.contains("serve.shard0.requests"), "{body}");
+    assert!(lines.last().unwrap().contains("\"k\": \"summary\""));
+}

@@ -21,16 +21,33 @@
 //! Snapshots are collected into a named [`MetricsSnapshot`], merged with
 //! [`MetricsSnapshot::merge`], and emitted as `mbac-metrics/v1` JSON via
 //! [`MetricsSnapshot::to_json`] (see `results/METRICS_schema.md`).
+//!
+//! For runs too large to hold a growing snapshot in memory, the
+//! [`stream`] module adds a bounded alternative: unit-of-work entries
+//! still fold into the mergeable instruments, a deterministic
+//! [`Sampler`] emits a fraction of raw entries for traceability, and a
+//! [`StreamSink`] drains cumulative interval flushes through a
+//! fixed-capacity [`IngestRing`] to `mbac-metrics/v2-stream` JSONL with
+//! visible drop counters.
 
 #![warn(missing_docs)]
 
 pub mod instruments;
 pub mod p2;
+pub mod ring;
+pub mod sampler;
 pub mod snapshot;
+pub mod stream;
 
 pub use instruments::{
     bin_index, bin_representative, Aggregated, Counter, CounterSnapshot, Gauge, GaugeSnapshot,
     Histogram, HistogramSnapshot, Mergeable, SeriesSnapshot, TimeSeries,
 };
 pub use p2::P2Quantile;
+pub use ring::IngestRing;
+pub use sampler::{splitmix64, Sampler};
 pub use snapshot::{MetricValue, MetricsSnapshot};
+pub use stream::{
+    refold_intervals, FieldBuf, StreamConfig, StreamHandle, StreamItem, StreamSink, StreamStats,
+    MAX_SAMPLE_FIELDS, STREAM_SCHEMA,
+};

@@ -1,0 +1,107 @@
+//! Deterministic entry sampling for raw-event traceability.
+//!
+//! Aggregates stay exact — every unit-of-work entry folds into the
+//! mergeable instruments — but emitting every raw entry at 10⁶ flows
+//! would drown any sink. The [`Sampler`] keeps a configurable fraction
+//! of entries *deterministically*: the keep/skip decision for entry
+//! `seq` is a pure function of `(key, seq)`, so the same simulation
+//! (same seed, any worker count, either flow engine) samples the same
+//! entries. That preserves the worker/engine invariance contract the
+//! rest of the metrics pipeline guarantees.
+//!
+//! The hash is the SplitMix64 finalizer — the same mixer the simulator
+//! uses for per-replication seed derivation — which passes avalanche
+//! tests, so `splitmix64(key ^ splitmix64(seq))` is uniform over `u64`
+//! and comparing against `fraction · 2⁶⁴` keeps each entry independently
+//! with probability `fraction`.
+
+/// The SplitMix64 finalizer: a bijective avalanche mixer over `u64`.
+///
+/// Public because the sampler's callers derive per-stream keys the same
+/// way the simulator derives per-replication seeds:
+/// `splitmix64(base ^ splitmix64(stream_index))`.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic keep-fraction filter over entry sequence numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    key: u64,
+    /// Keep iff `hash < threshold`; `u64::MAX` plus [`Self::always`]
+    /// encodes "keep everything" exactly.
+    threshold: u64,
+    always: bool,
+}
+
+impl Sampler {
+    /// Builds a sampler keeping roughly `fraction` of entries
+    /// (clamped to `[0, 1]`; `1.0` keeps everything, `0.0` nothing),
+    /// keyed so distinct streams sample independently.
+    pub fn new(fraction: f64, key: u64) -> Self {
+        let fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Sampler {
+            key,
+            // 2⁶⁴·fraction saturates to u64::MAX at fraction = 1.0; the
+            // `always` flag closes the 1/2⁶⁴ gap exactly.
+            threshold: (fraction * (u64::MAX as f64 + 1.0)) as u64,
+            always: fraction >= 1.0,
+        }
+    }
+
+    /// Whether entry `seq` is kept. Pure in `(key, seq)`.
+    #[inline]
+    pub fn keep(&self, seq: u64) -> bool {
+        self.always || splitmix64(self.key ^ splitmix64(seq)) < self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_keep_all_or_nothing() {
+        let all = Sampler::new(1.0, 7);
+        let none = Sampler::new(0.0, 7);
+        for seq in 0..1000 {
+            assert!(all.keep(seq));
+            assert!(!none.keep(seq));
+        }
+    }
+
+    #[test]
+    fn fraction_is_roughly_honored() {
+        let s = Sampler::new(0.1, 42);
+        let kept = (0..100_000).filter(|&q| s.keep(q)).count();
+        // 100k Bernoulli(0.1) draws: mean 10_000, sd ≈ 95.
+        assert!((9_400..=10_600).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn decision_is_deterministic_and_key_dependent() {
+        let a = Sampler::new(0.5, 1);
+        let b = Sampler::new(0.5, 2);
+        let kept_a: Vec<bool> = (0..64).map(|q| a.keep(q)).collect();
+        let kept_a2: Vec<bool> = (0..64).map(|q| a.keep(q)).collect();
+        let kept_b: Vec<bool> = (0..64).map(|q| b.keep(q)).collect();
+        assert_eq!(kept_a, kept_a2);
+        assert_ne!(kept_a, kept_b, "distinct keys must sample differently");
+    }
+
+    #[test]
+    fn garbage_fractions_degrade_to_never() {
+        assert!(!Sampler::new(f64::NAN, 0).keep(3));
+        assert!(!Sampler::new(f64::INFINITY, 0).keep(3));
+        assert!(Sampler::new(2.0, 0).keep(3), "clamped to 1.0");
+        assert!(!Sampler::new(-1.0, 0).keep(3), "clamped to 0.0");
+    }
+}

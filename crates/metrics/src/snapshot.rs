@@ -113,12 +113,26 @@ impl MetricsSnapshot {
     /// different instrument kind (same contract as
     /// [`MetricsSnapshot::merge`]).
     pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        if other.entries.is_empty() {
+            return;
+        }
+        // One probe buffer for the whole merge: `BTreeMap<String, _>`
+        // looks up by `&str`, so the steady state (every prefixed name
+        // already present — per-link bundles merged once per
+        // replication) allocates exactly once per call instead of once
+        // per entry. Only a first-seen name pays for its key.
+        let longest = other.entries.keys().map(String::len).max().unwrap_or(0);
+        let mut key = String::with_capacity(prefix.len() + 1 + longest);
+        key.push_str(prefix);
+        key.push('.');
+        let base = key.len();
         for (name, value) in &other.entries {
-            let key = format!("{prefix}.{name}");
-            match self.entries.get_mut(&key) {
+            key.truncate(base);
+            key.push_str(name);
+            match self.entries.get_mut(key.as_str()) {
                 Some(mine) => mine.merge(value),
                 None => {
-                    self.entries.insert(key, value.clone());
+                    self.entries.insert(key.clone(), value.clone());
                 }
             }
         }
@@ -142,9 +156,25 @@ impl MetricsSnapshot {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// Appends the bare name-sorted metrics object (the value of the v1
+    /// `"metrics"` key, single-line) — the encoding the v2 streaming
+    /// JSONL embeds in its interval records.
+    pub fn write_metrics_object(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json_string(out, name);
+            out.push_str(": ");
+            json_value(out, value);
+        }
+        out.push('}');
+    }
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -159,7 +189,7 @@ fn json_string(out: &mut String, s: &str) {
 
 /// Shortest-round-trip float formatting; non-finite → `null` (JSON has
 /// no NaN/Infinity).
-fn json_f64(out: &mut String, v: f64) {
+pub(crate) fn json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v:?}"));
     } else {

@@ -1,0 +1,74 @@
+//! Allocation-regression guard for `MetricsSnapshot::merge_prefixed`.
+//!
+//! The routed simulator merges per-link/per-route instrument bundles
+//! under a prefix once per replication; at million-flow scale the old
+//! implementation's fresh `String` key per entry per merge was real
+//! allocator pressure. The rewrite probes with one reused buffer, so a
+//! steady-state merge (every prefixed name already present) allocates
+//! O(1), not O(entries).
+//!
+//! This file deliberately holds a single `#[test]`: the counting global
+//! allocator sees every thread in the test binary, and a second
+//! concurrent test would pollute the delta.
+
+use mbac_metrics::{Aggregated, Counter, MetricValue, MetricsSnapshot};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn bundle(entries: usize) -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::new();
+    for i in 0..entries {
+        let mut c = Counter::new();
+        c.add(i as u64 + 1);
+        s.insert(format!("metric{i:04}"), MetricValue::Counter(c.snapshot()));
+    }
+    s
+}
+
+#[test]
+fn steady_state_merge_prefixed_allocates_o1_not_o_entries() {
+    const ENTRIES: usize = 1024;
+    let other = bundle(ENTRIES);
+    let mut target = MetricsSnapshot::new();
+    // First merge under the prefix: every name is new, keys are paid
+    // for here once.
+    target.merge_prefixed("net.link0", &other);
+    assert_eq!(target.len(), ENTRIES);
+
+    // Steady state: all prefixed names exist, so the merge should only
+    // allocate the one probe buffer (plus small constant noise).
+    let before = ALLOCS.load(Ordering::Relaxed);
+    target.merge_prefixed("net.link0", &other);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(
+        delta < 64,
+        "steady-state merge_prefixed allocated {delta} times for {ENTRIES} entries"
+    );
+
+    // And the merge itself still merged (counts doubled, not replaced).
+    match target.get("net.link0.metric0000") {
+        Some(MetricValue::Counter(c)) => assert_eq!(c.count, 2),
+        other => panic!("{other:?}"),
+    }
+}

@@ -10,12 +10,11 @@
 //! Single-core hosts cannot produce meaningful *threaded* throughput:
 //! producers, consumers, and the generator all time-share one CPU, so a
 //! multi-shard run measures scheduler churn, not the plane. Mirroring
-//! the `replication_scaling` gate in `bench_json`, [`closed_loop`]
-//! falls back to the serial reference and sets
-//! [`BenchReport::skipped_single_core`] when
-//! `available_parallelism() == 1` and a threaded shape was requested —
-//! the recorded numbers are then honest serial-path figures, marked as
-//! such.
+//! the `replication_scaling` gate in `bench_json`,
+//! [`closed_loop_with_parallelism`] falls back to the serial reference
+//! and sets [`BenchReport::skipped_single_core`] when the injected
+//! parallelism is 1 and a threaded shape was requested — the recorded
+//! numbers are then honest serial-path figures, marked as such.
 
 use crate::plane::{certainty_equivalent_factory, PlaneConfig, ServeError};
 use crate::replay::{replay_serial, replay_threaded, ReplayConfig};
@@ -23,6 +22,7 @@ use crate::routed::{
     routed_replay_serial, routed_replay_threaded, RoutedPlaneConfig, RoutedReplayConfig,
 };
 use mbac_core::topology::Topology;
+use mbac_metrics::StreamHandle;
 use mbac_num::quantile;
 use mbac_sim::{
     ConfigError, Engine, MetricsMode, RequestLoad, RequestLoadConfig, RoutedLoad, RoutedLoadConfig,
@@ -62,6 +62,10 @@ pub struct BenchConfig {
     pub p_ce: f64,
     /// Estimator memory time-scale.
     pub t_m: f64,
+    /// Streaming-emission handle passed through to the plane. When set,
+    /// per-shard metrics collection is enabled (without timing) so the
+    /// stream's interval records carry the decision counters.
+    pub stream: Option<StreamHandle>,
 }
 
 impl Default for BenchConfig {
@@ -81,6 +85,7 @@ impl Default for BenchConfig {
             capacity: 60.0,
             p_ce: 1e-2,
             t_m: 5.0,
+            stream: None,
         }
     }
 }
@@ -163,19 +168,9 @@ pub fn host_parallelism() -> usize {
 
 /// Runs the closed-loop bench: generates the workload through the
 /// Session pipeline, replays it through the plane, and summarizes
-/// latency/throughput. Detects host parallelism itself — see
-/// [`closed_loop_with_parallelism`] for the testable core.
-#[deprecated(
-    since = "0.2.0",
-    note = "use closed_loop_with_parallelism(cfg, model, host_parallelism()), or \
-            routed_closed_loop for a Topology-shaped workload"
-)]
-pub fn closed_loop(cfg: &BenchConfig, model: &dyn SourceModel) -> Result<BenchReport, BenchError> {
-    closed_loop_with_parallelism(cfg, model, host_parallelism())
-}
-
-/// [`closed_loop`] with the host parallelism injected (tests force both
-/// the gated and ungated paths regardless of the actual host).
+/// latency/throughput. The host's parallelism is injected (pass
+/// [`host_parallelism()`] for the real machine; tests force both the
+/// gated and ungated paths regardless of the actual host).
 pub fn closed_loop_with_parallelism(
     cfg: &BenchConfig,
     model: &dyn SourceModel,
@@ -211,7 +206,12 @@ pub fn closed_loop_with_parallelism(
             shards: if run_threaded { cfg.shards } else { 1 },
             capacity: cfg.capacity,
             ring_capacity: cfg.ring_capacity,
-            metrics: MetricsMode::Disabled,
+            metrics: if cfg.stream.is_some() {
+                MetricsMode::Streaming
+            } else {
+                MetricsMode::Disabled
+            },
+            stream: cfg.stream.clone(),
         },
         producers: if run_threaded { cfg.producers } else { 1 },
         stamp_latency: true,
@@ -292,6 +292,10 @@ pub struct RoutedBenchConfig {
     pub p_ce: f64,
     /// Estimator memory time-scale.
     pub t_m: f64,
+    /// Streaming-emission handle passed through to the plane. When set,
+    /// per-shard metrics collection is enabled (without timing) so the
+    /// stream's interval records carry the decision counters.
+    pub stream: Option<StreamHandle>,
 }
 
 impl Default for RoutedBenchConfig {
@@ -311,6 +315,7 @@ impl Default for RoutedBenchConfig {
             ring_capacity: 1024,
             p_ce: 1e-2,
             t_m: 5.0,
+            stream: None,
         }
     }
 }
@@ -363,7 +368,12 @@ pub fn routed_closed_loop_with_parallelism(
         plane: RoutedPlaneConfig {
             shards: if run_threaded { cfg.shards } else { 1 },
             ring_capacity: cfg.ring_capacity,
-            metrics: MetricsMode::Disabled,
+            metrics: if cfg.stream.is_some() {
+                MetricsMode::Streaming
+            } else {
+                MetricsMode::Disabled
+            },
+            stream: cfg.stream.clone(),
         },
         producers: if run_threaded { cfg.producers } else { 1 },
         stamp_latency: true,
@@ -468,27 +478,6 @@ mod tests {
         assert_eq!(report.mode, "threaded");
         assert_eq!(report.shards, 2);
         assert_eq!(report.decisions, 3 * 10 * 2);
-    }
-
-    /// The deprecated single-link entry point must stay a pure
-    /// delegation: identical decision totals and shape to calling
-    /// [`closed_loop_with_parallelism`] with the host parallelism
-    /// (timings excluded — they are machine facts).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_closed_loop_delegates() {
-        let cfg = small();
-        let m = model();
-        let legacy = closed_loop(&cfg, &m).unwrap();
-        let direct = closed_loop_with_parallelism(&cfg, &m, host_parallelism()).unwrap();
-        assert_eq!(legacy.mode, direct.mode);
-        assert_eq!(legacy.shards, direct.shards);
-        assert_eq!(legacy.producers, direct.producers);
-        assert_eq!(legacy.decisions, direct.decisions);
-        assert_eq!(legacy.admitted, direct.admitted);
-        assert_eq!(legacy.rejected, direct.rejected);
-        assert_eq!(legacy.events, direct.events);
-        assert_eq!(legacy.skipped_single_core, direct.skipped_single_core);
     }
 
     fn small_routed() -> RoutedBenchConfig {

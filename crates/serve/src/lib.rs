@@ -17,10 +17,10 @@
 //!   a routed request even when its hops land on different shards, with
 //!   all-or-nothing occupancy so a rejection never leaks provisional
 //!   load into earlier hops;
-//! * [`bench::closed_loop`] — the closed-loop load generator reporting
-//!   p50/p99 decision latency and sustained decisions/sec, with the
-//!   single-core gate (`skipped_single_core`) for hosts where threaded
-//!   throughput would be meaningless.
+//! * [`bench::closed_loop_with_parallelism`] — the closed-loop load
+//!   generator reporting p50/p99 decision latency and sustained
+//!   decisions/sec, with the single-core gate (`skipped_single_core`)
+//!   for hosts where threaded throughput would be meaningless.
 //!
 //! # Correctness bar
 //!
@@ -44,8 +44,6 @@ pub use bench::{
     routed_closed_loop_with_parallelism, BenchConfig, BenchError, BenchReport, RoutedBenchConfig,
 };
 
-#[allow(deprecated)]
-pub use bench::closed_loop;
 pub use plane::{
     certainty_equivalent_factory, plane_snapshot, shard_of, ControllerFactory, Decision,
     DecisionPlane, IngestHandle, PlaneConfig, ServeError, Shard, ShardEvent,

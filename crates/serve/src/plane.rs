@@ -34,7 +34,10 @@ use crate::ring::IngestRing;
 use mbac_core::admission::CertaintyEquivalent;
 use mbac_core::estimators::FilteredEstimator;
 use mbac_core::topology::LinkId;
-use mbac_metrics::{Aggregated, Counter, Histogram, MetricValue, MetricsSnapshot};
+use mbac_metrics::{
+    Aggregated, Counter, FieldBuf, Histogram, MetricValue, MetricsSnapshot, Sampler, StreamHandle,
+    StreamItem,
+};
 use mbac_sim::{MbacController, MetricsMode};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -241,6 +244,103 @@ impl ShardMetrics {
         }
         out
     }
+
+    /// Folds one decision's unit-of-work record. Counter updates are
+    /// identical to the per-instrument calls this replaces; the latency
+    /// histogram stays timing-gated.
+    pub(crate) fn fold_decision(&mut self, e: &DecisionEntry) {
+        self.requests.inc();
+        if e.admit {
+            self.admitted.inc();
+        } else {
+            self.rejected.inc();
+        }
+        if let (true, Some(ns)) = (self.timing, e.latency_ns) {
+            self.decision_ns.record(ns as f64);
+        }
+    }
+}
+
+/// One admission decision's unit-of-work record: accumulated on the
+/// stack while the decision is made, folded into the shard's
+/// instruments once, and (in streaming mode) offered to the sampler.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecisionEntry {
+    pub(crate) admit: bool,
+    pub(crate) occupancy: u32,
+    pub(crate) admissible: Option<f64>,
+    pub(crate) latency_ns: Option<u64>,
+}
+
+impl DecisionEntry {
+    /// The entry's fields as a sample payload.
+    pub(crate) fn fields(&self) -> FieldBuf {
+        let mut f = FieldBuf::new();
+        f.push("admit", if self.admit { 1.0 } else { 0.0 });
+        f.push("occupancy", f64::from(self.occupancy));
+        if let Some(m) = self.admissible {
+            f.push("admissible", m);
+        }
+        if let Some(ns) = self.latency_ns {
+            f.push("latency_ns", ns as f64);
+        }
+        f
+    }
+}
+
+/// Streaming-emission state of one shard: the shard index is the
+/// producer stream, the per-shard decision count is the sequence.
+/// Each link's decisions reach exactly one shard in per-link order, so
+/// the (stream, seq) pairs — and therefore the sampler's keep set — are
+/// deterministic for a fixed workload and shard count.
+pub(crate) struct ShardStream {
+    handle: StreamHandle,
+    stream: u64,
+    sampler: Sampler,
+    flush_interval: u64,
+    seq: u64,
+}
+
+impl ShardStream {
+    pub(crate) fn new(handle: StreamHandle, stream: u64) -> Self {
+        let sampler = handle.sampler_for(stream);
+        let flush_interval = handle.flush_interval();
+        ShardStream {
+            handle,
+            stream,
+            sampler,
+            flush_interval,
+            seq: 0,
+        }
+    }
+
+    /// Advances the stream by one folded decision, emitting a sampled
+    /// raw record when the sampler keeps it. Returns `true` when a
+    /// cumulative interval flush is due.
+    pub(crate) fn advance(&mut self, e: &DecisionEntry) -> bool {
+        self.seq += 1;
+        if self.sampler.keep(self.seq) {
+            self.handle.emit(StreamItem::Sample {
+                stream: self.stream,
+                seq: self.seq,
+                // The decision plane has no simulation clock; samples
+                // are ordered by `seq` alone.
+                t: f64::NAN,
+                fields: e.fields(),
+            });
+        }
+        self.flush_interval > 0 && self.seq.is_multiple_of(self.flush_interval)
+    }
+
+    /// Emits one cumulative interval carrying `metrics`.
+    pub(crate) fn emit_interval(&self, metrics: MetricsSnapshot) {
+        self.handle.emit(StreamItem::Interval {
+            stream: self.stream,
+            seq: self.seq,
+            t: f64::NAN,
+            metrics,
+        });
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -264,6 +364,7 @@ pub struct Shard {
     links: HashMap<LinkId, LinkState>,
     make: ControllerFactory,
     metrics: Option<Box<ShardMetrics>>,
+    stream: Option<Box<ShardStream>>,
 }
 
 impl Shard {
@@ -315,17 +416,16 @@ impl Shard {
                 let occupancy = state.flows;
                 let latency_ns =
                     enqueued.map(|at| u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                let entry = DecisionEntry {
+                    admit,
+                    occupancy,
+                    admissible,
+                    latency_ns,
+                };
                 if let Some(m) = self.metrics.as_deref_mut() {
-                    m.requests.inc();
-                    if admit {
-                        m.admitted.inc();
-                    } else {
-                        m.rejected.inc();
-                    }
-                    if let (true, Some(ns)) = (m.timing, latency_ns) {
-                        m.decision_ns.record(ns as f64);
-                    }
+                    m.fold_decision(&entry);
                 }
+                self.stream_decision(&entry);
                 out.push(Decision {
                     link,
                     admit,
@@ -383,6 +483,42 @@ impl Shard {
             .map(ShardMetrics::snapshot)
             .unwrap_or_default()
     }
+
+    /// This shard's metrics under its plane-wide `serve.shard{i}.*`
+    /// namespace — the shape interval records carry so a stream reader
+    /// sees the same names as the merged plane snapshot.
+    fn prefixed_snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        out.merge_prefixed(
+            &format!("serve.shard{}", self.index),
+            &self.metrics_snapshot(),
+        );
+        out
+    }
+
+    /// Advances the streaming state by one decision: sample emission,
+    /// plus a cumulative interval flush when one is due.
+    fn stream_decision(&mut self, e: &DecisionEntry) {
+        let Some(s) = self.stream.as_deref_mut() else {
+            return;
+        };
+        if s.advance(e) {
+            let snap = self.prefixed_snapshot();
+            if let Some(s) = self.stream.as_deref() {
+                s.emit_interval(snap);
+            }
+        }
+    }
+}
+
+impl Drop for Shard {
+    /// Emits the final cumulative interval so every shard's totals are
+    /// recoverable from the stream even with `flush_interval: 0`.
+    fn drop(&mut self) {
+        if let Some(s) = self.stream.take() {
+            s.emit_interval(self.prefixed_snapshot());
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -402,6 +538,11 @@ pub struct PlaneConfig {
     /// records the machine-dependent `serve.shard<i>.decision_ns`
     /// histogram.
     pub metrics: MetricsMode,
+    /// Streaming-emission handle. When set, each shard samples raw
+    /// decision records (stream = shard index, seq = decision count)
+    /// and flushes cumulative interval snapshots through it; aggregates
+    /// are unaffected.
+    pub stream: Option<StreamHandle>,
 }
 
 impl Default for PlaneConfig {
@@ -411,6 +552,7 @@ impl Default for PlaneConfig {
             capacity: 100.0,
             ring_capacity: 1024,
             metrics: MetricsMode::Disabled,
+            stream: None,
         }
     }
 }
@@ -448,6 +590,10 @@ impl DecisionPlane {
                 make: Arc::clone(&make),
                 metrics: (cfg.metrics != MetricsMode::Disabled)
                     .then(|| Box::new(ShardMetrics::new(timing))),
+                stream: cfg
+                    .stream
+                    .as_ref()
+                    .map(|h| Box::new(ShardStream::new(h.clone(), index as u64))),
             })
             .collect();
         Ok(DecisionPlane { shards })
@@ -538,6 +684,7 @@ mod tests {
                 capacity: 10.0,
                 ring_capacity: 64,
                 metrics: MetricsMode::Enabled,
+                stream: None,
             },
             certainty_equivalent_factory(1e-2, 0.0),
         )

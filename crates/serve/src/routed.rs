@@ -52,10 +52,10 @@
 //! exactly the legacy [`crate::plane::Shard`] sequence, reproducing its
 //! decision bytes bit for bit.
 
-use crate::plane::{ControllerFactory, ServeError, ShardMetrics};
+use crate::plane::{ControllerFactory, DecisionEntry, ServeError, ShardMetrics, ShardStream};
 use crate::ring::IngestRing;
 use mbac_core::topology::{hop_admits, LinkId, RouteId, Topology};
-use mbac_metrics::{Aggregated, Counter, MetricValue, MetricsSnapshot};
+use mbac_metrics::{Aggregated, Counter, MetricValue, MetricsSnapshot, StreamHandle};
 use mbac_sim::{MbacController, MetricsMode, RoutedEvent, RoutedWorkload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
@@ -363,6 +363,7 @@ pub struct RoutedShard {
     parked_links: Vec<LinkId>,
     make: ControllerFactory,
     metrics: Option<Box<ShardMetrics>>,
+    stream: Option<Box<ShardStream>>,
 }
 
 impl RoutedShard {
@@ -465,17 +466,18 @@ impl RoutedShard {
             let latency_ns =
                 enqueued.map(|at| u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
             let d = self.table.decision(&self.topology, seq, latency_ns);
+            // Hop 0's view mirrors the single-link plane's Decision:
+            // first-hop admissible and post-decision occupancy.
+            let entry = DecisionEntry {
+                admit,
+                occupancy: d.hops[0].occupancy,
+                admissible: d.hops[0].admissible,
+                latency_ns,
+            };
             if let Some(m) = self.metrics.as_deref_mut() {
-                m.requests.inc();
-                if admit {
-                    m.admitted.inc();
-                } else {
-                    m.rejected.inc();
-                }
-                if let (true, Some(ns)) = (m.timing, latency_ns) {
-                    m.decision_ns.record(ns as f64);
-                }
+                m.fold_decision(&entry);
             }
+            self.stream_decision(&entry);
             out.push(d);
         }
     }
@@ -560,6 +562,44 @@ impl RoutedShard {
         }
         (shard, links)
     }
+
+    /// This shard's metrics under plane-wide names — `serve.shard{i}.*`
+    /// plus `net.link{j}.*` for each owned link — the shape interval
+    /// records carry so a stream reader sees the same names as the
+    /// merged plane snapshot.
+    fn prefixed_snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        let (shard_bundle, link_bundles) = self.metrics_snapshot();
+        out.merge_prefixed(&format!("serve.shard{}", self.index), &shard_bundle);
+        for (link, bundle) in link_bundles {
+            out.merge_prefixed(&format!("net.link{link}"), &bundle);
+        }
+        out
+    }
+
+    /// Advances the streaming state by one hop-0 decision: sample
+    /// emission, plus a cumulative interval flush when one is due.
+    fn stream_decision(&mut self, e: &DecisionEntry) {
+        let Some(s) = self.stream.as_deref_mut() else {
+            return;
+        };
+        if s.advance(e) {
+            let snap = self.prefixed_snapshot();
+            if let Some(s) = self.stream.as_deref() {
+                s.emit_interval(snap);
+            }
+        }
+    }
+}
+
+impl Drop for RoutedShard {
+    /// Emits the final cumulative interval so every shard's totals are
+    /// recoverable from the stream even with `flush_interval: 0`.
+    fn drop(&mut self) {
+        if let Some(s) = self.stream.take() {
+            s.emit_interval(self.prefixed_snapshot());
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -576,6 +616,11 @@ pub struct RoutedPlaneConfig {
     pub ring_capacity: usize,
     /// Metrics collection mode.
     pub metrics: MetricsMode,
+    /// Streaming-emission handle. When set, each shard samples raw
+    /// hop-0 decision records (stream = shard index, seq = decision
+    /// count) and flushes cumulative interval snapshots through it;
+    /// aggregates are unaffected.
+    pub stream: Option<StreamHandle>,
 }
 
 impl Default for RoutedPlaneConfig {
@@ -584,6 +629,7 @@ impl Default for RoutedPlaneConfig {
             shards: 1,
             ring_capacity: 1024,
             metrics: MetricsMode::Disabled,
+            stream: None,
         }
     }
 }
@@ -625,6 +671,10 @@ impl RoutedPlane {
                 make: Arc::clone(&make),
                 metrics: (cfg.metrics != MetricsMode::Disabled)
                     .then(|| Box::new(ShardMetrics::new(timing))),
+                stream: cfg
+                    .stream
+                    .as_ref()
+                    .map(|h| Box::new(ShardStream::new(h.clone(), index as u64))),
             })
             .collect();
         Ok(RoutedPlane { shards })
@@ -996,6 +1046,7 @@ mod tests {
                 shards: 3,
                 ring_capacity: 16, // small: exercises backpressure
                 metrics: MetricsMode::Enabled,
+                stream: None,
             },
             producers: 2,
             stamp_latency: false,

@@ -65,6 +65,7 @@ fn replay_cfg(shards: usize, producers: usize, ring_capacity: usize) -> ReplayCo
             capacity: 8.0,
             ring_capacity,
             metrics: MetricsMode::Enabled,
+            stream: None,
         },
         producers,
         stamp_latency: false,

@@ -82,6 +82,7 @@ fn replay_cfg(shards: usize, producers: usize, ring_capacity: usize) -> RoutedRe
             shards,
             ring_capacity,
             metrics: MetricsMode::Enabled,
+            stream: None,
         },
         producers,
         stamp_latency: false,
@@ -204,6 +205,7 @@ fn single_link_routed_decisions_reproduce_legacy_bytes() {
                 capacity: 8.0,
                 ring_capacity: 64,
                 metrics: MetricsMode::Disabled,
+                stream: None,
             },
             producers: 1,
             stamp_latency: false,

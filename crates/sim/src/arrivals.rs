@@ -142,12 +142,11 @@ impl Scenario for PoissonLoad<'_> {
                 // slice path reports).
                 let mom = table.advance_depart_measure(t, &mut rng, ctl.moment_pivot());
                 ctl.observe_moments(t, &mom);
-                if let Some(m) = sink.get_mut() {
-                    let load = mom.sum();
-                    m.ticks.inc();
-                    m.load.record(load);
-                    m.load_series.record(t, load);
-                    m.occupancy.record(table.len() as f64);
+                if sink.is_enabled() {
+                    let mut e = sink.entry(t);
+                    e.ticks = 1;
+                    e.load = mom.sum();
+                    e.occupancy = table.len() as f64;
                 }
                 q.schedule_in(cfg.tick, Ev::Tick);
                 continue;
@@ -162,31 +161,32 @@ impl Scenario for PoissonLoad<'_> {
                         Some(m) => ((table.len() + 1) as f64) <= m,
                         None => table.is_empty(), // cold start: seed flow
                     };
+                    let mut holding_draw = 0u64;
                     if ok {
                         admitted += 1;
                         let departs = t + exponential(&mut rng, cfg.mean_holding);
                         table.admit(self.model, departs, &mut rng);
-                        if let Some(m) = sink.get_mut() {
-                            m.admitted.inc();
-                            m.rng_exp_draws.inc();
-                        }
-                    } else if let Some(m) = sink.get_mut() {
-                        m.denied.inc();
+                        holding_draw = 1;
                     }
                     q.schedule_in(exponential(&mut rng, 1.0 / cfg.arrival_rate), Ev::Arrival);
-                    if let Some(m) = sink.get_mut() {
-                        m.rng_exp_draws.inc();
+                    if sink.is_enabled() {
+                        // One unit-of-work entry per arrival: admitted
+                        // or denied, plus the holding-time draw and the
+                        // next-arrival scheduling draw.
+                        let mut e = sink.entry(t);
+                        e.admitted = holding_draw;
+                        e.denied = 1 - holding_draw;
+                        e.exp_draws = 1 + holding_draw;
                     }
                 }
                 Ev::Tick => {
                     table.snapshot_into(&mut snapshot);
                     ctl.observe(t, &snapshot);
-                    if let Some(m) = sink.get_mut() {
-                        let load: f64 = snapshot.iter().sum();
-                        m.ticks.inc();
-                        m.load.record(load);
-                        m.load_series.record(t, load);
-                        m.occupancy.record(table.len() as f64);
+                    if sink.is_enabled() {
+                        let mut e = sink.entry(t);
+                        e.ticks = 1;
+                        e.load = snapshot.iter().sum();
+                        e.occupancy = table.len() as f64;
                     }
                     q.schedule_in(cfg.tick, Ev::Tick);
                 }
@@ -204,8 +204,9 @@ impl Scenario for PoissonLoad<'_> {
             }
         };
 
-        if let Some(m) = sink.get_mut() {
-            m.departed.add(table.departed_total());
+        if sink.is_enabled() {
+            let mut e = sink.entry(q.now());
+            e.departed = table.departed_total();
         }
 
         PoissonReport {

@@ -62,7 +62,7 @@ pub use session::{
     rep_seed, ConfigError, Engine, MetricsMode, RepContext, Scenario, ScratchVec, Session,
     SessionBuilder,
 };
-pub use telemetry::{MetricsSink, SimMetrics};
+pub use telemetry::{EntryGuard, MetricsSink, SimMetrics, TickEntry};
 
 pub use mbac_core::topology::{LinkId, PathAdmission, RouteId, Topology};
 

@@ -194,7 +194,7 @@ impl Scenario for RoutedNetworkLoad<'_> {
         self.cfg.replications
     }
 
-    fn run_rep(&self, ctx: &RepContext, _sink: &mut MetricsSink) -> NetworkRep {
+    fn run_rep(&self, ctx: &RepContext, sink: &mut MetricsSink) -> NetworkRep {
         let cfg = &self.cfg;
         let topo = &cfg.topology;
         let (links, routes) = (topo.links(), topo.routes());
@@ -225,17 +225,31 @@ impl Scenario for RoutedNetworkLoad<'_> {
                 table.admit(self.model, hold, &mut rng);
             }
         }
+        let metrics_on = sink.is_enabled();
+        if metrics_on {
+            let mut e = sink.entry(0.0);
+            e.admitted = (routes * cfg.initial_flows_per_route) as u64;
+            e.exp_draws = (routes * cfg.initial_flows_per_route) as u64;
+        }
         let mut route_snaps: Vec<Vec<f64>> = vec![Vec::new(); routes];
         let mut link_rates: Vec<f64> = Vec::new();
         let record = |step: usize| step > cfg.warmup_ticks;
         for step in 1..=cfg.ticks {
             let now = step as f64 * cfg.tick;
+            // The tick's network-wide unit-of-work tallies (folded into
+            // one entry at the bottom of the tick when metrics are on).
+            let mut tick_departed = 0u64;
+            let mut tick_load = 0.0f64;
+            let mut tick_occ = 0u64;
+            let mut tick_admitted = 0u64;
+            let mut tick_blocked = 0u64;
             // Advance populations; departures free the whole path.
             for (r, table) in tables.iter_mut().enumerate() {
                 table.advance_to(now, &mut rng);
                 let departed = table.depart_until(now);
                 if departed > 0 {
                     path.release(topo, RouteId(r as u32), departed as u32);
+                    tick_departed += departed as u64;
                 }
                 table.snapshot_into(&mut route_snaps[r]);
             }
@@ -263,6 +277,8 @@ impl Scenario for RoutedNetworkLoad<'_> {
                     }
                     rep.util_sum[l] += load.min(c) / c;
                     rep.occupancy_sum[l] += link_rates.len() as u64;
+                    tick_load += load;
+                    tick_occ += link_rates.len() as u64;
                 }
             }
             if record(step) {
@@ -278,13 +294,30 @@ impl Scenario for RoutedNetworkLoad<'_> {
                     let d = path.decide(topo, route, &mut oracle);
                     if d.admit {
                         rep.admitted[route.index()] += 1;
+                        tick_admitted += 1;
                         let hold = exponential(&mut rng, cfg.mean_holding);
                         tables[route.index()].admit(self.model, now + hold, &mut rng);
                     } else {
                         rep.blocked[route.index()] += 1;
+                        tick_blocked += 1;
                         break;
                     }
                 }
+            }
+            if metrics_on {
+                // Network-aggregate entry: one per tick, summed across
+                // links (load/occupancy are post-warmup only, matching
+                // the report's measurement window).
+                let mut e = sink.entry(now);
+                e.ticks = 1;
+                if record(step) {
+                    e.load = tick_load;
+                    e.occupancy = tick_occ as f64;
+                }
+                e.admitted = tick_admitted;
+                e.denied = tick_blocked;
+                e.exp_draws = tick_admitted;
+                e.departed = tick_departed;
             }
         }
         rep

@@ -182,11 +182,10 @@ impl Scenario for ImpulsiveLoad<'_> {
         let mut table = ctx.table();
         let mut iter = candidates.into_iter();
         for _ in 0..admit {
+            let mut drew = 0u64;
             let departs_at = match cfg.mean_holding {
                 Some(th) => {
-                    if let Some(m) = sink.get_mut() {
-                        m.rng_exp_draws.inc();
-                    }
+                    drew = 1;
                     exponential(&mut rng, th)
                 }
                 None => f64::INFINITY,
@@ -199,10 +198,17 @@ impl Scenario for ImpulsiveLoad<'_> {
                     table.admit(self.model, departs_at, &mut rng);
                 }
             }
+            if sink.is_enabled() {
+                // One unit-of-work entry per admitted flow: the record
+                // the streaming sampler sees at 10⁶-flow scale.
+                let mut e = sink.entry(0.0);
+                e.admitted = 1;
+                e.exp_draws = drew;
+            }
         }
-        if let Some(m) = sink.get_mut() {
-            m.admitted.add(admit as u64);
-            m.admissible.set(m0);
+        if sink.is_enabled() {
+            let mut e = sink.entry(0.0);
+            e.admissible = m0;
         }
 
         // Evolve and observe.
@@ -213,17 +219,19 @@ impl Scenario for ImpulsiveLoad<'_> {
                 table.advance_to(t, &mut rng);
                 table.depart_until(t);
                 let (load, flows) = (table.aggregate_rate(), table.len());
-                if let Some(m) = sink.get_mut() {
-                    m.ticks.inc();
-                    m.load.record(load);
-                    m.load_series.record(t, load);
-                    m.occupancy.record(flows as f64);
+                if sink.is_enabled() {
+                    let mut e = sink.entry(t);
+                    e.ticks = 1;
+                    e.load = load;
+                    e.occupancy = flows as f64;
                 }
                 (load, flows)
             })
             .collect();
-        if let Some(m) = sink.get_mut() {
-            m.departed.add(table.departed_total());
+        if sink.is_enabled() {
+            let t_last = cfg.observe_times.last().copied().unwrap_or(0.0);
+            let mut e = sink.entry(t_last);
+            e.departed = table.departed_total();
         }
         ImpulsiveRep { m0, at }
     }
@@ -455,11 +463,10 @@ impl Scenario for ContinuousLoad<'_> {
         let mut t = 0.0f64;
         let mut next_sample = cfg.warmup.max(cfg.tick);
         let stop_reason;
+        let enabled = sink.is_enabled();
+        let timing = sink.timing_enabled();
         loop {
-            let tick_started = sink
-                .get_mut()
-                .filter(|m| m.timing_enabled())
-                .map(|_| std::time::Instant::now());
+            let tick_started = timing.then(std::time::Instant::now);
             t += cfg.tick;
 
             // Measure once; the controller and the meter share the
@@ -477,14 +484,19 @@ impl Scenario for ContinuousLoad<'_> {
                 snapshot.iter().sum()
             };
 
-            if let Some(m) = sink.get_mut() {
-                m.ticks.inc();
-                m.load.record(load);
-                m.load_series.record(t, load);
-                m.occupancy.record(table.len() as f64);
+            // The tick's unit-of-work entry: filled through the tick,
+            // folded exactly once when the guard drops — including on
+            // the `break` paths below, which end the tick after the
+            // measurement but before admission (matching the old
+            // record order).
+            let mut entry = sink.entry(t);
+            if enabled {
+                entry.ticks = 1;
+                entry.load = load;
+                entry.occupancy = table.len() as f64;
                 if let Some((mean, _)) = ctl.estimate_stats() {
                     if let Some(prev) = prev_mean {
-                        m.innovation.record(mean - prev);
+                        entry.innovation = mean - prev;
                     }
                     prev_mean = Some(mean);
                 }
@@ -527,36 +539,30 @@ impl Scenario for ContinuousLoad<'_> {
                         table.admit(self.model, departs, &mut rng);
                         admitted_now += 1;
                     }
-                    if let Some(sm) = sink.get_mut() {
-                        sm.admissible.set(m);
-                        sm.admitted.add(admitted_now as u64);
-                        sm.rng_exp_draws.add(admitted_now as u64);
-                        sm.denied.add(limit.saturating_sub(table.len()) as u64);
-                    }
+                    entry.admissible = m;
+                    entry.admitted = admitted_now as u64;
+                    entry.exp_draws = admitted_now as u64;
+                    entry.denied = limit.saturating_sub(table.len()) as u64;
                 }
                 None => {
                     // Cold start: nothing measured yet — admit a seed flow.
                     if table.is_empty() {
                         let departs = t + exponential(&mut rng, cfg.mean_holding);
                         table.admit(self.model, departs, &mut rng);
-                        if let Some(sm) = sink.get_mut() {
-                            sm.admitted.inc();
-                            sm.rng_exp_draws.inc();
-                        }
+                        entry.admitted = 1;
+                        entry.exp_draws = 1;
                     }
                 }
             }
 
             if let Some(started) = tick_started {
-                let ns = started.elapsed().as_nanos() as f64;
-                if let Some(m) = sink.get_mut() {
-                    m.tick_ns.record(ns);
-                }
+                entry.tick_ns = started.elapsed().as_nanos() as f64;
             }
         }
 
-        if let Some(m) = sink.get_mut() {
-            m.departed.add(table.departed_total());
+        if sink.is_enabled() {
+            let mut e = sink.entry(t);
+            e.departed = table.departed_total();
         }
         if sink.is_enabled() {
             // Fold the meter's instrument state into the sink's bundle via

@@ -437,6 +437,13 @@ pub enum MetricsMode {
     /// Collect including wall-clock timings (machine-dependent
     /// snapshots; see [`crate::telemetry::SimMetrics::with_timing`]).
     EnabledWithTiming,
+    /// Collect like [`MetricsMode::Enabled`] *and* emit through the
+    /// session's bounded streaming handle ([`SessionBuilder::stream`]):
+    /// sampled raw entries plus cumulative interval flushes per
+    /// replication. Aggregation is unchanged — snapshots stay
+    /// bit-identical to `Enabled` — only the emission path differs.
+    /// Without an attached handle this degrades to `Enabled`.
+    Streaming,
 }
 
 /// A configured simulation driver: workers, seed policy, engine and
@@ -447,6 +454,7 @@ pub struct Session {
     workers: usize,
     engine: Engine,
     metrics: MetricsMode,
+    stream: Option<mbac_metrics::StreamHandle>,
 }
 
 impl Session {
@@ -536,8 +544,15 @@ impl Session {
             MetricsMode::Disabled => MetricsSink::disabled(),
             MetricsMode::Enabled => MetricsSink::enabled(),
             MetricsMode::EnabledWithTiming => MetricsSink::enabled_with_timing(),
+            MetricsMode::Streaming => match &self.stream {
+                Some(handle) => MetricsSink::streaming(handle.clone(), rep),
+                None => MetricsSink::enabled(),
+            },
         };
         let outcome = scenario.run_rep(&ctx, &mut sink);
+        // Streaming sinks flush their final cumulative interval here,
+        // after the scenario attached any end-of-rep extras.
+        sink.finish_rep();
         let snapshot = sink.is_enabled().then(|| sink.snapshot());
         (outcome, snapshot)
     }
@@ -579,6 +594,7 @@ pub struct SessionBuilder {
     workers: Option<usize>,
     engine: Engine,
     metrics: MetricsMode,
+    stream: Option<mbac_metrics::StreamHandle>,
 }
 
 impl SessionBuilder {
@@ -614,6 +630,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a streaming emission handle (see
+    /// [`mbac_metrics::StreamSink::handle`]) and selects
+    /// [`MetricsMode::Streaming`]. Each replication becomes one
+    /// producer stream, keyed by its index, so sampling decisions are
+    /// invariant under worker count and engine choice.
+    pub fn stream(mut self, handle: mbac_metrics::StreamHandle) -> Self {
+        self.stream = Some(handle);
+        self.metrics = MetricsMode::Streaming;
+        self
+    }
+
     /// Freezes the configuration into a [`Session`].
     pub fn build(&self) -> Session {
         Session {
@@ -623,6 +650,7 @@ impl SessionBuilder {
                 .unwrap_or_else(mbac_num::parallel::default_workers),
             engine: self.engine,
             metrics: self.metrics,
+            stream: self.stream.clone(),
         }
     }
 

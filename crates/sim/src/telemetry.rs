@@ -42,8 +42,8 @@
 //! are machine facts, not simulation results.
 
 use mbac_metrics::{
-    Aggregated, Counter, CounterSnapshot, Gauge, Histogram, MetricValue, MetricsSnapshot,
-    TimeSeries,
+    Aggregated, Counter, CounterSnapshot, FieldBuf, Gauge, Histogram, MetricValue, MetricsSnapshot,
+    Sampler, StreamHandle, StreamItem, TimeSeries,
 };
 use mbac_num::PoolCallStats;
 
@@ -195,6 +195,134 @@ pub fn pool_stats_snapshot(stats: &PoolCallStats) -> MetricsSnapshot {
     out
 }
 
+/// One unit of work's worth of telemetry: a small, allocation-free
+/// record a hot loop fills locally and folds into the sink's mergeable
+/// instruments on drop (via [`EntryGuard`]) or explicitly with
+/// [`MetricsSink::fold_entry`].
+///
+/// Every field defaults to its fold-identity — `0` for the counter
+/// deltas, `NaN` for the value fields (gauges, histograms and series
+/// ignore non-finite values; counters ignore zero adds) — so folding an
+/// entry unconditionally updates exactly the instruments the producer
+/// touched. That makes entry-based recording **bit-identical** to the
+/// old per-instrument call sites: untouched fields are no-ops, touched
+/// fields replay the same `record`/`add` the site used to make.
+///
+/// In streaming mode each folded entry also advances the per-stream
+/// sequence, feeds the deterministic sampler, and triggers cumulative
+/// interval flushes (see [`MetricsSink::streaming`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TickEntry {
+    /// Simulation time of the unit of work.
+    pub t: f64,
+    /// Ticks executed (counter delta).
+    pub ticks: u64,
+    /// Flows admitted (counter delta).
+    pub admitted: u64,
+    /// Admissions withheld by the ramp cap (counter delta).
+    pub denied: u64,
+    /// Flows departed (counter delta).
+    pub departed: u64,
+    /// Exponential holding-time draws (counter delta).
+    pub exp_draws: u64,
+    /// Per-tick aggregate load (`sim.load` + `sim.load_series`).
+    pub load: f64,
+    /// Flow-table occupancy (`engine.occupancy`).
+    pub occupancy: f64,
+    /// Wall-clock ns for the unit (`engine.tick_ns`; only set it when
+    /// [`MetricsSink::timing_enabled`]).
+    pub tick_ns: f64,
+    /// Controller's admissible count (`ctl.admissible`).
+    pub admissible: f64,
+    /// Estimator innovation (`ctl.innovation`).
+    pub innovation: f64,
+}
+
+impl TickEntry {
+    /// An identity entry at time `t`: folding it changes nothing.
+    pub fn new(t: f64) -> Self {
+        TickEntry {
+            t,
+            ticks: 0,
+            admitted: 0,
+            denied: 0,
+            departed: 0,
+            exp_draws: 0,
+            load: f64::NAN,
+            occupancy: f64::NAN,
+            tick_ns: f64::NAN,
+            admissible: f64::NAN,
+            innovation: f64::NAN,
+        }
+    }
+
+    /// The entry's touched fields as a fixed-capacity sample payload
+    /// (finite values and non-zero counters only).
+    pub fn fields(&self) -> FieldBuf {
+        let mut f = FieldBuf::new();
+        f.push("load", self.load);
+        f.push("occupancy", self.occupancy);
+        f.push("admissible", self.admissible);
+        f.push("innovation", self.innovation);
+        f.push("tick_ns", self.tick_ns);
+        let counters: [(&'static str, u64); 5] = [
+            ("ticks", self.ticks),
+            ("admitted", self.admitted),
+            ("denied", self.denied),
+            ("departed", self.departed),
+            ("exp_draws", self.exp_draws),
+        ];
+        for (name, n) in counters {
+            if n > 0 {
+                f.push(name, n as f64);
+            }
+        }
+        f
+    }
+}
+
+/// A [`TickEntry`] borrowed from a sink: deref-mut to fill it, folds on
+/// drop. The guard keeps hot loops to one statement per unit of work
+/// with no way to forget the fold.
+#[derive(Debug)]
+pub struct EntryGuard<'a> {
+    sink: &'a mut MetricsSink,
+    entry: TickEntry,
+}
+
+impl std::ops::Deref for EntryGuard<'_> {
+    type Target = TickEntry;
+    fn deref(&self) -> &TickEntry {
+        &self.entry
+    }
+}
+
+impl std::ops::DerefMut for EntryGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TickEntry {
+        &mut self.entry
+    }
+}
+
+impl Drop for EntryGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.sink.fold_entry(&self.entry);
+    }
+}
+
+/// Streaming-mode state of a sink: the shared emission handle plus this
+/// replication's sequence counter and sampler.
+#[derive(Debug)]
+struct StreamState {
+    handle: StreamHandle,
+    /// Producer stream index (the replication index).
+    stream: u64,
+    sampler: Sampler,
+    flush_interval: u64,
+    seq: u64,
+    last_t: f64,
+}
+
 /// An optional [`SimMetrics`]: `disabled()` is the zero-cost default
 /// (one `Option` branch per record site), `enabled()` collects.
 #[derive(Debug, Default)]
@@ -203,6 +331,8 @@ pub struct MetricsSink {
     /// Extra snapshot entries attached by components that export their
     /// own instrument state (e.g. the overflow meter).
     extra: MetricsSnapshot,
+    /// Present only in streaming mode.
+    stream: Option<Box<StreamState>>,
 }
 
 impl MetricsSink {
@@ -216,6 +346,7 @@ impl MetricsSink {
         MetricsSink {
             inner: Some(Box::new(SimMetrics::new())),
             extra: MetricsSnapshot::new(),
+            stream: None,
         }
     }
 
@@ -224,12 +355,142 @@ impl MetricsSink {
         MetricsSink {
             inner: Some(Box::new(SimMetrics::new().with_timing())),
             extra: MetricsSnapshot::new(),
+            stream: None,
+        }
+    }
+
+    /// A recording sink that additionally emits through `handle` as
+    /// producer stream `stream` (the replication index): sampled raw
+    /// entries plus cumulative interval flushes every
+    /// `flush_interval` folded entries, and always a final interval
+    /// from [`MetricsSink::finish_rep`].
+    ///
+    /// Aggregation is *identical* to [`MetricsSink::enabled`] — the
+    /// instruments fold the same entries in the same order, so
+    /// snapshots stay bit-identical and the last interval per stream
+    /// re-folds to the snapshot-mode aggregate exactly.
+    pub fn streaming(handle: StreamHandle, stream: u64) -> Self {
+        let sampler = handle.sampler_for(stream);
+        let flush_interval = handle.flush_interval();
+        MetricsSink {
+            inner: Some(Box::new(SimMetrics::new())),
+            extra: MetricsSnapshot::new(),
+            stream: Some(Box::new(StreamState {
+                handle,
+                stream,
+                sampler,
+                flush_interval,
+                seq: 0,
+                last_t: f64::NAN,
+            })),
         }
     }
 
     /// Whether the sink records.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether wall-clock timing should be measured for this sink
+    /// (false when disabled — don't pay for `Instant::now`).
+    pub fn timing_enabled(&self) -> bool {
+        self.inner
+            .as_deref()
+            .is_some_and(SimMetrics::timing_enabled)
+    }
+
+    /// Borrows a fresh identity entry at time `t`; folding happens when
+    /// the guard drops. Callers should skip entry construction entirely
+    /// when [`MetricsSink::is_enabled`] is false — the guard itself is
+    /// a no-op then, but the values filled into it usually are not free
+    /// to compute.
+    #[inline]
+    pub fn entry(&mut self, t: f64) -> EntryGuard<'_> {
+        EntryGuard {
+            sink: self,
+            entry: TickEntry::new(t),
+        }
+    }
+
+    /// Folds one entry into the instruments: counter deltas add
+    /// (zero-delta adds are no-ops), value fields record (non-finite
+    /// values are ignored). In streaming mode the entry then advances
+    /// the stream sequence, may emit a sampled raw record, and may
+    /// flush a cumulative interval.
+    ///
+    /// Inlined so the identity fields of a caller's entry constant-fold
+    /// away: a hot loop that only touches counters (e.g. the impulsive
+    /// per-admission entry at 10⁶-flow scale) compiles down to the
+    /// counter adds — the NaN guards on the untouched value instruments
+    /// are decided at compile time, not per flow.
+    #[inline]
+    pub fn fold_entry(&mut self, e: &TickEntry) {
+        let Some(m) = self.inner.as_deref_mut() else {
+            return;
+        };
+        m.ticks.add(e.ticks);
+        m.admitted.add(e.admitted);
+        m.denied.add(e.denied);
+        m.departed.add(e.departed);
+        m.rng_exp_draws.add(e.exp_draws);
+        m.load.record(e.load);
+        m.load_series.record(e.t, e.load);
+        m.occupancy.record(e.occupancy);
+        m.tick_ns.record(e.tick_ns);
+        m.admissible.set(e.admissible);
+        m.innovation.record(e.innovation);
+        if self.stream.is_some() {
+            self.stream_entry(e);
+        }
+    }
+
+    /// The streaming arm of [`MetricsSink::fold_entry`], kept out of
+    /// line so the inlined aggregate fold stays small at every call
+    /// site; only entered when the sink is in streaming mode.
+    fn stream_entry(&mut self, e: &TickEntry) {
+        let mut flush_at = None;
+        if let Some(s) = self.stream.as_deref_mut() {
+            s.seq += 1;
+            s.last_t = e.t;
+            if s.sampler.keep(s.seq) {
+                s.handle.emit(StreamItem::Sample {
+                    stream: s.stream,
+                    seq: s.seq,
+                    t: e.t,
+                    fields: e.fields(),
+                });
+            }
+            if s.flush_interval > 0 && s.seq.is_multiple_of(s.flush_interval) {
+                flush_at = Some(s.seq);
+            }
+        }
+        if let Some(seq) = flush_at {
+            self.flush_interval_record(seq);
+        }
+    }
+
+    /// Emits the final cumulative interval of this replication's
+    /// stream. No-op outside streaming mode; call once, after the last
+    /// entry (and after any [`MetricsSink::attach`]).
+    pub fn finish_rep(&mut self) {
+        if let Some(s) = self.stream.as_deref() {
+            self.flush_interval_record(s.seq);
+        }
+    }
+
+    /// Emits one cumulative interval: the full snapshot so far. The
+    /// clone is the flush cost — paid per interval, never per entry.
+    fn flush_interval_record(&mut self, seq: u64) {
+        let metrics = self.snapshot();
+        let Some(s) = self.stream.as_deref() else {
+            return;
+        };
+        s.handle.emit(StreamItem::Interval {
+            stream: s.stream,
+            seq,
+            t: s.last_t,
+            metrics,
+        });
     }
 
     /// The bundle, when recording — every hot-path record site goes

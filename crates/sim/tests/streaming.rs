@@ -1,0 +1,103 @@
+//! Property tests on the streaming metrics contract: streaming mode is
+//! an *emission* change, never an *aggregation* change.
+//!
+//! Two identities are pinned for any flush interval, sampling fraction
+//! and worker count:
+//!
+//! 1. the merged snapshot a streaming session returns is byte-identical
+//!    to the plain `Enabled` snapshot (same entries folded into the
+//!    same instruments);
+//! 2. the cumulative interval records captured from the stream, re-
+//!    folded at end of run (last interval per replication stream,
+//!    merged in stream order), reproduce that snapshot byte-for-byte.
+
+use mbac_core::admission::CertaintyEquivalent;
+use mbac_metrics::{refold_intervals, StreamConfig, StreamSink};
+use mbac_sim::{ImpulsiveConfig, ImpulsiveLoad, MetricsMode, SessionBuilder};
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+use proptest::prelude::*;
+
+fn rcbr() -> RcbrModel {
+    RcbrModel::new(RcbrConfig {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        truncate_at_zero: true,
+    })
+}
+
+fn small_cfg(seed: u64, replications: usize) -> ImpulsiveConfig {
+    ImpulsiveConfig {
+        capacity: 40.0,
+        estimation_flows: 40,
+        mean_holding: Some(15.0),
+        observe_times: vec![0.5, 2.0, 8.0],
+        replications,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn refolded_intervals_reproduce_snapshot_mode_bit_identically(
+        seed in 0u64..1_000_000,
+        workers in 1usize..8,
+        flush_interval in 0u64..50,
+        fraction_idx in 0usize..3,
+        replications in 1usize..12,
+    ) {
+        let sample_fraction = [0.0, 0.1, 1.0][fraction_idx];
+        let model = rcbr();
+        let policy = CertaintyEquivalent::from_probability(1e-2);
+        let cfg = small_cfg(seed, replications);
+        let scenario = ImpulsiveLoad::new(&cfg, &model, &policy);
+
+        // Reference: plain snapshot mode, single worker.
+        let (_, reference) = SessionBuilder::new()
+            .workers(1)
+            .metrics(MetricsMode::Enabled)
+            .run_metered(&scenario)
+            .unwrap();
+
+        // Streaming mode. The ring is sized above the worst-case record
+        // count so nothing can drop: the identity under test is about
+        // aggregation, not backpressure (drops are covered separately).
+        let (stream_sink, collected) = StreamSink::collecting(StreamConfig {
+            ring_capacity: 1 << 15,
+            sample_fraction,
+            flush_interval,
+            ..StreamConfig::default()
+        });
+        let (_, streamed) = SessionBuilder::new()
+            .workers(workers)
+            .stream(stream_sink.handle())
+            .run_metered(&scenario)
+            .unwrap();
+        let stats = stream_sink.finish().unwrap();
+        prop_assert_eq!(stats.dropped, 0, "oversized ring must not drop");
+        // Every replication flushes at least its final interval.
+        prop_assert!(stats.intervals >= replications as u64);
+
+        // Identity 1: streaming collection returns the same snapshot.
+        prop_assert_eq!(
+            reference.to_json(),
+            streamed.to_json(),
+            "streaming mode changed the aggregate (workers={}, flush={})",
+            workers,
+            flush_interval
+        );
+
+        // Identity 2: the captured intervals re-fold to it exactly.
+        let items = collected.lock().unwrap();
+        let refolded = refold_intervals(&items);
+        prop_assert_eq!(
+            reference.to_json(),
+            refolded.to_json(),
+            "re-folded intervals diverged (workers={}, flush={})",
+            workers,
+            flush_interval
+        );
+    }
+}
