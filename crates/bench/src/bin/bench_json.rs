@@ -51,6 +51,15 @@
 //!    multi-hop composition relative to the per-link plane is on
 //!    record. Serial row always; shard sweep behind the same
 //!    single-core gate (reusing `MBAC_SERVE_SHARDS`/`MBAC_SERVE_TICKS`).
+//! 9. **Metrics overhead** at 10⁶ flows (`metrics_overhead` block):
+//!    sink disabled vs snapshot vs streaming collection.
+//! 10. **Churn lifecycle** (`churn` block): the flow lifecycle alone —
+//!     expire + replace under Poisson churn at steady state, no process
+//!     advance — on the timing-wheel `FlowTable` vs the frozen
+//!     pre-calendar `ReferenceFlowTable`, at 10³/10⁵/10⁶ concurrent
+//!     flows. The wheel's claim on record: a departing tick costs
+//!     O(departures popped), the legacy table pays an O(flows in
+//!     system) scan-and-rescan.
 //!
 //! Environment knobs (all optional; defaults in parentheses):
 //! * `MBAC_BENCH_FLOWS` (400) — flows per tick-loop benchmark;
@@ -61,7 +70,10 @@
 //! * `MBAC_SERVE_TICKS` (200) — measurement ticks per serve link;
 //! * `MBAC_SERVE_SHARDS` (`2,4`) — sharded sweep shard counts;
 //! * `MBAC_METRICS_FLOWS` (1000000) — flows in the metrics-overhead
-//!   benchmark (the 10^6-flow unit-of-work headline).
+//!   benchmark (the 10^6-flow unit-of-work headline);
+//! * `MBAC_CHURN_FLOWS` (1000000) — largest population in the churn
+//!   lifecycle benchmark (standard sizes above the cap are dropped and
+//!   the cap itself is benchmarked, so CI smoke stays fast).
 //!
 //! Every metric is validated finite before the JSON is written; a NaN
 //! or infinity anywhere aborts the run with a non-zero exit.
@@ -81,7 +93,7 @@ use mbac_serve::{
 };
 use mbac_sim::{
     ContinuousConfig, ContinuousLoad, Engine, FlowTable, ImpulsiveConfig, ImpulsiveLoad,
-    MbacController, MetricsMode, SessionBuilder,
+    MbacController, MetricsMode, ReferenceFlowTable, SessionBuilder,
 };
 use mbac_traffic::ar1::{Ar1Config, Ar1Model};
 use mbac_traffic::process::SourceModel;
@@ -480,6 +492,75 @@ fn time_table_loop(p: &Params, model: &dyn SourceModel, table: &mut FlowTable) -
     let elapsed = start.elapsed().as_nanos() as f64 / p.ticks as f64;
     assert!(acc.is_finite());
     elapsed
+}
+
+/// The method surface the churn lifecycle bench drives; implemented by
+/// the wheel table and the frozen reference so one loop times both.
+trait ChurnTable {
+    fn admit(&mut self, model: &dyn SourceModel, departs_at: f64, rng: &mut StdRng) -> u64;
+    fn depart_until(&mut self, t: f64) -> usize;
+    fn len(&self) -> usize;
+    fn departed_total(&self) -> u64;
+}
+
+macro_rules! impl_churn_table {
+    ($($t:ty),*) => {$(
+        impl ChurnTable for $t {
+            fn admit(&mut self, model: &dyn SourceModel, departs_at: f64, rng: &mut StdRng) -> u64 {
+                <$t>::admit(self, model, departs_at, rng)
+            }
+            fn depart_until(&mut self, t: f64) -> usize {
+                <$t>::depart_until(self, t)
+            }
+            fn len(&self) -> usize {
+                <$t>::len(self)
+            }
+            fn departed_total(&self) -> u64 {
+                <$t>::departed_total(self)
+            }
+        }
+    )*};
+}
+impl_churn_table!(FlowTable, ReferenceFlowTable);
+
+fn exp_hold(rng: &mut StdRng, mean: f64) -> f64 {
+    use rand::Rng as _;
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// (ns per tick, departures in the timed window, final flows in system)
+/// for the steady-state churn loop: each tick expires the due flows and
+/// admits one replacement per departure, so the population holds at `n`
+/// and the workload is *bit-identical* across table implementations
+/// (departure counts match exactly, hence so do the RNG streams — the
+/// caller asserts it). No process advance: this times the lifecycle
+/// machinery alone.
+fn time_churn<T: ChurnTable>(
+    make: impl Fn() -> T,
+    model: &dyn SourceModel,
+    n: usize,
+    ticks: usize,
+    mean_holding: f64,
+) -> (f64, u64, usize) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut table = make();
+    let mut t = 0.0;
+    for _ in 0..n {
+        let h = exp_hold(&mut rng, mean_holding);
+        table.admit(model, t + h, &mut rng);
+    }
+    let start = Instant::now();
+    for _ in 0..ticks {
+        t += TICK;
+        let departed = table.depart_until(t);
+        for _ in 0..departed {
+            let h = exp_hold(&mut rng, mean_holding);
+            table.admit(model, t + h, &mut rng);
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ticks as f64;
+    (ns, table.departed_total(), table.len())
 }
 
 /// ns/tick for the pre-fusion AR(1) tick path, reproduced literally:
@@ -1242,6 +1323,84 @@ fn main() {
     );
     let _ = writeln!(json, "    \"stream_samples\": {},", stream_stats.samples);
     let _ = writeln!(json, "    \"stream_dropped\": {}", stream_stats.dropped);
+    let _ = writeln!(json, "  }},");
+
+    // 10. Churn lifecycle: expire + replace at steady state under
+    // Poisson churn, wheel table vs frozen reference, no process
+    // advance. Holding times are exponential with mean 1000·tick, so
+    // ~N/1000 flows depart (and are replaced) every tick — essentially
+    // every tick is a departing tick, the regime where the legacy
+    // table degrades to O(N·ticks).
+    let churn_cap = env_usize("MBAC_CHURN_FLOWS", 1_000_000);
+    assert!(churn_cap > 0, "MBAC_CHURN_FLOWS must be positive");
+    let mut churn_sizes: Vec<usize> = [1_000, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&n| n <= churn_cap)
+        .collect();
+    if !churn_sizes.contains(&churn_cap) {
+        churn_sizes.push(churn_cap);
+    }
+    const CHURN_HOLDING: f64 = 1000.0 * TICK;
+    let churn_ticks = 200usize;
+    let churn_model = mbac_bench::bench_rcbr();
+    let _ = writeln!(json, "  \"churn\": {{");
+    let _ = writeln!(json, "    \"tick\": {TICK},");
+    let _ = writeln!(json, "    \"mean_holding\": {CHURN_HOLDING},");
+    let _ = writeln!(json, "    \"ticks\": {churn_ticks},");
+    let _ = writeln!(json, "    \"rows\": [");
+    // (flows, wheel ns/tick, legacy ns/tick, speedup) of the largest
+    // population — the trajectory headline.
+    let mut churn_headline = (0usize, 0.0f64, 0.0f64, 0.0f64);
+    for (i, &n) in churn_sizes.iter().enumerate() {
+        let wheel_stats = std::cell::Cell::new((0u64, 0usize));
+        let legacy_stats = std::cell::Cell::new((0u64, 0usize));
+        let [wheel_ns, legacy_ns] = best_of_interleaved([
+            &mut || {
+                let (ns, departed, len) =
+                    time_churn(FlowTable::new, &churn_model, n, churn_ticks, CHURN_HOLDING);
+                wheel_stats.set((departed, len));
+                ns
+            },
+            &mut || {
+                let (ns, departed, len) = time_churn(
+                    ReferenceFlowTable::new,
+                    &churn_model,
+                    n,
+                    churn_ticks,
+                    CHURN_HOLDING,
+                );
+                legacy_stats.set((departed, len));
+                ns
+            },
+        ]);
+        // Same seed ⇒ the two tables must have processed bit-identical
+        // workloads; a mismatch here is an equivalence bug, not noise.
+        assert_eq!(
+            wheel_stats.get(),
+            legacy_stats.get(),
+            "churn workload diverged at {n} flows"
+        );
+        let (departed, _) = wheel_stats.get();
+        let mean_departures = departed as f64 / churn_ticks as f64;
+        let speedup = legacy_ns / wheel_ns;
+        eprintln!(
+            "churn/{n}: wheel {wheel_ns:.0} ns/tick, legacy {legacy_ns:.0} ns/tick \
+             ({speedup:.1}x), {mean_departures:.1} departures/tick"
+        );
+        let _ = writeln!(
+            json,
+            "      {{ \"flows\": {n}, \"mean_departures_per_tick\": {:.2}, \
+             \"wheel_ns_per_tick\": {:.1}, \"legacy_ns_per_tick\": {:.1}, \
+             \"speedup\": {:.2} }}{}",
+            finite("mean_departures_per_tick", mean_departures),
+            finite("wheel_ns_per_tick", wheel_ns),
+            finite("legacy_ns_per_tick", legacy_ns),
+            finite("speedup", speedup),
+            if i + 1 < churn_sizes.len() { "," } else { "" }
+        );
+        churn_headline = (n, wheel_ns, legacy_ns, speedup);
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
@@ -1283,7 +1442,9 @@ fn main() {
          \"metrics_disabled_ns_per_flow\": {:.2}, \
          \"metrics_snapshot_ns_per_flow\": {:.2}, \
          \"metrics_streaming_ns_per_flow\": {:.2}, \
-         \"metrics_streaming_overhead\": {:.4}}}\n",
+         \"metrics_streaming_overhead\": {:.4}, \
+         \"churn_flows\": {}, \"churn_wheel_ns_per_tick\": {:.1}, \
+         \"churn_legacy_ns_per_tick\": {:.1}, \"churn_speedup\": {:.2}}}\n",
         p.n_flows,
         p.ticks,
         finite("ar1_batched_ns_per_tick", ar1_batched_ns),
@@ -1301,6 +1462,10 @@ fn main() {
         finite("metrics_snapshot_ns_per_flow", per_flow(snapshot_secs)),
         finite("metrics_streaming_ns_per_flow", per_flow(streaming_secs)),
         finite("metrics_streaming_overhead", streaming_overhead),
+        churn_headline.0,
+        finite("churn_wheel_ns_per_tick", churn_headline.1),
+        finite("churn_legacy_ns_per_tick", churn_headline.2),
+        finite("churn_speedup", churn_headline.3),
     );
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod churn;
 pub mod design;
 pub mod serve_bench;
 pub mod simulate;

@@ -6,6 +6,7 @@
 //! * `theory`   — evaluate the overflow formulas at one parameter point;
 //! * `simulate` — continuous-load simulation (RCBR or trace-driven);
 //! * `serve-bench` — closed-loop decision-plane benchmark;
+//! * `churn`    — flow-lifecycle churn smoke (timing-wheel calendar);
 //! * `trace`    — generate / inspect LRD rate traces.
 
 mod args;
@@ -21,6 +22,7 @@ commands:
   theory     evaluate the Grossglauser-Tse overflow formulas
   simulate   run the continuous-load simulator
   serve-bench  benchmark the sharded admission decision plane
+  churn      run the flow-lifecycle churn smoke at --flows scale
   trace      generate or inspect rate traces
   help       show usage for a command (e.g. `mbacctl help design`)";
 
@@ -38,6 +40,7 @@ fn main() {
                 Some("theory") => println!("{}", commands::theory::USAGE),
                 Some("simulate") => println!("{}", commands::simulate::USAGE),
                 Some("serve-bench") => println!("{}", commands::serve_bench::USAGE),
+                Some("churn") => println!("{}", commands::churn::USAGE),
                 Some("trace") => println!("{}", commands::trace::USAGE),
                 _ => println!("{TOP_USAGE}"),
             }
@@ -47,6 +50,7 @@ fn main() {
         "theory" => Args::parse(rest).and_then(|a| commands::theory::run(&a)),
         "simulate" => Args::parse(rest).and_then(|a| commands::simulate::run(&a)),
         "serve-bench" => Args::parse(rest).and_then(|a| commands::serve_bench::run(&a)),
+        "churn" => Args::parse(rest).and_then(|a| commands::churn::run(&a)),
         "trace" => Args::parse(rest).and_then(|a| commands::trace::run(&a)),
         other => {
             eprintln!("unknown command '{other}'\n\n{TOP_USAGE}");

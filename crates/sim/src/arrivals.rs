@@ -151,6 +151,28 @@ impl Scenario for PoissonLoad<'_> {
                 q.schedule_in(cfg.tick, Ev::Tick);
                 continue;
             }
+            if matches!(ev, Ev::Sample) {
+                // Sample: evolve, depart, and fold the aggregate in the
+                // same sweep instead of a second full pass through
+                // `aggregate_rate`. PoissonLoad admits through exactly
+                // one source model, so the table holds a single batch
+                // group and the grouped `aggregate_rate` fold this
+                // replaces is bit-identical to the moments' flat
+                // flow-order sum (unlike the impulsive harness, which
+                // mixes groups — see `FlowTable::aggregate_rate`). The
+                // pivot only centers s₁/s₂, never the raw sum.
+                let mom = table.advance_depart_measure(t, &mut rng, 0.0);
+                meter.record(mom.sum());
+                flow_count.push(table.len() as f64);
+                if let Some(reason) = meter.should_stop() {
+                    break reason;
+                }
+                if meter.samples() >= cfg.max_samples {
+                    break StopReason::BudgetExhausted;
+                }
+                q.schedule_in(cfg.sample_spacing, Ev::Sample);
+                continue;
+            }
             table.advance_to(t, &mut rng);
             table.depart_until(t);
             match ev {
@@ -190,17 +212,7 @@ impl Scenario for PoissonLoad<'_> {
                     }
                     q.schedule_in(cfg.tick, Ev::Tick);
                 }
-                Ev::Sample => {
-                    meter.record(table.aggregate_rate());
-                    flow_count.push(table.len() as f64);
-                    if let Some(reason) = meter.should_stop() {
-                        break reason;
-                    }
-                    if meter.samples() >= cfg.max_samples {
-                        break StopReason::BudgetExhausted;
-                    }
-                    q.schedule_in(cfg.sample_spacing, Ev::Sample);
-                }
+                Ev::Sample => unreachable!("samples take the fused path above"),
             }
         };
 

@@ -11,16 +11,30 @@
 //! struct-of-arrays kernel that advances all of them in one pass and
 //! leaves a cached rate vector, while heterogeneous or pre-spawned
 //! processes fall back to a boxed group with identical semantics (see
-//! `mbac_traffic::batch`). Departures use swap-remove against a cached
-//! minimum departure time, so a tick with no departure costs one
-//! comparison instead of a scan — the table is O(departures), not
-//! O(N·ticks).
+//! `mbac_traffic::batch`).
+//!
+//! Departures go through a hierarchical timing wheel (the
+//! [`crate::calendar`] module): `admit` schedules the flow's departure
+//! in O(1), a tick pops only the expiring buckets, and `next_departure`
+//! reads the earliest non-empty bucket — so a departing tick costs
+//! O(departures popped), never O(flows in system). Because the batch
+//! kernels compact with `swap_remove`, the wheel stores stable flow
+//! *handles* resolved through a slot map whose back-pointers are
+//! patched on every swap; the popped set is then applied in a canonical
+//! order (group, then slot, replaying the exact `swap_remove` sequence
+//! of the pre-wheel scan — see [`crate::reference`]) so the surviving
+//! slot permutation, and with it every snapshot, is bit-identical to
+//! the legacy table's. Departures consume no randomness, so the RNG
+//! stream is untouched by construction.
 //!
 //! Batched and unbatched tables consume the RNG identically (the
 //! kernels' documented stream contract), so [`FlowTable::new`] and
 //! [`FlowTable::new_unbatched`] produce bit-identical simulations for a
-//! fixed seed; the equivalence tests below assert this.
+//! fixed seed; the equivalence tests below assert this, and the
+//! `tests/churn.rs` proptests assert bit-equality against the frozen
+//! reference table at every step of randomized schedules.
 
+use crate::calendar::{CalendarEntry, DepartureCalendar};
 use mbac_num::RateMoments;
 use mbac_traffic::batch::{BatchKey, DynBatch, FlowBatch};
 use mbac_traffic::process::{RateProcess, SourceModel};
@@ -34,6 +48,15 @@ struct FlowMeta {
     departs_at: f64,
 }
 
+/// Where a flow currently lives: group index and slot within it. The
+/// calendar's stable handle indexes into the slot map, which is kept
+/// current as `swap_remove` relocates slots.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    group: u32,
+    slot: u32,
+}
+
 /// One group of flows sharing a batched kernel (or the boxed fallback).
 struct BatchGroup {
     /// `None` marks the boxed fallback group.
@@ -41,18 +64,8 @@ struct BatchGroup {
     batch: Box<dyn FlowBatch>,
     /// Slot-parallel metadata, reordered in lock-step with the batch.
     meta: Vec<FlowMeta>,
-    /// Cached `min(departs_at)` over the group; `INFINITY` when empty.
-    min_departure: f64,
-}
-
-impl BatchGroup {
-    fn recompute_min(&mut self) {
-        self.min_departure = self
-            .meta
-            .iter()
-            .map(|m| m.departs_at)
-            .fold(f64::INFINITY, f64::min);
-    }
+    /// Slot-parallel stable handles into the owner's slot map.
+    handles: Vec<u32>,
 }
 
 /// The set of flows currently in the system.
@@ -67,8 +80,23 @@ pub struct FlowTable {
     departed_total: u64,
     /// Time up to which all processes have been advanced.
     advanced_to: f64,
-    /// Cached `min(departs_at)` over all groups; `INFINITY` when empty.
+    /// Exact `min(departs_at)` over the live flows; `INFINITY` when
+    /// empty or when every live flow holds forever. Kept exact: admits
+    /// fold in O(1), departures re-read the calendar's earliest bucket.
     min_departure: f64,
+    /// The departure calendar (finite departure times only; flows with
+    /// `INFINITY` holds can never expire and are not scheduled).
+    calendar: DepartureCalendar,
+    /// Stable handle → current location; entries of freed handles are
+    /// stale until reused.
+    slots: Vec<SlotRef>,
+    /// Freed handles, reused LIFO (deterministic).
+    free: Vec<u32>,
+    /// Scratch: entries popped by the current `depart_until`.
+    expired: Vec<CalendarEntry>,
+    /// Scratch: popped entries resolved to (group, slot), then sorted
+    /// into the canonical expiry order.
+    expiry_locs: Vec<(u32, u32)>,
 }
 
 impl Default for FlowTable {
@@ -89,6 +117,11 @@ impl FlowTable {
             departed_total: 0,
             advanced_to: 0.0,
             min_departure: f64::INFINITY,
+            calendar: DepartureCalendar::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            expired: Vec::new(),
+            expiry_locs: Vec::new(),
         }
     }
 
@@ -134,8 +167,26 @@ impl FlowTable {
         self.admitted_total += 1;
         self.count += 1;
         let g = &mut self.groups[group];
+        let location = SlotRef {
+            group: group as u32,
+            slot: g.meta.len() as u32,
+        };
+        let handle = match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = location;
+                h
+            }
+            None => {
+                let h = self.slots.len() as u32;
+                self.slots.push(location);
+                h
+            }
+        };
         g.meta.push(FlowMeta { id, departs_at });
-        g.min_departure = g.min_departure.min(departs_at);
+        g.handles.push(handle);
+        if departs_at.is_finite() {
+            self.calendar.schedule(handle, departs_at);
+        }
         self.min_departure = self.min_departure.min(departs_at);
         id
     }
@@ -148,7 +199,7 @@ impl FlowTable {
                     key: None,
                     batch: Box::new(DynBatch::new()),
                     meta: Vec::new(),
-                    min_departure: f64::INFINITY,
+                    handles: Vec::new(),
                 });
                 self.groups.len() - 1
             }
@@ -156,7 +207,8 @@ impl FlowTable {
     }
 
     /// Admits a new flow spawned from `model`, departing at absolute
-    /// time `departs_at`. Returns the flow id.
+    /// time `departs_at`. O(1) (plus the kernel's spawn). Returns the
+    /// flow id.
     pub fn admit(&mut self, model: &dyn SourceModel, departs_at: f64, rng: &mut StdRng) -> u64 {
         let group = match self.batching.then(|| model.batch_key()).flatten() {
             Some(key) => match self.groups.iter().position(|g| g.key == Some(key)) {
@@ -169,7 +221,7 @@ impl FlowTable {
                         key: Some(key),
                         batch,
                         meta: Vec::new(),
-                        min_departure: f64::INFINITY,
+                        handles: Vec::new(),
                     });
                     self.groups.len() - 1
                 }
@@ -219,37 +271,115 @@ impl FlowTable {
         }
     }
 
+    /// Replays, for one group, the exact `swap_remove` sequence the
+    /// legacy while-loop scan would have produced for the expiring slot
+    /// set `exp` (ascending `(group, slot)` pairs, all in this group) —
+    /// without visiting any surviving slot.
+    ///
+    /// The legacy scan (`crate::reference`) walks `i` upward and, on
+    /// expiry, swap-removes without advancing `i`, re-examining the
+    /// element swapped in from the tail. Two facts make an
+    /// O(expiring) replay possible: a destination slot is always
+    /// strictly below the current length, so tail *sources* are never
+    /// former destinations and still hold their original elements; and
+    /// source positions strictly descend, so one reverse pointer into
+    /// the sorted expiring set answers every "does the tail element
+    /// expire too?" membership query.
+    fn apply_expirations(
+        g: &mut BatchGroup,
+        exp: &[(u32, u32)],
+        t: f64,
+        slots: &mut [SlotRef],
+        free: &mut Vec<u32>,
+    ) {
+        let mut live = g.meta.len();
+        // Reverse membership pointer: exp[hi..] are expiring slots
+        // already consumed from the tail (or about to be checked).
+        let mut hi = exp.len();
+        for &(_, slot) in exp {
+            let e = slot as usize;
+            if e >= live {
+                // Already consumed as a tail source below.
+                break;
+            }
+            loop {
+                debug_assert!(g.meta[e].departs_at <= t, "removing a non-expired slot");
+                free.push(g.handles[e]);
+                g.meta.swap_remove(e);
+                g.handles.swap_remove(e);
+                g.batch.swap_remove(e);
+                live -= 1;
+                if e == live {
+                    // Removed the last element; nothing swapped in.
+                    break;
+                }
+                // The element from original slot `live` now sits at
+                // `e`. If it expires too, the legacy scan removes it
+                // in place on the next pass of its while-loop.
+                while hi > 0 && exp[hi - 1].1 as usize > live {
+                    hi -= 1;
+                }
+                if hi > 0 && exp[hi - 1].1 as usize == live {
+                    hi -= 1;
+                    continue;
+                }
+                // A survivor moved into `e`: patch its back-pointer.
+                slots[g.handles[e] as usize].slot = e as u32;
+                break;
+            }
+        }
+    }
+
     /// Removes every flow whose departure time is ≤ `t`. Returns how
     /// many departed. O(1) when no departure is pending (the common
-    /// case, via the cached minimum), O(departures) otherwise.
+    /// case, via the exact cached minimum), O(departures popped)
+    /// otherwise — the calendar pops only expired buckets and the
+    /// canonical-order replay touches only expiring slots, so the cost
+    /// never scales with the flows in system.
     pub fn depart_until(&mut self, t: f64) -> usize {
         if self.min_departure > t {
             return 0;
         }
-        let mut gone = 0;
-        for g in &mut self.groups {
-            if g.min_departure > t {
-                continue;
+        self.expired.clear();
+        self.calendar.pop_until(t, &mut self.expired);
+        let gone = self.expired.len();
+        debug_assert!(gone > 0, "exact minimum {} <= {t}", self.min_departure);
+        {
+            // Resolve handles to their current locations, then order
+            // canonically: group, then slot — the order the legacy
+            // scan encounters them in.
+            let slots = &self.slots;
+            let locs = &mut self.expiry_locs;
+            locs.clear();
+            locs.extend(self.expired.iter().map(|e| {
+                let s = slots[e.handle as usize];
+                (s.group, s.slot)
+            }));
+            locs.sort_unstable();
+        }
+        let mut start = 0;
+        while start < self.expiry_locs.len() {
+            let group = self.expiry_locs[start].0;
+            let mut end = start + 1;
+            while end < self.expiry_locs.len() && self.expiry_locs[end].0 == group {
+                end += 1;
             }
-            let mut i = 0;
-            while i < g.meta.len() {
-                if g.meta[i].departs_at <= t {
-                    g.meta.swap_remove(i);
-                    g.batch.swap_remove(i);
-                    gone += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            g.recompute_min();
+            Self::apply_expirations(
+                &mut self.groups[group as usize],
+                &self.expiry_locs[start..end],
+                t,
+                &mut self.slots,
+                &mut self.free,
+            );
+            start = end;
         }
         self.count -= gone;
         self.departed_total += gone as u64;
-        self.min_departure = self
-            .groups
-            .iter()
-            .map(|g| g.min_departure)
-            .fold(f64::INFINITY, f64::min);
+        // The new exact minimum: the earliest non-empty bucket's fold
+        // (`INFINITY` when only never-departing flows remain — the
+        // same value the legacy whole-table fold produced).
+        self.min_departure = self.calendar.peek_min();
+        debug_assert!(self.min_departure > t);
         gone
     }
 
@@ -259,7 +389,7 @@ impl FlowTable {
     /// [`FlowTable::advance_to`] + [`FlowTable::depart_until`] +
     /// folding the [`FlowTable::snapshot_into`] slice, but in a single
     /// sweep over the flow state in the common case (no departure
-    /// pending, checked against the cached minimum in O(1)).
+    /// pending, checked against the exact cached minimum in O(1)).
     ///
     /// The moments fold the rates in the exact snapshot order (group
     /// order, slot order), so the derived mean is bit-identical to the
@@ -297,6 +427,13 @@ impl FlowTable {
 
     /// Sum of the instantaneous rates (the aggregate load `S_t`), read
     /// from the batches' cached rate vectors.
+    ///
+    /// Note the fold shape: per-group partial sums, then a sum of
+    /// groups — *not* the flat flow-order fold `RateMoments::sum`
+    /// produces. The two differ bitwise once a table holds more than
+    /// one group, which is why multi-group callers (the impulsive
+    /// harness) keep this method instead of reusing a fused tick's
+    /// moments.
     pub fn aggregate_rate(&self) -> f64 {
         self.groups
             .iter()
@@ -305,9 +442,12 @@ impl FlowTable {
     }
 
     /// Writes the per-flow instantaneous rates into `out` (cleared
-    /// first). The estimator snapshot of eqn (23).
+    /// first). The estimator snapshot of eqn (23). Reserves the full
+    /// flow count up front so large-N snapshots never reallocate while
+    /// crossing groups.
     pub fn snapshot_into(&self, out: &mut Vec<f64>) {
         out.clear();
+        out.reserve(self.count);
         for g in &self.groups {
             out.extend_from_slice(g.batch.rates());
         }
@@ -315,16 +455,16 @@ impl FlowTable {
 
     /// Ids of the flows currently in the system (test/diagnostic aid).
     pub fn ids(&self) -> Vec<u64> {
-        self.groups
-            .iter()
-            .flat_map(|g| g.meta.iter().map(|m| m.id))
-            .collect()
+        let mut out = Vec::with_capacity(self.count);
+        out.extend(self.groups.iter().flat_map(|g| g.meta.iter().map(|m| m.id)));
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceFlowTable;
     use mbac_traffic::ar1::{Ar1Config, Ar1Model};
     use mbac_traffic::markov::{MarkovFluidFactory, MarkovFluidModel};
     use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
@@ -396,7 +536,7 @@ mod tests {
         assert_eq!(table.next_departure(), Some(7.0));
     }
 
-    /// Regression test for the cached minimum: interleave admissions and
+    /// Regression test for the exact minimum: interleave admissions and
     /// departures (including several with the same departure time and
     /// admissions that lower the pending minimum) and check the cache
     /// against a brute-force reference at every step.
@@ -551,6 +691,75 @@ mod tests {
                 assert_eq!(batched.next_departure(), boxed.next_departure());
             }
             assert!(batched.admitted_total() > 0 && batched.departed_total() > 0);
+        }
+    }
+
+    /// The wheel table's headline contract: bit-identical to the frozen
+    /// legacy table — snapshots (the exact surviving slot permutation),
+    /// `next_departure`, ids, conservation counts, and the RNG stream —
+    /// through an irregular schedule with duplicate departure times,
+    /// batch departures, admissions into live groups, and `INFINITY`
+    /// holds, on both engines. (The randomized version lives in
+    /// `tests/churn.rs` as a proptest.)
+    #[test]
+    fn wheel_table_is_bit_exact_with_reference() {
+        for batched in [true, false] {
+            let m = model();
+            let ar1 = Ar1Model::new(Ar1Config {
+                mean: 1.0,
+                std_dev: 0.3,
+                t_c: 1.0,
+                tick: 0.05,
+                clamp_at_zero: true,
+            });
+            let mut rng_a = StdRng::seed_from_u64(123);
+            let mut rng_b = StdRng::seed_from_u64(123);
+            let mut wheel = if batched {
+                FlowTable::new()
+            } else {
+                FlowTable::new_unbatched()
+            };
+            let mut legacy = if batched {
+                ReferenceFlowTable::new()
+            } else {
+                ReferenceFlowTable::new_unbatched()
+            };
+            let mut snap_a = Vec::new();
+            let mut snap_b = Vec::new();
+            let mut now = 0.0;
+            for step in 0..300 {
+                now += 0.25;
+                // Two source models → two groups on the batched engine,
+                // so the canonical (group, slot) order is exercised.
+                let (model, hold): (&dyn SourceModel, f64) = if step % 5 == 0 {
+                    (&ar1, [1.25, 3.0, 3.0, f64::INFINITY][step % 4])
+                } else {
+                    (&m, 0.5 + (step % 11) as f64 * 0.75)
+                };
+                wheel.admit(model, now + hold, &mut rng_a);
+                legacy.admit(model, now + hold, &mut rng_b);
+                wheel.advance_to(now, &mut rng_a);
+                legacy.advance_to(now, &mut rng_b);
+                let gone_a = wheel.depart_until(now);
+                let gone_b = legacy.depart_until(now);
+                assert_eq!(gone_a, gone_b, "departure count at step {step}");
+                wheel.snapshot_into(&mut snap_a);
+                legacy.snapshot_into(&mut snap_b);
+                assert_eq!(snap_a, snap_b, "snapshot diverged at step {step}");
+                assert_eq!(wheel.ids(), legacy.ids(), "ids diverged at step {step}");
+                assert_eq!(wheel.next_departure(), legacy.next_departure());
+                assert_eq!(wheel.len(), legacy.len());
+                assert_eq!(wheel.departed_total(), legacy.departed_total());
+            }
+            assert!(wheel.departed_total() > 100, "schedule too quiet");
+            // Drain: a bulk expiry through both tables, then the RNG
+            // streams must still be in lock-step.
+            wheel.depart_until(now + 1e6);
+            legacy.depart_until(now + 1e6);
+            assert_eq!(wheel.len(), legacy.len());
+            assert_eq!(wheel.next_departure(), legacy.next_departure());
+            use rand::Rng as _;
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
         }
     }
 }

@@ -32,17 +32,21 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod calendar;
 pub mod controller;
 pub mod events;
 pub mod flows;
 pub mod metrics;
 pub mod network;
+#[cfg(any(test, feature = "reference-table"))]
+pub mod reference;
 pub mod requests;
 pub mod runner;
 pub mod session;
 pub mod telemetry;
 
 pub use arrivals::{PoissonConfig, PoissonLoad, PoissonReport};
+pub use calendar::DepartureCalendar;
 pub use controller::{AdmissionEngine, MbacController, MeasuredSumController};
 pub use events::EventQueue;
 pub use flows::FlowTable;
@@ -50,6 +54,8 @@ pub use metrics::{OverflowMeter, PfEstimate, PfMethod, StopReason, UtilityMeter}
 pub use network::{
     LinkStats, RouteStats, RoutedNetworkConfig, RoutedNetworkLoad, RoutedNetworkReport,
 };
+#[cfg(any(test, feature = "reference-table"))]
+pub use reference::ReferenceFlowTable;
 pub use requests::{
     LinkEvent, RequestLoad, RequestLoadConfig, RoutedEvent, RoutedLoad, RoutedLoadConfig,
     RoutedWorkload, ServeWorkload,

@@ -253,6 +253,12 @@ impl Scenario for RoutedNetworkLoad<'_> {
                 }
                 table.snapshot_into(&mut route_snaps[r]);
             }
+            // No fused-moments reuse is possible below: a link's load
+            // is the union of the *crossing routes'* snapshots seen
+            // through per-link measurement noise, not any one table's
+            // aggregate, so the per-link sum has to fold the composed
+            // (and possibly perturbed) vector. The per-route snapshots
+            // above are the only full passes over flow state per tick.
             // Measure each link: union of crossing routes' flows, seen
             // through this node's noise; feed estimator, resync
             // occupancy, tally overflow/utilization.

@@ -218,6 +218,14 @@ impl Scenario for ImpulsiveLoad<'_> {
             .map(|&t| {
                 table.advance_to(t, &mut rng);
                 table.depart_until(t);
+                // Deliberately NOT the fused advance_depart_measure +
+                // `RateMoments::sum` path: this table mixes two groups
+                // (measured candidates enter boxed via `admit_process`,
+                // extras via the keyed `admit`), and the grouped
+                // `aggregate_rate` fold differs bitwise from the
+                // moments' flat flow-order fold once a second group
+                // exists. Observations here are sparse, so the second
+                // pass is cheap; bit-stability of the goldens wins.
                 let (load, flows) = (table.aggregate_rate(), table.len());
                 if sink.is_enabled() {
                     let mut e = sink.entry(t);

@@ -222,7 +222,10 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// An empty flow table using this engine.
+    /// An empty flow table using this engine. Both engines share the
+    /// timing-wheel departure calendar (see [`crate::calendar`]), so
+    /// the engine choice affects only how rate processes are advanced,
+    /// never lifecycle semantics or cost.
     pub fn table(self) -> FlowTable {
         match self {
             Engine::Batched => FlowTable::new(),

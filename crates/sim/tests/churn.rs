@@ -1,0 +1,225 @@
+//! Wheel-vs-reference equivalence proptests.
+//!
+//! The timing-wheel flow table ([`mbac_sim::FlowTable`]) claims to be
+//! *bit-identical* to the frozen pre-calendar implementation
+//! ([`mbac_sim::ReferenceFlowTable`]) — same snapshots (the exact
+//! surviving slot permutation), same `next_departure`, same ids, same
+//! conservation counts, same RNG stream — on any interleaving of
+//! admissions, advances, departures, and fused measurement ticks.
+//! These proptests drive both tables through randomized schedules
+//! built to stress the wheel's hard cases:
+//!
+//! * duplicate departure times (holds and time steps share a 0.5 grid,
+//!   so exact `f64` collisions are common);
+//! * out-of-order holding times (a late admit with a short hold lowers
+//!   the pending minimum below earlier admits);
+//! * `INFINITY` holds (never scheduled in the calendar) and far-future
+//!   holds (land in the wheel's top levels and must cascade down);
+//! * empty-table and empty-window drains (`depart_until` with nothing
+//!   expiring, including on a completely empty table);
+//! * mixed groups (two keyed kernels plus the boxed fallback group via
+//!   `admit_process`), exercising the canonical group-then-slot expiry
+//!   order, on both the batched and unbatched engines.
+
+use mbac_sim::{FlowTable, ReferenceFlowTable};
+use mbac_traffic::ar1::{Ar1Config, Ar1Model};
+use mbac_traffic::process::SourceModel;
+use mbac_traffic::rcbr::{RcbrConfig, RcbrModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of the randomized schedule. Times are in half-unit steps so
+/// departure times collide exactly in `f64`.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Admit from source model `which` (0 = RCBR, 1 = AR(1)) with a
+    /// holding time of `hold_steps · 0.5`; `hold_steps == 0` means an
+    /// `INFINITY` hold, and `far` pushes the departure ~1e6 time units
+    /// out (top wheel levels).
+    Admit {
+        which: u8,
+        hold_steps: u8,
+        far: bool,
+    },
+    /// Admit a pre-spawned boxed process into the fallback group.
+    AdmitBoxed { hold_steps: u8 },
+    /// Advance all processes by `steps · 0.5` (RNG-consuming).
+    Advance { steps: u8 },
+    /// Expire everything due by now + `steps · 0.5` (no advance — the
+    /// lifecycle side alone, including empty drains when `steps` is 0).
+    Depart { steps: u8 },
+    /// The fused advance+depart+measure tick; moments compared too.
+    FusedTick { steps: u8 },
+}
+
+/// Weighted op generator (the vendored proptest stub has no
+/// `prop_oneof`, so the mix is drawn by hand: admits dominate, with
+/// lifecycle and fused ticks interleaved).
+struct OpStrategy;
+
+impl Strategy for OpStrategy {
+    type Value = Op;
+    fn sample(&self, rng: &mut StdRng) -> Op {
+        match rng.gen_range(0u8..11) {
+            0..=3 => Op::Admit {
+                which: rng.gen_range(0u8..2),
+                hold_steps: rng.gen_range(0u8..12),
+                far: rng.gen_range(0u8..10) == 0,
+            },
+            4 => Op::AdmitBoxed {
+                hold_steps: rng.gen_range(1u8..12),
+            },
+            5 | 6 => Op::Advance {
+                steps: rng.gen_range(1u8..5),
+            },
+            7 | 8 => Op::Depart {
+                steps: rng.gen_range(0u8..5),
+            },
+            _ => Op::FusedTick {
+                steps: rng.gen_range(1u8..5),
+            },
+        }
+    }
+}
+
+struct Harness {
+    wheel: FlowTable,
+    legacy: ReferenceFlowTable,
+    rng_a: StdRng,
+    rng_b: StdRng,
+    now: f64,
+    snap_a: Vec<f64>,
+    snap_b: Vec<f64>,
+}
+
+impl Harness {
+    fn new(batched: bool, seed: u64) -> Self {
+        Harness {
+            wheel: if batched {
+                FlowTable::new()
+            } else {
+                FlowTable::new_unbatched()
+            },
+            legacy: if batched {
+                ReferenceFlowTable::new()
+            } else {
+                ReferenceFlowTable::new_unbatched()
+            },
+            rng_a: StdRng::seed_from_u64(seed),
+            rng_b: StdRng::seed_from_u64(seed),
+            now: 0.0,
+            snap_a: Vec::new(),
+            snap_b: Vec::new(),
+        }
+    }
+
+    fn hold(&self, hold_steps: u8, far: bool) -> f64 {
+        if hold_steps == 0 {
+            f64::INFINITY
+        } else if far {
+            self.now + 1.0e6 + hold_steps as f64 * 0.5
+        } else {
+            self.now + hold_steps as f64 * 0.5
+        }
+    }
+
+    fn check(&mut self, step: usize) {
+        self.wheel.snapshot_into(&mut self.snap_a);
+        self.legacy.snapshot_into(&mut self.snap_b);
+        prop_assert_eq!(&self.snap_a, &self.snap_b, "snapshot at step {}", step);
+        prop_assert_eq!(self.wheel.ids(), self.legacy.ids(), "ids at step {}", step);
+        prop_assert_eq!(self.wheel.next_departure(), self.legacy.next_departure());
+        prop_assert_eq!(self.wheel.len(), self.legacy.len());
+        prop_assert_eq!(self.wheel.admitted_total(), self.legacy.admitted_total());
+        prop_assert_eq!(self.wheel.departed_total(), self.legacy.departed_total());
+        prop_assert_eq!(
+            self.wheel.admitted_total() - self.wheel.departed_total(),
+            self.wheel.len() as u64,
+            "conservation at step {}",
+            step
+        );
+    }
+}
+
+fn run_schedule(batched: bool, seed: u64, ops: &[Op]) {
+    let rcbr = RcbrModel::new(RcbrConfig::paper_default(1.0));
+    let ar1 = Ar1Model::new(Ar1Config {
+        mean: 1.0,
+        std_dev: 0.3,
+        t_c: 1.0,
+        tick: 0.05,
+        clamp_at_zero: true,
+    });
+    let mut h = Harness::new(batched, seed);
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Admit {
+                which,
+                hold_steps,
+                far,
+            } => {
+                let model: &dyn SourceModel = if which == 0 { &rcbr } else { &ar1 };
+                let departs = h.hold(hold_steps, far);
+                let id_a = h.wheel.admit(model, departs, &mut h.rng_a);
+                let id_b = h.legacy.admit(model, departs, &mut h.rng_b);
+                prop_assert_eq!(id_a, id_b);
+            }
+            Op::AdmitBoxed { hold_steps } => {
+                let departs = h.hold(hold_steps, false);
+                let proc_a = rcbr.spawn(&mut h.rng_a);
+                let proc_b = rcbr.spawn(&mut h.rng_b);
+                let id_a = h.wheel.admit_process(proc_a, departs);
+                let id_b = h.legacy.admit_process(proc_b, departs);
+                prop_assert_eq!(id_a, id_b);
+            }
+            Op::Advance { steps } => {
+                h.now += steps as f64 * 0.5;
+                h.wheel.advance_to(h.now, &mut h.rng_a);
+                h.legacy.advance_to(h.now, &mut h.rng_b);
+            }
+            Op::Depart { steps } => {
+                let until = h.now + steps as f64 * 0.5;
+                let gone_a = h.wheel.depart_until(until);
+                let gone_b = h.legacy.depart_until(until);
+                prop_assert_eq!(gone_a, gone_b, "departure count at step {}", step);
+            }
+            Op::FusedTick { steps } => {
+                h.now += steps as f64 * 0.5;
+                let pivot = 1.0 + (step % 7) as f64 * 0.01;
+                let mom_a = h.wheel.advance_depart_measure(h.now, &mut h.rng_a, pivot);
+                let mom_b = h.legacy.advance_depart_measure(h.now, &mut h.rng_b, pivot);
+                prop_assert_eq!(mom_a, mom_b, "moments at step {}", step);
+            }
+        }
+        h.check(step);
+    }
+    // Final bulk drain (now + 2e6 clears the far-future entries too,
+    // leaving only INFINITY holds), then prove the RNG streams never
+    // diverged.
+    let gone_a = h.wheel.depart_until(h.now + 2.0e6);
+    let gone_b = h.legacy.depart_until(h.now + 2.0e6);
+    prop_assert_eq!(gone_a, gone_b, "drain departure count");
+    h.check(usize::MAX);
+    prop_assert_eq!(h.rng_a.gen::<u64>(), h.rng_b.gen::<u64>(), "RNG stream");
+}
+
+proptest! {
+    /// Batched engine: wheel ≡ legacy bit-for-bit on random schedules.
+    #[test]
+    fn wheel_matches_reference_batched(
+        seed in 0u64..1_000_000,
+        ops in collection::vec(OpStrategy, 1..80),
+    ) {
+        run_schedule(true, seed, &ops);
+    }
+
+    /// Unbatched (boxed) engine: same contract.
+    #[test]
+    fn wheel_matches_reference_unbatched(
+        seed in 0u64..1_000_000,
+        ops in collection::vec(OpStrategy, 1..80),
+    ) {
+        run_schedule(false, seed, &ops);
+    }
+}
